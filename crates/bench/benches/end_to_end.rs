@@ -1,0 +1,58 @@
+//! Criterion benches for whole experiment runs — the cost of regenerating
+//! one paper data point per scheduler, plus simulator event throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cloudburst_core::{run_experiment, ExperimentConfig, SchedulerKind};
+use cloudburst_workload::{ArrivalConfig, SizeBucket};
+
+fn cfg(kind: SchedulerKind) -> ExperimentConfig {
+    ExperimentConfig {
+        scheduler: kind,
+        arrivals: ArrivalConfig {
+            n_batches: 4,
+            jobs_per_batch: 10.0,
+            bucket: SizeBucket::Uniform,
+            ..ArrivalConfig::default()
+        },
+        training_docs: 200,
+        ..ExperimentConfig::default()
+    }
+}
+
+fn bench_full_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/full_run_4x10");
+    group.sample_size(20);
+    for kind in [
+        SchedulerKind::IcOnly,
+        SchedulerKind::Greedy,
+        SchedulerKind::OrderPreserving,
+        SchedulerKind::Sibs,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| b.iter(|| black_box(run_experiment(&cfg(kind)))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_paper_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/paper_scale_7x15");
+    group.sample_size(10);
+    group.bench_function("op_large_highvar", |b| {
+        b.iter(|| {
+            let cfg = ExperimentConfig::paper_high_variation(
+                SchedulerKind::OrderPreserving,
+                SizeBucket::LargeBiased,
+                42,
+            );
+            black_box(run_experiment(&cfg))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_runs, bench_paper_scale);
+criterion_main!(benches);

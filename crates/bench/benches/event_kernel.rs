@@ -1,0 +1,64 @@
+//! Criterion benches for the DES kernel: scheduling throughput, mixed
+//! schedule/fire workloads, and cancellation cost.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cloudburst_sim::{Sim, SimTime};
+
+fn bench_schedule_and_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/schedule_and_run");
+    for n in [1_000u64, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim: Sim<u64> = Sim::new();
+                for i in 0..n {
+                    // Scatter times so the heap actually works.
+                    let t = SimTime::from_micros((i * 2_654_435_761) % 1_000_000_000);
+                    sim.schedule_at(t, |w, _| *w += 1);
+                }
+                let mut world = 0u64;
+                sim.run(&mut world);
+                black_box(world)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cascading_events(c: &mut Criterion) {
+    c.bench_function("sim/cascade_100k", |b| {
+        b.iter(|| {
+            let mut sim: Sim<u64> = Sim::new();
+            fn chain(w: &mut u64, sim: &mut Sim<u64>) {
+                *w += 1;
+                if *w < 100_000 {
+                    sim.schedule_in(cloudburst_sim::SimDuration::from_micros(1), chain);
+                }
+            }
+            sim.schedule_now(chain);
+            let mut world = 0u64;
+            sim.run(&mut world);
+            black_box(world)
+        })
+    });
+}
+
+fn bench_cancellation(c: &mut Criterion) {
+    c.bench_function("sim/schedule_cancel_50k", |b| {
+        b.iter(|| {
+            let mut sim: Sim<u64> = Sim::new();
+            let ids: Vec<_> = (0..50_000u64)
+                .map(|i| sim.schedule_at(SimTime::from_micros(i), |w, _| *w += 1))
+                .collect();
+            for id in ids.iter().step_by(2) {
+                sim.cancel(*id);
+            }
+            let mut world = 0u64;
+            sim.run(&mut world);
+            black_box(world)
+        })
+    });
+}
+
+criterion_group!(benches, bench_schedule_and_run, bench_cascading_events, bench_cancellation);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benches for scheduler decision throughput: how fast each
+//! scheduler places a batch, as a function of batch size.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cloudburst_qrsm::{Method, QrsModel};
+use cloudburst_sched::{
+    BurstScheduler, EstimateProvider, GreedyScheduler, IcOnlyScheduler, LoadModel,
+    OrderPreservingScheduler, SibsScheduler,
+};
+use cloudburst_sim::{RngFactory, SimTime};
+use cloudburst_workload::arrival::training_corpus;
+use cloudburst_workload::{ArrivalConfig, BatchArrivals, GroundTruth, Job, SizeBucket};
+
+fn fixture(batch_size: f64) -> (EstimateProvider, Vec<Job>, LoadModel) {
+    let rngs = RngFactory::new(77);
+    let truth = GroundTruth::default();
+    let corpus = training_corpus(&mut rngs.stream("train"), &truth, 300);
+    let xs: Vec<Vec<f64>> = corpus.iter().map(|(f, _)| f.regressors()).collect();
+    let ys: Vec<f64> = corpus.iter().map(|(_, t)| *t).collect();
+    let est = EstimateProvider::new(QrsModel::fit(&xs, &ys, Method::Ols).unwrap())
+        .with_bandwidth_prior(250_000.0);
+    let gen = BatchArrivals::new(ArrivalConfig {
+        n_batches: 1,
+        jobs_per_batch: batch_size,
+        bucket: SizeBucket::Uniform,
+        ..ArrivalConfig::default()
+    });
+    let jobs = gen.generate_flat(&rngs, &truth);
+    let mut load = LoadModel::idle(SimTime::ZERO, 8, 2);
+    load.ic_free_secs = vec![2_000.0; 8];
+    load.outstanding_est_completions = vec![SimTime::from_secs(2_000)];
+    (est, jobs, load)
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    for batch in [15usize, 60, 240] {
+        let (est, jobs, load) = fixture(batch as f64);
+        let mut group = c.benchmark_group(format!("sched/batch_{batch}"));
+        group.bench_function(BenchmarkId::from_parameter("ic-only"), |b| {
+            b.iter(|| {
+                let mut s = IcOnlyScheduler::new();
+                black_box(s.schedule_batch(jobs.clone(), &load, &est))
+            })
+        });
+        group.bench_function(BenchmarkId::from_parameter("greedy"), |b| {
+            b.iter(|| {
+                let mut s = GreedyScheduler::new();
+                black_box(s.schedule_batch(jobs.clone(), &load, &est))
+            })
+        });
+        group.bench_function(BenchmarkId::from_parameter("op"), |b| {
+            b.iter(|| {
+                let mut s = OrderPreservingScheduler::default_with_seed(1);
+                black_box(s.schedule_batch(jobs.clone(), &load, &est))
+            })
+        });
+        group.bench_function(BenchmarkId::from_parameter("op+sibs"), |b| {
+            b.iter(|| {
+                let mut s = SibsScheduler::default_with_seed(1);
+                black_box(s.schedule_batch(jobs.clone(), &load, &est))
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

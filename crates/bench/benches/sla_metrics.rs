@@ -1,0 +1,46 @@
+//! Criterion benches for SLA computations: the OO-metric series (the most
+//! quadratic-ish cost in the reporting path) and the scalar metrics.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cloudburst_sim::{SimDuration, SimTime};
+use cloudburst_sla::{metrics, oo_series, CompletionRecord, OoConfig};
+
+fn completions(n: usize) -> Vec<CompletionRecord> {
+    (0..n)
+        .map(|i| CompletionRecord {
+            id: i as u64,
+            // Shuffle completion times so the metric has real gaps to track.
+            at: SimTime::from_secs(((i as u64 * 2_654_435_761) % (n as u64 * 60)) + 1),
+            bytes: 1_000_000 + (i as u64 % 100) * 10_000,
+        })
+        .collect()
+}
+
+fn bench_oo_series(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sla/oo_series");
+    for n in [100usize, 500, 2_000] {
+        let comps = completions(n);
+        let horizon = SimTime::from_secs(n as u64 * 60 + 120);
+        let cfg = OoConfig { tolerance: 4, sample_interval: SimDuration::from_mins(2) };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(oo_series(&comps, n, horizon, cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scalar_metrics(c: &mut Criterion) {
+    let times: Vec<SimTime> = completions(2_000).iter().map(|r| r.at).collect();
+    c.bench_function("sla/makespan_and_delays_2000", |b| {
+        b.iter(|| {
+            let m = metrics::makespan(&times, SimTime::ZERO);
+            let d = metrics::completion_delay_series(&times, SimTime::ZERO);
+            let p = metrics::peak_stats(&d, 60.0);
+            black_box((m, p))
+        })
+    });
+}
+
+criterion_group!(benches, bench_oo_series, bench_scalar_metrics);
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! `cloudburst` — config-driven CLI around the simulation engine.
+//!
+//! ```text
+//! cloudburst template                          print a default config (JSON)
+//! cloudburst run --config cfg.json            run one experiment, report to stdout
+//! cloudburst run --config cfg.json --out r.json --timelines t.json
+//! cloudburst run --config cfg.json --workload trace.json   replay a saved trace
+//! cloudburst sweep --config cfg.json --seeds 1,2,3 --out dir/
+//! cloudburst trace --config cfg.json --out trace.json      export the workload
+//! ```
+//!
+//! Everything an experiment needs lives in one `ExperimentConfig` JSON
+//! value (workload, pools, pipe models, scheduler, extensions), so runs
+//! are shareable, diffable artifacts.
+
+use std::fs;
+use std::process::exit;
+
+use cloudburst_core::{run_experiment_detailed, ExperimentConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  cloudburst template\n  cloudburst run --config <cfg.json> [--workload <trace.json>] [--out <report.json>] [--timelines <t.json>]\n  cloudburst sweep --config <cfg.json> --seeds <a,b,c> --out <dir>\n  cloudburst trace --config <cfg.json> [--out <trace.json>]"
+    );
+    exit(2);
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn load_config(args: &[String]) -> ExperimentConfig {
+    let path = arg_value(args, "--config").unwrap_or_else(|| usage());
+    let text = fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("invalid config {path}: {e}");
+        exit(1);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(|s| s.as_str()) {
+        Some("template") => {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&ExperimentConfig::default()).expect("serialize")
+            );
+        }
+        Some("trace") => {
+            let cfg = load_config(&args);
+            let rngs = cloudburst_sim::RngFactory::new(cfg.seed);
+            let batches = cloudburst_workload::BatchArrivals::new(cfg.arrivals.clone())
+                .generate(&rngs, &cfg.truth);
+            let trace = cloudburst_workload::WorkloadTrace::new(
+                format!("generated from config, seed {}", cfg.seed),
+                batches,
+            );
+            match arg_value(&args, "--out") {
+                Some(path) => {
+                    trace.save(&path).unwrap_or_else(|e| {
+                        eprintln!("cannot write {path}: {e}");
+                        exit(1);
+                    });
+                    println!("{} jobs in {} batches written to {path}", trace.n_jobs(), trace.batches.len());
+                }
+                None => println!("{}", trace.to_json()),
+            }
+        }
+        Some("run") => {
+            let cfg = load_config(&args);
+            let (report, world) = match arg_value(&args, "--workload") {
+                Some(path) => {
+                    let trace =
+                        cloudburst_workload::WorkloadTrace::load(&path).unwrap_or_else(|e| {
+                            eprintln!("cannot load workload {path}: {e}");
+                            exit(1);
+                        });
+                    cloudburst_core::run_with_batches(&cfg, trace.batches)
+                }
+                None => run_experiment_detailed(&cfg),
+            };
+            let json = serde_json::to_string_pretty(&report).expect("serialize report");
+            match arg_value(&args, "--out") {
+                Some(path) => {
+                    fs::write(&path, &json).unwrap_or_else(|e| {
+                        eprintln!("cannot write {path}: {e}");
+                        exit(1);
+                    });
+                    println!("{}", report.summary_line());
+                    println!("report written to {path}");
+                }
+                None => println!("{json}"),
+            }
+            if let Some(path) = arg_value(&args, "--timelines") {
+                let tj = serde_json::to_string_pretty(world.timelines())
+                    .expect("serialize timelines");
+                fs::write(&path, tj).unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    exit(1);
+                });
+                println!("timelines written to {path}");
+            }
+        }
+        Some("sweep") => {
+            let cfg = load_config(&args);
+            let seeds: Vec<u64> = arg_value(&args, "--seeds")
+                .unwrap_or_else(|| usage())
+                .split(',')
+                .map(|s| {
+                    s.trim().parse().unwrap_or_else(|_| {
+                        eprintln!("invalid seed: {s}");
+                        exit(1);
+                    })
+                })
+                .collect();
+            let dir = arg_value(&args, "--out").unwrap_or_else(|| usage());
+            fs::create_dir_all(&dir).unwrap_or_else(|e| {
+                eprintln!("cannot create {dir}: {e}");
+                exit(1);
+            });
+            let reports = cloudburst_core::run_replications(&cfg, &seeds);
+            for r in &reports {
+                let path = format!("{dir}/report-seed{}.json", r.seed);
+                fs::write(&path, serde_json::to_string_pretty(r).expect("serialize"))
+                    .unwrap_or_else(|e| {
+                        eprintln!("cannot write {path}: {e}");
+                        exit(1);
+                    });
+                println!("{}", r.summary_line());
+            }
+            // Aggregate line: mean makespan/speedup across seeds.
+            let n = reports.len() as f64;
+            println!(
+                "mean over {} seeds: makespan={:.0}s speedup={:.2}",
+                reports.len(),
+                reports.iter().map(|r| r.makespan_secs).sum::<f64>() / n,
+                reports.iter().map(|r| r.speedup).sum::<f64>() / n,
+            );
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,1207 @@
+//! One function per paper artifact (figures 3–10, Table I, Sec. V-B-4
+//! numbers) plus the ablations and extensions of DESIGN.md §4.
+//!
+//! Absolute numbers differ from the paper (their physical testbed vs our
+//! simulator); each experiment's `summary` records the *shape* checks that
+//! define a successful reproduction — who wins, in which direction, by
+//! roughly what factor.
+
+use std::fmt::Write as _;
+
+use serde_json::{json, Value};
+
+use cloudburst_core::autonomic::calibrate;
+use cloudburst_core::config::ScalingPolicy;
+use cloudburst_core::multi_ec::compare_split_vs_consolidated;
+use cloudburst_core::runner::{mean_of, run_replications};
+use cloudburst_core::{run_experiment, run_experiment_detailed, ExperimentConfig, SchedulerKind};
+use cloudburst_net::threads::optimal_threads;
+use cloudburst_net::BandwidthModel;
+use cloudburst_qrsm::{validate, Method, QrsModel};
+use cloudburst_sim::{RngFactory, SimDuration};
+use cloudburst_sla::RunReport;
+use cloudburst_workload::arrival::training_corpus;
+use cloudburst_workload::{DocumentFeatures, GroundTruth, JobType, SizeBucket};
+
+/// Seeds used for aggregate (table-style) experiments.
+pub const AGG_SEEDS: [u64; 3] = [41, 42, 43];
+/// Seed used for series (figure-style) experiments.
+pub const SERIES_SEED: u64 = 42;
+
+/// The rendered result of one experiment.
+#[derive(Clone, Debug)]
+pub struct ExpOutput {
+    /// Experiment id (`fig6`, `table1`, …).
+    pub id: &'static str,
+    /// Human-readable rows/series, paper-style.
+    pub text: String,
+    /// Machine-readable summary incl. shape checks (consumed by
+    /// EXPERIMENTS.md generation and the integration tests).
+    pub summary: Value,
+    /// Rendered figures as `(file-stem, svg-document)` pairs — the paper's
+    /// plots as actual plots (written by `repro --svg <dir>`).
+    pub charts: Vec<(String, String)>,
+}
+
+impl ExpOutput {
+    /// Attaches a rendered chart.
+    pub fn with_chart(mut self, stem: impl Into<String>, chart: &crate::svg::Chart) -> ExpOutput {
+        self.charts.push((stem.into(), chart.to_svg()));
+        self
+    }
+}
+
+/// All experiment ids, in DESIGN.md §4 order.
+pub fn all_ids() -> &'static [&'static str] {
+    &[
+        "fig3", "fig4a", "fig4b", "fig6", "fig7", "fig8", "fig9", "fig10", "table1", "sibs",
+        "tickets", "ablate-chunk", "ablate-ewma", "ablate-resched", "ablate-scaling",
+        "ablate-multiec", "ablate-classes", "ablate-chunkpos",
+    ]
+}
+
+/// Runs one experiment by id; `None` for an unknown id.
+pub fn run_experiment_by_id(id: &str) -> Option<ExpOutput> {
+    Some(match id {
+        "fig3" => fig3(),
+        "fig4a" => fig4a(),
+        "fig4b" => fig4b(),
+        "fig6" => fig6(),
+        "fig7" => fig7(),
+        "fig8" => fig8(),
+        "fig9" => fig9(),
+        "fig10" => fig10(),
+        "table1" => table1(),
+        "sibs" => sibs(),
+        "tickets" => tickets(),
+        "ablate-chunk" => ablate_chunk(),
+        "ablate-ewma" => ablate_ewma(),
+        "ablate-resched" => ablate_resched(),
+        "ablate-scaling" => ablate_scaling(),
+        "ablate-multiec" => ablate_multiec(),
+        "ablate-classes" => ablate_classes(),
+        "ablate-chunkpos" => ablate_chunkpos(),
+        _ => return None,
+    })
+}
+
+fn reports_for(kind: SchedulerKind, bucket: SizeBucket) -> Vec<RunReport> {
+    let base = ExperimentConfig::paper(kind, bucket, 0);
+    run_replications(&base, &AGG_SEEDS)
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 3 — QRSM response surface for processing time
+// ---------------------------------------------------------------------------
+
+/// Fits the QRSM on a synthetic production corpus and renders the response
+/// surface over (document size, image count) plus held-out fit quality.
+pub fn fig3() -> ExpOutput {
+    let rngs = RngFactory::new(SERIES_SEED);
+    let truth = GroundTruth::default();
+    let corpus = training_corpus(&mut rngs.stream("fig3/corpus"), &truth, 600);
+    let xs: Vec<Vec<f64>> = corpus.iter().map(|(f, _)| f.regressors()).collect();
+    let ys: Vec<f64> = corpus.iter().map(|(_, t)| *t).collect();
+    let model = QrsModel::fit(&xs, &ys, Method::Ols).expect("fit");
+    let cv = validate::cross_validate(&xs, &ys, Method::Ols, 5).expect("cv");
+
+    let mut text = String::new();
+    writeln!(text, "QRSM processing-time surface (minutes) — rows: size MB, cols: images").unwrap();
+    let image_counts = [0u32, 40, 80, 120, 160];
+    write!(text, "{:>8}", "size\\img").unwrap();
+    for i in image_counts {
+        write!(text, "{i:>8}").unwrap();
+    }
+    writeln!(text).unwrap();
+    for size_mb in (25..=275).step_by(50) {
+        write!(text, "{size_mb:>8}").unwrap();
+        for imgs in image_counts {
+            let f = DocumentFeatures {
+                size_bytes: size_mb * 1_000_000,
+                pages: (size_mb as f64 * 1.2) as u32,
+                images: imgs,
+                resolution_dpi: 600,
+                color_fraction: 0.5,
+                coverage: 0.5,
+                text_ratio: 0.6,
+                job_type: JobType::Newspaper,
+            };
+            write!(text, "{:>8.1}", model.predict(&f.regressors()) / 60.0).unwrap();
+        }
+        writeln!(text).unwrap();
+    }
+    writeln!(
+        text,
+        "\nfit: train RMSE={:.1}s MAPE={:.1}%  |  5-fold CV: RMSE={:.1}s MAPE={:.1}% R2={:.3}",
+        model.rmse(),
+        model.mape() * 100.0,
+        cv.mean_rmse(),
+        cv.mean_mape() * 100.0,
+        cv.mean_r2()
+    )
+    .unwrap();
+
+    // "A relevant set of features are extracted": stepwise selection over
+    // the 28-term basis — which document features actually drive time.
+    let sel = cloudburst_qrsm::forward_select(&xs, &ys, Method::Ols, 5, 0.01).expect("select");
+    writeln!(
+        text,
+        "stepwise selection keeps {}/{} terms (CV RMSE {:.1}s): {}",
+        sel.n_selected(),
+        model.design().n_terms(),
+        sel.cv_rmse(),
+        sel.terms().iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ")
+    )
+    .unwrap();
+
+    // Shape checks: the surface rises with size and with image count, and
+    // the fit explains most of the variance despite the lognormal noise.
+    let at = |mb: u64, imgs: u32| {
+        let f = DocumentFeatures {
+            size_bytes: mb * 1_000_000,
+            pages: (mb as f64 * 1.2) as u32,
+            images: imgs,
+            resolution_dpi: 600,
+            color_fraction: 0.5,
+            coverage: 0.5,
+            text_ratio: 0.6,
+            job_type: JobType::Newspaper,
+        };
+        model.predict(&f.regressors())
+    };
+    let monotone_size = at(275, 80) > at(25, 80);
+    let monotone_images = at(150, 160) > at(150, 0);
+    ExpOutput {
+        id: "fig3",
+        charts: Vec::new(),
+        summary: json!({
+            "cv_r2": cv.mean_r2(),
+            "cv_mape": cv.mean_mape(),
+            "surface_monotone_in_size": monotone_size,
+            "surface_monotone_in_images": monotone_images,
+            "shape_ok": cv.mean_r2() > 0.8 && monotone_size && monotone_images,
+        }),
+        text,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 4 — time-of-day bandwidth model and thread counts
+// ---------------------------------------------------------------------------
+
+fn fig4_model() -> BandwidthModel {
+    BandwidthModel::Jittered {
+        inner: Box::new(BandwidthModel::Diurnal {
+            base: 250_000.0,
+            amplitude: 130_000.0,
+            phase_secs: 0.0,
+        }),
+        sigma: 0.15,
+        slot: SimDuration::from_mins(10),
+        seed: 0xf14a,
+    }
+}
+
+/// Calibrates the estimator against a diurnal pipe and renders the
+/// time-of-day table (truth vs learned), Fig. 4(a).
+pub fn fig4a() -> ExpOutput {
+    let rep = calibrate(&fig4_model(), 3, 6, 1.5);
+    let mut text = String::new();
+    writeln!(text, "hour  true_KBps  est_KBps").unwrap();
+    for h in 0..24 {
+        writeln!(
+            text,
+            "{h:>4}  {:>9.1}  {:>8.1}",
+            rep.hourly_true_bps[h] / 1_000.0,
+            rep.hourly_est_bps[h] / 1_000.0
+        )
+        .unwrap();
+    }
+    writeln!(text, "\nprobes={}  MAPE={:.1}%", rep.probes, rep.mape() * 100.0).unwrap();
+    let peak = rep.hourly_est_bps[6] > rep.hourly_est_bps[18];
+    let chart = crate::svg::Chart::new(
+        "Fig 4(a): time-of-day bandwidth — truth vs learned",
+        "hour of day",
+        "KB/s",
+        vec![
+            crate::svg::Series::new(
+                "true",
+                (0..24).map(|h| (h as f64, rep.hourly_true_bps[h] / 1e3)).collect(),
+            ),
+            crate::svg::Series::new(
+                "learned",
+                (0..24).map(|h| (h as f64, rep.hourly_est_bps[h] / 1e3)).collect(),
+            ),
+        ],
+    );
+    ExpOutput {
+        id: "fig4a",
+        charts: Vec::new(),
+        summary: json!({
+            "mape": rep.mape(),
+            "diurnal_peak_learned": peak,
+            "shape_ok": rep.mape() < 0.25 && peak,
+        }),
+        text,
+    }
+    .with_chart("fig4a-bandwidth", &chart)
+}
+
+/// The tuned thread counts per hour vs the analytic optimum, Fig. 4(b).
+pub fn fig4b() -> ExpOutput {
+    let model = fig4_model();
+    let days = 14; // long calibration: the tuner probes once per slot visit
+    let rep = calibrate(&model, days, 12, 1.5);
+    let mut text = String::new();
+    writeln!(text, "hour  tuned_threads  analytic_optimum").unwrap();
+    let mut matches = 0;
+    for h in 0..24 {
+        let mid = cloudburst_sim::SimTime::from_secs(
+            (days as u64 - 1) * 86_400 + h as u64 * 3_600 + 1_800,
+        );
+        let opt = optimal_threads(model.rate_bps(mid), 1.5, 4_000.0, 32);
+        if (rep.hourly_threads[h] as i64 - opt as i64).abs() <= 3 {
+            matches += 1;
+        }
+        writeln!(text, "{h:>4}  {:>13}  {:>16}", rep.hourly_threads[h], opt).unwrap();
+    }
+    // Shape: more threads in fast hours than slow hours, and most hours
+    // near the analytic optimum despite the ±15 % jitter on the probes.
+    let fast: f64 = (0..12).map(|h| rep.hourly_threads[h] as f64).sum::<f64>() / 12.0;
+    let slow: f64 = (12..24).map(|h| rep.hourly_threads[h] as f64).sum::<f64>() / 12.0;
+    writeln!(text, "\nwithin-3-of-optimum: {matches}/24   fast-half mean={fast:.1} slow-half mean={slow:.1}").unwrap();
+    let chart = crate::svg::Chart::new(
+        "Fig 4(b): threads to saturate the pipe",
+        "hour of day",
+        "threads",
+        vec![crate::svg::Series::new(
+            "tuned",
+            (0..24).map(|h| (h as f64, rep.hourly_threads[h] as f64)).collect(),
+        )],
+    );
+    ExpOutput {
+        id: "fig4b",
+        charts: Vec::new(),
+        summary: json!({
+            "near_optimal_hours": matches,
+            "fast_mean_threads": fast,
+            "slow_mean_threads": slow,
+            "shape_ok": matches >= 14 && fast > slow,
+        }),
+        text,
+    }
+    .with_chart("fig4b-threads", &chart)
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 6 — makespan per scheduler per bucket
+// ---------------------------------------------------------------------------
+
+/// Makespan comparison of IC-only / Greedy / Op across the three buckets
+/// (mean over seeds). Paper: cloud-bursting ≈ 10 % better than IC-only;
+/// Greedy ≈ Op.
+pub fn fig6() -> ExpOutput {
+    let mut text = String::new();
+    writeln!(text, "{:>8}  {:>10} {:>10} {:>10}  improvement", "bucket", "ic-only", "greedy", "op").unwrap();
+    let mut improvements = Vec::new();
+    let mut greedy_vs_op = Vec::new();
+    let mut matrix: Vec<Vec<f64>> = Vec::new();
+    for bucket in SizeBucket::ALL {
+        let ms: Vec<f64> = SchedulerKind::FIG6
+            .iter()
+            .map(|&k| mean_of(&reports_for(k, bucket), |r| r.makespan_secs))
+            .collect();
+        matrix.push(ms.clone());
+        let best_burst = ms[1].min(ms[2]);
+        let improvement = (ms[0] - best_burst) / ms[0];
+        improvements.push(improvement);
+        greedy_vs_op.push((ms[1] - ms[2]).abs() / ms[1].max(ms[2]));
+        writeln!(
+            text,
+            "{:>8}  {:>9.0}s {:>9.0}s {:>9.0}s  {:>5.1}%",
+            bucket.label(),
+            ms[0],
+            ms[1],
+            ms[2],
+            improvement * 100.0
+        )
+        .unwrap();
+    }
+    let mean_improvement = improvements.iter().sum::<f64>() / improvements.len() as f64;
+    let max_greedy_op_gap = greedy_vs_op.iter().cloned().fold(0.0, f64::max);
+    writeln!(
+        text,
+        "\nmean improvement over ic-only: {:.1}%  (paper: ~10%)   max greedy-vs-op gap: {:.1}%",
+        mean_improvement * 100.0,
+        max_greedy_op_gap * 100.0
+    )
+    .unwrap();
+    let chart = crate::svg::Chart::new(
+        "Fig 6: makespan per scheduler (x: small/uniform/large)",
+        "bucket (0=small, 1=uniform, 2=large)",
+        "makespan (s)",
+        SchedulerKind::FIG6
+            .iter()
+            .enumerate()
+            .map(|(si, k)| {
+                crate::svg::Series::new(
+                    k.label(),
+                    matrix.iter().enumerate().map(|(bi, row)| (bi as f64, row[si])).collect(),
+                )
+            })
+            .collect(),
+    );
+    ExpOutput {
+        id: "fig6",
+        charts: Vec::new(),
+        summary: json!({
+            "mean_improvement_over_ic_only": mean_improvement,
+            "max_greedy_vs_op_gap": max_greedy_op_gap,
+            "bursting_always_wins": improvements.iter().all(|&i| i > 0.0),
+            "shape_ok": improvements.iter().all(|&i| i > 0.02) && mean_improvement > 0.05,
+        }),
+        text,
+    }
+    .with_chart("fig6-makespan", &chart)
+}
+
+// ---------------------------------------------------------------------------
+// Figs. 7/8 — completion-time series (peaks and valleys)
+// ---------------------------------------------------------------------------
+
+fn completion_series(bucket: SizeBucket) -> (ExpOutputParts, ExpOutputParts) {
+    let g = run_experiment(&ExperimentConfig::paper(SchedulerKind::Greedy, bucket, SERIES_SEED));
+    let o = run_experiment(&ExperimentConfig::paper(
+        SchedulerKind::OrderPreserving,
+        bucket,
+        SERIES_SEED,
+    ));
+    (ExpOutputParts::from(&g), ExpOutputParts::from(&o))
+}
+
+struct ExpOutputParts {
+    deltas: Vec<f64>,
+    hi_peaks: usize,
+    peak_magnitude: f64,
+    valleys: usize,
+}
+
+impl From<&RunReport> for ExpOutputParts {
+    fn from(r: &RunReport) -> Self {
+        let (hi_peaks, peak_magnitude) = r.peaks(120.0);
+        ExpOutputParts {
+            deltas: r.completion_delays.clone(),
+            hi_peaks,
+            peak_magnitude,
+            valleys: r.valleys(),
+        }
+    }
+}
+
+fn render_series(text: &mut String, parts: &[(&str, &ExpOutputParts)]) {
+    writeln!(text, "per-job completion delay vs in-order requirement (seconds; >0 = peak/wait, <0 = valley/early)").unwrap();
+    write!(text, "{:>5}", "job").unwrap();
+    for (label, _) in parts {
+        write!(text, "{label:>12}").unwrap();
+    }
+    writeln!(text).unwrap();
+    let n = parts.iter().map(|(_, p)| p.deltas.len()).max().unwrap_or(0);
+    for i in 0..n {
+        write!(text, "{i:>5}").unwrap();
+        for (_, p) in parts {
+            match p.deltas.get(i) {
+                Some(d) => write!(text, "{d:>12.1}").unwrap(),
+                None => write!(text, "{:>12}", "-").unwrap(),
+            }
+        }
+        writeln!(text).unwrap();
+    }
+    for (label, p) in parts {
+        writeln!(
+            text,
+            "{label}: high peaks (>120 s) = {}, peak magnitude = {:.0} s, valleys = {}",
+            p.hi_peaks, p.peak_magnitude, p.valleys
+        )
+        .unwrap();
+    }
+}
+
+/// Completion-time series, uniform and small buckets (Fig. 7). Paper:
+/// Greedy shows more/higher peaks; Op shows more valleys.
+pub fn fig7() -> ExpOutput {
+    let mut text = String::new();
+    let mut ok = true;
+    let mut summaries = serde_json::Map::new();
+    let mut charts = Vec::new();
+    for bucket in [SizeBucket::Uniform, SizeBucket::SmallBiased] {
+        writeln!(text, "== bucket: {} ==", bucket.label()).unwrap();
+        let (g, o) = completion_series(bucket);
+        render_series(&mut text, &[("greedy", &g), ("op", &o)]);
+        writeln!(text).unwrap();
+        charts.push((format!("fig7-{}-delays", bucket.label()), delay_chart(bucket.label(), &g, &o).to_svg()));
+        // Shape: Op's waits (peak magnitude) must not exceed Greedy's, and
+        // its early completions (valleys) must be in the same range or
+        // higher — the paper's Fig. 7 reading, with 15 % seed tolerance on
+        // the (noisier) valley count.
+        let bucket_ok = o.peak_magnitude <= g.peak_magnitude * 1.15
+            && o.valleys as f64 >= g.valleys as f64 * 0.85;
+        ok &= bucket_ok;
+        summaries.insert(
+            bucket.label().to_string(),
+            json!({
+                "greedy_peak_magnitude": g.peak_magnitude,
+                "op_peak_magnitude": o.peak_magnitude,
+                "greedy_valleys": g.valleys,
+                "op_valleys": o.valleys,
+                "bucket_ok": bucket_ok,
+            }),
+        );
+    }
+    summaries.insert("shape_ok".into(), json!(ok));
+    ExpOutput { id: "fig7", charts, text, summary: Value::Object(summaries) }
+}
+
+/// Delay-series chart shared by Figs. 7 and 8.
+fn delay_chart(bucket: &str, g: &ExpOutputParts, o: &ExpOutputParts) -> crate::svg::Chart {
+    let to_points =
+        |p: &ExpOutputParts| p.deltas.iter().enumerate().map(|(i, &d)| (i as f64, d)).collect();
+    crate::svg::Chart::new(
+        format!("Completion delay vs in-order requirement — {bucket} bucket"),
+        "job id",
+        "delay (s; >0 = wait, <0 = early)",
+        vec![
+            crate::svg::Series::new("greedy", to_points(g)),
+            crate::svg::Series::new("op", to_points(o)),
+        ],
+    )
+}
+
+/// Completion-time series, large bucket (Fig. 8) — the peak/valley contrast
+/// amplified.
+pub fn fig8() -> ExpOutput {
+    let mut text = String::new();
+    let (g, o) = completion_series(SizeBucket::LargeBiased);
+    render_series(&mut text, &[("greedy", &g), ("op", &o)]);
+    let ok = o.peak_magnitude <= g.peak_magnitude * 1.15 && o.valleys >= g.valleys;
+    ExpOutput {
+        id: "fig8",
+        charts: Vec::new(),
+        summary: json!({
+            "greedy_peak_magnitude": g.peak_magnitude,
+            "op_peak_magnitude": o.peak_magnitude,
+            "greedy_valleys": g.valleys,
+            "op_valleys": o.valleys,
+            "shape_ok": ok,
+        }),
+        text,
+    }
+    .with_chart("fig8-large-delays", &delay_chart("large", &g, &o))
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 9 — OO metric under high network variation
+// ---------------------------------------------------------------------------
+
+/// OO-metric series (2-min sampling, strict order) for the large bucket
+/// under high network variation. Paper: Op delivers more ordered data than
+/// Greedy.
+pub fn fig9() -> ExpOutput {
+    let mut g_mean = 0.0;
+    let mut o_mean = 0.0;
+    let mut text = String::new();
+    let mut chart_series: Vec<crate::svg::Series> = Vec::new();
+    // Average the scalar across seeds; render the series for SERIES_SEED.
+    for &seed in &AGG_SEEDS {
+        let g = run_experiment(&ExperimentConfig::paper_high_variation(
+            SchedulerKind::Greedy,
+            SizeBucket::LargeBiased,
+            seed,
+        ));
+        let o = run_experiment(&ExperimentConfig::paper_high_variation(
+            SchedulerKind::OrderPreserving,
+            SizeBucket::LargeBiased,
+            seed,
+        ));
+        g_mean += g.mean_ordered_bytes() / AGG_SEEDS.len() as f64;
+        o_mean += o.mean_ordered_bytes() / AGG_SEEDS.len() as f64;
+        if seed == SERIES_SEED {
+            writeln!(text, "t_min   greedy_o_t_MB   op_o_t_MB").unwrap();
+            let n = g.oo_series.len().max(o.oo_series.len());
+            for i in 0..n {
+                let t = (i + 1) * 2;
+                let gv = g.oo_series.get(i).map_or(f64::NAN, |s| s.o_t as f64 / 1e6);
+                let ov = o.oo_series.get(i).map_or(f64::NAN, |s| s.o_t as f64 / 1e6);
+                writeln!(text, "{t:>5}   {gv:>13.1}   {ov:>9.1}").unwrap();
+            }
+            let to_pts = |r: &RunReport| {
+                r.oo_series
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| ((i as f64 + 1.0) * 2.0, s.o_t as f64 / 1e6))
+                    .collect()
+            };
+            chart_series.push(crate::svg::Series::new("greedy", to_pts(&g)));
+            chart_series.push(crate::svg::Series::new("op", to_pts(&o)));
+        }
+    }
+    writeln!(
+        text,
+        "\nmean ordered-data availability over {} seeds: greedy={:.1} MB, op={:.1} MB ({:+.1}%)",
+        AGG_SEEDS.len(),
+        g_mean / 1e6,
+        o_mean / 1e6,
+        (o_mean / g_mean - 1.0) * 100.0
+    )
+    .unwrap();
+    let chart = crate::svg::Chart::new(
+        "Fig 9: ordered output (OO metric) under high network variation — large bucket",
+        "time (min)",
+        "ordered data available (MB)",
+        chart_series,
+    );
+    ExpOutput {
+        id: "fig9",
+        charts: Vec::new(),
+        summary: json!({
+            "greedy_mean_oo_bytes": g_mean,
+            "op_mean_oo_bytes": o_mean,
+            "op_advantage": o_mean / g_mean - 1.0,
+            "shape_ok": o_mean > g_mean,
+        }),
+        text,
+    }
+    .with_chart("fig9-oo-series", &chart)
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 10 — relative OO difference vs IC-only, tolerance 4
+// ---------------------------------------------------------------------------
+
+/// Relative OO difference of Greedy / Op / Op+SIBS against the IC-only
+/// baseline, `t_l = 4`, large bucket. Paper: Op and SIBS sit above Greedy
+/// at almost all times; SIBS spikes late (after the large jobs land).
+pub fn fig10() -> ExpOutput {
+    let mk = |kind: SchedulerKind, seed: u64| {
+        let mut cfg = ExperimentConfig::paper(kind, SizeBucket::LargeBiased, seed);
+        cfg.oo.tolerance = 4;
+        run_experiment(&cfg)
+    };
+    let mut means = [0.0f64; 3]; // greedy, op, sibs (mean relative diff)
+    let kinds = [SchedulerKind::Greedy, SchedulerKind::OrderPreserving, SchedulerKind::Sibs];
+    let mut text = String::new();
+    let mut chart_series: Vec<crate::svg::Series> = Vec::new();
+    for &seed in &AGG_SEEDS {
+        let base = mk(SchedulerKind::IcOnly, seed);
+        let reports: Vec<RunReport> = kinds.iter().map(|&k| mk(k, seed)).collect();
+        for (i, r) in reports.iter().enumerate() {
+            let rel = r.oo_relative_to(&base);
+            if !rel.is_empty() {
+                means[i] += rel.iter().sum::<f64>() / rel.len() as f64 / AGG_SEEDS.len() as f64;
+            }
+        }
+        if seed == SERIES_SEED {
+            writeln!(text, "t_min   greedy_rel   op_rel   op+sibs_rel   (vs ic-only, tol=4)").unwrap();
+            let rels: Vec<Vec<f64>> = reports.iter().map(|r| r.oo_relative_to(&base)).collect();
+            // oo_relative_to skips samples until the baseline produces its
+            // first ordered byte; offset the time axis accordingly.
+            let skipped = base.oo_series.iter().take_while(|s| s.o_t == 0).count();
+            let t_of = |i: usize| ((i + skipped + 1) * 2) as f64;
+            let n = rels.iter().map(|r| r.len()).max().unwrap_or(0);
+            for i in 0..n {
+                let g = rels[0].get(i).copied().unwrap_or(f64::NAN);
+                let o = rels[1].get(i).copied().unwrap_or(f64::NAN);
+                let s = rels[2].get(i).copied().unwrap_or(f64::NAN);
+                writeln!(text, "{:>5}   {g:>10.3}   {o:>6.3}   {s:>11.3}", t_of(i)).unwrap();
+            }
+            for (k, rel) in kinds.iter().zip(&rels) {
+                chart_series.push(crate::svg::Series::new(
+                    k.label(),
+                    rel.iter().enumerate().map(|(i, &v)| (t_of(i), v)).collect(),
+                ));
+            }
+        }
+    }
+    writeln!(
+        text,
+        "\nmean relative OO vs ic-only over {} seeds: greedy={:+.3} op={:+.3} op+sibs={:+.3}",
+        AGG_SEEDS.len(),
+        means[0],
+        means[1],
+        means[2]
+    )
+    .unwrap();
+    let chart = crate::svg::Chart::new(
+        "Fig 10: OO metric relative to IC-only (tol=4, large bucket)",
+        "time (min)",
+        "relative difference",
+        chart_series,
+    );
+    ExpOutput {
+        id: "fig10",
+        charts: Vec::new(),
+        summary: json!({
+            "greedy_mean_rel": means[0],
+            "op_mean_rel": means[1],
+            "sibs_mean_rel": means[2],
+            "shape_ok": means[1] >= means[0] && means[2] >= means[0],
+        }),
+        text,
+    }
+    .with_chart("fig10-relative-oo", &chart)
+}
+
+// ---------------------------------------------------------------------------
+// Table I — utilization / burst ratio / speedup
+// ---------------------------------------------------------------------------
+
+/// Table I: IC-Util, EC-Util, Burst-ratio and Speedup for Greedy vs Op on
+/// the Large and Uniform buckets (mean over seeds), with the paper's
+/// numbers alongside.
+pub fn table1() -> ExpOutput {
+    let paper: &[(&str, [f64; 8])] = &[
+        // ic_g, ic_o, ec_g, ec_o, br_g, br_o, sp_g, sp_o
+        ("large", [78.6, 81.0, 45.8, 44.0, 0.19, 0.17, 6.73, 6.76]),
+        ("uniform", [82.42, 74.42, 17.71, 46.57, 0.17, 0.26, 5.6, 5.6]),
+    ];
+    let mut text = String::new();
+    writeln!(
+        text,
+        "{:>8} | {:>6} {:>6} | {:>6} {:>6} | {:>6} {:>6} | {:>6} {:>6}",
+        "bucket", "ICu-g", "ICu-op", "ECu-g", "ECu-op", "br-g", "br-op", "sp-g", "sp-op"
+    )
+    .unwrap();
+    let mut rows = serde_json::Map::new();
+    let mut ok = true;
+    for (bucket, paper_row) in
+        [(SizeBucket::LargeBiased, &paper[0]), (SizeBucket::Uniform, &paper[1])]
+    {
+        let g = reports_for(SchedulerKind::Greedy, bucket);
+        let o = reports_for(SchedulerKind::OrderPreserving, bucket);
+        let row = [
+            mean_of(&g, |r| r.ic_utilization) * 100.0,
+            mean_of(&o, |r| r.ic_utilization) * 100.0,
+            mean_of(&g, |r| r.ec_utilization) * 100.0,
+            mean_of(&o, |r| r.ec_utilization) * 100.0,
+            mean_of(&g, |r| r.burst_ratio),
+            mean_of(&o, |r| r.burst_ratio),
+            mean_of(&g, |r| r.speedup),
+            mean_of(&o, |r| r.speedup),
+        ];
+        writeln!(
+            text,
+            "{:>8} | {:>6.1} {:>6.1} | {:>6.1} {:>6.1} | {:>6.2} {:>6.2} | {:>6.2} {:>6.2}",
+            bucket.label(),
+            row[0],
+            row[1],
+            row[2],
+            row[3],
+            row[4],
+            row[5],
+            row[6],
+            row[7]
+        )
+        .unwrap();
+        writeln!(
+            text,
+            "{:>8} | {:>6.1} {:>6.1} | {:>6.1} {:>6.1} | {:>6.2} {:>6.2} | {:>6.2} {:>6.2}   (paper)",
+            "", paper_row.1[0], paper_row.1[1], paper_row.1[2], paper_row.1[3], paper_row.1[4],
+            paper_row.1[5], paper_row.1[6], paper_row.1[7]
+        )
+        .unwrap();
+        // Shape checks per the paper's reading of Table I.
+        let speedup_close = (row[6] - row[7]).abs() / row[6].max(row[7]) < 0.1;
+        rows.insert(
+            bucket.label().to_string(),
+            json!({
+                "measured": row.to_vec(),
+                "paper": paper_row.1.to_vec(),
+                "speedups_close": speedup_close,
+            }),
+        );
+        ok &= speedup_close;
+    }
+    // Large jobs yield higher speedup than uniform (computation dominates
+    // the network legs).
+    let sp_large = rows["large"]["measured"][6].as_f64().unwrap();
+    let sp_uniform = rows["uniform"]["measured"][6].as_f64().unwrap();
+    let large_faster = sp_large > sp_uniform;
+    writeln!(
+        text,
+        "\nshape: speedup(large) > speedup(uniform): {} ({:.2} vs {:.2}, paper 6.73 vs 5.6)",
+        large_faster, sp_large, sp_uniform
+    )
+    .unwrap();
+    ok &= large_faster;
+    rows.insert("shape_ok".into(), json!(ok));
+    ExpOutput { id: "table1", charts: Vec::new(), text, summary: Value::Object(rows) }
+}
+
+// ---------------------------------------------------------------------------
+// Sec. V-B-4 — SIBS numbers
+// ---------------------------------------------------------------------------
+
+/// Op vs Op+SIBS on the large bucket: EC utilization should rise and
+/// speedup should gain a little (paper: EC 44 % → 58 %, speedup +2 %).
+pub fn sibs() -> ExpOutput {
+    let op = reports_for(SchedulerKind::OrderPreserving, SizeBucket::LargeBiased);
+    let sb = reports_for(SchedulerKind::Sibs, SizeBucket::LargeBiased);
+    let ec_op = mean_of(&op, |r| r.ec_utilization) * 100.0;
+    let ec_sb = mean_of(&sb, |r| r.ec_utilization) * 100.0;
+    let ic_sb = mean_of(&sb, |r| r.ic_utilization) * 100.0;
+    let sp_op = mean_of(&op, |r| r.speedup);
+    let sp_sb = mean_of(&sb, |r| r.speedup);
+    let gain = (sp_sb / sp_op - 1.0) * 100.0;
+    let mut text = String::new();
+    writeln!(text, "              op     op+sibs   paper(op→sibs)").unwrap();
+    writeln!(text, "EC util   {ec_op:>6.1}%   {ec_sb:>6.1}%   44% → 58%").unwrap();
+    writeln!(text, "IC util        -   {ic_sb:>6.1}%   ~81%").unwrap();
+    writeln!(text, "speedup   {sp_op:>6.2}   {sp_sb:>7.2}   +2%  (measured {gain:+.1}%)").unwrap();
+    ExpOutput {
+        id: "sibs",
+        charts: Vec::new(),
+        summary: json!({
+            "ec_util_op": ec_op,
+            "ec_util_sibs": ec_sb,
+            "speedup_gain_pct": gain,
+            "shape_ok": ec_sb >= ec_op - 1.0 && gain > -2.0,
+        }),
+        text,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tickets — probabilistic service-level guarantees (abstract / Sec. I)
+// ---------------------------------------------------------------------------
+
+/// Ticket attainment per scheduler across quoting margins, plus the
+/// 90 %-guaranteeable makespan quote — the paper's "probabilistic
+/// guarantees on service levels" made operational.
+pub fn tickets() -> ExpOutput {
+    use cloudburst_sla::ticket::guaranteeable_target;
+    let kinds =
+        [SchedulerKind::Greedy, SchedulerKind::OrderPreserving, SchedulerKind::Sibs];
+    let margins = [0.0f64, 0.5, 1.0, 2.0];
+    let mut text = String::new();
+    writeln!(text, "ticket attainment (large bucket, high variation), by quoting margin k:").unwrap();
+    write!(text, "{:>9}", "margin k").unwrap();
+    for k in kinds {
+        write!(text, "{:>10}", k.label()).unwrap();
+    }
+    writeln!(text).unwrap();
+    let mut attain = vec![vec![0.0f64; kinds.len()]; margins.len()];
+    for (mi, &k_margin) in margins.iter().enumerate() {
+        write!(text, "{k_margin:>9.1}").unwrap();
+        for (ki, &kind) in kinds.iter().enumerate() {
+            let mut a = 0.0;
+            for &seed in &AGG_SEEDS {
+                let mut cfg = ExperimentConfig::paper_high_variation(
+                    kind,
+                    SizeBucket::LargeBiased,
+                    seed,
+                );
+                cfg.ticket_margin_k = k_margin;
+                a += run_experiment(&cfg).ticket_report().attainment / AGG_SEEDS.len() as f64;
+            }
+            attain[mi][ki] = a;
+            write!(text, "{:>9.1}%", a * 100.0).unwrap();
+        }
+        writeln!(text).unwrap();
+    }
+    // The guaranteeable whole-run quote: what makespan can be promised at
+    // 90 % confidence, per scheduler, from replicated runs.
+    writeln!(text, "\n90%-guaranteeable makespan quote (10 seeds):").unwrap();
+    let seeds: Vec<u64> = (100..110).collect();
+    let mut quotes = Vec::new();
+    for &kind in &kinds {
+        let base = ExperimentConfig::paper_high_variation(kind, SizeBucket::LargeBiased, 0);
+        let makespans: Vec<f64> =
+            run_replications(&base, &seeds).iter().map(|r| r.makespan_secs).collect();
+        let q = guaranteeable_target(&makespans, 0.9);
+        writeln!(text, "  {:>8}: {:>8.0}s", kind.label(), q).unwrap();
+        quotes.push(q);
+    }
+    // Shapes: attainment is monotone in the quoting margin for every
+    // scheduler; a 2-RMSE margin delivers a strong (>70 %) guarantee; and
+    // the slack-gated scheduler keeps its promises at least as well as
+    // Greedy once a realistic margin is quoted — the robustness claim.
+    let mut monotone = true;
+    for ki in 0..kinds.len() {
+        for mi in 1..margins.len() {
+            monotone &= attain[mi][ki] >= attain[mi - 1][ki] - 0.02;
+        }
+    }
+    let strong = attain[margins.len() - 1].iter().all(|&a| a > 0.7);
+    let op_robust = attain[2][1] >= attain[2][0] - 0.02; // k = 1.0: op vs greedy
+    ExpOutput {
+        id: "tickets",
+        charts: Vec::new(),
+        summary: json!({
+            "attainment": attain,
+            "margins": margins,
+            "guaranteeable_makespan": quotes,
+            "attainment_monotone_in_margin": monotone,
+            "op_at_least_as_reliable_as_greedy": op_robust,
+            "shape_ok": monotone && strong && op_robust,
+        }),
+        text,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ablations and extensions
+// ---------------------------------------------------------------------------
+
+/// Op with vs without pdfchunk chunking, large bucket: chunking should cut
+/// the worst-case waits (peak magnitude).
+pub fn ablate_chunk() -> ExpOutput {
+    let with = reports_for(SchedulerKind::OrderPreserving, SizeBucket::LargeBiased);
+    let without = reports_for(SchedulerKind::OrderPreservingNoChunk, SizeBucket::LargeBiased);
+    let pm_with = mean_of(&with, |r| r.peaks(120.0).1);
+    let pm_without = mean_of(&without, |r| r.peaks(120.0).1);
+    let oo_with = mean_of(&with, |r| r.mean_ordered_bytes());
+    let oo_without = mean_of(&without, |r| r.mean_ordered_bytes());
+    let ms_with = mean_of(&with, |r| r.makespan_secs);
+    let ms_without = mean_of(&without, |r| r.makespan_secs);
+    let mut text = String::new();
+    writeln!(text, "                 op (chunked)   op-nochunk").unwrap();
+    writeln!(text, "peak magnitude   {pm_with:>12.0}s  {pm_without:>10.0}s").unwrap();
+    writeln!(text, "mean ordered MB  {:>12.1}   {:>10.1}", oo_with / 1e6, oo_without / 1e6).unwrap();
+    writeln!(text, "makespan         {ms_with:>12.0}s  {ms_without:>10.0}s").unwrap();
+    ExpOutput {
+        id: "ablate-chunk",
+        charts: Vec::new(),
+        summary: json!({
+            "peak_magnitude_with": pm_with,
+            "peak_magnitude_without": pm_without,
+            "mean_oo_with": oo_with,
+            "mean_oo_without": oo_without,
+            "shape_ok": oo_with >= oo_without * 0.95,
+        }),
+        text,
+    }
+}
+
+/// EWMA α sweep plus the no-time-of-day-table ablation: hourly prediction
+/// error against a strongly diurnal, jittery pipe after a week of probes.
+pub fn ablate_ewma() -> ExpOutput {
+    let model = fig4_model();
+    let mut text = String::new();
+    writeln!(text, "alpha  slots  hourly_MAPE").unwrap();
+    let mut rows = Vec::new();
+    let mut mape_at = std::collections::HashMap::new();
+    for &(alpha, slots) in
+        &[(0.1f64, 24usize), (0.3, 24), (0.7, 24), (1.0, 24), (0.3, 1), (1.0, 1)]
+    {
+        let rep = cloudburst_core::autonomic::calibrate_with(&model, 7, 6, 1.5, slots, alpha);
+        writeln!(text, "{alpha:>5.1}  {slots:>5}  {:>10.1}%", rep.mape() * 100.0).unwrap();
+        mape_at.insert((format!("{alpha:.1}"), slots), rep.mape());
+        rows.push(json!({"alpha": alpha, "slots": slots, "mape": rep.mape()}));
+    }
+    // Shape: dropping the time-of-day table (slots=1) hurts badly on a
+    // diurnal pipe; a moderate α beats pure last-sample tracking (α=1).
+    let with_table = mape_at[&("0.3".to_string(), 24usize)];
+    let without_table = mape_at[&("0.3".to_string(), 1usize)];
+    writeln!(
+        text,
+        "\ntime-of-day table cuts hourly MAPE from {:.1}% to {:.1}%",
+        without_table * 100.0,
+        with_table * 100.0
+    )
+    .unwrap();
+    ExpOutput {
+        id: "ablate-ewma",
+        charts: Vec::new(),
+        summary: json!({
+            "rows": rows,
+            "mape_with_table": with_table,
+            "mape_without_table": without_table,
+            "shape_ok": without_table > 1.5 * with_table,
+        }),
+        text,
+    }
+}
+
+/// Pull-back/push-out rescheduling (Sec. IV-D) under inflated estimation
+/// error: rescheduling should not hurt makespan and should fire.
+pub fn ablate_resched() -> ExpOutput {
+    let mut base = ExperimentConfig::paper(
+        SchedulerKind::OrderPreserving,
+        SizeBucket::LargeBiased,
+        SERIES_SEED,
+    );
+    base.truth.noise_sigma = 0.45; // heavy estimation error regime
+    base.n_ic = 4; // tighter IC so idle events matter
+    let mut on = base.clone();
+    on.rescheduling = true;
+    let mut ms_off = 0.0;
+    let mut ms_on = 0.0;
+    let mut fired = 0u64;
+    for &seed in &AGG_SEEDS {
+        let mut a = base.clone();
+        a.seed = seed;
+        ms_off += run_experiment(&a).makespan_secs / AGG_SEEDS.len() as f64;
+        let mut b = on.clone();
+        b.seed = seed;
+        let (r, world) = run_experiment_detailed(&b);
+        ms_on += r.makespan_secs / AGG_SEEDS.len() as f64;
+        fired += world.pull_backs() + world.push_outs();
+    }
+    let mut text = String::new();
+    writeln!(text, "high-noise regime (sigma=0.45, 4 IC machines), large bucket").unwrap();
+    writeln!(text, "makespan without rescheduling: {ms_off:>8.0}s").unwrap();
+    writeln!(text, "makespan with    rescheduling: {ms_on:>8.0}s  ({:+.1}%)", (ms_on / ms_off - 1.0) * 100.0).unwrap();
+    writeln!(text, "rescheduling actions fired:    {fired}").unwrap();
+    ExpOutput {
+        id: "ablate-resched",
+        charts: Vec::new(),
+        summary: json!({
+            "makespan_off": ms_off,
+            "makespan_on": ms_on,
+            "actions": fired,
+            "shape_ok": ms_on <= ms_off * 1.05,
+        }),
+        text,
+    }
+}
+
+/// Elastic-EC scaling vs fixed pools: the policy should approach the fixed
+/// pool's makespan while *provisioning* far fewer instance-seconds (the
+/// paper's "just enough to ensure saturation of the download bandwidth").
+pub fn ablate_scaling() -> ExpOutput {
+    let mk = |n_ec: usize, scaling: Option<ScalingPolicy>| -> (f64, f64) {
+        let mut ms = 0.0;
+        let mut cost = 0.0;
+        for &seed in &AGG_SEEDS {
+            let mut cfg = ExperimentConfig::paper(SchedulerKind::Greedy, SizeBucket::Uniform, seed);
+            cfg.n_ic = 4;
+            cfg.n_ec = n_ec;
+            cfg.scaling = scaling;
+            let (r, world) = run_experiment_detailed(&cfg);
+            ms += r.makespan_secs / AGG_SEEDS.len() as f64;
+            cost += world.ec_provisioned_machine_secs() / AGG_SEEDS.len() as f64;
+        }
+        (ms, cost)
+    };
+    let fixed2 = mk(2, None);
+    let fixed8 = mk(8, None);
+    let elastic = mk(
+        8,
+        Some(ScalingPolicy { min_instances: 1, max_instances: 8, period: SimDuration::from_mins(2) }),
+    );
+    let mut text = String::new();
+    writeln!(text, "            makespan   EC instance-seconds provisioned").unwrap();
+    writeln!(text, "fixed n=2   {:>8.0}s  {:>12.0}", fixed2.0, fixed2.1).unwrap();
+    writeln!(text, "fixed n=8   {:>8.0}s  {:>12.0}", fixed8.0, fixed8.1).unwrap();
+    writeln!(text, "elastic 1-8 {:>8.0}s  {:>12.0}", elastic.0, elastic.1).unwrap();
+    writeln!(
+        text,
+        "\nelastic keeps {:.1}% of the fixed-8 makespan at {:.0}% of its provisioned cost",
+        elastic.0 / fixed8.0 * 100.0,
+        elastic.1 / fixed8.1 * 100.0
+    )
+    .unwrap();
+    ExpOutput {
+        id: "ablate-scaling",
+        charts: Vec::new(),
+        summary: json!({
+            "makespan_fixed2": fixed2.0,
+            "makespan_fixed8": fixed8.0,
+            "makespan_elastic": elastic.0,
+            "cost_fixed8": fixed8.1,
+            "cost_elastic": elastic.1,
+            "shape_ok": elastic.0 <= fixed8.0 * 1.15 && elastic.1 < fixed8.1 * 0.8,
+        }),
+        text,
+    }
+}
+
+/// Non-uniform chunking (Sec. VII): chunk finer at the queue head (order
+/// matters there) and coarser at the tail (slack is cheap, overhead is
+/// not). γ sweep on the large bucket with the Op scheduler.
+pub fn ablate_chunkpos() -> ExpOutput {
+    let mut text = String::new();
+    writeln!(text, "gamma   jobs(after chunking)   makespan   mean_ordered_MB   peak_mag").unwrap();
+    let mut rows = Vec::new();
+    let mut stats = Vec::new();
+    for &gamma in &[0.0f64, 1.0, 2.0, 4.0] {
+        let mut n_jobs = 0.0;
+        let mut ms = 0.0;
+        let mut oo = 0.0;
+        let mut pm = 0.0;
+        for &seed in &AGG_SEEDS {
+            let mut cfg = ExperimentConfig::paper(
+                SchedulerKind::OrderPreserving,
+                SizeBucket::LargeBiased,
+                seed,
+            );
+            cfg.chunk_policy.position_gamma = gamma;
+            let r = run_experiment(&cfg);
+            n_jobs += r.n_jobs as f64 / AGG_SEEDS.len() as f64;
+            ms += r.makespan_secs / AGG_SEEDS.len() as f64;
+            oo += r.mean_ordered_bytes() / 1e6 / AGG_SEEDS.len() as f64;
+            pm += r.peaks(120.0).1 / AGG_SEEDS.len() as f64;
+        }
+        writeln!(text, "{gamma:>5.1}   {n_jobs:>20.0}   {ms:>7.0}s   {oo:>15.1}   {pm:>7.0}s").unwrap();
+        rows.push(json!({"gamma": gamma, "n_jobs": n_jobs, "makespan": ms, "mean_oo_mb": oo}));
+        stats.push((gamma, n_jobs, ms, oo));
+    }
+    // Shapes: higher γ produces fewer chunk jobs (less overhead), and the
+    // makespan does not degrade materially while ordering quality holds.
+    let fewer_jobs = stats.last().expect("rows").1 < stats[0].1;
+    let ms0 = stats[0].2;
+    let ms_best = stats.iter().map(|s| s.2).fold(f64::INFINITY, f64::min);
+    writeln!(
+        text,
+        "\nγ=4 cuts post-chunking job count from {:.0} to {:.0}; best makespan {:.0}s vs uniform {:.0}s",
+        stats[0].1,
+        stats.last().expect("rows").1,
+        ms_best,
+        ms0
+    )
+    .unwrap();
+    ExpOutput {
+        id: "ablate-chunkpos",
+        charts: Vec::new(),
+        summary: json!({
+            "rows": rows,
+            "fewer_jobs_at_high_gamma": fewer_jobs,
+            "shape_ok": fewer_jobs && ms_best <= ms0 * 1.02,
+        }),
+        text,
+    }
+}
+
+/// Multiple job classes (Sec. VII): per-class QRSMs vs one pooled model
+/// under a class-varied ground-truth law. Measured two ways: held-out
+/// prediction accuracy, and ticket attainment in a full run.
+pub fn ablate_classes() -> ExpOutput {
+    use cloudburst_qrsm::ClassedModel;
+    // Model-level comparison on a class-varied corpus.
+    let rngs = RngFactory::new(SERIES_SEED);
+    let truth = GroundTruth::class_varied();
+    let train = training_corpus(&mut rngs.stream("classes/train"), &truth, 1500);
+    let test = training_corpus(&mut rngs.stream("classes/test"), &truth, 500);
+    let samples: Vec<(u64, Vec<f64>, f64)> = train
+        .iter()
+        .map(|(f, t)| (f.job_type.code() as u64, f.regressors(), *t))
+        .collect();
+    let xs: Vec<Vec<f64>> = train.iter().map(|(f, _)| f.regressors()).collect();
+    let ys: Vec<f64> = train.iter().map(|(_, t)| *t).collect();
+    let pooled = QrsModel::fit(&xs, &ys, Method::Ols).expect("pooled fit");
+    let classed = ClassedModel::fit(&samples, Method::Ols, 60).expect("classed fit");
+    let mape = |f: &dyn Fn(&cloudburst_workload::DocumentFeatures) -> f64| {
+        test.iter()
+            .map(|(feat, t)| ((f(feat) - t) / t).abs())
+            .sum::<f64>()
+            / test.len() as f64
+    };
+    let mape_pooled = mape(&|feat| pooled.predict(&feat.regressors()));
+    let mape_classed =
+        mape(&|feat| classed.predict(feat.job_type.code() as u64, &feat.regressors()));
+
+    // Run-level comparison: completion-estimate error with *no* quoting
+    // margin (k = 0), so the models are compared on raw prediction quality
+    // rather than on how much padding their RMSE happens to add.
+    let mut abs_lateness = [0.0f64; 2];
+    for (i, per_class) in [(0usize, false), (1usize, true)] {
+        for &seed in &AGG_SEEDS {
+            let mut cfg =
+                ExperimentConfig::paper(SchedulerKind::OrderPreserving, SizeBucket::Uniform, seed);
+            cfg.truth = GroundTruth::class_varied();
+            cfg.per_class_qrsm = per_class;
+            cfg.training_docs = 1500;
+            cfg.ticket_margin_k = 0.0;
+            let r = run_experiment(&cfg);
+            let mean_abs = r
+                .tickets
+                .iter()
+                .map(|t| t.lateness_secs().abs())
+                .sum::<f64>()
+                / r.tickets.len().max(1) as f64;
+            abs_lateness[i] += mean_abs / AGG_SEEDS.len() as f64;
+        }
+    }
+    let mut text = String::new();
+    writeln!(text, "class-varied truth (per-class pipeline factors 0.7–1.9)").unwrap();
+    writeln!(text, "held-out MAPE: pooled={:.1}%  per-class={:.1}%", mape_pooled * 100.0, mape_classed * 100.0).unwrap();
+    writeln!(
+        text,
+        "mean |completion-estimate error| (k=0): pooled={:.0}s  per-class={:.0}s",
+        abs_lateness[0], abs_lateness[1]
+    )
+    .unwrap();
+    writeln!(text, "specialized classes: {:?}", classed.specialized_classes()).unwrap();
+    writeln!(
+        text,
+        "\nnote: document features (pages/images per MB) leak class identity, so the\npooled model recovers part of the class effect; the per-class gain is real\nbut bounded by the lognormal noise floor (~9.6% MAPE).",
+    )
+    .unwrap();
+    ExpOutput {
+        id: "ablate-classes",
+        charts: Vec::new(),
+        summary: json!({
+            "mape_pooled": mape_pooled,
+            "mape_classed": mape_classed,
+            "abs_lateness_pooled": abs_lateness[0],
+            "abs_lateness_classed": abs_lateness[1],
+            "shape_ok": mape_classed < mape_pooled
+                && abs_lateness[1] <= abs_lateness[0] * 1.1,
+        }),
+        text,
+    }
+}
+
+/// Two EC sites with independent pipes vs one consolidated site behind a
+/// single pipe.
+pub fn ablate_multiec() -> ExpOutput {
+    let mut base = ExperimentConfig::paper(SchedulerKind::Greedy, SizeBucket::Uniform, SERIES_SEED);
+    base.n_ic = 2; // force heavy bursting
+    let c = compare_split_vs_consolidated(&base, 2, 250_000.0);
+    let mut text = String::new();
+    writeln!(text, "two sites (own pipes): makespan={:>8.0}s burst={:.2}", c.split.makespan_secs, c.split.burst_ratio).unwrap();
+    writeln!(text, "consolidated (1 pipe): makespan={:>8.0}s burst={:.2}", c.consolidated.makespan_secs, c.consolidated.burst_ratio).unwrap();
+    let gain = 1.0 - c.split.makespan_secs / c.consolidated.makespan_secs;
+    writeln!(text, "independent-pipe gain: {:+.1}%", gain * 100.0).unwrap();
+    ExpOutput {
+        id: "ablate-multiec",
+        charts: Vec::new(),
+        summary: json!({
+            "split_makespan": c.split.makespan_secs,
+            "consolidated_makespan": c.consolidated.makespan_secs,
+            "gain": gain,
+            "shape_ok": c.split.makespan_secs <= c.consolidated.makespan_secs * 1.1,
+        }),
+        text,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_dispatch() {
+        for id in all_ids() {
+            // Only check dispatch wiring here (full runs are exercised by
+            // the repro binary and integration tests): unknown ids are None.
+            assert!(all_ids().contains(id));
+        }
+        assert!(run_experiment_by_id("nope").is_none());
+    }
+
+    #[test]
+    fn fig3_is_fast_and_shaped() {
+        let out = fig3();
+        assert_eq!(out.id, "fig3");
+        assert!(out.text.contains("QRSM"));
+        assert_eq!(out.summary["shape_ok"], json!(true));
+    }
+
+    #[test]
+    fn fig4_outputs() {
+        let a = fig4a();
+        assert_eq!(a.summary["shape_ok"], json!(true), "{}", a.text);
+        let b = fig4b();
+        assert_eq!(b.summary["shape_ok"], json!(true), "{}", b.text);
+    }
+}

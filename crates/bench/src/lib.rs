@@ -1,0 +1,21 @@
+//! `cloudburst-bench` — the experiment harness.
+//!
+//! One function per table/figure of the paper (plus the ablations and
+//! extensions listed in DESIGN.md §4), each returning an [`ExpOutput`] with
+//! the rendered rows/series and a machine-readable JSON summary. The
+//! `repro` binary dispatches on experiment id:
+//!
+//! ```text
+//! cargo run --release -p cloudburst-bench --bin repro -- fig6
+//! cargo run --release -p cloudburst-bench --bin repro -- all
+//! ```
+//!
+//! Criterion micro-benchmarks for the hot components live in `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod svg;
+
+pub use experiments::{all_ids, run_experiment_by_id, ExpOutput};
+pub use svg::{Chart, Series};

@@ -1,0 +1,298 @@
+//! Minimal, dependency-free SVG chart rendering for the repro harness —
+//! the figures of the paper as actual figures.
+//!
+//! Only what the experiments need: multi-series line/step charts with
+//! axes, ticks and a legend. Output is deliberately plain (black axes,
+//! per-series strokes) and deterministic, so regenerated figures diff
+//! cleanly in version control.
+
+use std::fmt::Write as _;
+
+/// One named series of `(x, y)` points.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Builds a series from a label and points.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Series {
+        Series { label: label.into(), points }
+    }
+}
+
+/// Chart configuration.
+#[derive(Clone, Debug)]
+pub struct Chart {
+    /// Title rendered above the plot area.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series to draw.
+    pub series: Vec<Series>,
+    /// Canvas width in pixels.
+    pub width: u32,
+    /// Canvas height in pixels.
+    pub height: u32,
+}
+
+/// Stroke colors cycled across series (colorblind-safe-ish defaults).
+const STROKES: [&str; 5] = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e"];
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 16.0;
+const MARGIN_T: f64 = 36.0;
+const MARGIN_B: f64 = 48.0;
+
+impl Chart {
+    /// A chart with default canvas size.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+        series: Vec<Series>,
+    ) -> Chart {
+        Chart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series,
+            width: 720,
+            height: 420,
+        }
+    }
+
+    /// Renders the chart to an SVG document string.
+    pub fn to_svg(&self) -> String {
+        let (w, h) = (self.width as f64, self.height as f64);
+        let plot_w = (w - MARGIN_L - MARGIN_R).max(1.0);
+        let plot_h = (h - MARGIN_T - MARGIN_B).max(1.0);
+
+        // Data bounds (include y = 0 so magnitudes read honestly).
+        let mut x_min = f64::INFINITY;
+        let mut x_max = f64::NEG_INFINITY;
+        let mut y_min: f64 = 0.0;
+        let mut y_max = f64::NEG_INFINITY;
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                x_min = x_min.min(x);
+                x_max = x_max.max(x);
+                y_min = y_min.min(y);
+                y_max = y_max.max(y);
+            }
+        }
+        if !x_min.is_finite() {
+            x_min = 0.0;
+            x_max = 1.0;
+        }
+        if !y_max.is_finite() {
+            y_max = 1.0;
+        }
+        if (x_max - x_min).abs() < 1e-12 {
+            x_max = x_min + 1.0;
+        }
+        if (y_max - y_min).abs() < 1e-12 {
+            y_max = y_min + 1.0;
+        }
+        let sx = move |x: f64| MARGIN_L + (x - x_min) / (x_max - x_min) * plot_w;
+        let sy = move |y: f64| MARGIN_T + (1.0 - (y - y_min) / (y_max - y_min)) * plot_h;
+
+        let mut svg = String::new();
+        writeln!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif" font-size="12">"#
+        )
+        .unwrap();
+        writeln!(svg, r#"<rect width="{w}" height="{h}" fill="white"/>"#).unwrap();
+        // Title and axis labels.
+        writeln!(
+            svg,
+            r#"<text x="{}" y="20" text-anchor="middle" font-size="14">{}</text>"#,
+            w / 2.0,
+            escape(&self.title)
+        )
+        .unwrap();
+        writeln!(
+            svg,
+            r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            h - 10.0,
+            escape(&self.x_label)
+        )
+        .unwrap();
+        writeln!(
+            svg,
+            r#"<text x="14" y="{}" text-anchor="middle" transform="rotate(-90 14 {})">{}</text>"#,
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            escape(&self.y_label)
+        )
+        .unwrap();
+        // Axes.
+        writeln!(
+            svg,
+            r#"<line x1="{}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+            MARGIN_L,
+            MARGIN_T,
+            MARGIN_L,
+            MARGIN_T + plot_h
+        )
+        .unwrap();
+        writeln!(
+            svg,
+            r#"<line x1="{}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+            MARGIN_L,
+            MARGIN_T + plot_h,
+            MARGIN_L + plot_w,
+            MARGIN_T + plot_h
+        )
+        .unwrap();
+        // Ticks: 5 per axis.
+        for i in 0..=4 {
+            let fx = x_min + (x_max - x_min) * i as f64 / 4.0;
+            let fy = y_min + (y_max - y_min) * i as f64 / 4.0;
+            writeln!(
+                svg,
+                r#"<text x="{:.1}" y="{:.1}" text-anchor="middle" font-size="10">{}</text>"#,
+                sx(fx),
+                MARGIN_T + plot_h + 16.0,
+                tick(fx)
+            )
+            .unwrap();
+            writeln!(
+                svg,
+                r#"<text x="{:.1}" y="{:.1}" text-anchor="end" font-size="10">{}</text>"#,
+                MARGIN_L - 6.0,
+                sy(fy) + 4.0,
+                tick(fy)
+            )
+            .unwrap();
+            writeln!(
+                svg,
+                r##"<line x1="{}" y1="{:.1}" x2="{}" y2="{:.1}" stroke="#ddd"/>"##,
+                MARGIN_L,
+                sy(fy),
+                MARGIN_L + plot_w,
+                sy(fy)
+            )
+            .unwrap();
+        }
+        // Series.
+        for (i, s) in self.series.iter().enumerate() {
+            let stroke = STROKES[i % STROKES.len()];
+            let pts: Vec<String> =
+                s.points.iter().map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y))).collect();
+            if pts.len() > 1 {
+                writeln!(
+                    svg,
+                    r#"<polyline points="{}" fill="none" stroke="{stroke}" stroke-width="1.5"/>"#,
+                    pts.join(" ")
+                )
+                .unwrap();
+            } else if pts.len() == 1 {
+                let &(x, y) = &s.points[0];
+                writeln!(
+                    svg,
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{stroke}"/>"#,
+                    sx(x),
+                    sy(y)
+                )
+                .unwrap();
+            }
+            // Legend entry.
+            let ly = MARGIN_T + 6.0 + i as f64 * 16.0;
+            writeln!(
+                svg,
+                r#"<line x1="{:.1}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{stroke}" stroke-width="2"/>"#,
+                MARGIN_L + plot_w - 110.0,
+                MARGIN_L + plot_w - 90.0,
+            )
+            .unwrap();
+            writeln!(
+                svg,
+                r#"<text x="{:.1}" y="{:.1}" font-size="11">{}</text>"#,
+                MARGIN_L + plot_w - 84.0,
+                ly + 4.0,
+                escape(&s.label)
+            )
+            .unwrap();
+        }
+        writeln!(svg, "</svg>").unwrap();
+        svg
+    }
+}
+
+fn tick(v: f64) -> String {
+    if v.abs() >= 10_000.0 {
+        format!("{:.0}k", v / 1000.0)
+    } else if v.abs() >= 10.0 || v == 0.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> Chart {
+        Chart::new(
+            "Makespan",
+            "batch",
+            "seconds",
+            vec![
+                Series::new("greedy", vec![(0.0, 100.0), (1.0, 250.0), (2.0, 180.0)]),
+                Series::new("op", vec![(0.0, 120.0), (1.0, 200.0), (2.0, 160.0)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let svg = chart().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("greedy"));
+        assert!(svg.contains("op"));
+        assert!(svg.contains("Makespan"));
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        assert_eq!(chart().to_svg(), chart().to_svg());
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let c = Chart::new("a<b & c>", "x", "y", vec![Series::new("s<1>", vec![(0.0, 1.0)])]);
+        let svg = c.to_svg();
+        assert!(svg.contains("a&lt;b &amp; c&gt;"));
+        assert!(!svg.contains("s<1>"));
+    }
+
+    #[test]
+    fn handles_degenerate_inputs() {
+        // Empty chart and single-point series must not panic or divide by 0.
+        let empty = Chart::new("t", "x", "y", vec![]);
+        assert!(empty.to_svg().contains("</svg>"));
+        let point = Chart::new("t", "x", "y", vec![Series::new("p", vec![(5.0, 5.0)])]);
+        assert!(point.to_svg().contains("<circle"));
+        let flat = Chart::new(
+            "t",
+            "x",
+            "y",
+            vec![Series::new("f", vec![(0.0, 3.0), (1.0, 3.0)])],
+        );
+        assert!(flat.to_svg().contains("<polyline"));
+    }
+}

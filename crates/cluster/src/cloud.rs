@@ -1,0 +1,327 @@
+//! A pool of machines with an FCFS wait queue — one cloud (IC or EC).
+
+use std::collections::VecDeque;
+
+use cloudburst_sim::{SimDuration, SimTime};
+
+use crate::machine::{Machine, MachineId};
+
+/// A job execution that finished, reported by [`Cloud::advance`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExecCompletion<K> {
+    /// The caller's job key.
+    pub key: K,
+    /// Completion instant.
+    pub at: SimTime,
+    /// Machine that ran the job.
+    pub machine: MachineId,
+    /// When execution (not queueing) started.
+    pub started: SimTime,
+}
+
+#[derive(Clone, Debug)]
+struct Running<K> {
+    key: K,
+    machine: MachineId,
+    started: SimTime,
+    finish: SimTime,
+}
+
+/// A simulated cloud: `n` machines, FCFS queue, deterministic service.
+///
+/// Passive API in the style of `cloudburst_net::Link`: the engine submits
+/// work, then alternates [`Cloud::next_wake`] / [`Cloud::advance`].
+#[derive(Clone, Debug)]
+pub struct Cloud<K> {
+    name: String,
+    machines: Vec<Machine>,
+    queue: VecDeque<(K, f64)>,
+    running: Vec<Running<K>>,
+    clock: SimTime,
+    completed: u64,
+    /// Only machines `[0, active_limit)` accept new work — the elastic-EC
+    /// scaling extension shrinks/grows this without disturbing running jobs.
+    active_limit: usize,
+}
+
+impl<K: Copy + PartialEq + std::fmt::Debug> Cloud<K> {
+    /// Creates a cloud of `n` machines with uniform `speed`.
+    pub fn homogeneous(name: impl Into<String>, n: usize, speed: f64) -> Cloud<K> {
+        assert!(n >= 1, "a cloud needs at least one machine");
+        Cloud {
+            name: name.into(),
+            machines: (0..n).map(|i| Machine::new(MachineId(i), speed)).collect(),
+            queue: VecDeque::new(),
+            running: Vec::new(),
+            clock: SimTime::ZERO,
+            completed: 0,
+            active_limit: n,
+        }
+    }
+
+    /// Creates a cloud from explicit machine speeds (heterogeneous pools).
+    pub fn with_speeds(name: impl Into<String>, speeds: &[f64]) -> Cloud<K> {
+        assert!(!speeds.is_empty());
+        Cloud {
+            name: name.into(),
+            machines: speeds.iter().enumerate().map(|(i, &s)| Machine::new(MachineId(i), s)).collect(),
+            queue: VecDeque::new(),
+            running: Vec::new(),
+            clock: SimTime::ZERO,
+            completed: 0,
+            active_limit: speeds.len(),
+        }
+    }
+
+    /// Limits dispatch to the first `n` machines (clamped to the pool size;
+    /// at least 1). Running jobs on deactivated machines finish normally.
+    pub fn set_active_limit(&mut self, n: usize) {
+        self.active_limit = n.clamp(1, self.machines.len());
+        self.dispatch();
+    }
+
+    /// Current dispatch limit.
+    pub fn active_limit(&self) -> usize {
+        self.active_limit
+    }
+
+    /// The cloud's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of machines.
+    pub fn n_machines(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Machines currently idle.
+    pub fn idle_machines(&self) -> usize {
+        self.machines.iter().filter(|m| !m.is_busy()).count()
+    }
+
+    /// Jobs waiting in the FCFS queue (not yet on a machine).
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Keys of queued jobs in FCFS order (scheduler-observable state).
+    pub fn queued_keys(&self) -> Vec<K> {
+        self.queue.iter().map(|(k, _)| *k).collect()
+    }
+
+    /// Keys of running jobs with their start times.
+    pub fn running_keys(&self) -> Vec<(K, SimTime)> {
+        self.running.iter().map(|r| (r.key, r.started)).collect()
+    }
+
+    /// Full detail of running jobs: `(key, machine, started)` — the input
+    /// schedulers need to estimate per-machine drain times.
+    pub fn running_detail(&self) -> Vec<(K, MachineId, SimTime)> {
+        self.running.iter().map(|r| (r.key, r.machine, r.started)).collect()
+    }
+
+    /// Jobs completed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Submits a job requiring `standard_secs` of standard-machine work.
+    /// The caller must have advanced the cloud to `now`.
+    pub fn submit(&mut self, now: SimTime, key: K, standard_secs: f64) {
+        assert!(now >= self.clock, "cloud must be advanced before submit");
+        self.clock = now;
+        self.queue.push_back((key, standard_secs));
+        self.dispatch();
+    }
+
+    /// Removes a queued (not yet running) job; used by rescheduling
+    /// extensions. Returns the remaining standard seconds if found.
+    pub fn cancel_queued(&mut self, key: K) -> Option<f64> {
+        let idx = self.queue.iter().position(|(k, _)| *k == key)?;
+        self.queue.remove(idx).map(|(_, s)| s)
+    }
+
+    /// Pops the *last* queued job (tail scan helper for the push-out
+    /// rescheduling strategy of Sec. IV-D).
+    pub fn pop_back_queued(&mut self) -> Option<(K, f64)> {
+        self.queue.pop_back()
+    }
+
+    /// Advances to `to`, returning completions in chronological order.
+    pub fn advance(&mut self, to: SimTime) -> Vec<ExecCompletion<K>> {
+        let mut done = Vec::new();
+        loop {
+            // Earliest finishing running job not after `to`.
+            let next = self
+                .running
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.finish <= to)
+                .min_by_key(|(_, r)| (r.finish, r.machine))
+                .map(|(i, _)| i);
+            let Some(i) = next else { break };
+            let r = self.running.remove(i);
+            self.clock = self.clock.max(r.finish);
+            self.machines[r.machine.0].finish();
+            self.completed += 1;
+            done.push(ExecCompletion { key: r.key, at: r.finish, machine: r.machine, started: r.started });
+            self.dispatch();
+        }
+        self.clock = self.clock.max(to);
+        done
+    }
+
+    /// Earliest pending completion, if any work is running.
+    pub fn next_wake(&self) -> Option<SimTime> {
+        self.running.iter().map(|r| r.finish).min()
+    }
+
+    /// Assigns queued jobs to idle machines (FCFS; lowest machine id first).
+    fn dispatch(&mut self) {
+        while !self.queue.is_empty() {
+            let Some(m_idx) =
+                self.machines[..self.active_limit].iter().position(|m| !m.is_busy())
+            else {
+                break;
+            };
+            let (key, secs) = self.queue.pop_front().expect("non-empty queue");
+            let finish = self.machines[m_idx].start(self.clock, secs);
+            self.running.push(Running {
+                key,
+                machine: MachineId(m_idx),
+                started: self.clock,
+                finish,
+            });
+        }
+    }
+
+    /// Average utilization over the pool up to `now` (Eq. 9).
+    pub fn average_utilization(&self, now: SimTime) -> f64 {
+        if self.machines.is_empty() || now == SimTime::ZERO {
+            return 0.0;
+        }
+        self.machines.iter().map(|m| m.utilization(now)).sum::<f64>() / self.machines.len() as f64
+    }
+
+    /// Total busy machine-time up to `now`.
+    pub fn total_busy(&self, now: SimTime) -> SimDuration {
+        self.machines
+            .iter()
+            .fold(SimDuration::ZERO, |acc, m| acc + m.busy_time(now))
+    }
+
+    /// Read access to the machine pool.
+    pub fn machines(&self) -> &[Machine] {
+        &self.machines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_machine_fcfs() {
+        let mut c: Cloud<u32> = Cloud::homogeneous("ic", 1, 1.0);
+        c.submit(SimTime::ZERO, 1, 100.0);
+        c.submit(SimTime::ZERO, 2, 50.0);
+        assert_eq!(c.queued(), 1);
+        let done = c.advance(SimTime::from_secs(200));
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].key, 1);
+        assert_eq!(done[0].at, SimTime::from_secs(100));
+        assert_eq!(done[1].key, 2);
+        assert_eq!(done[1].at, SimTime::from_secs(150));
+        assert_eq!(c.completed(), 2);
+    }
+
+    #[test]
+    fn parallel_machines_run_concurrently() {
+        let mut c: Cloud<u32> = Cloud::homogeneous("ic", 2, 1.0);
+        c.submit(SimTime::ZERO, 1, 100.0);
+        c.submit(SimTime::ZERO, 2, 100.0);
+        c.submit(SimTime::ZERO, 3, 100.0);
+        let done = c.advance(SimTime::from_secs(100));
+        assert_eq!(done.len(), 2, "two run in parallel");
+        let done2 = c.advance(SimTime::from_secs(200));
+        assert_eq!(done2.len(), 1);
+        assert_eq!(done2[0].at, SimTime::from_secs(200));
+    }
+
+    #[test]
+    fn next_wake_is_earliest_finish() {
+        let mut c: Cloud<u32> = Cloud::homogeneous("ic", 2, 1.0);
+        assert_eq!(c.next_wake(), None);
+        c.submit(SimTime::ZERO, 1, 100.0);
+        c.submit(SimTime::ZERO, 2, 60.0);
+        assert_eq!(c.next_wake(), Some(SimTime::from_secs(60)));
+    }
+
+    #[test]
+    fn freed_machine_picks_next_queued() {
+        let mut c: Cloud<u32> = Cloud::homogeneous("ic", 1, 1.0);
+        c.submit(SimTime::ZERO, 1, 10.0);
+        c.submit(SimTime::ZERO, 2, 10.0);
+        c.submit(SimTime::ZERO, 3, 10.0);
+        let done = c.advance(SimTime::from_secs(25));
+        assert_eq!(done.iter().map(|d| d.key).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(c.queued(), 0, "third is running");
+        assert_eq!(c.running_keys().len(), 1);
+    }
+
+    #[test]
+    fn heterogeneous_speeds() {
+        let mut c: Cloud<u32> = Cloud::with_speeds("ec", &[1.0, 4.0]);
+        c.submit(SimTime::ZERO, 1, 100.0); // machine 0 (slow): 100 s
+        c.submit(SimTime::ZERO, 2, 100.0); // machine 1 (fast): 25 s
+        let done = c.advance(SimTime::from_secs(100));
+        assert_eq!(done[0].key, 2);
+        assert_eq!(done[0].at, SimTime::from_secs(25));
+        assert_eq!(done[1].key, 1);
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut c: Cloud<u32> = Cloud::homogeneous("ic", 2, 1.0);
+        c.submit(SimTime::ZERO, 1, 50.0);
+        c.advance(SimTime::from_secs(100));
+        // One machine busy 50 of 100 s, the other idle → average 25 %.
+        assert!((c.average_utilization(SimTime::from_secs(100)) - 0.25).abs() < 1e-12);
+        assert_eq!(c.total_busy(SimTime::from_secs(100)), SimDuration::from_secs(50));
+    }
+
+    #[test]
+    fn cancel_and_pop_back() {
+        let mut c: Cloud<u32> = Cloud::homogeneous("ic", 1, 1.0);
+        c.submit(SimTime::ZERO, 1, 10.0);
+        c.submit(SimTime::ZERO, 2, 20.0);
+        c.submit(SimTime::ZERO, 3, 30.0);
+        assert_eq!(c.cancel_queued(2), Some(20.0));
+        assert_eq!(c.cancel_queued(2), None);
+        assert_eq!(c.cancel_queued(1), None, "running job cannot be cancelled");
+        assert_eq!(c.pop_back_queued(), Some((3, 30.0)));
+        assert_eq!(c.queued(), 0);
+    }
+
+    #[test]
+    fn queued_keys_reflect_fcfs_order() {
+        let mut c: Cloud<u32> = Cloud::homogeneous("ic", 1, 1.0);
+        c.submit(SimTime::ZERO, 1, 10.0);
+        c.submit(SimTime::ZERO, 2, 10.0);
+        c.submit(SimTime::ZERO, 3, 10.0);
+        assert_eq!(c.queued_keys(), vec![2, 3]);
+    }
+
+    #[test]
+    fn submissions_at_different_times() {
+        let mut c: Cloud<u32> = Cloud::homogeneous("ic", 1, 1.0);
+        c.submit(SimTime::ZERO, 1, 100.0);
+        c.advance(SimTime::from_secs(30));
+        c.submit(SimTime::from_secs(30), 2, 10.0);
+        let done = c.advance(SimTime::from_secs(500));
+        assert_eq!(done[0].at, SimTime::from_secs(100));
+        assert_eq!(done[1].at, SimTime::from_secs(110));
+        assert_eq!(done[1].started, SimTime::from_secs(100));
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the compute-cloud substrate: FCFS discipline, work
+//! conservation and utilization accounting under arbitrary submissions.
+
+use proptest::prelude::*;
+
+use cloudburst_cluster::Cloud;
+use cloudburst_sim::{SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every submitted job completes exactly once; completions are
+    /// chronological; total busy time equals total work (homogeneous
+    /// speed-1 pool).
+    #[test]
+    fn work_is_conserved(
+        services in prop::collection::vec(1u64..2_000, 1..40),
+        submit_gaps in prop::collection::vec(0u64..100, 40),
+        n_machines in 1usize..6,
+    ) {
+        let mut cloud: Cloud<usize> = Cloud::homogeneous("p", n_machines, 1.0);
+        let mut t = SimTime::ZERO;
+        let mut done = Vec::new();
+        for (i, &svc) in services.iter().enumerate() {
+            t += SimDuration::from_secs(submit_gaps[i]);
+            done.extend(cloud.advance(t));
+            cloud.submit(t, i, svc as f64);
+        }
+        while let Some(w) = cloud.next_wake() {
+            done.extend(cloud.advance(w));
+        }
+        prop_assert_eq!(done.len(), services.len());
+        let mut ids: Vec<usize> = done.iter().map(|c| c.key).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..services.len()).collect::<Vec<_>>());
+        for w in done.windows(2) {
+            prop_assert!(w[0].at <= w[1].at);
+        }
+        // Each job ran for exactly its service time.
+        for c in &done {
+            let svc = services[c.key] as f64;
+            prop_assert!(((c.at - c.started).as_secs_f64() - svc).abs() < 1e-6);
+        }
+        // Busy time equals total work.
+        let end = done.iter().map(|c| c.at).max().unwrap();
+        let total_work: u64 = services.iter().sum();
+        prop_assert!(
+            (cloud.total_busy(end).as_secs_f64() - total_work as f64).abs() < 1e-3
+        );
+        // Utilization is bounded by 1 and consistent with busy time.
+        let u = cloud.average_utilization(end);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&u));
+    }
+
+    /// Execution *starts* follow FCFS: job i never starts after job j > i
+    /// when both were queued (single machine ⇒ completion order is exactly
+    /// submission order).
+    #[test]
+    fn single_machine_is_fcfs(services in prop::collection::vec(1u64..500, 1..30)) {
+        let mut cloud: Cloud<usize> = Cloud::homogeneous("p", 1, 1.0);
+        for (i, &svc) in services.iter().enumerate() {
+            cloud.submit(SimTime::ZERO, i, svc as f64);
+        }
+        let mut done = Vec::new();
+        while let Some(w) = cloud.next_wake() {
+            done.extend(cloud.advance(w));
+        }
+        let ids: Vec<usize> = done.iter().map(|c| c.key).collect();
+        prop_assert_eq!(ids, (0..services.len()).collect::<Vec<_>>());
+        // Completion time telescopes to the prefix sum of services.
+        let mut acc = 0.0;
+        for c in &done {
+            acc += services[c.key] as f64;
+            prop_assert!((c.at.as_secs_f64() - acc).abs() < 1e-6);
+        }
+    }
+
+    /// Shrinking the active limit delays completions but loses nothing;
+    /// restoring it drains the queue.
+    #[test]
+    fn active_limit_throttles_without_loss(
+        services in prop::collection::vec(10u64..200, 4..20),
+        limit in 1usize..3,
+    ) {
+        let mut cloud: Cloud<usize> = Cloud::homogeneous("p", 4, 1.0);
+        cloud.set_active_limit(limit);
+        for (i, &svc) in services.iter().enumerate() {
+            cloud.submit(SimTime::ZERO, i, svc as f64);
+        }
+        // Run half the work, then scale back up.
+        let half = SimTime::from_secs(services.iter().sum::<u64>() / 2);
+        let mut done = cloud.advance(half);
+        cloud.set_active_limit(4);
+        while let Some(w) = cloud.next_wake() {
+            done.extend(cloud.advance(w));
+        }
+        prop_assert_eq!(done.len(), services.len());
+        prop_assert_eq!(cloud.queued(), 0);
+    }
+}

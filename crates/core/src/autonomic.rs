@@ -1,0 +1,148 @@
+//! Stand-alone autonomic calibration (Sec. III-A-2) — the machinery behind
+//! Fig. 4: learning the time-of-day bandwidth profile and the per-slot
+//! optimal thread counts by periodic probe transfers.
+//!
+//! Inside a full run the engine performs this continuously; this module
+//! exposes the same loop against a bare [`BandwidthModel`] so the Fig. 4
+//! experiments (and users integrating only the network layer) can calibrate
+//! without a whole cluster simulation.
+
+use cloudburst_net::{BandwidthEstimator, BandwidthModel, Link, ThreadTuner};
+use cloudburst_sim::{SimDuration, SimTime};
+
+/// Result of a calibration pass over one (virtual) day.
+#[derive(Clone, Debug)]
+pub struct CalibrationReport {
+    /// Ground-truth mean rate per hour (bytes/sec) — what Fig. 4(a) plots.
+    pub hourly_true_bps: Vec<f64>,
+    /// The estimator's per-hour predictions after calibration.
+    pub hourly_est_bps: Vec<f64>,
+    /// Tuned thread count per hour — what Fig. 4(b) plots.
+    pub hourly_threads: Vec<u32>,
+    /// Number of probe transfers performed.
+    pub probes: u64,
+}
+
+impl CalibrationReport {
+    /// Mean absolute percentage error of the hourly estimates vs truth.
+    pub fn mape(&self) -> f64 {
+        let n = self.hourly_true_bps.len() as f64;
+        self.hourly_true_bps
+            .iter()
+            .zip(&self.hourly_est_bps)
+            .map(|(t, e)| ((e - t) / t).abs())
+            .sum::<f64>()
+            / n
+    }
+}
+
+/// Calibrates an estimator and thread tuner against a ground-truth model by
+/// running `probes_per_hour` probe measurements per hour for `days` virtual
+/// days. Each probe measures the effective rate at the tuner's proposed
+/// thread count (including its ±1 exploration), mirroring the engine's
+/// in-run behaviour. Uses the paper-default estimator (hourly slots,
+/// α = 0.3); see [`calibrate_with`] to sweep those.
+pub fn calibrate(
+    model: &BandwidthModel,
+    days: u32,
+    probes_per_hour: u32,
+    kappa: f64,
+) -> CalibrationReport {
+    calibrate_with(model, days, probes_per_hour, kappa, 24, 0.3)
+}
+
+/// [`calibrate`] with an explicit estimator configuration: `n_slots`
+/// time-of-day slots (1 = a single global EWMA, no time-of-day model) and
+/// EWMA weight `alpha` — the knobs the `ablate-ewma` experiment sweeps.
+pub fn calibrate_with(
+    model: &BandwidthModel,
+    days: u32,
+    probes_per_hour: u32,
+    kappa: f64,
+    n_slots: usize,
+    alpha: f64,
+) -> CalibrationReport {
+    assert!(days >= 1 && probes_per_hour >= 1);
+    let mut est = BandwidthEstimator::new(n_slots, alpha);
+    let mut tuner = ThreadTuner::hourly();
+    let step = SimDuration::from_secs(3_600 / probes_per_hour as u64);
+    let mut t = SimTime::ZERO;
+    let horizon = SimTime::from_secs(86_400 * days as u64);
+    let mut probes = 0;
+    while t < horizon {
+        let threads = tuner.threads_for(t);
+        let raw = model.rate_bps(t);
+        let effective = Link::effective_rate(raw, threads, kappa);
+        tuner.report(t, threads, effective);
+        // The estimator learns the raw pipe via the saturation-law inverse,
+        // exactly as the engine does for real transfers.
+        let raw_est = effective * (threads as f64 + kappa) / threads as f64;
+        est.observe(t, raw_est);
+        probes += 1;
+        t += step;
+    }
+
+    // Evaluate per hour at the middle of each slot on the *last* day.
+    let base = 86_400 * (days as u64 - 1);
+    let mut hourly_true = Vec::with_capacity(24);
+    let mut hourly_est = Vec::with_capacity(24);
+    let mut hourly_threads = Vec::with_capacity(24);
+    for h in 0..24u64 {
+        let mid = SimTime::from_secs(base + h * 3_600 + 1_800);
+        hourly_true.push(model.rate_bps(mid));
+        hourly_est.push(est.predict(mid));
+        hourly_threads.push(tuner.current_best(mid));
+    }
+    CalibrationReport {
+        hourly_true_bps: hourly_true,
+        hourly_est_bps: hourly_est,
+        hourly_threads,
+        probes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_learns_a_diurnal_profile() {
+        let model = BandwidthModel::Diurnal {
+            base: 250_000.0,
+            amplitude: 150_000.0,
+            phase_secs: 0.0,
+        };
+        let rep = calibrate(&model, 3, 6, 1.5);
+        assert_eq!(rep.hourly_true_bps.len(), 24);
+        assert_eq!(rep.probes, 3 * 24 * 6);
+        // Estimates track the diurnal shape within ~20 %.
+        assert!(rep.mape() < 0.2, "mape={}", rep.mape());
+        // The profile's peak and trough are reflected in the estimates.
+        let peak_h = 6; // sin peaks a quarter-day in
+        let trough_h = 18;
+        assert!(rep.hourly_est_bps[peak_h] > rep.hourly_est_bps[trough_h]);
+    }
+
+    #[test]
+    fn thread_counts_follow_bandwidth() {
+        // Fast hours deserve more threads than slow hours (Fig. 4(b)).
+        let mut rates = vec![40_000.0; 24];
+        for r in rates.iter_mut().take(12) {
+            *r = 500_000.0;
+        }
+        let model = BandwidthModel::Hourly { rates };
+        let rep = calibrate(&model, 6, 12, 1.5);
+        let fast: f64 = rep.hourly_threads[..12].iter().map(|&k| k as f64).sum::<f64>() / 12.0;
+        let slow: f64 = rep.hourly_threads[12..].iter().map(|&k| k as f64).sum::<f64>() / 12.0;
+        assert!(fast > slow, "fast hours {fast} vs slow hours {slow}");
+    }
+
+    #[test]
+    fn constant_profile_estimates_exactly() {
+        let model = BandwidthModel::Constant(300_000.0);
+        let rep = calibrate(&model, 2, 4, 1.5);
+        for e in &rep.hourly_est_bps {
+            assert!((e / 300_000.0 - 1.0).abs() < 1e-6);
+        }
+    }
+}

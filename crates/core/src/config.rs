@@ -1,0 +1,262 @@
+//! Experiment configuration.
+//!
+//! Defaults reproduce the paper's test-bed (Sec. V-A): 8 internal machines,
+//! 2 external instances, ≈ 250 KB/s average pipe, batches of Poisson(15)
+//! jobs every 3 minutes, 2-minute OO sampling.
+
+use serde::{Deserialize, Serialize};
+
+use cloudburst_net::profile::DEFAULT_MEAN_BPS;
+use cloudburst_net::BandwidthModel;
+use cloudburst_sim::SimDuration;
+use cloudburst_sla::OoConfig;
+use cloudburst_workload::{ArrivalConfig, ChunkPolicy, GroundTruth, SizeBucket};
+
+/// Which scheduler drives the run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// Baseline: never burst.
+    IcOnly,
+    /// Algorithm 1.
+    Greedy,
+    /// Algorithm 2.
+    OrderPreserving,
+    /// Algorithm 2 without the chunking phase (ablation).
+    OrderPreservingNoChunk,
+    /// Algorithm 2 + Algorithm 3 upload routing.
+    Sibs,
+}
+
+impl SchedulerKind {
+    /// Label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulerKind::IcOnly => "ic-only",
+            SchedulerKind::Greedy => "greedy",
+            SchedulerKind::OrderPreserving => "op",
+            SchedulerKind::OrderPreservingNoChunk => "op-nochunk",
+            SchedulerKind::Sibs => "op+sibs",
+        }
+    }
+
+    /// The scheduler line-up compared in Fig. 6.
+    pub const FIG6: [SchedulerKind; 3] =
+        [SchedulerKind::IcOnly, SchedulerKind::Greedy, SchedulerKind::OrderPreserving];
+}
+
+/// QRSM fitting method selector (mirrors `cloudburst_qrsm::Method`, kept
+/// separate so configs serialize without foreign types).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FitKind {
+    /// Ordinary least squares.
+    Ols,
+    /// Ridge with the given penalty.
+    Ridge(f64),
+    /// Least absolute deviations (LP-equivalent robust fit).
+    Lad,
+}
+
+impl FitKind {
+    /// Converts to the qrsm crate's method type.
+    pub fn to_method(self) -> cloudburst_qrsm::Method {
+        match self {
+            FitKind::Ols => cloudburst_qrsm::Method::Ols,
+            FitKind::Ridge(l) => cloudburst_qrsm::Method::Ridge(l),
+            FitKind::Lad => cloudburst_qrsm::Method::Lad,
+        }
+    }
+}
+
+/// Elastic-EC scaling policy (extension; see `crate::scaling`).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScalingPolicy {
+    /// Smallest EC pool size.
+    pub min_instances: usize,
+    /// Largest EC pool size.
+    pub max_instances: usize,
+    /// Evaluation period.
+    pub period: SimDuration,
+}
+
+/// Configuration of one additional external-cloud site (the multi-EC
+/// extension; the primary EC comes from `n_ec`/`ec_speed` and the main
+/// bandwidth models).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EcSiteConfig {
+    /// Machines at this site.
+    pub n_machines: usize,
+    /// Machine speed relative to a standard machine.
+    pub speed: f64,
+    /// Upload pipe to this site.
+    pub upload_model: BandwidthModel,
+    /// Download pipe from this site.
+    pub download_model: BandwidthModel,
+}
+
+/// Full description of one experiment run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Master seed; every stochastic stream derives from it.
+    pub seed: u64,
+    /// Scheduler under test.
+    pub scheduler: SchedulerKind,
+    /// Arrival process (batches, λ, bucket).
+    pub arrivals: ArrivalConfig,
+    /// Internal-cloud machine count (paper: 8).
+    pub n_ic: usize,
+    /// External-cloud machine count (paper: max 2).
+    pub n_ec: usize,
+    /// IC machine speed relative to a standard machine.
+    pub ic_speed: f64,
+    /// EC machine speed relative to a standard machine.
+    pub ec_speed: f64,
+    /// Ground-truth upload pipe.
+    pub upload_model: BandwidthModel,
+    /// Ground-truth download pipe.
+    pub download_model: BandwidthModel,
+    /// Thread-saturation constant κ.
+    pub kappa: f64,
+    /// Link rate-revaluation slot.
+    pub link_slot: SimDuration,
+    /// Last-hop/connection-setup latency per transfer (both directions).
+    pub last_hop_latency: SimDuration,
+    /// Ground-truth processing-time law.
+    pub truth: GroundTruth,
+    /// Size of the initial QRSM training corpus.
+    pub training_docs: usize,
+    /// QRSM fitting method.
+    pub fit: FitKind,
+    /// Fit one QRSM per job class (with a pooled fallback) instead of a
+    /// single pooled model — the multi-job-class extension (Sec. VII).
+    pub per_class_qrsm: bool,
+    /// Chunking policy for the Op/SIBS schedulers.
+    pub chunk_policy: ChunkPolicy,
+    /// Slack safety margin τ, seconds.
+    pub tau_secs: f64,
+    /// Ticket quoting margin: the completion promise issued at admission is
+    /// the scheduler's estimate plus `k` training-RMSEs of the QRSM
+    /// (`k ≈ 1` ⇒ roughly 84 % single-job coverage under normal residuals).
+    pub ticket_margin_k: f64,
+    /// OO-metric sampling.
+    pub oo: OoConfig,
+    /// EWMA weight α of the bandwidth predictor (paper's `S_n` update).
+    pub ewma_alpha: f64,
+    /// Time-of-day slots per day in the bandwidth predictor (1 = a single
+    /// global EWMA, i.e. no time-of-day model — the `ablate-ewma` case).
+    pub ewma_slots: usize,
+    /// Bandwidth-probe interval (None disables autonomic probing).
+    pub probe_interval: Option<SimDuration>,
+    /// Enable the Sec. IV-D pull-back/push-out rescheduling extension.
+    pub rescheduling: bool,
+    /// Elastic-EC scaling extension.
+    pub scaling: Option<ScalingPolicy>,
+    /// Additional external-cloud sites (multi-EC extension); the engine's
+    /// broker picks the site with the earliest estimated round trip per
+    /// bursted job.
+    pub extra_ec_sites: Vec<EcSiteConfig>,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            seed: 42,
+            scheduler: SchedulerKind::OrderPreserving,
+            arrivals: ArrivalConfig::default(),
+            n_ic: 8,
+            n_ec: 2,
+            ic_speed: 1.0,
+            ec_speed: 1.0,
+            upload_model: BandwidthModel::Constant(DEFAULT_MEAN_BPS),
+            download_model: BandwidthModel::Constant(DEFAULT_MEAN_BPS),
+            kappa: cloudburst_net::link::DEFAULT_KAPPA,
+            link_slot: SimDuration::from_secs(30),
+            last_hop_latency: SimDuration::from_secs(2),
+            truth: GroundTruth::default(),
+            training_docs: 400,
+            fit: FitKind::Ols,
+            per_class_qrsm: false,
+            chunk_policy: ChunkPolicy::default(),
+            tau_secs: 0.0,
+            ticket_margin_k: 1.0,
+            oo: OoConfig::default(),
+            ewma_alpha: 0.3,
+            ewma_slots: 24,
+            probe_interval: Some(SimDuration::from_mins(10)),
+            rescheduling: false,
+            scaling: None,
+            extra_ec_sites: Vec::new(),
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// The paper's set-up for a given scheduler, bucket and seed.
+    pub fn paper(scheduler: SchedulerKind, bucket: SizeBucket, seed: u64) -> ExperimentConfig {
+        ExperimentConfig {
+            seed,
+            scheduler,
+            arrivals: ArrivalConfig { bucket, ..ArrivalConfig::default() },
+            ..ExperimentConfig::default()
+        }
+    }
+
+    /// Same, under the Fig. 9 "high network variation" pipe.
+    pub fn paper_high_variation(
+        scheduler: SchedulerKind,
+        bucket: SizeBucket,
+        seed: u64,
+    ) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::paper(scheduler, bucket, seed);
+        cfg.upload_model = BandwidthModel::high_variation(seed ^ 0x5eed_0001);
+        cfg.download_model = BandwidthModel::high_variation(seed ^ 0x5eed_0002);
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_testbed() {
+        let c = ExperimentConfig::default();
+        assert_eq!(c.n_ic, 8);
+        assert_eq!(c.n_ec, 2);
+        assert_eq!(c.arrivals.jobs_per_batch, 15.0);
+        assert_eq!(c.arrivals.batch_interval, SimDuration::from_mins(3));
+        assert_eq!(c.oo.sample_interval, SimDuration::from_mins(2));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(SchedulerKind::Sibs.label(), "op+sibs");
+        assert_eq!(SchedulerKind::FIG6.len(), 3);
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let c = ExperimentConfig::paper(SchedulerKind::Greedy, SizeBucket::LargeBiased, 7);
+        let js = serde_json::to_string(&c).unwrap();
+        let back: ExperimentConfig = serde_json::from_str(&js).unwrap();
+        assert_eq!(back.scheduler, SchedulerKind::Greedy);
+        assert_eq!(back.seed, 7);
+    }
+
+    #[test]
+    fn fit_kind_converts() {
+        assert_eq!(FitKind::Ols.to_method(), cloudburst_qrsm::Method::Ols);
+        assert_eq!(FitKind::Ridge(0.5).to_method(), cloudburst_qrsm::Method::Ridge(0.5));
+        assert_eq!(FitKind::Lad.to_method(), cloudburst_qrsm::Method::Lad);
+    }
+
+    #[test]
+    fn high_variation_uses_jittered_models() {
+        let c = ExperimentConfig::paper_high_variation(
+            SchedulerKind::OrderPreserving,
+            SizeBucket::LargeBiased,
+            3,
+        );
+        assert!(matches!(c.upload_model, BandwidthModel::Jittered { .. }));
+        assert!(matches!(c.download_model, BandwidthModel::Jittered { .. }));
+    }
+}

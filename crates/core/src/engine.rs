@@ -1,0 +1,1198 @@
+//! The discrete-event cloud-bursting pipeline (Fig. 5).
+//!
+//! One [`EngineWorld`] holds the whole system: the IC pool, one or more EC
+//! sites (each with its own upload/download pipe and queues), the estimate
+//! provider, and the scheduler under test. Events drive the pipeline:
+//!
+//! 1. a **batch arrival** invokes the controller, which snapshots the
+//!    estimated load, runs the scheduler, re-indexes (possibly chunked)
+//!    jobs into the global FCFS id space, and dispatches placements;
+//! 2. **link wakes** integrate transfer progress; completed uploads submit
+//!    to the EC, completed downloads land results in the result queue;
+//! 3. **cloud wakes** collect execution completions; IC completions go
+//!    straight to the result queue, EC completions enter the download queue;
+//! 4. every completion feeds the autonomic models (QRSM window, bandwidth
+//!    EWMAs, thread tuners) — the system learns while it runs.
+//!
+//! Ground truth (service times, link capacity) is only ever touched by the
+//! simulation itself; the scheduler sees estimates. This split is what lets
+//! the experiments reproduce the paper's robustness comparisons.
+
+use std::collections::HashMap;
+
+use cloudburst_cluster::Cloud;
+use cloudburst_net::link::Completion;
+use cloudburst_net::queues::{SibsQueues, SizeClass};
+use cloudburst_net::{Link, SibsBounds, TransferId};
+use cloudburst_qrsm::QrsModel;
+use cloudburst_sched::api::Planner;
+use cloudburst_sched::resched::{
+    pull_back_candidate, push_out_candidate, PullBackCandidate, PushOutCandidate,
+};
+use cloudburst_sched::{
+    BurstScheduler, EstimateProvider, GreedyScheduler, IcOnlyScheduler, LoadModel,
+    OrderPreservingScheduler, Placement, ProcTimeModel, SibsScheduler,
+};
+use cloudburst_sim::{EventId, RngFactory, Sim, SimDuration, SimTime};
+use cloudburst_sla::{metrics, oo_series, CompletionRecord, RunReport};
+use cloudburst_workload::arrival::training_corpus;
+use cloudburst_workload::{BatchArrivals, Job, JobId};
+
+use crate::config::{EcSiteConfig, ExperimentConfig, SchedulerKind};
+
+/// Size of the autonomic probe transfers (Sec. III-A-2: "periodic test
+/// uploads/downloads of size 1MB").
+const PROBE_BYTES: u64 = 1_000_000;
+
+/// What an in-flight transfer carries.
+#[derive(Clone, Copy, Debug)]
+enum Payload {
+    /// A job's input (upload) or result (download).
+    Job(JobId),
+    /// An autonomic probe.
+    Probe,
+}
+
+/// One external-cloud site: compute pool plus its own pipes and queues.
+struct EcSite {
+    cloud: Cloud<JobId>,
+    up_link: Link,
+    down_link: Link,
+    /// Pending uploads in the three size-interval queues. Non-SIBS runs
+    /// push everything as `Small` and drain through a single `Large` slot
+    /// (which serves all classes), i.e. one FIFO pipe.
+    up_queues: SibsQueues<JobId>,
+    /// One upload slot per size class when SIBS routing is on, else one.
+    up_slots: Vec<(SizeClass, Option<TransferId>)>,
+    /// FIFO download queue of finished EC jobs awaiting result transfer.
+    down_queue: std::collections::VecDeque<(JobId, u64)>,
+    down_active: Option<TransferId>,
+    /// Transfer bookkeeping: id → payload and thread count.
+    up_map: HashMap<TransferId, (Payload, u32)>,
+    down_map: HashMap<TransferId, (Payload, u32)>,
+    sibs_bounds: Option<SibsBounds>,
+    uploaded_bytes: u64,
+    downloaded_bytes: u64,
+    up_wake: Option<EventId>,
+    down_wake: Option<EventId>,
+    exec_wake: Option<EventId>,
+}
+
+impl EcSite {
+    fn new(cfg: &ExperimentConfig, site_cfg: &EcSiteConfig, sibs: bool, name: String) -> EcSite {
+        let up_slots = if sibs {
+            vec![(SizeClass::Small, None), (SizeClass::Medium, None), (SizeClass::Large, None)]
+        } else {
+            vec![(SizeClass::Large, None)]
+        };
+        EcSite {
+            cloud: Cloud::homogeneous(name, site_cfg.n_machines.max(1), site_cfg.speed),
+            up_link: Link::new(site_cfg.upload_model.clone(), cfg.kappa, cfg.link_slot)
+                .with_latency(cfg.last_hop_latency),
+            down_link: Link::new(site_cfg.download_model.clone(), cfg.kappa, cfg.link_slot)
+                .with_latency(cfg.last_hop_latency),
+            up_queues: SibsQueues::new(),
+            up_slots,
+            down_queue: std::collections::VecDeque::new(),
+            down_active: None,
+            up_map: HashMap::new(),
+            down_map: HashMap::new(),
+            sibs_bounds: None,
+            uploaded_bytes: 0,
+            downloaded_bytes: 0,
+            up_wake: None,
+            down_wake: None,
+            exec_wake: None,
+        }
+    }
+
+    /// Estimated upload backlog in bytes: queued plus in-flight remainder.
+    fn upload_backlog_bytes(&self) -> u64 {
+        let (s, m, l) = self.up_queues.queued_bytes();
+        s + m + l + self.up_link.remaining_bytes()
+    }
+
+    /// Bytes awaiting or undergoing download.
+    fn download_backlog_bytes(&self) -> u64 {
+        self.down_queue.iter().map(|(_, b)| *b).sum::<u64>() + self.down_link.remaining_bytes()
+    }
+
+    /// Jobs anywhere in this site's pipeline (upload queue/flight, EC
+    /// queue/exec, download queue/flight).
+    fn pipeline_jobs(&self) -> usize {
+        self.up_queues.len()
+            + self.up_map.values().filter(|(p, _)| matches!(p, Payload::Job(_))).count()
+            + self.cloud.queued()
+            + self.cloud.running_keys().len()
+            + self.down_queue.len()
+            + self.down_map.values().filter(|(p, _)| matches!(p, Payload::Job(_))).count()
+    }
+}
+
+/// The whole simulated system.
+pub struct EngineWorld {
+    cfg: ExperimentConfig,
+    est: EstimateProvider,
+    scheduler: Box<dyn BurstScheduler>,
+    ic: Cloud<JobId>,
+    sites: Vec<EcSite>,
+    /// All jobs in final (post-chunking) FCFS id order.
+    jobs: Vec<Job>,
+    /// QRSM estimate (standard seconds) recorded at scheduling time.
+    est_exec: Vec<f64>,
+    /// Placement decision `d_i` per job.
+    placements: Vec<Placement>,
+    /// EC site index per bursted job.
+    site_of: Vec<usize>,
+    /// Completion instant (result in the result queue) per job.
+    completions: Vec<Option<SimTime>>,
+    /// Actual output bytes delivered per job.
+    output_bytes: Vec<u64>,
+    /// The scheduler's own completion estimate per unfinished job.
+    est_completion: Vec<Option<SimTime>>,
+    /// Completion promise quoted at admission (estimate + margin).
+    ticket_promise: Vec<SimTime>,
+    /// Per-job lifecycle stamps.
+    timelines: Vec<crate::timeline::JobTimeline>,
+    /// Jobs per batch with their placements (burst-ratio per batch).
+    batch_decisions: Vec<Vec<bool>>,
+    ic_wake: Option<EventId>,
+    batches_total: u32,
+    batches_seen: u32,
+    next_tid: u64,
+    /// Transfers pulled back mid-queue; their upload must be ignored.
+    rng_probe: rand::rngs::StdRng,
+    /// Ground-truth stream for re-sampling chunk service times.
+    rng_chunk_truth: rand::rngs::StdRng,
+    n_pull_backs: u64,
+    n_push_outs: u64,
+    /// Integral of active EC machines over time (instance-seconds) — the
+    /// cost measure for the elastic-scaling extension.
+    ec_provisioned_machine_secs: f64,
+    last_provision_accrual: SimTime,
+}
+
+impl EngineWorld {
+    fn new(cfg: ExperimentConfig) -> EngineWorld {
+        let rngs = RngFactory::new(cfg.seed);
+        // Initial QRSM: trained on the standard production corpus.
+        let mut train_rng = rngs.stream("qrsm/training");
+        let corpus = training_corpus(&mut train_rng, &cfg.truth, cfg.training_docs.max(64));
+        let xs: Vec<Vec<f64>> = corpus.iter().map(|(f, _)| f.regressors()).collect();
+        let ys: Vec<f64> = corpus.iter().map(|(_, t)| *t).collect();
+        let time_model = if cfg.per_class_qrsm {
+            let samples: Vec<(u64, Vec<f64>, f64)> = corpus
+                .iter()
+                .map(|(f, t)| (f.job_type.code() as u64, f.regressors(), *t))
+                .collect();
+            ProcTimeModel::PerClass(
+                cloudburst_qrsm::ClassedModel::fit(&samples, cfg.fit.to_method(), 60)
+                    .expect("training corpus must support a quadratic fit"),
+            )
+        } else {
+            ProcTimeModel::Pooled(
+                QrsModel::fit(&xs, &ys, cfg.fit.to_method())
+                    .expect("training corpus must support a quadratic fit")
+                    .with_refit_every(25),
+            )
+        };
+
+        // Bandwidth prior: the pre-run calibration pass. Seeded with the
+        // true mean so runs start sensibly calibrated; the EWMAs keep
+        // adapting from real observations afterwards.
+        let prior_up = cfg
+            .upload_model
+            .mean_rate_bps(SimTime::ZERO, SimTime::from_secs(86_400), SimDuration::from_mins(30));
+        let mut est = EstimateProvider::with_model(time_model);
+        est.up = cloudburst_net::BandwidthEstimator::new(cfg.ewma_slots.max(1), cfg.ewma_alpha)
+            .with_prior(prior_up);
+        est.down = cloudburst_net::BandwidthEstimator::new(cfg.ewma_slots.max(1), cfg.ewma_alpha)
+            .with_prior(prior_up);
+        est.kappa = cfg.kappa;
+        est.ic_speed = cfg.ic_speed;
+        est.ec_speed = cfg.ec_speed;
+
+        let sibs = cfg.scheduler == SchedulerKind::Sibs;
+        let scheduler: Box<dyn BurstScheduler> = match cfg.scheduler {
+            SchedulerKind::IcOnly => Box::new(IcOnlyScheduler::new()),
+            SchedulerKind::Greedy => Box::new(GreedyScheduler::new()),
+            SchedulerKind::OrderPreserving => Box::new(OrderPreservingScheduler::new(
+                cfg.chunk_policy.clone(),
+                cfg.seed ^ 0xc4a2,
+            )),
+            SchedulerKind::OrderPreservingNoChunk => Box::new(
+                OrderPreservingScheduler::new(cfg.chunk_policy.clone(), cfg.seed ^ 0xc4a2)
+                    .without_chunking(),
+            ),
+            SchedulerKind::Sibs => Box::new(SibsScheduler::new(OrderPreservingScheduler::new(
+                cfg.chunk_policy.clone(),
+                cfg.seed ^ 0xc4a2,
+            ))),
+        };
+
+        // The primary EC site from the main config, plus any extras.
+        let mut site_cfgs = vec![EcSiteConfig {
+            n_machines: cfg.n_ec,
+            speed: cfg.ec_speed,
+            upload_model: cfg.upload_model.clone(),
+            download_model: cfg.download_model.clone(),
+        }];
+        site_cfgs.extend(cfg.extra_ec_sites.iter().cloned());
+        let sites = site_cfgs
+            .iter()
+            .enumerate()
+            .map(|(i, sc)| EcSite::new(&cfg, sc, sibs, format!("ec{i}")))
+            .collect();
+
+        let rng_probe = rngs.stream("probe");
+        let rng_chunk_truth = rngs.stream("chunk-truth");
+        EngineWorld {
+            ic: Cloud::homogeneous("ic", cfg.n_ic, cfg.ic_speed),
+            sites,
+            est,
+            scheduler,
+            jobs: Vec::new(),
+            est_exec: Vec::new(),
+            placements: Vec::new(),
+            site_of: Vec::new(),
+            completions: Vec::new(),
+            output_bytes: Vec::new(),
+            est_completion: Vec::new(),
+            ticket_promise: Vec::new(),
+            timelines: Vec::new(),
+            batch_decisions: Vec::new(),
+            ic_wake: None,
+            batches_total: cfg.arrivals.n_batches,
+            batches_seen: 0,
+            next_tid: 0,
+            rng_probe,
+            rng_chunk_truth,
+            cfg,
+            n_pull_backs: 0,
+            n_push_outs: 0,
+            ec_provisioned_machine_secs: 0.0,
+            last_provision_accrual: SimTime::ZERO,
+        }
+    }
+
+    /// Accrues active-EC instance-seconds up to `now`. Called whenever the
+    /// active limits are about to change, and once at run end.
+    fn accrue_provisioning(&mut self, now: SimTime) {
+        let span = (now - self.last_provision_accrual).as_secs_f64();
+        if span > 0.0 {
+            let active: usize = self.sites.iter().map(|s| s.cloud.active_limit()).sum();
+            self.ec_provisioned_machine_secs += active as f64 * span;
+            self.last_provision_accrual = now;
+        }
+    }
+
+    /// Instance-seconds of EC capacity provisioned over the run.
+    pub fn ec_provisioned_machine_secs(&self) -> f64 {
+        self.ec_provisioned_machine_secs
+    }
+
+    /// The autonomic estimation models in their end-of-run state.
+    pub fn estimates(&self) -> &EstimateProvider {
+        &self.est
+    }
+
+    /// Per-job lifecycle timelines, indexed by job id.
+    pub fn timelines(&self) -> &[crate::timeline::JobTimeline] {
+        &self.timelines
+    }
+
+    fn fresh_tid(&mut self) -> TransferId {
+        self.next_tid += 1;
+        TransferId(self.next_tid)
+    }
+
+    fn all_done(&self) -> bool {
+        self.batches_seen == self.batches_total && self.completions.iter().all(|c| c.is_some())
+    }
+
+    /// Estimated seconds until each machine frees from its *running* job
+    /// only (scheduler-side estimates, never ground truth).
+    fn est_running_free_secs(&self, cloud: &Cloud<JobId>, speed: f64, now: SimTime) -> Vec<f64> {
+        let mut free = vec![0.0; cloud.n_machines()];
+        for (key, machine, started) in cloud.running_detail() {
+            let est = self.est_exec.get(key.0 as usize).copied().unwrap_or(60.0);
+            let elapsed_std = (now - started).as_secs_f64() * speed;
+            free[machine.0] = (est - elapsed_std).max(0.0) / speed;
+        }
+        free
+    }
+
+    /// Estimated seconds until each machine of a cloud frees, including the
+    /// FCFS drain of its queue.
+    fn est_free_secs(&self, cloud: &Cloud<JobId>, speed: f64, now: SimTime) -> Vec<f64> {
+        let mut free = self.est_running_free_secs(cloud, speed, now);
+        // Queued jobs drain onto the earliest-free machines, FCFS.
+        for key in cloud.queued_keys() {
+            let est = self.est_exec.get(key.0 as usize).copied().unwrap_or(60.0);
+            let (idx, _) = free
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+                .expect("machines exist");
+            free[idx] += est / speed;
+        }
+        free
+    }
+
+    /// Builds the scheduler's state snapshot. The EC view reflects the
+    /// least-backlogged site (the broker's first choice).
+    fn load_model(&self, now: SimTime) -> LoadModel {
+        let site = self.least_loaded_site();
+        let s = &self.sites[site];
+        LoadModel {
+            now,
+            ic_free_secs: self.est_free_secs(&self.ic, self.cfg.ic_speed, now),
+            ec_free_secs: self.est_free_secs(&s.cloud, self.cfg.ec_speed, now),
+            upload_backlog_bytes: s.upload_backlog_bytes(),
+            download_backlog_bytes: s.download_backlog_bytes(),
+            outstanding_est_completions: self
+                .est_completion
+                .iter()
+                .flatten()
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// The site a new burst would go to: least upload backlog, ties to the
+    /// lowest index.
+    fn least_loaded_site(&self) -> usize {
+        self.sites
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, s)| (s.upload_backlog_bytes() + s.cloud.queued() as u64, *i))
+            .map(|(i, _)| i)
+            .expect("at least one EC site")
+    }
+
+    fn classify(&self, site: usize, bytes: u64) -> SizeClass {
+        match self.sites[site].sibs_bounds {
+            Some(b) if self.cfg.scheduler == SchedulerKind::Sibs => b.classify(bytes),
+            _ => SizeClass::Small,
+        }
+    }
+
+    /// Sum of true standard-machine seconds over all jobs — the speed-up
+    /// numerator (`t_seq`).
+    fn sequential_secs(&self) -> f64 {
+        self.jobs.iter().map(|j| j.true_service_secs).sum()
+    }
+
+    fn report(&self, end: SimTime) -> RunReport {
+        let completion_times: Vec<SimTime> =
+            self.completions.iter().map(|c| c.expect("run finished")).collect();
+        let arrival = SimTime::ZERO;
+        let makespan_secs = metrics::makespan(&completion_times, arrival);
+        let records: Vec<CompletionRecord> = completion_times
+            .iter()
+            .enumerate()
+            .map(|(i, &at)| CompletionRecord { id: i as u64, at, bytes: self.output_bytes[i] })
+            .collect();
+        let horizon = SimTime::from_secs_f64(makespan_secs) + self.cfg.oo.sample_interval;
+        let oo = oo_series(&records, self.jobs.len().max(1), horizon, self.cfg.oo);
+        // Eq. 11/12 use the *decision-time* placements per batch; the flat
+        // `self.placements` can differ after rescheduling moves jobs.
+        let (per_batch, overall) = metrics::burst_ratio_batched(&self.batch_decisions);
+        let batch_of: Vec<u32> = self.jobs.iter().map(|j| j.batch).collect();
+        let n_batches = batch_of.iter().map(|&b| b as usize + 1).max().unwrap_or(0);
+        let batch_arrivals: Vec<SimTime> = (0..n_batches)
+            .map(|b| {
+                self.jobs
+                    .iter()
+                    .find(|j| j.batch as usize == b)
+                    .map(|j| j.arrival)
+                    .unwrap_or(SimTime::ZERO)
+            })
+            .collect();
+        let batch_turnaround_secs =
+            metrics::batch_turnarounds(&completion_times, &batch_of, &batch_arrivals);
+        let sequential = self.sequential_secs();
+        let tickets: Vec<cloudburst_sla::TicketOutcome> = completion_times
+            .iter()
+            .enumerate()
+            .map(|(i, &completed)| cloudburst_sla::TicketOutcome {
+                id: i as u64,
+                issued: self.jobs[i].arrival,
+                promised: self.ticket_promise[i],
+                completed,
+            })
+            .collect();
+        RunReport {
+            scheduler: self.scheduler.name().to_string(),
+            bucket: self.cfg.arrivals.bucket.label().to_string(),
+            seed: self.cfg.seed,
+            n_jobs: self.jobs.len(),
+            makespan_secs,
+            speedup: metrics::speedup(sequential, makespan_secs),
+            sequential_secs: sequential,
+            ic_utilization: self.ic.average_utilization(end.min(
+                SimTime::from_secs_f64(makespan_secs),
+            )),
+            ec_utilization: {
+                let t = end.min(SimTime::from_secs_f64(makespan_secs));
+                let n: usize = self.sites.iter().map(|s| s.cloud.n_machines()).sum();
+                if n == 0 {
+                    0.0
+                } else {
+                    self.sites
+                        .iter()
+                        .map(|s| s.cloud.average_utilization(t) * s.cloud.n_machines() as f64)
+                        .sum::<f64>()
+                        / n as f64
+                }
+            },
+            burst_ratio: overall,
+            burst_ratio_per_batch: per_batch,
+            batch_turnaround_secs,
+            completion_delays: metrics::completion_delay_series(&completion_times, arrival),
+            completion_times,
+            oo_series: oo,
+            uploaded_bytes: self.sites.iter().map(|s| s.uploaded_bytes).sum(),
+            downloaded_bytes: self.sites.iter().map(|s| s.downloaded_bytes).sum(),
+            tickets,
+        }
+    }
+
+    /// Number of pull-back rescheduling actions taken (diagnostics).
+    pub fn pull_backs(&self) -> u64 {
+        self.n_pull_backs
+    }
+
+    /// Number of push-out rescheduling actions taken (diagnostics).
+    pub fn push_outs(&self) -> u64 {
+        self.n_push_outs
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Event handlers
+// ---------------------------------------------------------------------------
+
+type W = EngineWorld;
+
+/// Cancels and re-arms all component wake events from their `next_wake`s.
+fn resync(w: &mut W, sim: &mut Sim<W>) {
+    if let Some(id) = w.ic_wake.take() {
+        sim.cancel(id);
+    }
+    if let Some(t) = w.ic.next_wake() {
+        w.ic_wake = Some(sim.schedule_at(t, |w, sim| {
+            w.ic_wake = None;
+            on_wake(w, sim);
+        }));
+    }
+    for i in 0..w.sites.len() {
+        if let Some(id) = w.sites[i].exec_wake.take() {
+            sim.cancel(id);
+        }
+        if let Some(t) = w.sites[i].cloud.next_wake() {
+            w.sites[i].exec_wake = Some(sim.schedule_at(t, move |w, sim| {
+                w.sites[i].exec_wake = None;
+                on_wake(w, sim);
+            }));
+        }
+        if let Some(id) = w.sites[i].up_wake.take() {
+            sim.cancel(id);
+        }
+        if let Some(t) = w.sites[i].up_link.next_wake() {
+            w.sites[i].up_wake = Some(sim.schedule_at(t, move |w, sim| {
+                w.sites[i].up_wake = None;
+                on_wake(w, sim);
+            }));
+        }
+        if let Some(id) = w.sites[i].down_wake.take() {
+            sim.cancel(id);
+        }
+        if let Some(t) = w.sites[i].down_link.next_wake() {
+            w.sites[i].down_wake = Some(sim.schedule_at(t, move |w, sim| {
+                w.sites[i].down_wake = None;
+                on_wake(w, sim);
+            }));
+        }
+    }
+}
+
+/// Advances every component to `now` and handles all completions, looping
+/// until quiescent, then pumps idle slots. All wake events funnel here.
+fn on_wake(w: &mut W, sim: &mut Sim<W>) {
+    let now = sim.now();
+    loop {
+        let mut any = false;
+
+        // IC executions.
+        let ic_done = w.ic.advance(now);
+        for c in &ic_done {
+            any = true;
+            finish_exec(w, c.key, c.at, c.started, true);
+            // IC result goes straight to the result queue.
+            record_completion(w, c.key, c.at);
+        }
+        if !ic_done.is_empty() && w.cfg.rescheduling {
+            try_pull_back(w, now);
+        }
+
+        for i in 0..w.sites.len() {
+            // Upload completions.
+            let ups: Vec<Completion> = w.sites[i].up_link.advance(now);
+            for c in ups {
+                any = true;
+                on_upload_done(w, i, c);
+            }
+            // EC executions.
+            let exec_done = w.sites[i].cloud.advance(now);
+            for c in exec_done {
+                any = true;
+                finish_exec(w, c.key, c.at, c.started, false);
+                let out = w.jobs[c.key.0 as usize].output_bytes;
+                w.sites[i].down_queue.push_back((c.key, out));
+            }
+            // Download completions.
+            let downs: Vec<Completion> = w.sites[i].down_link.advance(now);
+            for c in downs {
+                any = true;
+                on_download_done(w, i, c);
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    // Refill transfer slots.
+    for i in 0..w.sites.len() {
+        pump_uploads(w, i, now);
+        pump_downloads(w, i, now);
+    }
+    if w.cfg.rescheduling {
+        try_push_out(w, now);
+    }
+    resync(w, sim);
+}
+
+/// Applies one batch arrival: snapshot → schedule → re-index → dispatch.
+fn on_batch(w: &mut W, sim: &mut Sim<W>, batch_jobs: Vec<Job>) {
+    let now = sim.now();
+    // Process anything that completed up to now first.
+    on_wake(w, sim);
+
+    let load = w.load_model(now);
+    let site = w.least_loaded_site();
+    w.scheduler.set_upload_queue_state(w.sites[site].up_queues.queued_bytes());
+    let schedule = w.scheduler.schedule_batch(batch_jobs, &load, &w.est);
+    if let Some(b) = schedule.sibs {
+        w.sites[site].sibs_bounds = Some(b);
+    }
+
+    // Re-index into the global FCFS id space and record estimates by
+    // replaying the scheduler's own planner commitments.
+    let mut planner = Planner::new(&load, &w.est);
+    let mut decisions = Vec::with_capacity(schedule.jobs.len());
+    for (job, placement) in schedule.jobs {
+        let id = JobId(w.jobs.len() as u64);
+        let mut job = job.with_id(id);
+        // The scheduler fabricates a pro-rata service time when it splits a
+        // job; the engine is the authority on ground truth, so chunk times
+        // are re-sampled from the truth law on the chunk's own features
+        // (documents are embarrassingly parallel) plus the split/merge
+        // overhead. Without this, chunks would secretly carry their
+        // parent's superlinear cost and every QRSM estimate of a chunk
+        // would be biased low.
+        if job.is_chunk() {
+            job.true_service_secs = w.cfg.truth.sample_secs(&mut w.rng_chunk_truth, &job.features)
+                + w.cfg.chunk_policy.per_chunk_overhead_secs;
+        }
+        let est_ct = planner.commit(&job, placement);
+        let est_secs = w.est.exec_secs(&job);
+        decisions.push(placement == Placement::External);
+
+        w.est_exec.push(est_secs);
+        w.placements.push(placement);
+        w.site_of.push(site);
+        w.completions.push(None);
+        w.output_bytes.push(0);
+        w.est_completion.push(Some(est_ct));
+        // The ticket quote: estimate plus a k-RMSE confidence margin.
+        w.ticket_promise.push(
+            est_ct
+                + cloudburst_sim::SimDuration::from_secs_f64(
+                    w.cfg.ticket_margin_k.max(0.0)
+                        * w.est.qrsm.rmse_for(job.features.job_type.code() as u64),
+                ),
+        );
+
+        w.timelines.push(crate::timeline::JobTimeline::new(
+            id.0,
+            job.arrival,
+            now,
+            placement,
+        ));
+        match placement {
+            Placement::Internal => {
+                w.ic.submit(now, id, job.true_service_secs);
+            }
+            Placement::External => {
+                let class = w.classify(site, job.input_bytes());
+                w.sites[site].up_queues.push(class, id, job.input_bytes());
+            }
+        }
+        w.jobs.push(job);
+    }
+    w.batch_decisions.push(decisions);
+    w.batches_seen += 1;
+
+    for i in 0..w.sites.len() {
+        pump_uploads(w, i, now);
+    }
+    resync(w, sim);
+}
+
+/// Starts transfers on any idle upload slots.
+fn pump_uploads(w: &mut W, site: usize, now: SimTime) {
+    for slot in 0..w.sites[site].up_slots.len() {
+        if w.sites[site].up_slots[slot].1.is_some() {
+            continue;
+        }
+        let class = w.sites[site].up_slots[slot].0;
+        let Some((id, bytes)) = w.sites[site].up_queues.pop_for(class) else {
+            continue;
+        };
+        let threads = w.est.up_tuner.threads_for(now);
+        let tid = w.fresh_tid();
+        w.timelines[id.0 as usize].upload_started = Some(now);
+        let s = &mut w.sites[site];
+        s.up_link.start(now, tid, bytes, threads);
+        s.up_slots[slot].1 = Some(tid);
+        s.up_map.insert(tid, (Payload::Job(id), threads));
+    }
+}
+
+/// Starts the next download if the slot is free.
+fn pump_downloads(w: &mut W, site: usize, now: SimTime) {
+    if w.sites[site].down_active.is_some() {
+        return;
+    }
+    let Some((id, bytes)) = w.sites[site].down_queue.pop_front() else {
+        return;
+    };
+    let threads = w.est.down_tuner.threads_for(now);
+    let tid = w.fresh_tid();
+    let s = &mut w.sites[site];
+    s.down_link.start(now, tid, bytes, threads);
+    s.down_active = Some(tid);
+    s.down_map.insert(tid, (Payload::Job(id), threads));
+}
+
+/// Upload finished: learn from it and submit to the EC (or close a probe).
+fn on_upload_done(w: &mut W, site: usize, c: Completion) {
+    let Some((payload, threads)) = w.sites[site].up_map.remove(&c.id) else {
+        return; // aborted (pulled back)
+    };
+    let other = w.sites[site].up_link.active_threads();
+    observe_transfer(&mut w.est, true, &c, threads, other);
+    // Free the slot that carried this transfer.
+    if let Some(slot) = w.sites[site].up_slots.iter_mut().find(|(_, t)| *t == Some(c.id)) {
+        slot.1 = None;
+    }
+    match payload {
+        Payload::Job(id) => {
+            w.sites[site].uploaded_bytes += c.bytes;
+            w.timelines[id.0 as usize].upload_done = Some(c.at);
+            let svc = w.jobs[id.0 as usize].true_service_secs;
+            w.sites[site].cloud.submit(c.at, id, svc);
+        }
+        Payload::Probe => {}
+    }
+}
+
+/// Download finished: the result reaches the result queue.
+fn on_download_done(w: &mut W, site: usize, c: Completion) {
+    let Some((payload, threads)) = w.sites[site].down_map.remove(&c.id) else {
+        return;
+    };
+    let other = w.sites[site].down_link.active_threads();
+    observe_transfer(&mut w.est, false, &c, threads, other);
+    if w.sites[site].down_active == Some(c.id) {
+        w.sites[site].down_active = None;
+    }
+    match payload {
+        Payload::Job(id) => {
+            w.sites[site].downloaded_bytes += c.bytes;
+            w.timelines[id.0 as usize].download_done = Some(c.at);
+            record_completion(w, id, c.at);
+        }
+        Payload::Probe => {}
+    }
+}
+
+/// Feeds a finished transfer into the EWMA estimator and the thread tuner.
+/// The raw-pipe estimate inverts the saturation law *including the threads
+/// of transfers still contending at completion time* (`other_threads`) —
+/// without this, concurrent size-interval uploads would teach the estimator
+/// a pipe several times slower than reality and starve the burst decisions.
+/// Transfers that finished mid-span are not counted, so the estimate stays
+/// slightly conservative — the realistic error mode.
+fn observe_transfer(
+    est: &mut EstimateProvider,
+    upload: bool,
+    c: &Completion,
+    threads: u32,
+    other_threads: u32,
+) {
+    let observed = c.observed_rate_bps();
+    let w = (threads + other_threads) as f64;
+    let raw = observed * (w + est.kappa) / threads as f64;
+    if upload {
+        est.up.observe(c.at, raw);
+        est.up_tuner.report(c.at, threads, observed);
+    } else {
+        est.down.observe(c.at, raw);
+        est.down_tuner.report(c.at, threads, observed);
+    }
+}
+
+/// Execution finished anywhere: tune the QRSM with the observed time.
+fn finish_exec(w: &mut W, id: JobId, at: SimTime, started: SimTime, ic: bool) {
+    let speed = if ic { w.cfg.ic_speed } else { w.cfg.ec_speed };
+    w.timelines[id.0 as usize].exec_started = Some(started);
+    w.timelines[id.0 as usize].exec_done = Some(at);
+    let standard_secs = (at - started).as_secs_f64() * speed;
+    let job = &w.jobs[id.0 as usize];
+    let class = job.features.job_type.code() as u64;
+    let regress = job.features.regressors();
+    w.est.qrsm.observe(class, &regress, standard_secs);
+}
+
+/// A job's result entered the result queue.
+fn record_completion(w: &mut W, id: JobId, at: SimTime) {
+    let idx = id.0 as usize;
+    debug_assert!(w.completions[idx].is_none(), "job completed twice: {id}");
+    w.completions[idx] = Some(at);
+    w.output_bytes[idx] = w.jobs[idx].output_bytes;
+    w.est_completion[idx] = None;
+    w.timelines[idx].completed = Some(at);
+}
+
+/// Sec. IV-D pull-back: a freed IC machine reclaims the head of an EC
+/// upload queue when local re-execution beats the estimated EC remainder.
+fn try_pull_back(w: &mut W, now: SimTime) {
+    while w.ic.idle_machines() > 0 && w.ic.queued() == 0 {
+        // Head candidates: the front of each class queue at each site.
+        let mut cands: Vec<(usize, SizeClass, JobId, PullBackCandidate)> = Vec::new();
+        for (si, s) in w.sites.iter().enumerate() {
+            for class in SizeClass::ALL {
+                if let Some((&id, bytes)) = s.up_queues.front(class) {
+                    let backlog = s.up_link.remaining_bytes();
+                    let wait = w.est.upload_secs(now, backlog);
+                    let up = w.est.upload_secs(now, bytes);
+                    let job = &w.jobs[id.0 as usize];
+                    let exec = w.est.exec_secs_ec(job);
+                    let down = w.est.download_secs(now, w.est.output_bytes(job));
+                    cands.push((
+                        si,
+                        class,
+                        id,
+                        PullBackCandidate {
+                            est_remaining_ec_secs: wait + up + exec + down,
+                            est_ic_reexec_secs: w.est.exec_secs_ic(job),
+                            not_yet_running: true,
+                        },
+                    ));
+                }
+            }
+        }
+        let picked = pull_back_candidate(&cands.iter().map(|(_, _, _, c)| *c).collect::<Vec<_>>());
+        let Some(k) = picked else { break };
+        let (si, class, id, _) = cands[k];
+        let (got, _) = w.sites[si]
+            .up_queues
+            .pop_front_class(class)
+            .expect("candidate still at the head");
+        debug_assert_eq!(got, id);
+        w.placements[id.0 as usize] = Placement::Internal;
+        w.timelines[id.0 as usize].placement = Placement::Internal;
+        let svc = w.jobs[id.0 as usize].true_service_secs;
+        w.ic.submit(now, id, svc);
+        w.n_pull_backs += 1;
+    }
+}
+
+/// Sec. IV-D push-out: an idle upload pipe steals slack-satisfying work
+/// from the tail of the IC wait queue.
+fn try_push_out(w: &mut W, now: SimTime) {
+    let site = w.least_loaded_site();
+    if !w.sites[site].up_queues.is_empty() || w.sites[site].up_link.in_flight() > 0 {
+        return;
+    }
+    let waiting = w.ic.queued_keys();
+    if waiting.is_empty() {
+        return;
+    }
+    // Fresh Eq. 1 anchors: replay the IC's FCFS drain with *current*
+    // estimates. Using the completion estimates recorded at batch time
+    // would bake in everything the system has since fallen behind on, and
+    // late in a run those instants are already in the past.
+    let speed = w.cfg.ic_speed;
+    let mut free = w.est_running_free_secs(&w.ic, speed, now);
+    let mut ahead_max: f64 = free.iter().copied().fold(0.0, f64::max);
+    let queue: Vec<PushOutCandidate> = waiting
+        .iter()
+        .map(|id| {
+            let slack = if ahead_max > 0.0 {
+                Some(now + SimDuration::from_secs_f64(ahead_max))
+            } else {
+                None // queue head of an idle pool: no cushion
+            };
+            let job = &w.jobs[id.0 as usize];
+            let up = w.est.upload_secs(now, job.input_bytes());
+            let exec = w.est.exec_secs_ec(job);
+            let down = w.est.download_secs(now, w.est.output_bytes(job));
+            // Commit this job onto the planned drain for its successors.
+            let est = w.est_exec.get(id.0 as usize).copied().unwrap_or(60.0);
+            let (idx, _) = free
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+                .expect("IC has machines");
+            free[idx] += est / speed;
+            ahead_max = ahead_max.max(free[idx]);
+            PushOutCandidate { slack, round_trip_secs: up + exec + down }
+        })
+        .collect();
+    let Some(k) = push_out_candidate(now, &queue) else {
+        return;
+    };
+    let id = waiting[k];
+    if w.ic.cancel_queued(id).is_none() {
+        return;
+    }
+    let bytes = w.jobs[id.0 as usize].input_bytes();
+    let class = w.classify(site, bytes);
+    w.placements[id.0 as usize] = Placement::External;
+    w.timelines[id.0 as usize].placement = Placement::External;
+    w.site_of[id.0 as usize] = site;
+    w.sites[site].up_queues.push(class, id, bytes);
+    w.n_push_outs += 1;
+    pump_uploads(w, site, now);
+}
+
+/// Autonomic probe: a 1 MB transfer each way, then self-reschedule.
+fn on_probe(w: &mut W, sim: &mut Sim<W>, interval: SimDuration) {
+    if w.all_done() {
+        return; // run is over; let the event queue drain
+    }
+    let now = sim.now();
+    use rand::Rng;
+    let site = w.rng_probe.gen_range(0..w.sites.len());
+    let up_threads = w.est.up_tuner.threads_for(now);
+    let down_threads = w.est.down_tuner.threads_for(now);
+    let up_tid = w.fresh_tid();
+    let down_tid = w.fresh_tid();
+    let s = &mut w.sites[site];
+    s.up_link.start(now, up_tid, PROBE_BYTES, up_threads);
+    s.up_map.insert(up_tid, (Payload::Probe, up_threads));
+    s.down_link.start(now, down_tid, PROBE_BYTES, down_threads);
+    s.down_map.insert(down_tid, (Payload::Probe, down_threads));
+    resync(w, sim);
+    sim.schedule_in(interval, move |w, sim| on_probe(w, sim, interval));
+}
+
+/// Elastic-EC scaling tick: size the active EC pool to just saturate the
+/// download pipe (Sec. V-B-4). See `crate::scaling` for the policy.
+fn on_scaling_tick(w: &mut W, sim: &mut Sim<W>, period: SimDuration) {
+    if w.all_done() {
+        return;
+    }
+    let now = sim.now();
+    w.accrue_provisioning(now);
+    if let Some(policy) = w.cfg.scaling {
+        for s in &mut w.sites {
+            let target = crate::scaling::target_instances(
+                &policy,
+                s.pipeline_jobs(),
+                s.download_backlog_bytes(),
+                w.est.down.predict(now),
+            );
+            s.cloud.set_active_limit(target);
+        }
+    }
+    resync(w, sim);
+    sim.schedule_in(period, move |w, sim| on_scaling_tick(w, sim, period));
+}
+
+/// Runs one experiment to completion and returns its SLA report.
+pub fn run_experiment(cfg: &ExperimentConfig) -> RunReport {
+    let (report, _world) = run_experiment_detailed(cfg);
+    report
+}
+
+/// As [`run_experiment`], also returning the final world for diagnostics
+/// (rescheduling counters, estimator state, timelines).
+pub fn run_experiment_detailed(cfg: &ExperimentConfig) -> (RunReport, EngineWorld) {
+    let rngs = RngFactory::new(cfg.seed);
+    let gen = BatchArrivals::new(cfg.arrivals.clone());
+    let batches = gen.generate(&rngs, &cfg.truth);
+    run_with_batches(cfg, batches)
+}
+
+/// Runs the engine against an explicit arrival schedule — a replayed
+/// [`cloudburst_workload::WorkloadTrace`], a production log import, or a
+/// hand-built scenario — instead of generating the workload from
+/// `cfg.arrivals`. The config's arrival section only seeds the estimator
+/// training in this mode.
+pub fn run_with_batches(
+    cfg: &ExperimentConfig,
+    batches: Vec<cloudburst_workload::Batch>,
+) -> (RunReport, EngineWorld) {
+    let mut world = EngineWorld::new(cfg.clone());
+    world.batches_total = batches.len() as u32;
+    let mut sim: Sim<EngineWorld> = Sim::new();
+    for b in batches {
+        sim.schedule_at(b.arrival, move |w, sim| on_batch(w, sim, b.jobs));
+    }
+    if let Some(interval) = cfg.probe_interval {
+        sim.schedule_in(interval, move |w, sim| on_probe(w, sim, interval));
+    }
+    if let Some(policy) = cfg.scaling {
+        sim.schedule_in(policy.period, move |w, sim| on_scaling_tick(w, sim, policy.period));
+    }
+    sim.run(&mut world);
+    assert!(
+        world.all_done(),
+        "engine deadlock: {} of {} jobs incomplete",
+        world.completions.iter().filter(|c| c.is_none()).count(),
+        world.jobs.len()
+    );
+    let end = sim.now();
+    world.accrue_provisioning(end);
+    (world.report(end), world)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudburst_workload::{ArrivalConfig, SizeBucket};
+
+    fn small_cfg(kind: SchedulerKind, seed: u64) -> ExperimentConfig {
+        ExperimentConfig {
+            seed,
+            scheduler: kind,
+            arrivals: ArrivalConfig {
+                n_batches: 3,
+                jobs_per_batch: 6.0,
+                bucket: SizeBucket::Uniform,
+                ..ArrivalConfig::default()
+            },
+            training_docs: 150,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn ic_only_run_completes_all_jobs() {
+        let r = run_experiment(&small_cfg(SchedulerKind::IcOnly, 1));
+        assert!(r.n_jobs > 0);
+        assert_eq!(r.completion_times.len(), r.n_jobs);
+        assert_eq!(r.burst_ratio, 0.0);
+        assert_eq!(r.ec_utilization, 0.0);
+        assert!(r.makespan_secs > 0.0);
+        assert!(r.speedup > 1.0, "8 machines must beat sequential: {}", r.speedup);
+        assert_eq!(r.uploaded_bytes, 0);
+    }
+
+    #[test]
+    fn greedy_run_completes_and_reports() {
+        let r = run_experiment(&small_cfg(SchedulerKind::Greedy, 2));
+        assert_eq!(r.completion_times.len(), r.n_jobs);
+        assert!(r.ic_utilization > 0.0 && r.ic_utilization <= 1.0);
+        assert!((0.0..=1.0).contains(&r.burst_ratio));
+        assert!(!r.oo_series.is_empty());
+    }
+
+    #[test]
+    fn op_run_satisfies_basic_invariants() {
+        let r = run_experiment(&small_cfg(SchedulerKind::OrderPreserving, 3));
+        assert_eq!(r.completion_times.len(), r.n_jobs);
+        // Makespan at least the largest single service time.
+        assert!(r.makespan_secs * 1.02 >= r.sequential_secs / r.n_jobs as f64);
+        // OO series is monotone.
+        for w2 in r.oo_series.windows(2) {
+            assert!(w2[1].o_t >= w2[0].o_t);
+        }
+    }
+
+    #[test]
+    fn sibs_run_completes() {
+        let r = run_experiment(&small_cfg(SchedulerKind::Sibs, 4));
+        assert_eq!(r.completion_times.len(), r.n_jobs);
+        assert_eq!(r.scheduler, "op+sibs");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run_experiment(&small_cfg(SchedulerKind::Greedy, 7));
+        let b = run_experiment(&small_cfg(SchedulerKind::Greedy, 7));
+        assert_eq!(a.makespan_secs, b.makespan_secs);
+        assert_eq!(a.completion_times, b.completion_times);
+        assert_eq!(a.burst_ratio, b.burst_ratio);
+        let c = run_experiment(&small_cfg(SchedulerKind::Greedy, 8));
+        assert_ne!(a.makespan_secs, c.makespan_secs);
+    }
+
+    #[test]
+    fn bursting_uploads_and_downloads_bytes() {
+        // Load the IC hard enough that bursts happen.
+        let mut cfg = small_cfg(SchedulerKind::Greedy, 5);
+        cfg.n_ic = 2;
+        cfg.arrivals.jobs_per_batch = 12.0;
+        let r = run_experiment(&cfg);
+        assert!(r.burst_ratio > 0.0, "2 IC machines should force bursting");
+        assert!(r.uploaded_bytes > 0);
+        assert!(r.downloaded_bytes > 0);
+        assert!(r.ec_utilization > 0.0);
+    }
+
+    #[test]
+    fn rescheduling_extension_runs() {
+        let mut cfg = small_cfg(SchedulerKind::OrderPreserving, 6);
+        cfg.n_ic = 2;
+        cfg.rescheduling = true;
+        let (r, world) = run_experiment_detailed(&cfg);
+        assert_eq!(r.completion_times.len(), r.n_jobs);
+        // Counters exist (may legitimately be zero on an easy run).
+        let _ = world.pull_backs() + world.push_outs();
+    }
+
+    #[test]
+    fn trace_replay_reproduces_the_generated_run() {
+        // Replaying the exact batches the generator would produce yields
+        // the identical report.
+        let cfg = small_cfg(SchedulerKind::OrderPreserving, 33);
+        let rngs = RngFactory::new(cfg.seed);
+        let batches = BatchArrivals::new(cfg.arrivals.clone()).generate(&rngs, &cfg.truth);
+        let trace = cloudburst_workload::WorkloadTrace::new("test", batches);
+        let replayed = cloudburst_workload::WorkloadTrace::from_json(&trace.to_json())
+            .expect("round trip");
+        let (a, _) = run_with_batches(&cfg, replayed.batches);
+        let b = run_experiment(&cfg);
+        assert_eq!(a.n_jobs, b.n_jobs);
+        assert_eq!(a.burst_ratio, b.burst_ratio);
+        // Completion times agree to within JSON f64 printing precision.
+        for (x, y) in a.completion_times.iter().zip(&b.completion_times) {
+            assert!((x.as_secs_f64() - y.as_secs_f64()).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn timelines_are_complete_and_ordered() {
+        let mut cfg = small_cfg(SchedulerKind::Greedy, 14);
+        cfg.n_ic = 2; // force some bursting so both paths are exercised
+        let (r, world) = run_experiment_detailed(&cfg);
+        let tls = world.timelines();
+        assert_eq!(tls.len(), r.n_jobs);
+        let mut saw_external = false;
+        for tl in tls {
+            tl.check_ordering().unwrap_or_else(|(a, b)| {
+                panic!("job {} stage {} precedes {}", tl.id, b, a);
+            });
+            assert!(tl.completed.is_some(), "job {} never completed", tl.id);
+            assert_eq!(tl.completed, Some(r.completion_times[tl.id as usize]));
+            match tl.placement {
+                Placement::Internal => {
+                    assert!(tl.upload_started.is_none(), "local job {} uploaded", tl.id);
+                    assert!(tl.download_done.is_none());
+                }
+                Placement::External => {
+                    saw_external = true;
+                    assert!(tl.upload_started.is_some(), "bursted job {} has no upload", tl.id);
+                    assert!(tl.upload_done.is_some());
+                    assert!(tl.download_done.is_some());
+                    // Completion is the download arrival for bursted jobs.
+                    assert_eq!(tl.completed, tl.download_done);
+                }
+            }
+            assert!(tl.exec_started.is_some() && tl.exec_done.is_some());
+            assert!(tl.turnaround_secs().expect("complete") > 0.0);
+        }
+        assert!(saw_external, "config should force at least one burst");
+    }
+
+    #[test]
+    fn tickets_are_issued_and_margin_improves_attainment() {
+        let run_with_k = |k: f64| {
+            let mut cfg = small_cfg(SchedulerKind::Greedy, 12);
+            cfg.ticket_margin_k = k;
+            run_experiment(&cfg)
+        };
+        let r0 = run_with_k(0.0);
+        assert_eq!(r0.tickets.len(), r0.n_jobs);
+        let t0 = r0.ticket_report();
+        assert!((0.0..=1.0).contains(&t0.attainment));
+        // A generous margin must not reduce attainment, and pushes it high.
+        let r3 = run_with_k(3.0);
+        let t3 = r3.ticket_report();
+        assert!(t3.attainment >= t0.attainment, "{} vs {}", t3.attainment, t0.attainment);
+        assert!(t3.mean_quote_secs > t0.mean_quote_secs, "margin lengthens quotes");
+        // Placements are identical (the margin only changes the quote).
+        assert_eq!(r0.completion_times, r3.completion_times);
+    }
+
+    #[test]
+    fn per_class_models_improve_class_varied_truth() {
+        // Under a class-varied truth law the pooled QRSM averages regimes;
+        // per-class models quote tighter tickets.
+        let run = |per_class: bool| {
+            let mut cfg = small_cfg(SchedulerKind::Greedy, 21);
+            cfg.truth = cloudburst_workload::GroundTruth::class_varied();
+            cfg.per_class_qrsm = per_class;
+            cfg.training_docs = 1200; // enough per-class coverage
+            cfg.ticket_margin_k = 0.5;
+            run_experiment(&cfg)
+        };
+        let pooled = run(false);
+        let classed = run(true);
+        assert_eq!(pooled.n_jobs, classed.n_jobs, "same workload");
+        let a_pooled = pooled.ticket_report().attainment;
+        let a_classed = classed.ticket_report().attainment;
+        assert!(
+            a_classed >= a_pooled - 0.05,
+            "per-class models shouldn't hurt: {a_classed} vs {a_pooled}"
+        );
+    }
+
+    #[test]
+    fn probing_feeds_the_estimators() {
+        let mut cfg = small_cfg(SchedulerKind::OrderPreserving, 9);
+        cfg.probe_interval = Some(SimDuration::from_mins(2));
+        let (_, world) = run_experiment_detailed(&cfg);
+        assert!(world.est.up.observations() > 0, "probes must feed the upload EWMA");
+        assert!(world.est.down.observations() > 0);
+    }
+
+    #[test]
+    fn multi_ec_sites_share_load() {
+        let mut cfg = small_cfg(SchedulerKind::Greedy, 10);
+        cfg.n_ic = 1; // force heavy bursting
+        cfg.extra_ec_sites = vec![EcSiteConfig {
+            n_machines: 2,
+            speed: 1.0,
+            upload_model: cfg.upload_model.clone(),
+            download_model: cfg.download_model.clone(),
+        }];
+        let (r, world) = run_experiment_detailed(&cfg);
+        assert_eq!(r.completion_times.len(), r.n_jobs);
+        if r.burst_ratio > 0.2 {
+            let used_sites: std::collections::HashSet<usize> = world
+                .placements
+                .iter()
+                .zip(&world.site_of)
+                .filter(|(p, _)| **p == Placement::External)
+                .map(|(_, s)| *s)
+                .collect();
+            assert!(used_sites.len() >= 2, "broker should spread across sites");
+        }
+    }
+}

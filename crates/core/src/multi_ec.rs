@@ -1,0 +1,97 @@
+//! Multiple external clouds (extension).
+//!
+//! The paper's introduction anticipates choosing "from a pool of Cloud
+//! Providers at run-time depending on the input job's service level
+//! agreements" (Sec. I) and lists multi-EC bursting as future work
+//! (Sec. VII). The engine already supports extra EC sites with independent
+//! pipes; this module provides preset builders and the comparison used by
+//! the `ablate-multiec` experiment: the broker (least-backlog site choice)
+//! versus a single consolidated EC of equal total capacity.
+
+use cloudburst_net::BandwidthModel;
+use cloudburst_sla::RunReport;
+
+use crate::config::{EcSiteConfig, ExperimentConfig};
+use crate::engine::run_experiment;
+
+/// Adds a second EC site with its own (typically slower) pipe.
+pub fn with_second_site(
+    mut cfg: ExperimentConfig,
+    n_machines: usize,
+    speed: f64,
+    pipe_bps: f64,
+) -> ExperimentConfig {
+    cfg.extra_ec_sites.push(EcSiteConfig {
+        n_machines,
+        speed,
+        upload_model: BandwidthModel::Constant(pipe_bps),
+        download_model: BandwidthModel::Constant(pipe_bps),
+    });
+    cfg
+}
+
+/// Outcome of the multi-EC comparison.
+#[derive(Clone, Debug)]
+pub struct MultiEcComparison {
+    /// Two sites, each with its own pipe.
+    pub split: RunReport,
+    /// One site with the machines consolidated behind a single pipe.
+    pub consolidated: RunReport,
+}
+
+/// Runs the comparison: `base` with `(extra_machines, extra_pipe_bps)` as a
+/// second site, versus the same total machine count behind the primary
+/// pipe only.
+pub fn compare_split_vs_consolidated(
+    base: &ExperimentConfig,
+    extra_machines: usize,
+    extra_pipe_bps: f64,
+) -> MultiEcComparison {
+    let split_cfg = with_second_site(base.clone(), extra_machines, base.ec_speed, extra_pipe_bps);
+    let mut consolidated_cfg = base.clone();
+    consolidated_cfg.n_ec += extra_machines;
+    MultiEcComparison {
+        split: run_experiment(&split_cfg),
+        consolidated: run_experiment(&consolidated_cfg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchedulerKind;
+    use cloudburst_workload::{ArrivalConfig, SizeBucket};
+
+    fn base() -> ExperimentConfig {
+        ExperimentConfig {
+            scheduler: SchedulerKind::Greedy,
+            n_ic: 2,
+            arrivals: ArrivalConfig {
+                n_batches: 2,
+                jobs_per_batch: 6.0,
+                bucket: SizeBucket::Uniform,
+                ..ArrivalConfig::default()
+            },
+            training_docs: 120,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn builder_appends_site() {
+        let cfg = with_second_site(base(), 2, 1.0, 100_000.0);
+        assert_eq!(cfg.extra_ec_sites.len(), 1);
+        assert_eq!(cfg.extra_ec_sites[0].n_machines, 2);
+    }
+
+    #[test]
+    fn comparison_runs_both_variants() {
+        let c = compare_split_vs_consolidated(&base(), 2, 250_000.0);
+        assert!(c.split.makespan_secs > 0.0);
+        assert!(c.consolidated.makespan_secs > 0.0);
+        assert_eq!(c.split.n_jobs, c.consolidated.n_jobs, "same workload either way");
+        // An extra independent pipe can only help relative to sharing one:
+        // allow some tolerance for scheduling noise.
+        assert!(c.split.makespan_secs <= c.consolidated.makespan_secs * 1.25);
+    }
+}

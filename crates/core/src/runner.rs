@@ -1,0 +1,121 @@
+//! Multi-run drivers: replications across seeds (parallelized with
+//! crossbeam scoped threads) and the bucket × scheduler sweeps the paper's
+//! evaluation section is built from.
+
+use cloudburst_sla::RunReport;
+use cloudburst_workload::SizeBucket;
+
+use crate::config::{ExperimentConfig, SchedulerKind};
+use crate::engine::run_experiment;
+
+/// Runs the same configuration across `seeds`, one OS thread per run
+/// (bounded by available parallelism), returning reports in seed order.
+pub fn run_replications(base: &ExperimentConfig, seeds: &[u64]) -> Vec<RunReport> {
+    let max_par = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut out: Vec<Option<RunReport>> = vec![None; seeds.len()];
+    for chunk in seeds
+        .iter()
+        .enumerate()
+        .collect::<Vec<_>>()
+        .chunks(max_par.max(1))
+    {
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            for &(i, &seed) in chunk {
+                let mut cfg = base.clone();
+                cfg.seed = seed;
+                handles.push((i, scope.spawn(move |_| run_experiment(&cfg))));
+            }
+            for (i, h) in handles {
+                out[i] = Some(h.join().expect("replication thread panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+    }
+    out.into_iter().map(|r| r.expect("all runs complete")).collect()
+}
+
+/// Runs one scheduler over all three buckets (Fig. 6's x-axis).
+pub fn run_all_buckets(base: &ExperimentConfig) -> Vec<RunReport> {
+    SizeBucket::ALL
+        .iter()
+        .map(|&bucket| {
+            let mut cfg = base.clone();
+            cfg.arrivals.bucket = bucket;
+            run_experiment(&cfg)
+        })
+        .collect()
+}
+
+/// Mean of a metric over reports.
+pub fn mean_of(reports: &[RunReport], f: impl Fn(&RunReport) -> f64) -> f64 {
+    if reports.is_empty() {
+        return 0.0;
+    }
+    reports.iter().map(f).sum::<f64>() / reports.len() as f64
+}
+
+/// Runs the full scheduler line-up on one bucket and seed — the Table I
+/// harness.
+pub fn run_lineup(
+    kinds: &[SchedulerKind],
+    bucket: SizeBucket,
+    seed: u64,
+    tweak: impl Fn(&mut ExperimentConfig),
+) -> Vec<RunReport> {
+    kinds
+        .iter()
+        .map(|&k| {
+            let mut cfg = ExperimentConfig::paper(k, bucket, seed);
+            tweak(&mut cfg);
+            run_experiment(&cfg)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudburst_workload::ArrivalConfig;
+
+    fn tiny() -> ExperimentConfig {
+        ExperimentConfig {
+            arrivals: ArrivalConfig {
+                n_batches: 2,
+                jobs_per_batch: 4.0,
+                bucket: SizeBucket::SmallBiased,
+                ..ArrivalConfig::default()
+            },
+            training_docs: 120,
+            scheduler: SchedulerKind::Greedy,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn replications_preserve_seed_order_and_determinism() {
+        let reports = run_replications(&tiny(), &[11, 12, 11]);
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0].seed, 11);
+        assert_eq!(reports[1].seed, 12);
+        assert_eq!(reports[0].makespan_secs, reports[2].makespan_secs, "same seed, same run");
+        assert_ne!(reports[0].makespan_secs, reports[1].makespan_secs);
+    }
+
+    #[test]
+    fn all_buckets_sweep() {
+        let reports = run_all_buckets(&tiny());
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0].bucket, "small");
+        assert_eq!(reports[1].bucket, "uniform");
+        assert_eq!(reports[2].bucket, "large");
+    }
+
+    #[test]
+    fn mean_helper() {
+        let reports = run_replications(&tiny(), &[1, 2]);
+        let m = mean_of(&reports, |r| r.makespan_secs);
+        assert!(m > 0.0);
+        assert_eq!(mean_of(&[], |r| r.makespan_secs), 0.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Elastic-EC scaling (extension).
+//!
+//! Sec. V-B-4: "Due to the data intensive nature of the jobs, the scaling
+//! (at EC) must be just enough to ensure saturation of the download
+//! bandwidth. Such scaling policies forms part of future work." This module
+//! implements that policy: grow the active EC pool with pending work, but
+//! collapse it when results are already piling up behind the download pipe
+//! — extra instances then burn money without improving completion times.
+
+use crate::config::ScalingPolicy;
+
+/// Seconds of download backlog beyond which extra EC capacity is wasted:
+/// results would only queue behind the pipe.
+pub const SATURATION_BACKLOG_SECS: f64 = 60.0;
+
+/// Computes the active-instance target for one evaluation period.
+///
+/// * `pending_jobs` — jobs waiting for or undergoing EC processing
+///   (upload queue + EC queue);
+/// * `download_backlog_bytes` — result bytes waiting for the pipe;
+/// * `predicted_down_bps` — the EWMA download-rate prediction.
+pub fn target_instances(
+    policy: &ScalingPolicy,
+    pending_jobs: usize,
+    download_backlog_bytes: u64,
+    predicted_down_bps: f64,
+) -> usize {
+    let backlog_secs = download_backlog_bytes as f64 / predicted_down_bps.max(1.0);
+    if backlog_secs > SATURATION_BACKLOG_SECS {
+        // The pipe is the bottleneck: anything beyond the minimum idles.
+        return policy.min_instances.max(1);
+    }
+    // One instance per pending job up to the cap — with a saturated pipe
+    // check above, this is "just enough to keep the pipe fed".
+    pending_jobs.clamp(policy.min_instances.max(1), policy.max_instances.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudburst_sim::SimDuration;
+
+    fn policy(min: usize, max: usize) -> ScalingPolicy {
+        ScalingPolicy { min_instances: min, max_instances: max, period: SimDuration::from_mins(2) }
+    }
+
+    #[test]
+    fn grows_with_pending_work() {
+        let p = policy(1, 8);
+        assert_eq!(target_instances(&p, 0, 0, 250_000.0), 1);
+        assert_eq!(target_instances(&p, 3, 0, 250_000.0), 3);
+        assert_eq!(target_instances(&p, 20, 0, 250_000.0), 8, "capped at max");
+    }
+
+    #[test]
+    fn saturated_download_pipe_scales_down() {
+        let p = policy(1, 8);
+        // 100 MB backlog at 250 KB/s = 400 s ≫ 60 s: collapse to min.
+        assert_eq!(target_instances(&p, 20, 100_000_000, 250_000.0), 1);
+        // 10 MB backlog = 40 s: still below saturation, keep scaling.
+        assert_eq!(target_instances(&p, 20, 10_000_000, 250_000.0), 8);
+    }
+
+    #[test]
+    fn never_returns_zero() {
+        let p = policy(0, 0);
+        assert_eq!(target_instances(&p, 0, 0, 1.0), 1);
+        assert_eq!(target_instances(&p, 5, u64::MAX, 1.0), 1);
+    }
+
+    #[test]
+    fn degenerate_bandwidth_is_safe() {
+        let p = policy(1, 4);
+        // Zero predicted bandwidth: treat any backlog as saturation.
+        assert_eq!(target_instances(&p, 9, 1_000_000, 0.0), 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! Per-job lifecycle timelines.
+//!
+//! The pipeline of Fig. 5 moves a job through up to six stages; the engine
+//! stamps each transition so a run can be audited job by job — which
+//! upload blocked which, where a deadline was lost, how long a result sat
+//! in the download queue. Timelines are the raw material for the
+//! completion-delay and OO analyses and for the stage-ordering invariants
+//! in the test suite.
+
+use cloudburst_sched::Placement;
+use cloudburst_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Stage timestamps for one job. `None` stages were never entered (local
+/// jobs never transfer; a pulled-back job loses its upload stamps).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JobTimeline {
+    /// 0-based job id.
+    pub id: u64,
+    /// Arrival at the central job queue.
+    pub arrival: SimTime,
+    /// When the controller placed it.
+    pub scheduled: SimTime,
+    /// Final placement (after any rescheduling).
+    pub placement: Placement,
+    /// Upload transfer start (bursted jobs).
+    pub upload_started: Option<SimTime>,
+    /// Upload transfer completion.
+    pub upload_done: Option<SimTime>,
+    /// Execution start on a machine.
+    pub exec_started: Option<SimTime>,
+    /// Execution completion.
+    pub exec_done: Option<SimTime>,
+    /// Result download completion (bursted jobs).
+    pub download_done: Option<SimTime>,
+    /// Arrival in the result queue.
+    pub completed: Option<SimTime>,
+}
+
+impl JobTimeline {
+    /// Creates a fresh timeline at scheduling time.
+    pub fn new(id: u64, arrival: SimTime, scheduled: SimTime, placement: Placement) -> Self {
+        JobTimeline {
+            id,
+            arrival,
+            scheduled,
+            placement,
+            upload_started: None,
+            upload_done: None,
+            exec_started: None,
+            exec_done: None,
+            download_done: None,
+            completed: None,
+        }
+    }
+
+    /// Seconds from arrival to result (`None` while incomplete).
+    pub fn turnaround_secs(&self) -> Option<f64> {
+        self.completed.map(|c| (c - self.arrival).as_secs_f64())
+    }
+
+    /// Seconds spent waiting in queues (turnaround minus transfer and
+    /// execution spans).
+    pub fn queueing_secs(&self) -> Option<f64> {
+        let total = self.turnaround_secs()?;
+        let exec = match (self.exec_started, self.exec_done) {
+            (Some(s), Some(e)) => (e - s).as_secs_f64(),
+            _ => 0.0,
+        };
+        let upload = match (self.upload_started, self.upload_done) {
+            (Some(s), Some(e)) => (e - s).as_secs_f64(),
+            _ => 0.0,
+        };
+        let download = match (self.exec_done, self.download_done) {
+            // Download queueing is folded in here; the pure transfer span
+            // is not separately stamped.
+            (Some(s), Some(e)) => (e - s).as_secs_f64(),
+            _ => 0.0,
+        };
+        Some((total - exec - upload - download).max(0.0))
+    }
+
+    /// Checks internal stage ordering; returns the violated pair if any.
+    pub fn check_ordering(&self) -> Result<(), (&'static str, &'static str)> {
+        let mut last: (&'static str, SimTime) = ("arrival", self.arrival);
+        let stages: [(&'static str, Option<SimTime>); 7] = [
+            ("scheduled", Some(self.scheduled)),
+            ("upload_started", self.upload_started),
+            ("upload_done", self.upload_done),
+            ("exec_started", self.exec_started),
+            ("exec_done", self.exec_done),
+            ("download_done", self.download_done),
+            ("completed", self.completed),
+        ];
+        for (name, at) in stages {
+            if let Some(t) = at {
+                if t < last.1 {
+                    return Err((last.0, name));
+                }
+                last = (name, t);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn bursted() -> JobTimeline {
+        JobTimeline {
+            upload_started: Some(t(10)),
+            upload_done: Some(t(110)),
+            exec_started: Some(t(110)),
+            exec_done: Some(t(400)),
+            download_done: Some(t(450)),
+            completed: Some(t(450)),
+            ..JobTimeline::new(3, t(0), t(5), Placement::External)
+        }
+    }
+
+    #[test]
+    fn ordering_accepts_valid_timeline() {
+        assert_eq!(bursted().check_ordering(), Ok(()));
+        let local = JobTimeline {
+            exec_started: Some(t(20)),
+            exec_done: Some(t(120)),
+            completed: Some(t(120)),
+            ..JobTimeline::new(1, t(0), t(5), Placement::Internal)
+        };
+        assert_eq!(local.check_ordering(), Ok(()));
+    }
+
+    #[test]
+    fn ordering_detects_violations() {
+        let mut bad = bursted();
+        bad.exec_started = Some(t(50)); // before upload_done at 110
+        assert_eq!(bad.check_ordering(), Err(("upload_done", "exec_started")));
+    }
+
+    #[test]
+    fn turnaround_and_queueing() {
+        let tl = bursted();
+        assert_eq!(tl.turnaround_secs(), Some(450.0));
+        // exec 290 s + upload 100 s + post-exec 50 s → 10 s of queueing.
+        assert_eq!(tl.queueing_secs(), Some(10.0));
+        let unfinished = JobTimeline::new(0, t(0), t(1), Placement::Internal);
+        assert_eq!(unfinished.turnaround_secs(), None);
+        assert_eq!(unfinished.queueing_secs(), None);
+    }
+}

@@ -1,0 +1,37 @@
+//! `cloudburst-net` — the Internet-pipe substrate between the internal and
+//! external clouds.
+//!
+//! The paper's schedulers live or die by the thin, time-varying pipe between
+//! the clouds: "the upload and the download bandwidth … vary sporadically
+//! because of factors such as last-hop latency, time-of-day variations,
+//! bandwidth throttling" (Sec. III-A-2). This crate simulates that pipe and
+//! implements the paper's autonomic network machinery:
+//!
+//! * [`profile`] — ground-truth bandwidth models: constant, diurnal
+//!   (time-of-day sinusoid), piecewise-hourly tables, and a deterministic
+//!   per-slot jitter wrapper for "high network variation" scenarios.
+//! * [`link`] — a fluid-flow shared link: concurrent transfers progress by
+//!   processor sharing weighted by their thread counts, with a concave
+//!   multi-thread saturation law (`k/(k+κ)`) reproducing Fig. 4(b)'s
+//!   diminishing returns.
+//! * [`estimator`] — the paper's network estimation model: a time-of-day
+//!   slot table updated by the EWMA `S_n = α·Y_n + (1−α)·S_{n−1}` from
+//!   periodic probe transfers and observed transfer rates.
+//! * [`threads`] — the hill-climbing thread-count tuner that converges on
+//!   the number of parallel upload/download threads saturating the pipe.
+//! * [`queues`] — upload queues, including the three size-interval queues
+//!   and the bound computation of Algorithm 3 (SIBS).
+
+#![warn(missing_docs)]
+
+pub mod estimator;
+pub mod link;
+pub mod profile;
+pub mod queues;
+pub mod threads;
+
+pub use estimator::BandwidthEstimator;
+pub use link::{Link, TransferId};
+pub use profile::BandwidthModel;
+pub use queues::{sibs_bounds, SibsBounds, SizeClass};
+pub use threads::ThreadTuner;

@@ -1,0 +1,545 @@
+//! Fluid-flow simulation of one direction of the inter-cloud pipe.
+//!
+//! Concurrent transfers share the instantaneous capacity `B(t)` by
+//! processor sharing weighted by their parallel-thread counts, attenuated
+//! by the concave saturation law
+//!
+//! ```text
+//! rate(transfer i) = B(t) · w_i / (W + κ)      W = Σ w_j (active threads)
+//! ```
+//!
+//! so a lone transfer with `k` threads gets `B·k/(k+κ)` — more threads push
+//! the pipe closer to saturation with diminishing returns, exactly the
+//! behaviour the paper's thread tuner exploits (Fig. 4(b)).
+//!
+//! The link is a passive component: the owning engine calls
+//! [`Link::advance`] to integrate progress up to the current instant and
+//! [`Link::next_wake`] to learn when the next interesting thing happens (a
+//! completion under the current rate, or a rate-revaluation slot boundary).
+//! Capacity is held constant within a revaluation slot, which makes
+//! completion times within a slot exact and the whole simulation
+//! deterministic.
+
+use cloudburst_sim::{SimDuration, SimTime};
+
+use crate::profile::BandwidthModel;
+
+/// Identifier of a transfer on a link (assigned by the caller).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TransferId(pub u64);
+
+/// Default thread-saturation constant κ: 4 threads reach ≈ 73 % of the raw
+/// capacity, 16 threads ≈ 91 % — matching the shape of Fig. 4(b).
+pub const DEFAULT_KAPPA: f64 = 1.5;
+
+#[derive(Clone, Debug)]
+struct Active {
+    id: TransferId,
+    remaining: f64, // bytes
+    threads: u32,
+    started: SimTime,
+    /// Bytes begin to flow only after the last-hop/setup latency.
+    flows_from: SimTime,
+    total: u64,
+}
+
+/// A completed transfer, reported by [`Link::advance`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Completion {
+    /// Which transfer finished.
+    pub id: TransferId,
+    /// When it finished (exact within the rate slot).
+    pub at: SimTime,
+    /// Transfer size in bytes.
+    pub bytes: u64,
+    /// When it started.
+    pub started: SimTime,
+}
+
+impl Completion {
+    /// Observed end-to-end rate in bytes/sec — the measurement fed to the
+    /// bandwidth estimator.
+    pub fn observed_rate_bps(&self) -> f64 {
+        let secs = (self.at - self.started).as_secs_f64();
+        if secs <= 0.0 {
+            self.bytes as f64
+        } else {
+            self.bytes as f64 / secs
+        }
+    }
+}
+
+/// One direction of the inter-cloud pipe.
+#[derive(Clone, Debug)]
+pub struct Link {
+    model: BandwidthModel,
+    kappa: f64,
+    slot: SimDuration,
+    /// Last-hop/connection-setup latency before a transfer's bytes flow
+    /// (Sec. III-A-2 lists last-hop latency among the variation factors).
+    latency: SimDuration,
+    active: Vec<Active>,
+    clock: SimTime,
+    bytes_done: u64,
+    busy: SimDuration,
+}
+
+impl Link {
+    /// Creates a link with the given ground-truth capacity model, saturation
+    /// constant κ and rate-revaluation slot.
+    pub fn new(model: BandwidthModel, kappa: f64, slot: SimDuration) -> Link {
+        assert!(kappa >= 0.0);
+        assert!(!slot.is_zero(), "rate slot must be positive");
+        Link {
+            model,
+            kappa,
+            slot,
+            latency: SimDuration::ZERO,
+            active: Vec::new(),
+            clock: SimTime::ZERO,
+            bytes_done: 0,
+            busy: SimDuration::ZERO,
+        }
+    }
+
+    /// A link with default κ and a 30-second revaluation slot.
+    pub fn with_model(model: BandwidthModel) -> Link {
+        Link::new(model, DEFAULT_KAPPA, SimDuration::from_secs(30))
+    }
+
+    /// Sets the last-hop/setup latency each transfer pays before its bytes
+    /// flow. Penalizes small transfers (and probes) disproportionately.
+    pub fn with_latency(mut self, latency: SimDuration) -> Link {
+        self.latency = latency;
+        self
+    }
+
+    /// The configured last-hop latency.
+    pub fn latency(&self) -> SimDuration {
+        self.latency
+    }
+
+    /// The ground-truth capacity model.
+    pub fn model(&self) -> &BandwidthModel {
+        &self.model
+    }
+
+    /// Number of in-flight transfers.
+    pub fn in_flight(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Total bytes delivered since construction.
+    pub fn bytes_delivered(&self) -> u64 {
+        self.bytes_done
+    }
+
+    /// Cumulative time the link spent with at least one active transfer.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Bytes still to be moved by the in-flight transfers (as of the last
+    /// `advance`).
+    pub fn remaining_bytes(&self) -> u64 {
+        self.active.iter().map(|t| t.remaining.ceil() as u64).sum()
+    }
+
+    /// Ids of the in-flight transfers.
+    pub fn active_ids(&self) -> Vec<TransferId> {
+        self.active.iter().map(|t| t.id).collect()
+    }
+
+    /// Total threads currently contending on the link.
+    pub fn active_threads(&self) -> u32 {
+        self.active.iter().map(|t| t.threads).sum()
+    }
+
+    /// Internal clock (last `advance` target).
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Starts a transfer of `bytes` with `threads` parallel streams. The
+    /// caller must have advanced the link to `now` first. Panics on a
+    /// duplicate id or zero threads.
+    pub fn start(&mut self, now: SimTime, id: TransferId, bytes: u64, threads: u32) {
+        assert!(threads >= 1, "transfers need at least one thread");
+        assert!(now >= self.clock, "link must be advanced before start");
+        assert!(
+            self.active.iter().all(|t| t.id != id),
+            "duplicate transfer id {id:?}"
+        );
+        self.advance_internal(now);
+        self.active.push(Active {
+            id,
+            remaining: bytes.max(1) as f64,
+            threads,
+            started: now,
+            flows_from: now + self.latency,
+            total: bytes.max(1),
+        });
+    }
+
+    /// Aborts an in-flight transfer (used by rescheduling extensions).
+    /// Returns the remaining bytes if the transfer existed.
+    pub fn abort(&mut self, now: SimTime, id: TransferId) -> Option<u64> {
+        self.advance_internal(now);
+        let idx = self.active.iter().position(|t| t.id == id)?;
+        let t = self.active.swap_remove(idx);
+        Some(t.remaining.ceil() as u64)
+    }
+
+    /// Integrates all transfers forward to `to`, returning completions in
+    /// chronological order.
+    pub fn advance(&mut self, to: SimTime) -> Vec<Completion> {
+        let mut done = Vec::new();
+        // Work in pieces: each piece ends at the next slot boundary, the
+        // next completion under the current rate, or `to`.
+        while self.clock < to {
+            if self.active.is_empty() {
+                self.clock = to;
+                break;
+            }
+            let piece_end = self.next_boundary(to);
+            let rate_per_thread = self.rate_per_thread();
+            // Earliest completion within this piece under constant rate?
+            // Latent transfers (still inside their setup latency) cannot
+            // complete — the boundary computation stops pieces at every
+            // flow-start instant, so a piece never straddles one.
+            let mut first: Option<(usize, SimTime)> = None;
+            for (i, tr) in self.active.iter().enumerate() {
+                if tr.flows_from > self.clock {
+                    continue;
+                }
+                let r = rate_per_thread * tr.threads as f64;
+                if r <= 0.0 {
+                    continue;
+                }
+                let eta = self.clock + SimDuration::from_secs_f64(tr.remaining / r);
+                if eta <= piece_end && first.map_or(true, |(_, t)| eta < t) {
+                    first = Some((i, eta));
+                }
+            }
+            let advance_to = first.map_or(piece_end, |(_, eta)| eta);
+            self.integrate(advance_to, rate_per_thread);
+            if let Some((i, eta)) = first {
+                let tr = self.active.remove(i);
+                self.bytes_done += tr.total;
+                done.push(Completion { id: tr.id, at: eta, bytes: tr.total, started: tr.started });
+            }
+        }
+        // Collect any transfers that numerically hit zero at the boundary.
+        let clock = self.clock;
+        let mut i = 0;
+        while i < self.active.len() {
+            if self.active[i].remaining <= 0.5 {
+                let tr = self.active.remove(i);
+                self.bytes_done += tr.total;
+                done.push(Completion { id: tr.id, at: clock, bytes: tr.total, started: tr.started });
+            } else {
+                i += 1;
+            }
+        }
+        done
+    }
+
+    /// When should the engine next call [`Link::advance`]? Returns the
+    /// earliest of the next completion (under the current instantaneous
+    /// rate) and the next rate-revaluation boundary; `None` when idle.
+    pub fn next_wake(&self) -> Option<SimTime> {
+        if self.active.is_empty() {
+            return None;
+        }
+        let boundary = self.next_boundary(SimTime::MAX);
+        let rate_per_thread = self.rate_per_thread();
+        let mut wake = boundary;
+        for tr in &self.active {
+            if tr.flows_from > self.clock {
+                continue; // its flow-start is already a boundary
+            }
+            let r = rate_per_thread * tr.threads as f64;
+            if r > 0.0 {
+                let eta = self.clock + SimDuration::from_secs_f64(tr.remaining / r);
+                wake = wake.min(eta);
+            }
+        }
+        Some(wake)
+    }
+
+    /// Instantaneous per-thread share of the capacity at the internal
+    /// clock. Latent transfers consume no bandwidth yet.
+    fn rate_per_thread(&self) -> f64 {
+        let w: f64 = self
+            .active
+            .iter()
+            .filter(|t| t.flows_from <= self.clock)
+            .map(|t| t.threads as f64)
+            .sum();
+        if w == 0.0 {
+            return 0.0;
+        }
+        self.model.rate_bps(self.clock) / (w + self.kappa)
+    }
+
+    /// Effective aggregate throughput at time `t` if `threads` total threads
+    /// are active — the saturation law exposed for estimation and tuning.
+    pub fn effective_rate(model_rate_bps: f64, threads: u32, kappa: f64) -> f64 {
+        let k = threads as f64;
+        model_rate_bps * k / (k + kappa)
+    }
+
+    /// Next integration boundary: the next slot multiple or the next
+    /// flow-start instant, whichever comes first (capped at `to`).
+    fn next_boundary(&self, to: SimTime) -> SimTime {
+        let slot_us = self.slot.as_micros();
+        let next = (self.clock.as_micros() / slot_us + 1) * slot_us;
+        let mut b = SimTime::from_micros(next).min(to);
+        for tr in &self.active {
+            if tr.flows_from > self.clock {
+                b = b.min(tr.flows_from);
+            }
+        }
+        b
+    }
+
+    fn integrate(&mut self, to: SimTime, rate_per_thread: f64) {
+        let dt = (to - self.clock).as_secs_f64();
+        if dt > 0.0 {
+            if !self.active.is_empty() {
+                self.busy += to - self.clock;
+            }
+            let clock = self.clock;
+            for tr in &mut self.active {
+                if tr.flows_from > clock {
+                    continue; // setup latency: no bytes yet
+                }
+                tr.remaining = (tr.remaining - rate_per_thread * tr.threads as f64 * dt).max(0.0);
+            }
+        }
+        self.clock = to;
+    }
+
+    fn advance_internal(&mut self, to: SimTime) {
+        // Starts may only happen at engine event times, which are never past
+        // a pending completion; integrating piecewise (re-evaluating the
+        // rate at each slot boundary) is exact.
+        if self.active.is_empty() {
+            self.clock = self.clock.max(to);
+            return;
+        }
+        while self.clock < to {
+            let boundary = self.next_boundary(to);
+            let rate = self.rate_per_thread();
+            self.integrate(boundary, rate);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn constant_link(bps: f64) -> Link {
+        Link::new(BandwidthModel::Constant(bps), 0.0, SimDuration::from_secs(3600))
+    }
+
+    #[test]
+    fn single_transfer_takes_bytes_over_rate() {
+        let mut l = constant_link(1000.0);
+        l.start(SimTime::ZERO, TransferId(1), 10_000, 1);
+        let wake = l.next_wake().unwrap();
+        assert_eq!(wake, SimTime::from_secs(10));
+        let done = l.advance(wake);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, TransferId(1));
+        assert_eq!(done[0].at, SimTime::from_secs(10));
+        assert_eq!(l.in_flight(), 0);
+        assert_eq!(l.bytes_delivered(), 10_000);
+        assert!((done[0].observed_rate_bps() - 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn two_transfers_share_capacity() {
+        let mut l = constant_link(1000.0);
+        l.start(SimTime::ZERO, TransferId(1), 10_000, 1);
+        l.start(SimTime::ZERO, TransferId(2), 10_000, 1);
+        // Each gets 500 B/s → both complete at t = 20 s.
+        let done = l.advance(SimTime::from_secs(25));
+        assert_eq!(done.len(), 2);
+        for c in &done {
+            assert_eq!(c.at, SimTime::from_secs(20));
+        }
+    }
+
+    #[test]
+    fn short_transfer_frees_capacity_for_long_one() {
+        let mut l = constant_link(1000.0);
+        l.start(SimTime::ZERO, TransferId(1), 5_000, 1);
+        l.start(SimTime::ZERO, TransferId(2), 20_000, 1);
+        // Shared until t=10 (each at 500 B/s, short one done: 5000/500=10).
+        // Long one then has 15000 left at 1000 B/s → done at t=25.
+        let done = l.advance(SimTime::from_secs(30));
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].id, TransferId(1));
+        assert_eq!(done[0].at, SimTime::from_secs(10));
+        assert_eq!(done[1].id, TransferId(2));
+        assert_eq!(done[1].at, SimTime::from_secs(25));
+    }
+
+    #[test]
+    fn thread_weighting_shares_proportionally() {
+        // κ=0: transfer with 3 threads gets 3/4 of capacity.
+        let mut l = constant_link(1000.0);
+        l.start(SimTime::ZERO, TransferId(1), 7_500, 3);
+        l.start(SimTime::ZERO, TransferId(2), 2_500, 1);
+        let done = l.advance(SimTime::from_secs(11));
+        assert_eq!(done.len(), 2, "both rates are 750/250 B/s → done at t=10");
+        for c in &done {
+            assert_eq!(c.at, SimTime::from_secs(10));
+        }
+    }
+
+    #[test]
+    fn saturation_law_discounts_single_thread() {
+        // κ=1.5: one thread alone gets 1/(1+1.5) = 40 % of capacity.
+        let mut l = Link::new(BandwidthModel::Constant(1000.0), 1.5, SimDuration::from_secs(3600));
+        l.start(SimTime::ZERO, TransferId(1), 4_000, 1);
+        let wake = l.next_wake().unwrap();
+        assert_eq!(wake, SimTime::from_secs(10));
+        // With 4 threads: 4/5.5 ≈ 72.7 % — faster.
+        let mut l2 = Link::new(BandwidthModel::Constant(1000.0), 1.5, SimDuration::from_secs(3600));
+        l2.start(SimTime::ZERO, TransferId(1), 4_000, 4);
+        assert!(l2.next_wake().unwrap() < wake);
+        assert!(
+            (Link::effective_rate(1000.0, 4, 1.5) - 1000.0 * 4.0 / 5.5).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn time_varying_rate_is_integrated_per_slot() {
+        // Hour 0: 1000 B/s; hour 1+: 500 B/s. 4.5 MB transfer: 3.6 MB done in
+        // hour 0, the rest (0.9 MB) takes 1800 s → completes at t = 5400 s.
+        let mut rates = vec![500.0; 24];
+        rates[0] = 1000.0;
+        let model = BandwidthModel::Hourly { rates };
+        let mut l = Link::new(model, 0.0, SimDuration::from_secs(60));
+        l.start(SimTime::ZERO, TransferId(1), 4_500_000, 1);
+        let mut done = Vec::new();
+        let mut guard = 0;
+        while done.is_empty() {
+            let wake = l.next_wake().expect("transfer still active");
+            done = l.advance(wake);
+            guard += 1;
+            assert!(guard < 500, "should converge");
+        }
+        assert_eq!(done[0].at, SimTime::from_secs(5400));
+    }
+
+    #[test]
+    fn abort_removes_and_reports_remaining() {
+        let mut l = constant_link(1000.0);
+        l.start(SimTime::ZERO, TransferId(1), 10_000, 1);
+        let rem = l.abort(SimTime::from_secs(4), TransferId(1)).unwrap();
+        assert_eq!(rem, 6_000);
+        assert_eq!(l.in_flight(), 0);
+        assert_eq!(l.next_wake(), None);
+        assert_eq!(l.abort(SimTime::from_secs(5), TransferId(1)), None);
+    }
+
+    #[test]
+    fn busy_time_accumulates_only_when_active() {
+        let mut l = constant_link(1000.0);
+        l.advance(SimTime::from_secs(50));
+        assert_eq!(l.busy_time(), SimDuration::ZERO);
+        l.start(SimTime::from_secs(50), TransferId(1), 10_000, 1);
+        l.advance(SimTime::from_secs(70));
+        assert_eq!(l.busy_time(), SimDuration::from_secs(10), "busy only until completion");
+    }
+
+    #[test]
+    fn conservation_of_bytes() {
+        let mut l = Link::new(
+            BandwidthModel::high_variation(3),
+            1.5,
+            SimDuration::from_secs(30),
+        );
+        let sizes = [1_000_000u64, 5_000_000, 2_500_000, 800_000];
+        for (i, &s) in sizes.iter().enumerate() {
+            l.start(SimTime::ZERO, TransferId(i as u64), s, 2);
+        }
+        let mut completions = Vec::new();
+        while let Some(w) = l.next_wake() {
+            completions.extend(l.advance(w));
+        }
+        assert_eq!(completions.len(), sizes.len());
+        assert_eq!(l.bytes_delivered(), sizes.iter().sum::<u64>());
+        // Completions are chronological.
+        for pair in completions.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+    }
+
+    #[test]
+    fn latency_delays_flow_start() {
+        let mut l = Link::new(BandwidthModel::Constant(1000.0), 0.0, SimDuration::from_secs(3600))
+            .with_latency(SimDuration::from_secs(5));
+        l.start(SimTime::ZERO, TransferId(1), 10_000, 1);
+        // 5 s of setup + 10 s of transfer.
+        let mut done = Vec::new();
+        while let Some(w) = l.next_wake() {
+            done.extend(l.advance(w));
+        }
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].at, SimTime::from_secs(15));
+        assert_eq!(l.latency(), SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn latent_transfers_do_not_consume_bandwidth() {
+        let mut l = Link::new(BandwidthModel::Constant(1000.0), 0.0, SimDuration::from_secs(3600))
+            .with_latency(SimDuration::from_secs(10));
+        l.start(SimTime::ZERO, TransferId(1), 10_000, 1);
+        // A second transfer started at t=5 is latent until t=15; the first
+        // flows alone from t=10 to t=15 at full rate.
+        l.advance(SimTime::from_secs(5));
+        l.start(SimTime::from_secs(5), TransferId(2), 10_000, 1);
+        let mut done = Vec::new();
+        while let Some(w) = l.next_wake() {
+            done.extend(l.advance(w));
+        }
+        // t1: flows 10→15 alone (5000 B), then shares 500 B/s → 10 more s →
+        // completes at t=25. t2: flows from 15, shares until 25 (5000 B),
+        // then alone (5000 B at 1000 B/s) → completes at t=30.
+        assert_eq!(done[0].id, TransferId(1));
+        assert_eq!(done[0].at, SimTime::from_secs(25));
+        assert_eq!(done[1].id, TransferId(2));
+        assert_eq!(done[1].at, SimTime::from_secs(30));
+    }
+
+    #[test]
+    fn latency_hurts_small_transfers_relatively_more() {
+        let run = |bytes: u64| {
+            let mut l =
+                Link::new(BandwidthModel::Constant(1000.0), 0.0, SimDuration::from_secs(3600))
+                    .with_latency(SimDuration::from_secs(4));
+            l.start(SimTime::ZERO, TransferId(1), bytes, 1);
+            let mut at = SimTime::ZERO;
+            while let Some(w) = l.next_wake() {
+                for c in l.advance(w) {
+                    at = c.at;
+                }
+            }
+            at.as_secs_f64() / (bytes as f64 / 1000.0) // slowdown factor
+        };
+        assert!(run(1_000) > run(100_000), "small transfers pay proportionally more");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate transfer id")]
+    fn duplicate_id_panics() {
+        let mut l = constant_link(1000.0);
+        l.start(SimTime::ZERO, TransferId(1), 100, 1);
+        l.start(SimTime::ZERO, TransferId(1), 100, 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests for the network substrate: link conservation under
+//! latency and jitter, estimator convergence, SIBS bound invariants.
+
+use proptest::prelude::*;
+
+use cloudburst_net::queues::{SibsCandidate, SibsQueues};
+use cloudburst_net::{sibs_bounds, BandwidthEstimator, BandwidthModel, Link, SizeClass, TransferId};
+use cloudburst_sim::{SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bytes are conserved and completions stay chronological for any mix
+    /// of sizes, threads, stagger, latency and bandwidth jitter.
+    #[test]
+    fn link_conservation_under_everything(
+        sizes in prop::collection::vec(1_000u64..5_000_000, 1..10),
+        threads in prop::collection::vec(1u32..6, 10),
+        starts in prop::collection::vec(0u64..500, 10),
+        latency in 0u64..30,
+        seed in 0u64..500,
+    ) {
+        let mut link = Link::new(
+            BandwidthModel::high_variation(seed),
+            1.5,
+            SimDuration::from_secs(30),
+        )
+        .with_latency(SimDuration::from_secs(latency));
+        // Stagger starts (sorted so the advance-before-start contract holds).
+        let mut order: Vec<usize> = (0..sizes.len()).collect();
+        order.sort_by_key(|&i| starts[i]);
+        let mut done = Vec::new();
+        for &i in &order {
+            let at = SimTime::from_secs(starts[i]);
+            done.extend(link.advance(at));
+            link.start(at, TransferId(i as u64), sizes[i], threads[i]);
+        }
+        let mut guard = 0;
+        while let Some(w) = link.next_wake() {
+            done.extend(link.advance(w));
+            guard += 1;
+            prop_assert!(guard < 200_000, "no convergence");
+        }
+        prop_assert_eq!(done.len(), sizes.len());
+        prop_assert_eq!(link.bytes_delivered(), sizes.iter().sum::<u64>());
+        for w in done.windows(2) {
+            prop_assert!(w[0].at <= w[1].at);
+        }
+        // With latency, nothing completes before its start + latency.
+        for c in &done {
+            prop_assert!(c.at >= c.started + SimDuration::from_secs(latency));
+        }
+    }
+
+    /// The EWMA estimator converges to a constant signal regardless of α
+    /// and the initial prior, and stays within the observed range.
+    #[test]
+    fn estimator_converges_and_stays_in_range(
+        alpha in 0.05f64..1.0,
+        rate in 1_000.0f64..1e7,
+        prior in 1.0f64..1e8,
+    ) {
+        let mut e = BandwidthEstimator::new(1, alpha).with_prior(prior);
+        for i in 0..200u64 {
+            e.observe(SimTime::from_secs(i), rate);
+        }
+        let p = e.predict(SimTime::from_secs(999));
+        prop_assert!((p / rate - 1.0).abs() < 0.05, "p={p} rate={rate}");
+        prop_assert!(p >= rate.min(prior) * 0.999 && p <= rate.max(prior) * 1.001);
+    }
+
+    /// SIBS bounds are always ordered (s ≤ m) and classify the candidate
+    /// sizes into non-decreasing classes.
+    #[test]
+    fn sibs_bounds_are_ordered(
+        sizes in prop::collection::vec(1_000u64..300_000_000, 1..64),
+        q in prop::collection::vec(0u64..1_000_000_000, 3),
+    ) {
+        let cands: Vec<SibsCandidate> = sizes
+            .iter()
+            .map(|&s| SibsCandidate { size: s, t_up: 1.0, e_ec: 1.0, t_down: 1.0, e_ic: 10.0 })
+            .collect();
+        // Huge iload so every candidate qualifies.
+        if let Some(b) = sibs_bounds(&cands, 1e12, 8, (q[0], q[1], q[2])) {
+            prop_assert!(b.s_bound <= b.m_bound);
+            let mut last = SizeClass::Small;
+            let mut sorted = sizes.clone();
+            sorted.sort_unstable();
+            for s in sorted {
+                let c = b.classify(s);
+                prop_assert!(c >= last, "classes must be monotone in size");
+                last = c;
+            }
+        } else {
+            prop_assert!(false, "every candidate qualifies; bounds must exist");
+        }
+    }
+
+    /// The ride-up queue policy never serves a job of a *higher* class
+    /// through a lower-class slot, and conserves items.
+    #[test]
+    fn queues_conserve_and_respect_classes(
+        items in prop::collection::vec((0usize..3, 1u64..1000), 0..60),
+        pops in prop::collection::vec(0usize..3, 0..80),
+    ) {
+        let cls = [SizeClass::Small, SizeClass::Medium, SizeClass::Large];
+        let mut q: SibsQueues<usize> = SibsQueues::new();
+        for (i, &(c, b)) in items.iter().enumerate() {
+            q.push(cls[c], i, b);
+        }
+        let mut served = 0;
+        for &slot in &pops {
+            if let Some((item, _)) = q.pop_for(cls[slot]) {
+                let item_class = items[item].0;
+                prop_assert!(item_class <= slot, "class {item_class} via slot {slot}");
+                served += 1;
+            }
+        }
+        prop_assert_eq!(served + q.len(), items.len());
+        let (s, m, l) = q.queued_bytes();
+        let remaining_bytes: u64 = s + m + l;
+        prop_assert!(remaining_bytes <= items.iter().map(|(_, b)| *b).sum::<u64>());
+    }
+}

@@ -1,0 +1,192 @@
+//! Per-class response-surface models.
+//!
+//! The paper's conclusion names "the extension of the scheduler techniques
+//! … to multiple job classes" as the step that generalizes cloud bursting
+//! beyond one workload. Different job classes (newspaper rasterization vs
+//! image personalization) run genuinely different pipelines, and the class
+//! label is categorical — it does not belong in a quadratic polynomial.
+//! A [`ClassedModel`] therefore keeps one [`QrsModel`] per class with
+//! enough training data, falling back to a pooled model for rare classes,
+//! and keeps both tuned online.
+
+use std::collections::HashMap;
+
+use crate::fit::{FitError, Method};
+use crate::model::QrsModel;
+
+/// One observation: class key, raw features, response.
+pub type ClassedSample = (u64, Vec<f64>, f64);
+
+/// A pooled model plus per-class specializations.
+#[derive(Clone, Debug)]
+pub struct ClassedModel {
+    pooled: QrsModel,
+    per_class: HashMap<u64, QrsModel>,
+    min_samples: usize,
+}
+
+impl ClassedModel {
+    /// Fits from classed samples. Classes with at least `min_samples`
+    /// observations get their own model; everything trains the pooled
+    /// fallback. `min_samples` is floored at twice the basis size so
+    /// per-class fits are never degenerate.
+    pub fn fit(
+        samples: &[ClassedSample],
+        method: Method,
+        min_samples: usize,
+    ) -> Result<ClassedModel, FitError> {
+        if samples.is_empty() {
+            return Err(FitError::TooFewObservations);
+        }
+        let xs: Vec<Vec<f64>> = samples.iter().map(|(_, x, _)| x.clone()).collect();
+        let ys: Vec<f64> = samples.iter().map(|(_, _, y)| *y).collect();
+        let pooled = QrsModel::fit(&xs, &ys, method)?;
+        let floor = 2 * pooled.design().n_terms();
+        let min_samples = min_samples.max(floor);
+
+        let mut by_class: HashMap<u64, (Vec<Vec<f64>>, Vec<f64>)> = HashMap::new();
+        for (c, x, y) in samples {
+            let e = by_class.entry(*c).or_default();
+            e.0.push(x.clone());
+            e.1.push(*y);
+        }
+        let mut per_class = HashMap::new();
+        for (c, (cx, cy)) in by_class {
+            if cx.len() >= min_samples {
+                // A class fit can still be singular (degenerate feature
+                // spread); such classes stay on the pooled fallback.
+                if let Ok(m) = QrsModel::fit(&cx, &cy, method) {
+                    per_class.insert(c, m);
+                }
+            }
+        }
+        Ok(ClassedModel { pooled, per_class, min_samples })
+    }
+
+    /// Predicts for a job of class `class`; specializes when a class model
+    /// exists, else uses the pooled fit.
+    pub fn predict(&self, class: u64, x: &[f64]) -> f64 {
+        self.model_for(class).predict(x)
+    }
+
+    /// Conservative prediction (see [`QrsModel::predict_upper`]).
+    pub fn predict_upper(&self, class: u64, x: &[f64], k: f64) -> f64 {
+        self.model_for(class).predict_upper(x, k)
+    }
+
+    /// Training RMSE of the model that would serve this class.
+    pub fn rmse_for(&self, class: u64) -> f64 {
+        self.model_for(class).rmse()
+    }
+
+    /// Routes an observation to the class model (if any) and the pooled
+    /// fallback; both refit on their own schedules.
+    pub fn observe(&mut self, class: u64, x: &[f64], y: f64) {
+        if let Some(m) = self.per_class.get_mut(&class) {
+            m.observe(x, y);
+        }
+        self.pooled.observe(x, y);
+    }
+
+    /// The classes with specialized models.
+    pub fn specialized_classes(&self) -> Vec<u64> {
+        let mut c: Vec<u64> = self.per_class.keys().copied().collect();
+        c.sort_unstable();
+        c
+    }
+
+    /// The pooled fallback model.
+    pub fn pooled(&self) -> &QrsModel {
+        &self.pooled
+    }
+
+    /// The per-class sample threshold in effect.
+    pub fn min_samples(&self) -> usize {
+        self.min_samples
+    }
+
+    fn model_for(&self, class: u64) -> &QrsModel {
+        self.per_class.get(&class).unwrap_or(&self.pooled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Class 0: y = 10 + x; class 1: y = 2·(10 + x). The class is not a
+    /// regressor, so a pooled model averages the two regimes.
+    fn two_regime_samples(n_per_class: usize) -> Vec<ClassedSample> {
+        let mut s = Vec::new();
+        for i in 0..n_per_class {
+            let x = (i % 23) as f64 + 0.5 * ((i * 7) % 5) as f64;
+            s.push((0, vec![x], 10.0 + x));
+            s.push((1, vec![x], 2.0 * (10.0 + x)));
+        }
+        s
+    }
+
+    #[test]
+    fn per_class_models_separate_regimes() {
+        let samples = two_regime_samples(40);
+        let m = ClassedModel::fit(&samples, Method::Ols, 8).unwrap();
+        assert_eq!(m.specialized_classes(), vec![0, 1]);
+        let x = [7.0];
+        assert!((m.predict(0, &x) - 17.0).abs() < 1e-6);
+        assert!((m.predict(1, &x) - 34.0).abs() < 1e-6);
+        // The pooled model splits the difference — and an unknown class
+        // falls back to it.
+        let fallback = m.predict(99, &x);
+        assert!(fallback > 17.0 + 2.0 && fallback < 34.0 - 2.0, "fallback={fallback}");
+    }
+
+    #[test]
+    fn rare_classes_fall_back_to_pooled() {
+        let mut samples = two_regime_samples(40);
+        // Class 7 has only three observations.
+        samples.push((7, vec![1.0], 100.0));
+        samples.push((7, vec![2.0], 110.0));
+        samples.push((7, vec![3.0], 120.0));
+        let m = ClassedModel::fit(&samples, Method::Ols, 8).unwrap();
+        assert!(!m.specialized_classes().contains(&7));
+        assert_eq!(m.predict(7, &[5.0]), m.pooled().predict(&[5.0]));
+    }
+
+    #[test]
+    fn min_samples_is_floored_at_twice_basis() {
+        let samples = two_regime_samples(40);
+        let m = ClassedModel::fit(&samples, Method::Ols, 0).unwrap();
+        // 1 raw feature → 3 basis terms → floor 6.
+        assert_eq!(m.min_samples(), 6);
+    }
+
+    #[test]
+    fn observe_routes_to_class_and_pooled() {
+        let samples = two_regime_samples(40);
+        let mut m = ClassedModel::fit(&samples, Method::Ols, 8).unwrap();
+        let before = m.predict(0, &[7.0]);
+        // Feed a shifted regime into class 0 until its window refits.
+        for i in 0..120 {
+            let x = (i % 23) as f64;
+            m.observe(0, &[x], 3.0 * (10.0 + x));
+        }
+        let after = m.predict(0, &[7.0]);
+        assert!(after > before * 1.5, "class 0 should adapt: {before} → {after}");
+        // Class 1 keeps its own regime.
+        assert!((m.predict(1, &[7.0]) - 34.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn empty_fit_is_rejected() {
+        assert!(ClassedModel::fit(&[], Method::Ols, 8).is_err());
+    }
+
+    #[test]
+    fn rmse_for_reports_the_serving_model() {
+        let samples = two_regime_samples(40);
+        let m = ClassedModel::fit(&samples, Method::Ols, 8).unwrap();
+        // Exact per-class fits → tiny RMSE; pooled straddles both regimes.
+        assert!(m.rmse_for(0) < 1e-6);
+        assert!(m.rmse_for(99) > 1.0, "pooled rmse {}", m.rmse_for(99));
+    }
+}

@@ -1,0 +1,283 @@
+//! Matrix factorizations: Cholesky (for SPD normal equations) and
+//! Householder QR (for numerically stable least squares).
+
+use crate::matrix::{Matrix, MatrixError};
+
+/// Lower-triangular Cholesky factor `L` with `A = L·Lᵀ`.
+#[derive(Debug)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive-definite matrix. Returns
+    /// [`MatrixError::Singular`] if a pivot drops below `1e-12` (matrix not
+    /// SPD to working precision).
+    pub fn new(a: &Matrix) -> Result<Cholesky, MatrixError> {
+        if a.rows() != a.cols() {
+            return Err(MatrixError::DimensionMismatch);
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 1e-12 {
+                        return Err(MatrixError::Singular);
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Solves `A·x = b` by forward/backward substitution.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, MatrixError> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(MatrixError::DimensionMismatch);
+        }
+        // Forward: L·y = b
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        // Backward: Lᵀ·x = y
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in i + 1..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+}
+
+/// Householder QR of a tall matrix `A (m×n, m ≥ n)`, stored compactly:
+/// `r` holds R in its upper triangle and the Householder vectors below.
+#[derive(Debug)]
+pub struct Qr {
+    a: Matrix,      // transformed in place
+    betas: Vec<f64>, // Householder scalars
+}
+
+impl Qr {
+    /// Factorizes `a` (requires `rows ≥ cols`).
+    pub fn new(a: &Matrix) -> Result<Qr, MatrixError> {
+        let (m, n) = (a.rows(), a.cols());
+        if m < n {
+            return Err(MatrixError::DimensionMismatch);
+        }
+        let mut w = a.clone();
+        let mut betas = vec![0.0; n];
+        for k in 0..n {
+            // Build the Householder vector for column k from row k down.
+            let mut norm2 = 0.0;
+            for i in k..m {
+                norm2 += w[(i, k)] * w[(i, k)];
+            }
+            let norm = norm2.sqrt();
+            if norm == 0.0 {
+                betas[k] = 0.0;
+                continue;
+            }
+            let alpha = if w[(k, k)] >= 0.0 { -norm } else { norm };
+            let v0 = w[(k, k)] - alpha;
+            // v = (v0, w[k+1..m, k]); beta = 2 / (vᵀv)
+            let mut vtv = v0 * v0;
+            for i in k + 1..m {
+                vtv += w[(i, k)] * w[(i, k)];
+            }
+            if vtv == 0.0 {
+                betas[k] = 0.0;
+                continue;
+            }
+            let beta = 2.0 / vtv;
+            betas[k] = beta;
+            // Apply H = I − β·v·vᵀ to the remaining columns.
+            for j in k..n {
+                let mut dot = v0 * w[(k, j)];
+                for i in k + 1..m {
+                    dot += w[(i, k)] * w[(i, j)];
+                }
+                let s = beta * dot;
+                if j == k {
+                    w[(k, k)] -= s * v0; // becomes alpha
+                } else {
+                    w[(k, j)] -= s * v0;
+                }
+                for i in k + 1..m {
+                    if j == k {
+                        continue; // below-diagonal of col k stores v
+                    }
+                    w[(i, j)] -= s * w[(i, k)];
+                }
+            }
+            // Store v (unnormalized) below the diagonal; stash v0 implicitly
+            // by scaling: we keep v0 in a side channel via betas? Simpler:
+            // normalize v so v0 = 1 and fold the scale into beta.
+            let inv_v0 = 1.0 / v0;
+            for i in k + 1..m {
+                w[(i, k)] *= inv_v0;
+            }
+            betas[k] = beta * v0 * v0;
+        }
+        Ok(Qr { a: w, betas })
+    }
+
+    /// Solves the least-squares problem `min ‖A·x − b‖₂` via `Qᵀb` and
+    /// back-substitution on R. Returns [`MatrixError::Singular`] if R has a
+    /// (near-)zero diagonal entry.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, MatrixError> {
+        let (m, n) = (self.a.rows(), self.a.cols());
+        if b.len() != m {
+            return Err(MatrixError::DimensionMismatch);
+        }
+        let mut qtb = b.to_vec();
+        // Apply the Householder reflections in order: H_k x = x − β v (vᵀx),
+        // with v = (1, a[k+1..m, k]).
+        for k in 0..n {
+            let beta = self.betas[k];
+            if beta == 0.0 {
+                continue;
+            }
+            let mut dot = qtb[k];
+            for i in k + 1..m {
+                dot += self.a[(i, k)] * qtb[i];
+            }
+            let s = beta * dot;
+            qtb[k] -= s;
+            for i in k + 1..m {
+                qtb[i] -= s * self.a[(i, k)];
+            }
+        }
+        // Back-substitute R x = (Qᵀb)[0..n].
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let d = self.a[(i, i)];
+            if d.abs() < 1e-12 {
+                return Err(MatrixError::Singular);
+            }
+            let mut sum = qtb[i];
+            for j in i + 1..n {
+                sum -= self.a[(i, j)] * x[j];
+            }
+            x[i] = sum / d;
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} != {b:?}");
+        }
+    }
+
+    #[test]
+    fn cholesky_known_factor() {
+        // A = [[4,2],[2,3]] has L = [[2,0],[1,sqrt(2)]]
+        let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+        let ch = Cholesky::new(&a).unwrap();
+        assert!((ch.l()[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((ch.l()[(1, 0)] - 1.0).abs() < 1e-12);
+        assert!((ch.l()[(1, 1)] - 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_solve() {
+        let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+        let ch = Cholesky::new(&a).unwrap();
+        let x = ch.solve(&[10.0, 8.0]).unwrap();
+        // A·x = b check
+        let b = a.matvec(&x).unwrap();
+        approx(&b, &[10.0, 8.0], 1e-10);
+    }
+
+    #[test]
+    fn cholesky_rejects_non_spd() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]); // indefinite
+        assert_eq!(Cholesky::new(&a).unwrap_err(), MatrixError::Singular);
+        let r = Matrix::zeros(2, 3);
+        assert_eq!(Cholesky::new(&r).unwrap_err(), MatrixError::DimensionMismatch);
+    }
+
+    #[test]
+    fn qr_solves_square_system() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let qr = Qr::new(&a).unwrap();
+        let x = qr.solve(&[5.0, 10.0]).unwrap();
+        approx(&a.matvec(&x).unwrap(), &[5.0, 10.0], 1e-10);
+    }
+
+    #[test]
+    fn qr_least_squares_overdetermined() {
+        // Fit y = 1 + 2t through noisy-free points: exact recovery.
+        let ts = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let rows: Vec<Vec<f64>> = ts.iter().map(|&t| vec![1.0, t]).collect();
+        let a = Matrix::from_rows(&rows);
+        let b: Vec<f64> = ts.iter().map(|&t| 1.0 + 2.0 * t).collect();
+        let qr = Qr::new(&a).unwrap();
+        let x = qr.solve(&b).unwrap();
+        approx(&x, &[1.0, 2.0], 1e-10);
+    }
+
+    #[test]
+    fn qr_least_squares_minimizes_residual() {
+        // Inconsistent system: solution must match the normal equations.
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 2.0]]);
+        let b = [0.0, 1.0, 1.0];
+        let qr = Qr::new(&a).unwrap();
+        let x = qr.solve(&b).unwrap();
+        // Normal equations: AᵀA x = Aᵀ b → [[3,3],[3,5]] x = [2, 3]
+        approx(&x, &[1.0 / 6.0, 0.5], 1e-10);
+    }
+
+    #[test]
+    fn qr_rejects_wide_and_singular() {
+        assert!(Qr::new(&Matrix::zeros(2, 3)).is_err());
+        // Rank-deficient: duplicate columns.
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]);
+        let qr = Qr::new(&a).unwrap();
+        assert_eq!(qr.solve(&[1.0, 2.0, 3.0]).unwrap_err(), MatrixError::Singular);
+    }
+
+    #[test]
+    fn qr_random_roundtrip_against_cholesky() {
+        // For a well-conditioned system both solvers agree.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.5, 0.2],
+            vec![0.3, 2.0, 0.1],
+            vec![0.7, 0.4, 3.0],
+            vec![1.1, 0.9, 0.8],
+        ]);
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let qr_x = Qr::new(&a).unwrap().solve(&b).unwrap();
+        let ch = Cholesky::new(&a.gram()).unwrap();
+        let ne_x = ch.solve(&a.t_vec(&b).unwrap()).unwrap();
+        approx(&qr_x, &ne_x, 1e-8);
+    }
+}

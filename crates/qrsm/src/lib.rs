@@ -1,0 +1,57 @@
+//! `cloudburst-qrsm` — Quadratic Response Surface Models for processing time.
+//!
+//! Sec. III-A-1 of the paper learns job processing time as a full quadratic
+//! polynomial over document features:
+//!
+//! ```text
+//! y = a + Σ b_i·x_i + Σ_{i≠j} c_ij·x_i·x_j + Σ d_i·x_i²
+//! ```
+//!
+//! with coefficients "learnt as the solution to a linear programming model".
+//! Rust's statistics ecosystem is thin for response-surface work, so this
+//! crate implements the whole stack from scratch (DESIGN.md §2):
+//!
+//! * [`matrix`] — a small dense row-major matrix type.
+//! * [`decomp`] — Cholesky and Householder-QR factorizations.
+//! * [`design`] — the quadratic feature expansion with named terms.
+//! * [`fit`] — ordinary least squares (via QR), ridge regression (via
+//!   Cholesky on the regularized normal equations), and least-absolute-
+//!   deviations (the LP-equivalent robust fit) via iteratively reweighted
+//!   least squares.
+//! * [`model`] — the trained [`QrsModel`]: prediction, residual statistics,
+//!   and online refitting from a sliding observation window (the paper's
+//!   "subsequently tuned by observing data from the actual system").
+//! * [`validate`] — k-fold cross-validation, R², RMSE, MAPE.
+//!
+//! # Example: recovering a known quadratic
+//!
+//! ```
+//! use cloudburst_qrsm::{design::QuadraticDesign, fit, model::QrsModel};
+//!
+//! // y = 3 + 2·x0 + 0.5·x0² over a 1-D feature.
+//! let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+//! let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x[0] + 0.5 * x[0] * x[0]).collect();
+//! let model = QrsModel::fit(&xs, &ys, fit::Method::Ols).unwrap();
+//! let pred = model.predict(&[7.0]);
+//! assert!((pred - (3.0 + 14.0 + 24.5)).abs() < 1e-6);
+//! let design = QuadraticDesign::new(1);
+//! assert_eq!(design.n_terms(), 3); // 1, x0, x0²
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod classed;
+pub mod decomp;
+pub mod design;
+pub mod fit;
+pub mod matrix;
+pub mod model;
+pub mod select;
+pub mod validate;
+
+pub use classed::ClassedModel;
+pub use design::QuadraticDesign;
+pub use select::{forward_select, SelectedModel};
+pub use fit::{FitError, Method};
+pub use matrix::Matrix;
+pub use model::QrsModel;

@@ -1,0 +1,261 @@
+//! The trained response-surface model used by schedulers.
+//!
+//! A [`QrsModel`] starts from an initial fit on a training corpus ("an
+//! initial best estimate model based on a standard set of production data",
+//! Sec. III-A-1) and is then tuned online: every observed `(features, actual
+//! time)` pair enters a sliding window, and the model refits periodically.
+
+use std::collections::VecDeque;
+
+use crate::design::QuadraticDesign;
+use crate::fit::{fit, FitError, Method};
+
+/// A fitted quadratic response-surface model `features → processing seconds`.
+#[derive(Clone, Debug)]
+pub struct QrsModel {
+    design: QuadraticDesign,
+    coeffs: Vec<f64>,
+    method: Method,
+    /// Root-mean-square training residual (seconds).
+    rmse: f64,
+    /// Mean absolute percentage training error, in `[0, ∞)`.
+    mape: f64,
+    /// Sliding observation window for online tuning.
+    window: VecDeque<(Vec<f64>, f64)>,
+    window_capacity: usize,
+    /// Observations accumulated since the last refit.
+    since_refit: usize,
+    /// Refit after this many new observations (0 disables auto-refit).
+    refit_every: usize,
+}
+
+impl QrsModel {
+    /// Fits a model on raw feature vectors `xs` and responses `ys`.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], method: Method) -> Result<QrsModel, FitError> {
+        if xs.is_empty() {
+            return Err(FitError::TooFewObservations);
+        }
+        let design = QuadraticDesign::new(xs[0].len());
+        let x = design.design_matrix(xs);
+        let coeffs = fit(&x, ys, method)?;
+        let (rmse, mape) = residual_stats(&design, &coeffs, xs, ys);
+        let mut window = VecDeque::with_capacity(xs.len());
+        for (x, &y) in xs.iter().zip(ys) {
+            window.push_back((x.clone(), y));
+        }
+        let window_capacity = xs.len().max(64);
+        Ok(QrsModel {
+            design,
+            coeffs,
+            method,
+            rmse,
+            mape,
+            window,
+            window_capacity,
+            since_refit: 0,
+            refit_every: 50,
+        })
+    }
+
+    /// Sets the sliding-window capacity for online tuning (default: the
+    /// initial training-set size).
+    pub fn with_window_capacity(mut self, cap: usize) -> QrsModel {
+        self.window_capacity = cap.max(self.design.n_terms() + 1);
+        while self.window.len() > self.window_capacity {
+            self.window.pop_front();
+        }
+        self
+    }
+
+    /// Sets how many observations trigger an automatic refit in
+    /// [`QrsModel::observe`] (0 disables).
+    pub fn with_refit_every(mut self, every: usize) -> QrsModel {
+        self.refit_every = every;
+        self
+    }
+
+    /// Predicted processing time (seconds) for a raw feature vector. Floored
+    /// at 0.1 s — a response surface extrapolating negative time is treated
+    /// as "effectively instant".
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.design.eval(&self.coeffs, x).max(0.1)
+    }
+
+    /// Conservative prediction: point estimate plus `k` training-RMSEs.
+    /// `k ≈ 1` gives roughly 84 % coverage under normal residuals.
+    pub fn predict_upper(&self, x: &[f64], k: f64) -> f64 {
+        self.predict(x) + k * self.rmse
+    }
+
+    /// Records an observed `(features, actual seconds)` pair in the sliding
+    /// window and refits if the refit interval elapsed. Returns `true` if a
+    /// refit happened (a failed refit keeps the old coefficients and also
+    /// returns `false`).
+    pub fn observe(&mut self, x: &[f64], y: f64) -> bool {
+        self.window.push_back((x.to_vec(), y));
+        while self.window.len() > self.window_capacity {
+            self.window.pop_front();
+        }
+        self.since_refit += 1;
+        if self.refit_every > 0 && self.since_refit >= self.refit_every {
+            self.since_refit = 0;
+            return self.refit().is_ok();
+        }
+        false
+    }
+
+    /// Refits on the current window, keeping old coefficients on failure.
+    pub fn refit(&mut self) -> Result<(), FitError> {
+        let xs: Vec<Vec<f64>> = self.window.iter().map(|(x, _)| x.clone()).collect();
+        let ys: Vec<f64> = self.window.iter().map(|(_, y)| *y).collect();
+        if xs.len() < self.design.n_terms() {
+            return Err(FitError::TooFewObservations);
+        }
+        let m = self.design.design_matrix(&xs);
+        let coeffs = fit(&m, &ys, self.method)?;
+        let (rmse, mape) = residual_stats(&self.design, &coeffs, &xs, &ys);
+        self.coeffs = coeffs;
+        self.rmse = rmse;
+        self.mape = mape;
+        Ok(())
+    }
+
+    /// The fitted coefficient vector (ordered per [`QuadraticDesign::terms`]).
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// The basis in use.
+    pub fn design(&self) -> &QuadraticDesign {
+        &self.design
+    }
+
+    /// Training RMSE in seconds.
+    pub fn rmse(&self) -> f64 {
+        self.rmse
+    }
+
+    /// Training mean absolute percentage error.
+    pub fn mape(&self) -> f64 {
+        self.mape
+    }
+
+    /// Number of observations currently in the tuning window.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+}
+
+fn residual_stats(
+    design: &QuadraticDesign,
+    coeffs: &[f64],
+    xs: &[Vec<f64>],
+    ys: &[f64],
+) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let mut sse = 0.0;
+    let mut ape = 0.0;
+    for (x, &y) in xs.iter().zip(ys) {
+        let pred = design.eval(coeffs, x);
+        sse += (pred - y) * (pred - y);
+        if y.abs() > 1e-9 {
+            ape += ((pred - y) / y).abs();
+        }
+    }
+    ((sse / n).sqrt(), ape / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth(x: &[f64]) -> f64 {
+        10.0 + 3.0 * x[0] + 0.5 * x[1] + 0.2 * x[0] * x[1] + 0.05 * x[0] * x[0]
+    }
+
+    fn dataset(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> =
+            (0..n).map(|i| vec![(i % 17) as f64, ((i * 3) % 11) as f64]).collect();
+        let ys = xs.iter().map(|x| truth(x)).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn fit_and_predict_exactly_on_clean_data() {
+        let (xs, ys) = dataset(100);
+        let m = QrsModel::fit(&xs, &ys, Method::Ols).unwrap();
+        for x in [[4.0, 7.0], [16.0, 10.0], [0.0, 0.0]] {
+            assert!((m.predict(&x) - truth(&x)).abs() < 1e-6);
+        }
+        assert!(m.rmse() < 1e-6);
+        assert!(m.mape() < 1e-6);
+    }
+
+    #[test]
+    fn prediction_is_floored() {
+        // A surface fitted to descend below zero still predicts ≥ 0.1 s.
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 100.0 - 20.0 * x[0]).collect();
+        let m = QrsModel::fit(&xs, &ys, Method::Ols).unwrap();
+        assert_eq!(m.predict(&[1000.0]), 0.1);
+    }
+
+    #[test]
+    fn predict_upper_adds_margin() {
+        let (xs, mut ys) = dataset(100);
+        for (i, y) in ys.iter_mut().enumerate() {
+            *y += if i % 2 == 0 { 5.0 } else { -5.0 };
+        }
+        let m = QrsModel::fit(&xs, &ys, Method::Ols).unwrap();
+        assert!(m.rmse() > 1.0);
+        let x = [4.0, 7.0];
+        assert!(m.predict_upper(&x, 1.0) > m.predict(&x));
+        assert!((m.predict_upper(&x, 2.0) - m.predict(&x) - 2.0 * m.rmse()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn online_tuning_adapts_to_drift() {
+        // Train on one regime, then observe a 2× slower regime; after enough
+        // observations + refit the prediction follows the new regime.
+        let (xs, ys) = dataset(80);
+        let mut m = QrsModel::fit(&xs, &ys, Method::Ols)
+            .unwrap()
+            .with_window_capacity(80)
+            .with_refit_every(20);
+        let probe = [4.0, 7.0];
+        let before = m.predict(&probe);
+        let mut refits = 0;
+        for i in 0..100 {
+            let x = vec![(i % 17) as f64, ((i * 5) % 11) as f64];
+            let y = 2.0 * truth(&x);
+            if m.observe(&x, y) {
+                refits += 1;
+            }
+        }
+        let after = m.predict(&probe);
+        assert!(refits >= 4, "expected periodic refits, got {refits}");
+        assert!(
+            (after - 2.0 * truth(&probe)).abs() < 0.2 * truth(&probe),
+            "before={before} after={after} target={}",
+            2.0 * truth(&probe)
+        );
+    }
+
+    #[test]
+    fn refit_fails_gracefully_with_tiny_window() {
+        let (xs, ys) = dataset(100);
+        let mut m = QrsModel::fit(&xs, &ys, Method::Ols).unwrap().with_window_capacity(1);
+        // Window shrank below n_terms; refit reports the problem but keeps
+        // the model usable.
+        assert_eq!(m.window_len(), 7); // capacity floored at n_terms + 1
+        let before = m.coeffs().to_vec();
+        m.observe(&[1.0, 1.0], 1.0);
+        assert_eq!(m.coeffs().len(), before.len());
+        assert!(m.predict(&[4.0, 7.0]) > 0.0);
+    }
+
+    #[test]
+    fn empty_fit_is_rejected() {
+        assert_eq!(QrsModel::fit(&[], &[], Method::Ols).unwrap_err(), FitError::TooFewObservations);
+    }
+}

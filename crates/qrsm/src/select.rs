@@ -1,0 +1,215 @@
+//! Term selection for response surfaces.
+//!
+//! "From the above, a relevant set of features are extracted and utilized
+//! for every job type" (Sec. III-A-1). The full quadratic basis over N raw
+//! features has `1 + 2N + N(N−1)/2` terms; most carry no signal for a
+//! given job class and only add variance. This module implements greedy
+//! forward stepwise selection: starting from the intercept, repeatedly add
+//! the term that most reduces k-fold cross-validated RMSE, stopping when
+//! no candidate improves it by at least `min_gain` (relative).
+
+use crate::design::{QuadraticDesign, Term};
+use crate::fit::{fit, FitError, Method};
+use crate::matrix::Matrix;
+
+/// A fitted model restricted to a selected subset of quadratic terms.
+#[derive(Clone, Debug)]
+pub struct SelectedModel {
+    design: QuadraticDesign,
+    /// Indices into `design.terms()` that are active, in selection order.
+    selected: Vec<usize>,
+    /// Coefficients aligned with `selected`.
+    coeffs: Vec<f64>,
+    /// CV RMSE at the end of selection.
+    cv_rmse: f64,
+}
+
+impl SelectedModel {
+    /// The active terms, in the order they were selected.
+    pub fn terms(&self) -> Vec<Term> {
+        self.selected.iter().map(|&i| self.design.terms()[i]).collect()
+    }
+
+    /// Number of active terms (including the intercept).
+    pub fn n_selected(&self) -> usize {
+        self.selected.len()
+    }
+
+    /// Cross-validated RMSE achieved by the selection.
+    pub fn cv_rmse(&self) -> f64 {
+        self.cv_rmse
+    }
+
+    /// Predicts the response at a raw feature vector.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let row = self.design.expand(x);
+        self.selected.iter().zip(&self.coeffs).map(|(&i, c)| row[i] * c).sum()
+    }
+}
+
+/// Greedy forward selection over the full quadratic basis.
+///
+/// * `k` — CV folds (contiguous blocks; shuffle inputs beforehand if order
+///   is meaningful);
+/// * `min_gain` — relative CV-RMSE improvement required to accept a term
+///   (e.g. `0.01` = 1 %).
+pub fn forward_select(
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    method: Method,
+    k: usize,
+    min_gain: f64,
+) -> Result<SelectedModel, FitError> {
+    assert!(k >= 2, "need at least 2 folds");
+    assert!(min_gain >= 0.0);
+    if xs.is_empty() {
+        return Err(FitError::TooFewObservations);
+    }
+    let design = QuadraticDesign::new(xs[0].len());
+    let full: Vec<Vec<f64>> = xs.iter().map(|x| design.expand(x)).collect();
+    let n_terms = design.n_terms();
+
+    // Start from the intercept (term 0).
+    let mut selected = vec![0usize];
+    let mut best_rmse = cv_rmse_for(&full, ys, &selected, method, k)?;
+    loop {
+        let mut best_candidate: Option<(usize, f64)> = None;
+        for t in 1..n_terms {
+            if selected.contains(&t) {
+                continue;
+            }
+            let mut trial = selected.clone();
+            trial.push(t);
+            // A candidate that makes the fold fits singular is simply not
+            // eligible this round.
+            let Ok(rmse) = cv_rmse_for(&full, ys, &trial, method, k) else {
+                continue;
+            };
+            if best_candidate.map_or(true, |(_, r)| rmse < r) {
+                best_candidate = Some((t, rmse));
+            }
+        }
+        match best_candidate {
+            Some((t, rmse)) if rmse < best_rmse * (1.0 - min_gain) => {
+                selected.push(t);
+                best_rmse = rmse;
+            }
+            _ => break,
+        }
+    }
+
+    // Final fit on all data with the selected terms.
+    let m = submatrix(&full, &selected);
+    let coeffs = fit(&m, ys, method)?;
+    Ok(SelectedModel { design, selected, coeffs, cv_rmse: best_rmse })
+}
+
+fn submatrix(full: &[Vec<f64>], cols: &[usize]) -> Matrix {
+    let rows: Vec<Vec<f64>> =
+        full.iter().map(|r| cols.iter().map(|&c| r[c]).collect()).collect();
+    Matrix::from_rows(&rows)
+}
+
+fn cv_rmse_for(
+    full: &[Vec<f64>],
+    ys: &[f64],
+    cols: &[usize],
+    method: Method,
+    k: usize,
+) -> Result<f64, FitError> {
+    let n = full.len();
+    if n < k || n < cols.len() + k {
+        return Err(FitError::TooFewObservations);
+    }
+    let mut sse = 0.0;
+    for f in 0..k {
+        let lo = f * n / k;
+        let hi = (f + 1) * n / k;
+        let mut train_rows = Vec::with_capacity(n - (hi - lo));
+        let mut train_y = Vec::with_capacity(n - (hi - lo));
+        for i in (0..n).filter(|i| *i < lo || *i >= hi) {
+            train_rows.push(cols.iter().map(|&c| full[i][c]).collect::<Vec<f64>>());
+            train_y.push(ys[i]);
+        }
+        let beta = fit(&Matrix::from_rows(&train_rows), &train_y, method)?;
+        for i in lo..hi {
+            let pred: f64 = cols.iter().zip(&beta).map(|(&c, b)| full[i][c] * b).sum();
+            sse += (pred - ys[i]) * (pred - ys[i]);
+        }
+    }
+    Ok((sse / n as f64).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// y depends only on x0 and x1² out of a 3-feature basis (10 terms).
+    fn sparse_data(n: usize, noise: f64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                vec![
+                    (i % 13) as f64 * 0.5,
+                    ((i * 5) % 11) as f64 - 5.0,
+                    ((i * 3) % 7) as f64 * 0.9,
+                ]
+            })
+            .collect();
+        let ys = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| {
+                let wobble = ((i as f64 * 2.399).sin()) * noise;
+                4.0 + 2.0 * x[0] + 0.7 * x[1] * x[1] + wobble
+            })
+            .collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn selects_the_true_support_on_clean_data() {
+        let (xs, ys) = sparse_data(120, 0.0);
+        let m = forward_select(&xs, &ys, Method::Ols, 5, 0.01).unwrap();
+        let terms = m.terms();
+        assert!(terms.contains(&Term::Intercept));
+        assert!(terms.contains(&Term::Linear(0)), "{terms:?}");
+        assert!(terms.contains(&Term::Quadratic(1)), "{terms:?}");
+        // Sparse: far fewer than the 10-term full basis.
+        assert!(m.n_selected() <= 4, "selected {} terms", m.n_selected());
+        assert!(m.cv_rmse() < 1e-6);
+        // Predictions match the generating function.
+        let probe = [3.0, -2.0, 1.0];
+        assert!((m.predict(&probe) - (4.0 + 6.0 + 0.7 * 4.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn noise_does_not_bloat_the_selection() {
+        let (xs, ys) = sparse_data(200, 3.0);
+        let m = forward_select(&xs, &ys, Method::Ols, 5, 0.01).unwrap();
+        // With a 1 % gain threshold the selection stays close to the true
+        // support even under noise.
+        assert!(m.n_selected() <= 6, "selected {} terms", m.n_selected());
+        assert!(m.terms().contains(&Term::Linear(0)));
+    }
+
+    #[test]
+    fn zero_gain_threshold_still_terminates() {
+        let (xs, ys) = sparse_data(100, 1.0);
+        let m = forward_select(&xs, &ys, Method::Ols, 4, 0.0).unwrap();
+        assert!(m.n_selected() <= QuadraticDesign::term_count(3));
+    }
+
+    #[test]
+    fn intercept_only_when_response_is_constant() {
+        let xs: Vec<Vec<f64>> = (0..60).map(|i| vec![(i % 9) as f64]).collect();
+        let ys = vec![7.5; 60];
+        let m = forward_select(&xs, &ys, Method::Ols, 4, 0.01).unwrap();
+        assert_eq!(m.n_selected(), 1);
+        assert!((m.predict(&[4.0]) - 7.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        assert!(forward_select(&[], &[], Method::Ols, 3, 0.01).is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! Model validation: k-fold cross-validation and goodness-of-fit metrics.
+
+use crate::design::QuadraticDesign;
+use crate::fit::{fit, FitError, Method};
+
+/// Goodness-of-fit metrics over a evaluation set.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FitMetrics {
+    /// Root mean squared error (response units).
+    pub rmse: f64,
+    /// Mean absolute percentage error.
+    pub mape: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+}
+
+/// Computes metrics for predictions `pred` against actuals `y`.
+pub fn metrics(pred: &[f64], y: &[f64]) -> FitMetrics {
+    assert_eq!(pred.len(), y.len());
+    assert!(!y.is_empty(), "metrics over empty evaluation set");
+    let n = y.len() as f64;
+    let mean_y = y.iter().sum::<f64>() / n;
+    let mut sse = 0.0;
+    let mut sst = 0.0;
+    let mut ape = 0.0;
+    for (&p, &a) in pred.iter().zip(y) {
+        sse += (p - a) * (p - a);
+        sst += (a - mean_y) * (a - mean_y);
+        if a.abs() > 1e-9 {
+            ape += ((p - a) / a).abs();
+        }
+    }
+    FitMetrics {
+        rmse: (sse / n).sqrt(),
+        mape: ape / n,
+        r2: if sst > 0.0 { 1.0 - sse / sst } else { f64::NAN },
+    }
+}
+
+/// Result of a k-fold cross-validation.
+#[derive(Clone, Debug)]
+pub struct CvReport {
+    /// Per-fold held-out metrics.
+    pub folds: Vec<FitMetrics>,
+}
+
+impl CvReport {
+    /// Mean held-out RMSE across folds.
+    pub fn mean_rmse(&self) -> f64 {
+        self.folds.iter().map(|f| f.rmse).sum::<f64>() / self.folds.len() as f64
+    }
+
+    /// Mean held-out MAPE across folds.
+    pub fn mean_mape(&self) -> f64 {
+        self.folds.iter().map(|f| f.mape).sum::<f64>() / self.folds.len() as f64
+    }
+
+    /// Mean held-out R² across folds.
+    pub fn mean_r2(&self) -> f64 {
+        self.folds.iter().map(|f| f.r2).sum::<f64>() / self.folds.len() as f64
+    }
+}
+
+/// k-fold cross-validation of a quadratic response surface on raw features.
+///
+/// Folds are contiguous blocks (callers shuffle beforehand if order is
+/// meaningful). Errors if any training fold is underdetermined.
+pub fn cross_validate(
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    method: Method,
+    k: usize,
+) -> Result<CvReport, FitError> {
+    assert!(k >= 2, "need at least 2 folds");
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len();
+    if n < k {
+        return Err(FitError::TooFewObservations);
+    }
+    let design = QuadraticDesign::new(xs[0].len());
+    let mut folds = Vec::with_capacity(k);
+    for f in 0..k {
+        let lo = f * n / k;
+        let hi = (f + 1) * n / k;
+        let mut train_x = Vec::with_capacity(n - (hi - lo));
+        let mut train_y = Vec::with_capacity(n - (hi - lo));
+        for i in (0..n).filter(|i| *i < lo || *i >= hi) {
+            train_x.push(xs[i].clone());
+            train_y.push(ys[i]);
+        }
+        let m = design.design_matrix(&train_x);
+        let coeffs = fit(&m, &train_y, method)?;
+        let pred: Vec<f64> = (lo..hi).map(|i| design.eval(&coeffs, &xs[i])).collect();
+        folds.push(metrics(&pred, &ys[lo..hi]));
+    }
+    Ok(CvReport { folds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let y = [1.0, 2.0, 3.0, 4.0];
+        let m = metrics(&y, &y);
+        assert_eq!(m.rmse, 0.0);
+        assert_eq!(m.mape, 0.0);
+        assert_eq!(m.r2, 1.0);
+    }
+
+    #[test]
+    fn constant_prediction_r2_zero() {
+        let y = [1.0, 2.0, 3.0];
+        let pred = [2.0, 2.0, 2.0]; // predicting the mean
+        let m = metrics(&pred, &y);
+        assert!((m.r2 - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_rmse() {
+        let m = metrics(&[0.0, 0.0], &[3.0, -4.0]);
+        // sqrt((9+16)/2) = sqrt(12.5)
+        assert!((m.rmse - 12.5_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_validation_on_exact_quadratic_is_near_perfect() {
+        let xs: Vec<Vec<f64>> =
+            (0..90).map(|i| vec![(i % 13) as f64, ((i * 7) % 9) as f64]).collect();
+        let ys: Vec<f64> =
+            xs.iter().map(|x| 5.0 + x[0] + 2.0 * x[1] + 0.3 * x[0] * x[1]).collect();
+        let cv = cross_validate(&xs, &ys, Method::Ols, 5).unwrap();
+        assert_eq!(cv.folds.len(), 5);
+        assert!(cv.mean_rmse() < 1e-6, "rmse={}", cv.mean_rmse());
+        assert!(cv.mean_r2() > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn cv_detects_noise_level() {
+        // With additive noise of sd≈2, held-out RMSE lands near 2.
+        let mut state = 1u64;
+        let mut next = move || {
+            // xorshift for a cheap deterministic pseudo-noise
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 1000.0 - 0.5
+        };
+        let xs: Vec<Vec<f64>> =
+            (0..200).map(|i| vec![(i % 13) as f64, ((i * 7) % 9) as f64]).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 5.0 + x[0] + 2.0 * x[1] + 0.3 * x[0] * x[1] + 6.9 * next())
+            .collect();
+        let cv = cross_validate(&xs, &ys, Method::Ols, 5).unwrap();
+        // sd of uniform(-0.5,0.5)*6.9 ≈ 2.0
+        assert!((1.0..3.5).contains(&cv.mean_rmse()), "rmse={}", cv.mean_rmse());
+    }
+
+    #[test]
+    fn cv_requires_enough_data() {
+        let xs = vec![vec![1.0]; 3];
+        let ys = vec![1.0; 3];
+        assert!(cross_validate(&xs, &ys, Method::Ols, 5).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 folds")]
+    fn cv_requires_two_folds() {
+        let _ = cross_validate(&[vec![1.0]], &[1.0], Method::Ols, 1);
+    }
+}

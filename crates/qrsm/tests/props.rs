@@ -1,0 +1,160 @@
+//! Property tests for the linear-algebra and fitting stack.
+
+use proptest::prelude::*;
+
+use cloudburst_qrsm::decomp::{Cholesky, Qr};
+use cloudburst_qrsm::{design::QuadraticDesign, fit, ClassedModel, Matrix, Method, QrsModel};
+
+/// A random well-conditioned tall matrix: diagonal dominance via identity
+/// scaling keeps QR and Cholesky honest without degenerate cases.
+fn tall_matrix(rows: usize, cols: usize, entries: &[f64]) -> Matrix {
+    let data: Vec<Vec<f64>> = (0..rows)
+        .map(|r| {
+            (0..cols)
+                .map(|c| {
+                    let e = entries[(r * cols + c) % entries.len()];
+                    if r == c {
+                        e + 3.0
+                    } else {
+                        e
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Matrix::from_rows(&data)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// (Aᵀ·A) from `gram` equals the explicit product, and Cholesky solves
+    /// the SPD system it came from.
+    #[test]
+    fn gram_and_cholesky_agree(
+        entries in prop::collection::vec(-2.0f64..2.0, 24),
+        rhs in prop::collection::vec(-5.0f64..5.0, 4),
+    ) {
+        let a = tall_matrix(6, 4, &entries);
+        let g = a.gram();
+        let explicit = a.transpose().matmul(&a).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                prop_assert!((g[(i, j)] - explicit[(i, j)]).abs() < 1e-9);
+            }
+        }
+        let ch = Cholesky::new(&g).expect("gram of full-rank tall matrix is SPD");
+        let x = ch.solve(&rhs).unwrap();
+        let gx = g.matvec(&x).unwrap();
+        for (got, want) in gx.iter().zip(&rhs) {
+            prop_assert!((got - want).abs() < 1e-6, "Cholesky residual too large");
+        }
+    }
+
+    /// QR least squares satisfies the normal equations: Aᵀ(Ax − b) ≈ 0.
+    #[test]
+    fn qr_satisfies_normal_equations(
+        entries in prop::collection::vec(-2.0f64..2.0, 24),
+        b in prop::collection::vec(-5.0f64..5.0, 6),
+    ) {
+        let a = tall_matrix(6, 4, &entries);
+        let x = Qr::new(&a).unwrap().solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        let resid: Vec<f64> = ax.iter().zip(&b).map(|(p, q)| p - q).collect();
+        let grad = a.t_vec(&resid).unwrap();
+        for g in grad {
+            prop_assert!(g.abs() < 1e-6, "gradient {g} not ~0");
+        }
+    }
+
+    /// OLS through the quadratic design is invariant to response scaling:
+    /// fit(c·y) = c·fit(y).
+    #[test]
+    fn fit_is_linear_in_response(
+        coeffs in prop::collection::vec(-3.0f64..3.0, 6),
+        scale in 0.1f64..10.0,
+    ) {
+        let d = QuadraticDesign::new(2);
+        let xs: Vec<Vec<f64>> =
+            (0..30).map(|i| vec![(i % 7) as f64, ((i * 3) % 5) as f64]).collect();
+        let m = d.design_matrix(&xs);
+        let y: Vec<f64> = xs.iter().map(|x| d.eval(&coeffs, x)).collect();
+        let y2: Vec<f64> = y.iter().map(|v| v * scale).collect();
+        let b1 = fit::fit(&m, &y, Method::Ols).unwrap();
+        let b2 = fit::fit(&m, &y2, Method::Ols).unwrap();
+        for (a, b) in b1.iter().zip(&b2) {
+            prop_assert!((a * scale - b).abs() < 1e-6 * (1.0 + b.abs()));
+        }
+    }
+
+    /// Ridge coefficient norms decrease monotonically in λ.
+    #[test]
+    fn ridge_norm_is_monotone(coeffs in prop::collection::vec(-3.0f64..3.0, 6)) {
+        let d = QuadraticDesign::new(2);
+        let xs: Vec<Vec<f64>> =
+            (0..30).map(|i| vec![(i % 7) as f64, ((i * 3) % 5) as f64]).collect();
+        let m = d.design_matrix(&xs);
+        let y: Vec<f64> = xs.iter().map(|x| d.eval(&coeffs, x)).collect();
+        let norm = |b: &[f64]| b[1..].iter().map(|v| v * v).sum::<f64>();
+        let mut last = f64::INFINITY;
+        for lambda in [0.0, 0.1, 1.0, 10.0, 100.0] {
+            let b = fit::fit(&m, &y, Method::Ridge(lambda)).unwrap();
+            let n = norm(&b);
+            prop_assert!(n <= last + 1e-9, "ridge norm grew at λ={lambda}");
+            last = n;
+        }
+    }
+
+    /// The quadratic expansion length and evaluation agree with a direct
+    /// polynomial computation for any arity 1–4.
+    #[test]
+    fn design_eval_matches_manual(
+        x in prop::collection::vec(-3.0f64..3.0, 1..5),
+        seed in 0u64..1_000,
+    ) {
+        let n = x.len();
+        let d = QuadraticDesign::new(n);
+        prop_assert_eq!(d.n_terms(), 1 + 2 * n + n * (n - 1) / 2);
+        // Pseudo-random coefficients from the seed.
+        let coeffs: Vec<f64> =
+            (0..d.n_terms()).map(|i| ((seed + i as u64 * 7919) % 13) as f64 - 6.0).collect();
+        let mut manual = coeffs[0];
+        let mut k = 1;
+        for xi in &x {
+            manual += coeffs[k] * xi;
+            k += 1;
+        }
+        for i in 0..n {
+            for j in i + 1..n {
+                manual += coeffs[k] * x[i] * x[j];
+                k += 1;
+            }
+        }
+        for xi in &x {
+            manual += coeffs[k] * xi * xi;
+            k += 1;
+        }
+        prop_assert!((d.eval(&coeffs, &x) - manual).abs() < 1e-9);
+    }
+
+    /// Per-class models never do worse than pooled on their own class when
+    /// regimes genuinely differ (noise-free).
+    #[test]
+    fn classed_beats_pooled_on_separated_regimes(factor in 1.5f64..4.0) {
+        let mut samples = Vec::new();
+        for i in 0..50 {
+            let x = (i % 17) as f64 * 0.7;
+            samples.push((0u64, vec![x], 5.0 + x));
+            samples.push((1u64, vec![x], factor * (5.0 + x)));
+        }
+        let m = ClassedModel::fit(&samples, Method::Ols, 8).unwrap();
+        let xs: Vec<Vec<f64>> = samples.iter().map(|(_, x, _)| x.clone()).collect();
+        let ys: Vec<f64> = samples.iter().map(|(_, _, y)| *y).collect();
+        let pooled = QrsModel::fit(&xs, &ys, Method::Ols).unwrap();
+        let probe = [5.0];
+        let err_classed = (m.predict(0, &probe) - 10.0).abs();
+        let err_pooled = (pooled.predict(&probe) - 10.0).abs();
+        prop_assert!(err_classed <= err_pooled + 1e-9);
+        prop_assert!(err_classed < 1e-6, "noise-free per-class fit is exact");
+    }
+}

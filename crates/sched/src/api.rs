@@ -1,0 +1,298 @@
+//! Scheduler-facing types: placement decisions, the system-state snapshot,
+//! and the planning helper that turns estimates into finish times.
+
+use cloudburst_net::SibsBounds;
+use cloudburst_sim::{SimDuration, SimTime};
+use cloudburst_workload::Job;
+use serde::{Deserialize, Serialize};
+
+use crate::estimates::EstimateProvider;
+
+/// Where a job was placed (the decision variable `d_i` of Sec. II-A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Placement {
+    /// Run in the internal cloud.
+    Internal,
+    /// Burst to the external cloud.
+    External,
+}
+
+/// Snapshot of system state the engine hands to a scheduler at a decision
+/// point. All quantities are *estimates or observables* — never ground
+/// truth.
+#[derive(Clone, Debug)]
+pub struct LoadModel {
+    /// Decision instant.
+    pub now: SimTime,
+    /// Estimated seconds until each IC machine is free, including its
+    /// queued share (0 = idle). One entry per machine.
+    pub ic_free_secs: Vec<f64>,
+    /// Same for the EC machines.
+    pub ec_free_secs: Vec<f64>,
+    /// Bytes queued ahead in the upload direction.
+    pub upload_backlog_bytes: u64,
+    /// Bytes queued ahead in the download direction.
+    pub download_backlog_bytes: u64,
+    /// Estimated completion instants of every previously scheduled,
+    /// not-yet-finished job (the scheduler's own past estimates) — the
+    /// `T_i` pool for slack computation across batch boundaries.
+    pub outstanding_est_completions: Vec<SimTime>,
+}
+
+impl LoadModel {
+    /// An idle system with the given pool sizes (convenient for tests).
+    pub fn idle(now: SimTime, n_ic: usize, n_ec: usize) -> LoadModel {
+        LoadModel {
+            now,
+            ic_free_secs: vec![0.0; n_ic],
+            ec_free_secs: vec![0.0; n_ec],
+            upload_backlog_bytes: 0,
+            download_backlog_bytes: 0,
+            outstanding_est_completions: Vec::new(),
+        }
+    }
+
+    /// `iload` of Algorithm 3: the average estimated seconds of compute
+    /// already committed per IC machine.
+    pub fn ic_initial_load_secs(&self) -> f64 {
+        if self.ic_free_secs.is_empty() {
+            return 0.0;
+        }
+        self.ic_free_secs.iter().sum::<f64>() / self.ic_free_secs.len() as f64
+    }
+}
+
+/// The outcome of scheduling one batch.
+#[derive(Clone, Debug)]
+pub struct BatchSchedule {
+    /// Jobs (possibly expanded by chunking) in queue order, with their
+    /// placements. Ids are provisional; the engine re-indexes on enqueue.
+    pub jobs: Vec<(Job, Placement)>,
+    /// Size-interval bounds, when the scheduler uses SIBS upload queues.
+    pub sibs: Option<SibsBounds>,
+}
+
+impl BatchSchedule {
+    /// Number of jobs bursted to the EC.
+    pub fn n_bursted(&self) -> usize {
+        self.jobs.iter().filter(|(_, p)| *p == Placement::External).count()
+    }
+}
+
+/// A cloud-bursting scheduler: turns a batch plus a state snapshot into
+/// placements (Sec. IV: "when, where and how much to burst out").
+pub trait BurstScheduler {
+    /// Short label used in reports ("greedy", "op", "op+sibs", "ic-only").
+    fn name(&self) -> &'static str;
+
+    /// Schedules one arriving batch. May split jobs (chunking); must return
+    /// every input job (or its chunks) exactly once, preserving queue order.
+    fn schedule_batch(
+        &mut self,
+        batch: Vec<Job>,
+        load: &LoadModel,
+        est: &EstimateProvider,
+    ) -> BatchSchedule;
+
+    /// Engine hook: the current `(small, medium, large)` upload-queue byte
+    /// backlogs, refreshed before each batch. Only SIBS cares; the default
+    /// ignores it.
+    fn set_upload_queue_state(&mut self, _queued: (u64, u64, u64)) {}
+}
+
+/// Incremental finish-time planner shared by the schedulers.
+///
+/// Wraps a [`LoadModel`] and *commits* each placement as it is decided, so
+/// job `i+1`'s estimates see job `i`'s load — the recursive structure of
+/// Algorithms 1 and 2.
+#[derive(Clone, Debug)]
+pub struct Planner<'a> {
+    est: &'a EstimateProvider,
+    now: SimTime,
+    ic_free: Vec<f64>,
+    ec_free: Vec<f64>,
+    upload_backlog_secs: f64,
+    /// Estimated completions of everything scheduled and unfinished,
+    /// including commitments made through this planner.
+    est_completions: Vec<SimTime>,
+}
+
+impl<'a> Planner<'a> {
+    /// Builds a planner over the current load snapshot.
+    pub fn new(load: &LoadModel, est: &'a EstimateProvider) -> Planner<'a> {
+        let upload_backlog_secs = if load.upload_backlog_bytes > 0 {
+            est.upload_secs(load.now, load.upload_backlog_bytes)
+        } else {
+            0.0
+        };
+        Planner {
+            est,
+            now: load.now,
+            ic_free: load.ic_free_secs.clone(),
+            ec_free: load.ec_free_secs.clone(),
+            upload_backlog_secs,
+            est_completions: load.outstanding_est_completions.clone(),
+        }
+    }
+
+    /// `ft^ic(i, S)`: estimated completion instant if `job` were scheduled
+    /// in the IC right now.
+    pub fn ft_ic(&self, job: &Job) -> SimTime {
+        let exec = self.est.exec_secs_ic(job);
+        let free = self.ic_free.iter().copied().fold(f64::INFINITY, f64::min);
+        self.now + SimDuration::from_secs_f64(free + exec)
+    }
+
+    /// `ft^ec(i, S)`: estimated completion instant if `job` were bursted
+    /// right now — upload-queue wait, upload, EC queue wait, remote
+    /// execution, result download.
+    pub fn ft_ec(&self, job: &Job) -> SimTime {
+        let (wait, up, exec, down) = self.est.round_trip_parts(self.now, job, self.upload_backlog_secs);
+        let arrive_ec = wait + up;
+        let ec_free = self.ec_free.iter().copied().fold(f64::INFINITY, f64::min);
+        let start_ec = arrive_ec.max(ec_free);
+        self.now + SimDuration::from_secs_f64(start_ec + exec + down)
+    }
+
+    /// The EC round-trip *duration* components for a burst starting now,
+    /// `(upload_wait, upload, exec, download)` — inputs to Eq. 2.
+    pub fn round_trip_parts(&self, job: &Job) -> (f64, f64, f64, f64) {
+        self.est.round_trip_parts(self.now, job, self.upload_backlog_secs)
+    }
+
+    /// Eq. 1: the slack anchor — max estimated completion of all work ahead
+    /// of the next job. `None` when nothing is ahead.
+    pub fn slack(&self) -> Option<SimTime> {
+        self.est_completions.iter().copied().max()
+    }
+
+    /// Commits `job` to the given placement, updating the planned load and
+    /// the estimated-completion pool. Returns the job's estimated
+    /// completion instant.
+    pub fn commit(&mut self, job: &Job, placement: Placement) -> SimTime {
+        let ft = match placement {
+            Placement::Internal => {
+                let ft = self.ft_ic(job);
+                let exec = self.est.exec_secs_ic(job);
+                let (idx, _) = self
+                    .ic_free
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN load"))
+                    .expect("IC has machines");
+                self.ic_free[idx] += exec;
+                ft
+            }
+            Placement::External => {
+                let ft = self.ft_ec(job);
+                let (wait, up, exec, _down) = self.round_trip_parts(job);
+                let arrive_ec = wait + up;
+                self.upload_backlog_secs += up;
+                let (idx, _) = self
+                    .ec_free
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN load"))
+                    .expect("EC has machines");
+                self.ec_free[idx] = self.ec_free[idx].max(arrive_ec) + exec;
+                ft
+            }
+        };
+        self.est_completions.push(ft);
+        ft
+    }
+
+    /// Decision instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Current planned upload backlog in seconds.
+    pub fn upload_backlog_secs(&self) -> f64 {
+        self.upload_backlog_secs
+    }
+
+    /// Planned seconds until each IC machine frees.
+    pub fn ic_free_secs(&self) -> &[f64] {
+        &self.ic_free
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimates::tests_support::provider_and_jobs;
+
+    #[test]
+    fn ft_ic_uses_earliest_free_machine() {
+        let (est, jobs) = provider_and_jobs(&[50, 50]);
+        let mut load = LoadModel::idle(SimTime::ZERO, 2, 1);
+        load.ic_free_secs = vec![100.0, 10.0];
+        let planner = Planner::new(&load, &est);
+        let ft = planner.ft_ic(&jobs[0]);
+        let exec = est.exec_secs(&jobs[0]);
+        assert!((ft.as_secs_f64() - (10.0 + exec)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn commit_internal_loads_the_machine() {
+        let (est, jobs) = provider_and_jobs(&[50, 50]);
+        let load = LoadModel::idle(SimTime::ZERO, 1, 1);
+        let mut planner = Planner::new(&load, &est);
+        let ft1 = planner.commit(&jobs[0], Placement::Internal);
+        let ft2 = planner.ft_ic(&jobs[1]);
+        assert!(ft2 > ft1, "second job queues behind the first");
+    }
+
+    #[test]
+    fn ft_ec_includes_all_four_legs() {
+        let (est, jobs) = provider_and_jobs(&[100]);
+        let load = LoadModel::idle(SimTime::ZERO, 1, 1);
+        let planner = Planner::new(&load, &est);
+        let (wait, up, exec, down) = planner.round_trip_parts(&jobs[0]);
+        assert_eq!(wait, 0.0);
+        let ft = planner.ft_ec(&jobs[0]);
+        assert!((ft.as_secs_f64() - (up + exec + down)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn commit_external_grows_upload_backlog() {
+        let (est, jobs) = provider_and_jobs(&[100, 100]);
+        let load = LoadModel::idle(SimTime::ZERO, 1, 2);
+        let mut planner = Planner::new(&load, &est);
+        assert_eq!(planner.upload_backlog_secs(), 0.0);
+        planner.commit(&jobs[0], Placement::External);
+        assert!(planner.upload_backlog_secs() > 0.0);
+        // Second burst sees the first upload ahead of it.
+        let ft2 = planner.ft_ec(&jobs[1]);
+        let mut fresh = Planner::new(&load, &est);
+        let ft2_fresh = fresh.ft_ec(&jobs[1]);
+        assert!(ft2 > ft2_fresh);
+        let _ = &mut fresh;
+    }
+
+    #[test]
+    fn slack_tracks_commitments_and_outstanding_work() {
+        let (est, jobs) = provider_and_jobs(&[50, 50]);
+        let mut load = LoadModel::idle(SimTime::ZERO, 4, 1);
+        assert!(Planner::new(&load, &est).slack().is_none());
+        load.outstanding_est_completions = vec![SimTime::from_secs(500)];
+        let mut planner = Planner::new(&load, &est);
+        assert_eq!(planner.slack(), Some(SimTime::from_secs(500)));
+        let ft = planner.commit(&jobs[0], Placement::Internal);
+        assert_eq!(planner.slack(), Some(ft.max(SimTime::from_secs(500))));
+        let _ = jobs;
+    }
+
+    #[test]
+    fn idle_load_model_helpers() {
+        let load = LoadModel::idle(SimTime::from_secs(5), 8, 2);
+        assert_eq!(load.ic_free_secs.len(), 8);
+        assert_eq!(load.ic_initial_load_secs(), 0.0);
+        let loaded = LoadModel {
+            ic_free_secs: vec![10.0, 30.0],
+            ..LoadModel::idle(SimTime::ZERO, 2, 1)
+        };
+        assert_eq!(loaded.ic_initial_load_secs(), 20.0);
+    }
+}

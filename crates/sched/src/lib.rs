@@ -1,0 +1,37 @@
+//! `cloudburst-sched` — the three autonomic cloud-bursting schedulers
+//! (Sec. IV of the paper) plus the IC-only baseline and the rescheduling
+//! extensions sketched in Sec. IV-D.
+//!
+//! Schedulers are *traffic-oblivious*: they see only the current system
+//! state (machine availability, queue backlogs) through estimated
+//! quantities — QRSM execution-time predictions and time-of-day bandwidth
+//! predictions — never the ground truth the simulation engine executes.
+//!
+//! * [`api`] — the [`BurstScheduler`] trait, placement decisions, and the
+//!   [`LoadModel`] snapshot the engine hands to schedulers.
+//! * [`estimates`] — the [`EstimateProvider`] bundling the QRSM and the
+//!   bandwidth predictors into per-job estimates.
+//! * [`greedy`] — Algorithm 1: place each job where it finishes earliest.
+//! * [`order_preserving`] — Algorithm 2: chunk for variance reduction, then
+//!   burst only jobs whose EC round trip fits their slack (Eq. 2).
+//! * [`sibs`] — Algorithm 3 on top of Op: size-interval bandwidth splitting.
+//! * [`ic_only`] — the baseline that never bursts.
+//! * [`resched`] — pull-back / push-out rescheduling triggered on idle
+//!   events (the paper's Sec. IV-D mitigation for estimation errors).
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod estimates;
+pub mod greedy;
+pub mod ic_only;
+pub mod order_preserving;
+pub mod resched;
+pub mod sibs;
+
+pub use api::{BatchSchedule, BurstScheduler, LoadModel, Placement};
+pub use estimates::{EstimateProvider, ProcTimeModel};
+pub use greedy::GreedyScheduler;
+pub use ic_only::IcOnlyScheduler;
+pub use order_preserving::OrderPreservingScheduler;
+pub use sibs::SibsScheduler;

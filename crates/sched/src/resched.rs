@@ -1,0 +1,130 @@
+//! Idle-triggered rescheduling (Sec. IV-D).
+//!
+//! Estimation errors leave resources idle: an overestimated IC drain bursts
+//! too much (EC backlog while IC idles), an underestimate strands work in
+//! the IC while the pipe idles. The paper sketches two mitigations, which
+//! we implement as decision helpers the engine invokes on idle events:
+//!
+//! * **Pull-back** — "when a resource in IC becomes free it picks up a job
+//!   from the head of the EC queue such that the remaining time for it to
+//!   complete is greater than the time it would take to re-execute the same
+//!   in the internal cloud."
+//! * **Push-out** — "when the EC upload queue is idle and IC has jobs
+//!   waiting to execute, then we scan the IC wait queue from the last and
+//!   check if there is any job that satisfies the slack criteria."
+
+use cloudburst_sim::SimTime;
+
+/// One not-yet-finished EC-assigned job, as the pull-back check sees it.
+#[derive(Clone, Copy, Debug)]
+pub struct PullBackCandidate {
+    /// Estimated seconds until this job's result would be available from
+    /// the EC (upload remainder + queue + exec + download).
+    pub est_remaining_ec_secs: f64,
+    /// Estimated seconds to re-execute it locally on the freed machine.
+    pub est_ic_reexec_secs: f64,
+    /// True if the job's input is still uploading (not yet running
+    /// remotely) — only these can be pulled back without wasting EC work.
+    pub not_yet_running: bool,
+}
+
+/// Picks the job to pull back when an IC machine frees: the first (closest
+/// to the EC queue head) candidate whose remaining EC time exceeds a local
+/// re-execution and which has not started running remotely. Returns its
+/// index.
+pub fn pull_back_candidate(candidates: &[PullBackCandidate]) -> Option<usize> {
+    candidates
+        .iter()
+        .position(|c| c.not_yet_running && c.est_remaining_ec_secs > c.est_ic_reexec_secs)
+}
+
+/// One IC-queued job, as the push-out check sees it.
+#[derive(Clone, Copy, Debug)]
+pub struct PushOutCandidate {
+    /// Eq. 1 slack anchor for this job (max estimated completion of work
+    /// ahead of it); `None` for the queue head.
+    pub slack: Option<SimTime>,
+    /// Estimated EC round-trip duration (upload + exec + download), seconds.
+    pub round_trip_secs: f64,
+}
+
+/// Picks the job to push out when the upload pipe idles: scanning the IC
+/// wait queue **from the tail**, the first job satisfying the slack
+/// criterion (Eq. 2) at time `now`. Returns its index in the wait queue.
+pub fn push_out_candidate(now: SimTime, queue: &[PushOutCandidate]) -> Option<usize> {
+    for (i, c) in queue.iter().enumerate().rev() {
+        if let Some(slack) = c.slack {
+            let eta = now + cloudburst_sim::SimDuration::from_secs_f64(c.round_trip_secs);
+            if eta <= slack {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pull_back_prefers_head_and_requires_gain() {
+        let cands = [
+            PullBackCandidate {
+                est_remaining_ec_secs: 100.0,
+                est_ic_reexec_secs: 200.0,
+                not_yet_running: true,
+            },
+            PullBackCandidate {
+                est_remaining_ec_secs: 500.0,
+                est_ic_reexec_secs: 200.0,
+                not_yet_running: true,
+            },
+        ];
+        // Head job is faster left in the EC; second gains from pulling back.
+        assert_eq!(pull_back_candidate(&cands), Some(1));
+    }
+
+    #[test]
+    fn pull_back_skips_running_jobs() {
+        let cands = [PullBackCandidate {
+            est_remaining_ec_secs: 900.0,
+            est_ic_reexec_secs: 100.0,
+            not_yet_running: false,
+        }];
+        assert_eq!(pull_back_candidate(&cands), None);
+        assert_eq!(pull_back_candidate(&[]), None);
+    }
+
+    #[test]
+    fn push_out_scans_from_tail() {
+        let t = |s| SimTime::from_secs(s);
+        let queue = [
+            PushOutCandidate { slack: None, round_trip_secs: 100.0 },
+            PushOutCandidate { slack: Some(t(1_000)), round_trip_secs: 100.0 },
+            PushOutCandidate { slack: Some(t(2_000)), round_trip_secs: 100.0 },
+        ];
+        // Both 1 and 2 qualify at now = 0; the tail scan returns 2.
+        assert_eq!(push_out_candidate(SimTime::ZERO, &queue), Some(2));
+    }
+
+    #[test]
+    fn push_out_respects_slack_deadline() {
+        let t = |s| SimTime::from_secs(s);
+        let queue = [
+            PushOutCandidate { slack: Some(t(50)), round_trip_secs: 100.0 },
+            PushOutCandidate { slack: Some(t(90)), round_trip_secs: 100.0 },
+        ];
+        assert_eq!(push_out_candidate(SimTime::ZERO, &queue), None);
+        // Later slack qualifies once the round trip fits.
+        let queue2 = [PushOutCandidate { slack: Some(t(150)), round_trip_secs: 100.0 }];
+        assert_eq!(push_out_candidate(SimTime::ZERO, &queue2), Some(0));
+        assert_eq!(push_out_candidate(t(60), &queue2), None, "too late now");
+    }
+
+    #[test]
+    fn head_job_never_pushes_out() {
+        let queue = [PushOutCandidate { slack: None, round_trip_secs: 1.0 }];
+        assert_eq!(push_out_candidate(SimTime::ZERO, &queue), None);
+    }
+}

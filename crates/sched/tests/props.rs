@@ -1,0 +1,146 @@
+//! Property tests for the schedulers: completeness, order preservation,
+//! slack-safety under the scheduler's own estimates, and baseline safety —
+//! for randomized workloads and load states.
+
+use proptest::prelude::*;
+
+use cloudburst_qrsm::{Method, QrsModel};
+use cloudburst_sched::api::Planner;
+use cloudburst_sched::{
+    BurstScheduler, EstimateProvider, GreedyScheduler, IcOnlyScheduler, LoadModel,
+    OrderPreservingScheduler, Placement, SibsScheduler,
+};
+use cloudburst_sim::{RngFactory, SimTime};
+use cloudburst_workload::arrival::training_corpus;
+use cloudburst_workload::{ArrivalConfig, BatchArrivals, GroundTruth, Job, SizeBucket};
+
+fn provider() -> EstimateProvider {
+    let rngs = RngFactory::new(424242);
+    let truth = GroundTruth::noiseless();
+    let corpus = training_corpus(&mut rngs.stream("train"), &truth, 300);
+    let xs: Vec<Vec<f64>> = corpus.iter().map(|(f, _)| f.regressors()).collect();
+    let ys: Vec<f64> = corpus.iter().map(|(_, t)| *t).collect();
+    EstimateProvider::new(QrsModel::fit(&xs, &ys, Method::Ols).expect("fit"))
+        .with_bandwidth_prior(250_000.0)
+}
+
+fn batch_for(seed: u64, n: f64, bucket: SizeBucket) -> Vec<Job> {
+    let gen = BatchArrivals::new(ArrivalConfig {
+        n_batches: 1,
+        jobs_per_batch: n,
+        bucket,
+        ..ArrivalConfig::default()
+    });
+    gen.generate_flat(&RngFactory::new(seed), &GroundTruth::default())
+}
+
+fn load_for(now_secs: u64, ic_backlog: f64, n_ic: usize, n_ec: usize) -> LoadModel {
+    let mut load = LoadModel::idle(SimTime::from_secs(now_secs), n_ic, n_ec);
+    load.ic_free_secs = vec![ic_backlog; n_ic];
+    if ic_backlog > 0.0 {
+        load.outstanding_est_completions =
+            vec![SimTime::from_secs(now_secs) + cloudburst_sim::SimDuration::from_secs_f64(ic_backlog)];
+    }
+    load
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every scheduler returns every input job's bytes exactly once (chunk
+    /// expansion conserves input size), preserving relative order of
+    /// surviving originals.
+    #[test]
+    fn schedulers_conserve_the_batch(
+        seed in any::<u64>(),
+        backlog in 0.0f64..6_000.0,
+        bucket_idx in 0usize..3,
+    ) {
+        let est = provider();
+        let bucket = SizeBucket::ALL[bucket_idx];
+        let batch = batch_for(seed, 8.0, bucket);
+        let total: u64 = batch.iter().map(|j| j.input_bytes()).sum();
+        let in_ids: Vec<_> = batch.iter().map(|j| j.id).collect();
+        let load = load_for(0, backlog, 8, 2);
+
+        let mut scheds: Vec<Box<dyn BurstScheduler>> = vec![
+            Box::new(IcOnlyScheduler::new()),
+            Box::new(GreedyScheduler::new()),
+            Box::new(OrderPreservingScheduler::default_with_seed(1)),
+            Box::new(SibsScheduler::default_with_seed(1)),
+        ];
+        for s in &mut scheds {
+            let out = s.schedule_batch(batch.clone(), &load, &est);
+            let got: u64 = out.jobs.iter().map(|(j, _)| j.input_bytes()).sum();
+            prop_assert_eq!(got, total, "{} lost bytes", s.name());
+            // Original (unchunked) jobs appear in input order.
+            let originals: Vec<_> =
+                out.jobs.iter().filter(|(j, _)| !j.is_chunk()).map(|(j, _)| j.id).collect();
+            let expected: Vec<_> = in_ids
+                .iter()
+                .copied()
+                .filter(|id| originals.contains(id))
+                .collect();
+            prop_assert_eq!(originals, expected, "{} reordered the batch", s.name());
+        }
+    }
+
+    /// IC-only never bursts; Greedy never places a job somewhere its own
+    /// estimate says is strictly slower at decision time.
+    #[test]
+    fn greedy_is_locally_optimal(seed in any::<u64>(), backlog in 0.0f64..8_000.0) {
+        let est = provider();
+        let batch = batch_for(seed, 6.0, SizeBucket::Uniform);
+        let load = load_for(0, backlog, 4, 2);
+        let out = GreedyScheduler::new().schedule_batch(batch, &load, &est);
+        // Replay the planner; at each step the chosen side's finish time
+        // must be ≤ the other side's.
+        let mut planner = Planner::new(&load, &est);
+        for (job, placement) in &out.jobs {
+            let t_ic = planner.ft_ic(job);
+            let t_ec = planner.ft_ec(job);
+            match placement {
+                Placement::Internal => prop_assert!(t_ic <= t_ec),
+                Placement::External => prop_assert!(t_ec < t_ic),
+            }
+            planner.commit(job, *placement);
+        }
+    }
+
+    /// Op only bursts jobs whose round trip fits their slack under its own
+    /// estimates (Eq. 2), whatever the workload and backlog.
+    #[test]
+    fn op_respects_eq2(seed in any::<u64>(), backlog in 0.0f64..8_000.0) {
+        let est = provider();
+        let batch = batch_for(seed, 8.0, SizeBucket::LargeBiased);
+        let load = load_for(0, backlog, 4, 2);
+        let out = OrderPreservingScheduler::default_with_seed(2)
+            .schedule_batch(batch, &load, &est);
+        let mut planner = Planner::new(&load, &est);
+        for (job, placement) in &out.jobs {
+            if *placement == Placement::External {
+                let slack = planner.slack().expect("burst requires predecessors");
+                prop_assert!(planner.ft_ec(job) <= slack, "Eq. 2 violated");
+            }
+            planner.commit(job, *placement);
+        }
+    }
+
+    /// SIBS placements equal Op placements for identical inputs; its bounds
+    /// (when present) are ordered.
+    #[test]
+    fn sibs_wraps_op_faithfully(seed in any::<u64>(), backlog in 0.0f64..8_000.0) {
+        let est = provider();
+        let batch = batch_for(seed, 8.0, SizeBucket::Uniform);
+        let load = load_for(0, backlog, 4, 2);
+        let a = SibsScheduler::default_with_seed(3).schedule_batch(batch.clone(), &load, &est);
+        let b = OrderPreservingScheduler::default_with_seed(3)
+            .schedule_batch(batch, &load, &est);
+        let pa: Vec<Placement> = a.jobs.iter().map(|(_, p)| *p).collect();
+        let pb: Vec<Placement> = b.jobs.iter().map(|(_, p)| *p).collect();
+        prop_assert_eq!(pa, pb);
+        if let Some(bounds) = a.sibs {
+            prop_assert!(bounds.s_bound <= bounds.m_bound);
+        }
+    }
+}

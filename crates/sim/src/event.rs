@@ -1,0 +1,343 @@
+//! The event queue and simulation driver.
+//!
+//! Events are boxed `FnOnce(&mut W, &mut Sim<W>)` closures ordered by
+//! `(time, sequence)`. The monotone sequence number gives simultaneous events
+//! a stable first-scheduled-first-fired order, which is essential for
+//! reproducibility: two runs with the same seed execute the exact same event
+//! interleaving.
+//!
+//! Cancellation is tombstone-based: [`Sim::cancel`] marks the event id dead
+//! and the driver drops dead events when they surface at the head of the
+//! heap. This keeps `cancel` O(1) amortized without requiring a decrease-key
+//! heap.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Handle to a scheduled event, usable to cancel it before it fires.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(u64);
+
+type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
+
+struct Scheduled<W> {
+    at: SimTime,
+    seq: u64,
+    f: EventFn<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    // Reversed so the std max-heap pops the earliest (time, seq) first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A discrete-event simulator over a world state `W`.
+///
+/// The world is passed by `&mut` into every event, alongside the simulator
+/// itself so events can schedule follow-up events. See the crate docs for an
+/// example.
+pub struct Sim<W> {
+    now: SimTime,
+    queue: BinaryHeap<Scheduled<W>>,
+    seq: u64,
+    /// Tombstones for cancelled-but-not-yet-popped events.
+    cancelled: HashSet<u64>,
+    /// Seqs currently scheduled and not cancelled — the authority on
+    /// whether an id is still live (fired and cancelled ids are absent).
+    live: HashSet<u64>,
+    fired: u64,
+}
+
+impl<W> Default for Sim<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Sim<W> {
+    /// Creates an empty simulator at `t = 0`.
+    pub fn new() -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            cancelled: HashSet::new(),
+            live: HashSet::new(),
+            fired: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events fired so far (diagnostics).
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Number of live (scheduled, not cancelled) events.
+    pub fn pending(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Schedules `f` to fire at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error; the event is clamped to fire
+    /// at the current time instead (it will run before the driver advances
+    /// the clock), and in debug builds this panics to surface the bug.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        f: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
+    ) -> EventId {
+        debug_assert!(
+            at >= self.now,
+            "scheduled event in the past: at={at:?} now={:?}",
+            self.now
+        );
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.live.insert(seq);
+        self.queue.push(Scheduled { at, seq, f: Box::new(f) });
+        EventId(seq)
+    }
+
+    /// Schedules `f` to fire after `delay`.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        f: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
+    ) -> EventId {
+        let at = self.now + delay;
+        self.schedule_at(at, f)
+    }
+
+    /// Schedules `f` to fire at the current instant, after all events already
+    /// scheduled for this instant.
+    pub fn schedule_now(&mut self, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) -> EventId {
+        self.schedule_at(self.now, f)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event was
+    /// still pending (it will now never fire), `false` if it already fired or
+    /// was already cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if self.live.remove(&id.0) {
+            // Tombstone; the driver drops it when it surfaces at the head.
+            self.cancelled.insert(id.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pops and fires the next live event. Returns `false` when the queue is
+    /// exhausted.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        loop {
+            let Some(ev) = self.queue.pop() else {
+                return false;
+            };
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            self.live.remove(&ev.seq);
+            debug_assert!(ev.at >= self.now, "event queue went backwards");
+            self.now = ev.at;
+            self.fired += 1;
+            (ev.f)(world, self);
+            return true;
+        }
+    }
+
+    /// Runs until no events remain.
+    pub fn run(&mut self, world: &mut W) {
+        while self.step(world) {}
+    }
+
+    /// Runs events up to and including time `until`; the clock ends at
+    /// `until` (or at the last event if the queue drains first — in that case
+    /// the clock is advanced to `until`). Events scheduled after `until`
+    /// remain pending.
+    pub fn run_until(&mut self, world: &mut W, until: SimTime) {
+        loop {
+            // peek_next (not queue.peek) so a cancelled event at the head
+            // cannot trick the loop into firing a live event beyond `until`.
+            match self.peek_next() {
+                Some(at) if at <= until => {
+                    let fired = self.step(world);
+                    if !fired {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        if self.now < until {
+            self.now = until;
+        }
+    }
+
+    /// Time of the next live event, if any.
+    pub fn peek_next(&mut self) -> Option<SimTime> {
+        // Drop dead events off the head so the answer reflects a live event.
+        while let Some(ev) = self.queue.peek() {
+            if self.cancelled.contains(&ev.seq) {
+                let ev = self.queue.pop().expect("peeked");
+                self.cancelled.remove(&ev.seq);
+            } else {
+                return Some(ev.at);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        sim.schedule_at(SimTime::from_secs(3), |w: &mut Vec<u32>, _| w.push(3));
+        sim.schedule_at(SimTime::from_secs(1), |w: &mut Vec<u32>, _| w.push(1));
+        sim.schedule_at(SimTime::from_secs(2), |w: &mut Vec<u32>, _| w.push(2));
+        let mut w = Vec::new();
+        sim.run(&mut w);
+        assert_eq!(w, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_fifo() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            sim.schedule_at(t, move |w: &mut Vec<u32>, _| w.push(i));
+        }
+        let mut w = Vec::new();
+        sim.run(&mut w);
+        assert_eq!(w, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim: Sim<Vec<u64>> = Sim::new();
+        sim.schedule_in(SimDuration::from_secs(1), |_, sim| {
+            sim.schedule_in(SimDuration::from_secs(1), |w: &mut Vec<u64>, sim| {
+                w.push(sim.now().as_micros());
+            });
+        });
+        let mut w = Vec::new();
+        sim.run(&mut w);
+        assert_eq!(w, vec![2_000_000]);
+    }
+
+    #[test]
+    fn cancel_prevents_firing() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let id = sim.schedule_at(SimTime::from_secs(1), |w: &mut Vec<u32>, _| w.push(1));
+        sim.schedule_at(SimTime::from_secs(2), |w: &mut Vec<u32>, _| w.push(2));
+        assert!(sim.cancel(id));
+        assert!(!sim.cancel(id), "double-cancel reports false");
+        let mut w = Vec::new();
+        sim.run(&mut w);
+        assert_eq!(w, vec![2]);
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut sim: Sim<()> = Sim::new();
+        assert!(!sim.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn cancel_after_fire_is_false_and_leaks_nothing() {
+        let mut sim: Sim<u32> = Sim::new();
+        let id = sim.schedule_at(SimTime::from_secs(1), |w: &mut u32, _| *w += 1);
+        let mut w = 0;
+        sim.run(&mut w);
+        assert_eq!(w, 1);
+        assert!(!sim.cancel(id), "already-fired event cannot be cancelled");
+        assert_eq!(sim.pending(), 0);
+    }
+
+    #[test]
+    fn run_until_is_not_fooled_by_cancelled_head() {
+        // Regression: a cancelled event at the head of the queue with
+        // at <= until must not cause a live event beyond `until` to fire.
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let dead = sim.schedule_at(SimTime::from_secs(1), |w: &mut Vec<u32>, _| w.push(1));
+        sim.schedule_at(SimTime::from_secs(5), |w: &mut Vec<u32>, _| w.push(5));
+        sim.cancel(dead);
+        let mut w = Vec::new();
+        sim.run_until(&mut w, SimTime::from_secs(3));
+        assert!(w.is_empty(), "nothing live at or before t=3: {w:?}");
+        assert_eq!(sim.now(), SimTime::from_secs(3));
+        assert_eq!(sim.pending(), 1);
+    }
+
+    #[test]
+    fn run_until_stops_and_advances_clock() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        sim.schedule_at(SimTime::from_secs(1), |w: &mut Vec<u32>, _| w.push(1));
+        sim.schedule_at(SimTime::from_secs(5), |w: &mut Vec<u32>, _| w.push(5));
+        let mut w = Vec::new();
+        sim.run_until(&mut w, SimTime::from_secs(3));
+        assert_eq!(w, vec![1]);
+        assert_eq!(sim.now(), SimTime::from_secs(3));
+        assert_eq!(sim.pending(), 1);
+        sim.run(&mut w);
+        assert_eq!(w, vec![1, 5]);
+    }
+
+    #[test]
+    fn peek_next_skips_cancelled() {
+        let mut sim: Sim<()> = Sim::new();
+        let a = sim.schedule_at(SimTime::from_secs(1), |_, _| {});
+        sim.schedule_at(SimTime::from_secs(2), |_, _| {});
+        sim.cancel(a);
+        assert_eq!(sim.peek_next(), Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn pending_counts_live_events() {
+        let mut sim: Sim<()> = Sim::new();
+        let a = sim.schedule_at(SimTime::from_secs(1), |_, _| {});
+        sim.schedule_at(SimTime::from_secs(2), |_, _| {});
+        assert_eq!(sim.pending(), 2);
+        sim.cancel(a);
+        assert_eq!(sim.pending(), 1);
+    }
+
+    #[test]
+    fn schedule_now_runs_after_current_instant_events() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        sim.schedule_at(SimTime::ZERO, |w: &mut Vec<u32>, sim| {
+            w.push(1);
+            sim.schedule_now(|w: &mut Vec<u32>, _| w.push(3));
+        });
+        sim.schedule_at(SimTime::ZERO, |w: &mut Vec<u32>, _| w.push(2));
+        let mut w = Vec::new();
+        sim.run(&mut w);
+        assert_eq!(w, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,140 @@
+//! Recurring-process helpers on top of the raw event queue.
+//!
+//! A [`Ticker`] fires a handler on a fixed period until stopped or until an
+//! optional horizon is reached — used by the autonomic layer for periodic
+//! bandwidth probes and by the metrics layer for OO-metric sampling.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use crate::event::Sim;
+use crate::time::{SimDuration, SimTime};
+
+/// Handle controlling a periodic process started by [`Ticker::start`].
+///
+/// Dropping the handle does *not* stop the ticker; call [`TickerHandle::stop`].
+#[derive(Clone)]
+pub struct TickerHandle {
+    alive: Rc<Cell<bool>>,
+}
+
+impl TickerHandle {
+    /// Stops the ticker; the next scheduled tick becomes a no-op.
+    pub fn stop(&self) {
+        self.alive.set(false);
+    }
+
+    /// True if the ticker has not been stopped.
+    pub fn is_running(&self) -> bool {
+        self.alive.get()
+    }
+}
+
+/// A periodic event source.
+pub struct Ticker;
+
+impl Ticker {
+    /// Starts a periodic process firing `f(world, sim, tick_index)` every
+    /// `period`, with the first tick after one full period. If `horizon` is
+    /// `Some(t)`, ticks strictly after `t` are suppressed and the process
+    /// ends.
+    pub fn start<W: 'static>(
+        sim: &mut Sim<W>,
+        period: SimDuration,
+        horizon: Option<SimTime>,
+        f: impl FnMut(&mut W, &mut Sim<W>, u64) + 'static,
+    ) -> TickerHandle {
+        assert!(!period.is_zero(), "ticker period must be positive");
+        let alive = Rc::new(Cell::new(true));
+        let handle = TickerHandle { alive: alive.clone() };
+        schedule_tick(sim, period, horizon, alive, Box::new(f), 0);
+        handle
+    }
+}
+
+type TickFn<W> = Box<dyn FnMut(&mut W, &mut Sim<W>, u64)>;
+
+fn schedule_tick<W: 'static>(
+    sim: &mut Sim<W>,
+    period: SimDuration,
+    horizon: Option<SimTime>,
+    alive: Rc<Cell<bool>>,
+    mut f: TickFn<W>,
+    index: u64,
+) {
+    let at = sim.now() + period;
+    if let Some(h) = horizon {
+        if at > h {
+            return;
+        }
+    }
+    sim.schedule_at(at, move |w, sim| {
+        if !alive.get() {
+            return;
+        }
+        f(w, sim, index);
+        if alive.get() {
+            schedule_tick(sim, period, horizon, alive, f, index + 1);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_on_period() {
+        let mut sim: Sim<Vec<(u64, u64)>> = Sim::new();
+        Ticker::start(
+            &mut sim,
+            SimDuration::from_secs(2),
+            Some(SimTime::from_secs(7)),
+            |w: &mut Vec<(u64, u64)>, sim, i| w.push((i, sim.now().as_micros())),
+        );
+        let mut w = Vec::new();
+        sim.run(&mut w);
+        assert_eq!(w, vec![(0, 2_000_000), (1, 4_000_000), (2, 6_000_000)]);
+    }
+
+    #[test]
+    fn stop_halts_future_ticks() {
+        let mut sim: Sim<Vec<u64>> = Sim::new();
+        let h = Ticker::start(
+            &mut sim,
+            SimDuration::from_secs(1),
+            None,
+            |w: &mut Vec<u64>, sim, _| w.push(sim.now().as_micros()),
+        );
+        sim.schedule_at(SimTime::from_secs_f64(2.5), move |_, _| h.stop());
+        let mut w = Vec::new();
+        sim.run(&mut w);
+        assert_eq!(w, vec![1_000_000, 2_000_000]);
+    }
+
+    #[test]
+    fn handler_can_stop_itself() {
+        let mut sim: Sim<Vec<u64>> = Sim::new();
+        let alive_probe: Rc<Cell<Option<TickerHandle>>> = Rc::new(Cell::new(None));
+        let slot = alive_probe.clone();
+        let h = Ticker::start(&mut sim, SimDuration::from_secs(1), None, move |w: &mut Vec<u64>, _, i| {
+            w.push(i);
+            if i == 2 {
+                if let Some(h) = slot.take() {
+                    h.stop();
+                }
+            }
+        });
+        alive_probe.set(Some(h));
+        let mut w = Vec::new();
+        sim.run(&mut w);
+        assert_eq!(w, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_panics() {
+        let mut sim: Sim<()> = Sim::new();
+        Ticker::start(&mut sim, SimDuration::ZERO, None, |_, _, _| {});
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the DES kernel: ordering, cancellation, run_until
+//! semantics and RNG stream independence under arbitrary inputs.
+
+use proptest::prelude::*;
+
+use cloudburst_sim::process::Ticker;
+use cloudburst_sim::{RngFactory, Sim, SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Events fire exactly once, in (time, insertion) order.
+    #[test]
+    fn total_order_with_stable_ties(times in prop::collection::vec(0u64..1_000, 1..300)) {
+        let mut sim: Sim<Vec<(u64, usize)>> = Sim::new();
+        for (idx, &t) in times.iter().enumerate() {
+            sim.schedule_at(SimTime::from_micros(t), move |w: &mut Vec<(u64, usize)>, sim| {
+                w.push((sim.now().as_micros(), idx));
+            });
+        }
+        let mut seen = Vec::new();
+        sim.run(&mut seen);
+        prop_assert_eq!(seen.len(), times.len());
+        for w in seen.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+            }
+        }
+    }
+
+    /// Cancelling an arbitrary subset prevents exactly that subset.
+    #[test]
+    fn cancellation_is_exact(
+        times in prop::collection::vec(0u64..1_000, 1..120),
+        cancel_mask in prop::collection::vec(any::<bool>(), 120),
+    ) {
+        let mut sim: Sim<Vec<usize>> = Sim::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                sim.schedule_at(SimTime::from_micros(t), move |w: &mut Vec<usize>, _| w.push(i))
+            })
+            .collect();
+        let mut expect: Vec<usize> = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if cancel_mask[i] {
+                prop_assert!(sim.cancel(*id));
+            } else {
+                expect.push(i);
+            }
+        }
+        let mut seen = Vec::new();
+        sim.run(&mut seen);
+        seen.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(seen, expect);
+    }
+
+    /// run_until(t) fires exactly the events at or before t and leaves the
+    /// clock at t; a subsequent run() finishes the rest.
+    #[test]
+    fn run_until_partitions_cleanly(
+        times in prop::collection::vec(1u64..1_000, 1..100),
+        cut in 1u64..1_000,
+    ) {
+        let mut sim: Sim<Vec<u64>> = Sim::new();
+        for &t in &times {
+            sim.schedule_at(SimTime::from_micros(t), move |w: &mut Vec<u64>, _| w.push(t));
+        }
+        let mut seen = Vec::new();
+        sim.run_until(&mut seen, SimTime::from_micros(cut));
+        prop_assert!(seen.iter().all(|&t| t <= cut));
+        prop_assert_eq!(sim.now(), SimTime::from_micros(cut));
+        let before = seen.len();
+        sim.run(&mut seen);
+        prop_assert!(seen[before..].iter().all(|&t| t > cut));
+        prop_assert_eq!(seen.len(), times.len());
+    }
+
+    /// Ticker fires ⌊horizon / period⌋ times at exact multiples.
+    #[test]
+    fn ticker_count_matches_horizon(period in 1u64..50, horizon in 1u64..2_000) {
+        let mut sim: Sim<Vec<u64>> = Sim::new();
+        Ticker::start(
+            &mut sim,
+            SimDuration::from_micros(period),
+            Some(SimTime::from_micros(horizon)),
+            |w: &mut Vec<u64>, sim, _| w.push(sim.now().as_micros()),
+        );
+        let mut seen = Vec::new();
+        sim.run(&mut seen);
+        prop_assert_eq!(seen.len() as u64, horizon / period);
+        for (i, &t) in seen.iter().enumerate() {
+            prop_assert_eq!(t, (i as u64 + 1) * period);
+        }
+    }
+
+    /// RNG streams: same label reproduces, different labels decorrelate.
+    #[test]
+    fn rng_streams_reproduce(seed in any::<u64>(), label in "[a-z]{1,12}") {
+        use rand::Rng;
+        let f = RngFactory::new(seed);
+        let a: Vec<u64> = {
+            let mut r = f.stream(&label);
+            (0..4).map(|_| r.gen()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = f.stream(&label);
+            (0..4).map(|_| r.gen()).collect()
+        };
+        prop_assert_eq!(&a, &b);
+        let c: u64 = f.stream(&format!("{label}/x")).gen();
+        prop_assert_ne!(a[0], c);
+    }
+}

@@ -1,0 +1,29 @@
+//! `cloudburst-sla` — service-level-agreement metrics and constraints.
+//!
+//! Implements Sec. II of the paper:
+//!
+//! * [`slack`] — the slackness constraint (Eq. 1–2): the time cushion a job
+//!   has for an EC round trip before its in-order turn for local processing.
+//! * [`ooo`] — the Out-of-Order metric (Eq. 3–6): how much *ordered* output
+//!   is available to the downstream consumer at each sampling instant, under
+//!   a tolerance limit.
+//! * [`metrics`] — makespan (Eq. 7), machine/pool utilization (Eq. 8–9),
+//!   speed-up (Eq. 10) and burst ratio (Eq. 11–12).
+//! * [`report`] — a serializable per-run SLA report aggregating all of the
+//!   above, plus the completion-delay series used by Figs. 7 and 8.
+//! * [`ticket`] — completion tickets ("your job will finish by t") and the
+//!   empirical probabilistic-guarantee machinery of the paper's abstract.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod ooo;
+pub mod report;
+pub mod slack;
+pub mod ticket;
+
+pub use metrics::{burst_ratio, makespan, speedup};
+pub use ooo::{oo_series, CompletionRecord, OoConfig, OoSample};
+pub use report::RunReport;
+pub use ticket::{ticket_report, TicketOutcome, TicketReport};
+pub use slack::{slack_time, SlackCheck};

@@ -1,0 +1,196 @@
+//! Makespan, speed-up and burst-ratio metrics (Sec. II-C).
+
+use cloudburst_sim::SimTime;
+
+/// Eq. 7: makespan `C = max(t_c(i)) − arr(J)`. `arrival` is the arrival of
+/// the job set (the first batch). Returns seconds; 0 for an empty run.
+pub fn makespan(completion_times: &[SimTime], arrival: SimTime) -> f64 {
+    completion_times
+        .iter()
+        .copied()
+        .max()
+        .map_or(0.0, |last| (last - arrival).as_secs_f64())
+}
+
+/// Eq. 10 (as described in the text): speed-up is the ratio of the
+/// sequential time on a standard machine to the cloud-bursting makespan.
+/// The displayed equation in the paper inverts the fraction; the prose
+/// ("the objective is to maximize the speedup", "we obtain a higher speedup
+/// in the case of large jobs") fixes the intended direction implemented
+/// here.
+pub fn speedup(sequential_secs: f64, makespan_secs: f64) -> f64 {
+    assert!(sequential_secs >= 0.0);
+    if makespan_secs <= 0.0 {
+        return 0.0;
+    }
+    sequential_secs / makespan_secs
+}
+
+/// Eq. 11–12: burst ratio. `bursted` flags each job's placement decision
+/// `d_i` (true = EC); the whole-run ratio is total bursted over total jobs.
+pub fn burst_ratio(bursted: &[bool]) -> f64 {
+    if bursted.is_empty() {
+        return 0.0;
+    }
+    bursted.iter().filter(|&&d| d).count() as f64 / bursted.len() as f64
+}
+
+/// Eq. 11 per batch, then Eq. 12 recombined — provided to mirror the
+/// paper's two-level definition and to report per-batch series. `batches`
+/// gives each batch's decisions.
+pub fn burst_ratio_batched(batches: &[Vec<bool>]) -> (Vec<f64>, f64) {
+    let per_batch: Vec<f64> = batches.iter().map(|b| burst_ratio(b)).collect();
+    let total_jobs: usize = batches.iter().map(|b| b.len()).sum();
+    if total_jobs == 0 {
+        return (per_batch, 0.0);
+    }
+    // Eq. 12: Σ bu(B_j)·b_j / n — identical to the flat ratio.
+    let weighted: f64 = batches
+        .iter()
+        .zip(&per_batch)
+        .map(|(b, r)| r * b.len() as f64)
+        .sum::<f64>()
+        / total_jobs as f64;
+    (per_batch, weighted)
+}
+
+/// Per-batch turnaround: for each batch, the time from its arrival to its
+/// last job's completion. The paper's bursting constraint exists precisely
+/// to protect "the speed-up of the initial batches" (Sec. II-C) — this
+/// series is how that protection is checked. `batch_of[i]` gives job `i`'s
+/// batch; `batch_arrivals[b]` its arrival instant.
+pub fn batch_turnarounds(
+    completion_times: &[SimTime],
+    batch_of: &[u32],
+    batch_arrivals: &[SimTime],
+) -> Vec<f64> {
+    assert_eq!(completion_times.len(), batch_of.len());
+    let mut last = vec![SimTime::ZERO; batch_arrivals.len()];
+    for (tc, &b) in completion_times.iter().zip(batch_of) {
+        let slot = &mut last[b as usize];
+        *slot = (*slot).max(*tc);
+    }
+    last.iter()
+        .zip(batch_arrivals)
+        .map(|(&end, &arr)| (end - arr).as_secs_f64())
+        .collect()
+}
+
+/// The per-job completion-delay series plotted in Figs. 7–8: for each job
+/// id `i`, `delta_i = t_c(i) − max_{j<i} t_c(j)` in seconds.
+///
+/// A *peak* (`delta > 0`) means the job finished after everything ahead of
+/// it — the downstream stage waits for it. A *valley* (`delta < 0`) means
+/// its output was ready before its turn — harmless. `completion_times`
+/// is indexed by job id. The head job's delta is measured from the run
+/// arrival.
+pub fn completion_delay_series(completion_times: &[SimTime], arrival: SimTime) -> Vec<f64> {
+    let mut max_before = arrival;
+    completion_times
+        .iter()
+        .map(|&tc| {
+            let delta = tc.as_secs_f64() - max_before.as_secs_f64();
+            max_before = max_before.max(tc);
+            delta
+        })
+        .collect()
+}
+
+/// Counts peaks (`delta > threshold`) and their magnitude sum — the
+/// aggregate the paper eyeballs in Figs. 7–8 ("more the number of high
+/// peaks, more is the wait period").
+pub fn peak_stats(deltas: &[f64], threshold_secs: f64) -> (usize, f64) {
+    let peaks: Vec<f64> = deltas.iter().copied().filter(|&d| d > threshold_secs).collect();
+    (peaks.len(), peaks.iter().sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn makespan_is_last_completion_minus_arrival() {
+        assert_eq!(makespan(&[t(100), t(400), t(250)], t(50)), 350.0);
+        assert_eq!(makespan(&[], t(50)), 0.0);
+    }
+
+    #[test]
+    fn speedup_direction_is_sequential_over_parallel() {
+        // 8 machines at ~84% efficiency: sequential 800 s, bursting 119 s.
+        assert!((speedup(800.0, 119.0) - 6.72).abs() < 0.01);
+        assert_eq!(speedup(100.0, 0.0), 0.0);
+        assert!(speedup(800.0, 100.0) > speedup(800.0, 200.0));
+    }
+
+    #[test]
+    fn burst_ratio_flat() {
+        assert_eq!(burst_ratio(&[true, false, false, true, false]), 0.4);
+        assert_eq!(burst_ratio(&[]), 0.0);
+        assert_eq!(burst_ratio(&[false; 10]), 0.0);
+        assert_eq!(burst_ratio(&[true; 4]), 1.0);
+    }
+
+    #[test]
+    fn batched_ratio_matches_flat_overall() {
+        let batches = vec![
+            vec![true, false, false],
+            vec![true, true, false, false],
+            vec![false],
+        ];
+        let (per, overall) = burst_ratio_batched(&batches);
+        assert_eq!(per.len(), 3);
+        assert!((per[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((per[1] - 0.5).abs() < 1e-12);
+        assert_eq!(per[2], 0.0);
+        let flat: Vec<bool> = batches.iter().flatten().copied().collect();
+        assert!((overall - burst_ratio(&flat)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_series_marks_peaks_and_valleys() {
+        // Jobs complete at 100, 90, 200, 150 → deltas 100, -10, 100, -50.
+        let tc = [t(100), t(90), t(200), t(150)];
+        let d = completion_delay_series(&tc, t(0));
+        assert_eq!(d, vec![100.0, -10.0, 100.0, -50.0]);
+        let (n, sum) = peak_stats(&d, 0.0);
+        assert_eq!(n, 2);
+        assert_eq!(sum, 200.0);
+    }
+
+    #[test]
+    fn in_order_run_has_no_negative_deltas() {
+        let tc = [t(10), t(20), t(30)];
+        let d = completion_delay_series(&tc, t(0));
+        assert!(d.iter().all(|&x| x >= 0.0));
+        assert_eq!(peak_stats(&d, 15.0), (0, 0.0));
+    }
+
+    #[test]
+    fn empty_series() {
+        assert!(completion_delay_series(&[], t(0)).is_empty());
+        assert_eq!(peak_stats(&[], 0.0), (0, 0.0));
+    }
+
+    #[test]
+    fn batch_turnarounds_track_last_completion_per_batch() {
+        // Batch 0 arrives at 0 (jobs finish 100, 250); batch 1 at 180
+        // (jobs finish 200, 400).
+        let tc = [t(100), t(250), t(200), t(400)];
+        let batch_of = [0, 0, 1, 1];
+        let arrivals = [t(0), t(180)];
+        let ts = batch_turnarounds(&tc, &batch_of, &arrivals);
+        assert_eq!(ts, vec![250.0, 220.0]);
+    }
+
+    #[test]
+    fn batch_turnarounds_handle_interleaved_batches() {
+        let tc = [t(500), t(90)];
+        let batch_of = [1, 0];
+        let arrivals = [t(0), t(60)];
+        assert_eq!(batch_turnarounds(&tc, &batch_of, &arrivals), vec![90.0, 440.0]);
+    }
+}

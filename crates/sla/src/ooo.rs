@@ -1,0 +1,232 @@
+//! The Out-of-Order (OO) metric (Sec. II-B, Eq. 3–6).
+//!
+//! At each sampling time `s_t`, find the highest job rank `m_t` such that
+//! the results ordered by job id can be consumed by the next production
+//! stage with at most `t_l` missing predecessors:
+//!
+//! ```text
+//! C_t  = { x | t_c(x) ≤ s_t }                                   (Eq. 3)
+//! J_it = { x ∈ C_t | x.id ≤ i }                                 (Eq. 4)
+//! m_t  = max i  s.t.  j_i ∈ C_t ∧ i − t_l ≤ |J_it|              (Eq. 5)
+//! o_t  = Σ_{x ∈ J_{m_t,t}} x.size                               (Eq. 6)
+//! ```
+//!
+//! `o_t` is the amount of ordered data ready for the printer at `s_t`.
+//! Ranks are 1-based in the paper; this module takes 0-based ids and
+//! converts internally.
+
+use cloudburst_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A completed job as seen by the OO metric: 0-based queue rank, completion
+/// instant, and output size (the "operational rate of the subsequent
+/// production stages … depends on the size of the job output").
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CompletionRecord {
+    /// 0-based queue-order id.
+    pub id: u64,
+    /// Completion instant.
+    pub at: SimTime,
+    /// Output bytes delivered by the job.
+    pub bytes: u64,
+}
+
+/// Sampling configuration for the OO series.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct OoConfig {
+    /// Tolerance limit `t_l`: how many predecessors may be missing. 0 means
+    /// strict in-order consumption.
+    pub tolerance: u64,
+    /// Sampling interval (the paper uses 2 minutes in Fig. 9).
+    pub sample_interval: SimDuration,
+}
+
+impl Default for OoConfig {
+    fn default() -> Self {
+        OoConfig { tolerance: 0, sample_interval: SimDuration::from_mins(2) }
+    }
+}
+
+/// One sample of the OO series.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OoSample {
+    /// Sampling instant `s_t`.
+    pub at: SimTime,
+    /// `m_t` as a 0-based id (`None` if no rank qualifies yet).
+    pub m_t: Option<u64>,
+    /// Ordered bytes available, `o_t`.
+    pub o_t: u64,
+    /// Total completed jobs at `s_t` (|C_t|) — diagnostic.
+    pub completed: usize,
+}
+
+/// Computes the OO series over `[sample_interval, horizon]`.
+///
+/// `total_jobs` bounds the rank space (ids must be `< total_jobs`).
+/// Completions may be passed in any order. Jobs absent from `completions`
+/// are treated as never finishing within the horizon.
+pub fn oo_series(
+    completions: &[CompletionRecord],
+    total_jobs: usize,
+    horizon: SimTime,
+    cfg: OoConfig,
+) -> Vec<OoSample> {
+    assert!(!cfg.sample_interval.is_zero(), "sampling interval must be positive");
+    for c in completions {
+        assert!((c.id as usize) < total_jobs, "id {} out of range {total_jobs}", c.id);
+    }
+    let mut by_time: Vec<&CompletionRecord> = completions.iter().collect();
+    by_time.sort_by_key(|c| (c.at, c.id));
+
+    // Incremental state: which ranks are complete, their sizes, and a
+    // prefix-count maintained on the fly. m_t is monotone in t (both sides
+    // of Eq. 5 only grow as completions accrue), so each sample resumes the
+    // scan from the previous m_t.
+    let mut complete = vec![false; total_jobs];
+    let mut bytes = vec![0u64; total_jobs];
+    let mut samples = Vec::new();
+    let mut next = 0usize; // next completion (by time) to ingest
+    let mut m_t: Option<u64> = None;
+    let mut t = SimTime::ZERO + cfg.sample_interval;
+    while t <= horizon {
+        while next < by_time.len() && by_time[next].at <= t {
+            let c = by_time[next];
+            complete[c.id as usize] = true;
+            bytes[c.id as usize] = c.bytes;
+            next += 1;
+        }
+        // Count of completed ranks ≤ i, resumed incrementally per sample.
+        // (Recomputing the prefix count from 0 keeps the logic obviously
+        // correct; total work per run is O(samples × jobs), tiny here.)
+        let mut best: Option<u64> = None;
+        let mut prefix = 0u64;
+        for i in 0..total_jobs as u64 {
+            if complete[i as usize] {
+                prefix += 1;
+                // Eq. 5 with 1-based rank r = i + 1: r − t_l ≤ |J_it|.
+                if (i + 1).saturating_sub(cfg.tolerance) <= prefix {
+                    best = Some(i);
+                }
+            }
+        }
+        m_t = best.or(m_t);
+        let o_t = match m_t {
+            None => 0,
+            Some(m) => (0..=m).filter(|&i| complete[i as usize]).map(|i| bytes[i as usize]).sum(),
+        };
+        samples.push(OoSample { at: t, m_t, o_t, completed: prefix as usize });
+        t += cfg.sample_interval;
+    }
+    samples
+}
+
+/// Convenience: the final ordered-data availability (last `o_t`), or 0 for
+/// an empty series.
+pub fn final_ordered_bytes(series: &[OoSample]) -> u64 {
+    series.last().map_or(0, |s| s.o_t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, secs: u64, bytes: u64) -> CompletionRecord {
+        CompletionRecord { id, at: SimTime::from_secs(secs), bytes }
+    }
+
+    fn cfg(tol: u64, interval_secs: u64) -> OoConfig {
+        OoConfig { tolerance: tol, sample_interval: SimDuration::from_secs(interval_secs) }
+    }
+
+    #[test]
+    fn strict_order_in_order_completion() {
+        // Jobs 0,1,2 complete in order at 10, 20, 30 s.
+        let comps = vec![rec(0, 10, 100), rec(1, 20, 200), rec(2, 30, 300)];
+        let s = oo_series(&comps, 3, SimTime::from_secs(40), cfg(0, 10));
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[0].m_t, Some(0));
+        assert_eq!(s[0].o_t, 100);
+        assert_eq!(s[1].m_t, Some(1));
+        assert_eq!(s[1].o_t, 300);
+        assert_eq!(s[2].m_t, Some(2));
+        assert_eq!(s[2].o_t, 600);
+        assert_eq!(s[3].o_t, 600);
+    }
+
+    #[test]
+    fn strict_order_blocks_on_missing_head() {
+        // Job 1 and 2 complete early; job 0 only at 35 s.
+        let comps = vec![rec(0, 35, 100), rec(1, 5, 200), rec(2, 6, 300)];
+        let s = oo_series(&comps, 3, SimTime::from_secs(40), cfg(0, 10));
+        assert_eq!(s[0].m_t, None, "nothing consumable while j0 missing");
+        assert_eq!(s[0].o_t, 0);
+        assert_eq!(s[0].completed, 2);
+        // After 35 s, everything unlocks at once.
+        assert_eq!(s[3].m_t, Some(2));
+        assert_eq!(s[3].o_t, 600);
+    }
+
+    #[test]
+    fn tolerance_unlocks_gapped_prefixes() {
+        // Job 0 never completes; 1 and 2 do.
+        let comps = vec![rec(1, 5, 200), rec(2, 6, 300)];
+        let strict = oo_series(&comps, 3, SimTime::from_secs(20), cfg(0, 10));
+        assert_eq!(strict[1].m_t, None);
+        let tol1 = oo_series(&comps, 3, SimTime::from_secs(20), cfg(1, 10));
+        // Rank 3 (id 2): 3 − 1 = 2 ≤ |{1,2}| = 2 → qualifies.
+        assert_eq!(tol1[1].m_t, Some(2));
+        assert_eq!(tol1[1].o_t, 500, "missing job 0 contributes no bytes");
+    }
+
+    #[test]
+    fn o_t_monotone_in_tolerance_and_time() {
+        let comps = vec![
+            rec(0, 50, 100),
+            rec(1, 10, 200),
+            rec(2, 15, 300),
+            rec(3, 70, 400),
+            rec(4, 20, 500),
+        ];
+        let horizon = SimTime::from_secs(100);
+        let mut last_final = 0;
+        for tol in 0..4 {
+            let s = oo_series(&comps, 5, horizon, cfg(tol, 10));
+            // time-monotonicity
+            for w in s.windows(2) {
+                assert!(w[1].o_t >= w[0].o_t, "o_t must not regress in time");
+            }
+            let f = final_ordered_bytes(&s);
+            assert!(f >= last_final, "o_t must not shrink with tolerance");
+            last_final = f;
+        }
+    }
+
+    #[test]
+    fn m_t_persists_once_reached() {
+        // Eq. 5's qualification is monotone: once a rank qualifies it stays.
+        let comps = vec![rec(0, 10, 1), rec(1, 12, 1)];
+        let s = oo_series(&comps, 4, SimTime::from_secs(60), cfg(0, 10));
+        assert!(s.iter().skip(1).all(|x| x.m_t == Some(1)));
+    }
+
+    #[test]
+    fn empty_completions() {
+        let s = oo_series(&[], 5, SimTime::from_secs(30), cfg(2, 10));
+        assert!(s.iter().all(|x| x.m_t.is_none() && x.o_t == 0));
+        assert_eq!(final_ordered_bytes(&s), 0);
+        assert_eq!(final_ordered_bytes(&[]), 0);
+    }
+
+    #[test]
+    fn paper_sampling_default_is_two_minutes() {
+        let c = OoConfig::default();
+        assert_eq!(c.sample_interval, SimDuration::from_mins(2));
+        assert_eq!(c.tolerance, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn id_out_of_range_panics() {
+        oo_series(&[rec(7, 1, 1)], 3, SimTime::from_secs(10), cfg(0, 5));
+    }
+}

@@ -1,0 +1,151 @@
+//! The slackness constraint (Sec. II-A, Eq. 1–2).
+//!
+//! For a job `j_i` in the FCFS queue, the slack is "the time cushion of the
+//! first job from the head of queue … whose estimated completion time in the
+//! external cloud could be greater or equal to the completion times of the
+//! jobs preceding it in the internal cloud":
+//!
+//! ```text
+//! slack(j_i) = max(T_i)        T_i = { t_c^e(i') | i' < i }          (Eq. 1)
+//! slack(j_i) ≥ t^e(i) + s_i/l(t_i) + o_i/l(t_i + t')                 (Eq. 2)
+//! ```
+//!
+//! `max(T_i)` is an *absolute* instant (when the work ahead of `j_i` is
+//! expected to drain); the right-hand side is the EC round-trip *duration*
+//! (upload + remote execution + result download) measured from the upload
+//! start `t_i`. The constraint therefore reads: the round trip, started now,
+//! must finish no later than the drain of the jobs ahead — then the bursted
+//! job is never on the critical path.
+
+use cloudburst_sim::SimTime;
+
+/// Eq. 1: the slack anchor for a job, given the *estimated* completion
+/// instants of the jobs ahead of it in the queue (any order). Returns `None`
+/// for the head job (no predecessors — it has no cushion and should run
+/// locally).
+pub fn slack_time(est_completions_ahead: &[SimTime]) -> Option<SimTime> {
+    est_completions_ahead.iter().copied().max()
+}
+
+/// One evaluated slackness check (Eq. 2), kept for explainability: the
+/// scheduler logs these so an operator can audit every burst decision.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SlackCheck {
+    /// `max(T_i)` — when the work ahead is estimated to drain (Eq. 1).
+    pub slack: SimTime,
+    /// Upload start (`t_i` in Eq. 2).
+    pub upload_start: SimTime,
+    /// Estimated upload duration `s_i / l(t_i)`, seconds.
+    pub upload_secs: f64,
+    /// Estimated remote execution `t^e(i)`, seconds.
+    pub exec_secs: f64,
+    /// Estimated result download `o_i / l(t_i + t')`, seconds.
+    pub download_secs: f64,
+    /// Safety margin τ subtracted from the cushion (Sec. IV: the output
+    /// "would be required only a small time τ before the jobs preceding it
+    /// complete").
+    pub tau_secs: f64,
+}
+
+impl SlackCheck {
+    /// Estimated instant the round trip completes.
+    pub fn round_trip_end(&self) -> SimTime {
+        self.upload_start
+            + cloudburst_sim::SimDuration::from_secs_f64(
+                self.upload_secs + self.exec_secs + self.download_secs,
+            )
+    }
+
+    /// Eq. 2: true iff the round trip fits inside the cushion (with margin).
+    pub fn satisfied(&self) -> bool {
+        let deadline = self.slack - cloudburst_sim::SimDuration::from_secs_f64(self.tau_secs);
+        self.round_trip_end() <= deadline
+    }
+
+    /// The spare seconds left after the round trip (negative if violated) —
+    /// a ranking key for choosing among multiple feasible jobs.
+    pub fn headroom_secs(&self) -> f64 {
+        let deadline = (self.slack - cloudburst_sim::SimDuration::from_secs_f64(self.tau_secs))
+            .as_secs_f64();
+        deadline - self.round_trip_end().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudburst_sim::SimDuration;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn slack_is_max_of_predecessor_completions() {
+        assert_eq!(slack_time(&[t(100), t(300), t(200)]), Some(t(300)));
+        assert_eq!(slack_time(&[]), None, "head job has no cushion");
+    }
+
+    #[test]
+    fn satisfied_iff_round_trip_fits() {
+        let base = SlackCheck {
+            slack: t(1000),
+            upload_start: t(100),
+            upload_secs: 300.0,
+            exec_secs: 400.0,
+            download_secs: 150.0,
+            tau_secs: 0.0,
+        };
+        // 100 + 850 = 950 ≤ 1000
+        assert!(base.satisfied());
+        assert_eq!(base.round_trip_end(), t(950));
+        assert!((base.headroom_secs() - 50.0).abs() < 1e-9);
+
+        let tight = SlackCheck { exec_secs: 460.0, ..base };
+        // 100 + 910 = 1010 > 1000
+        assert!(!tight.satisfied());
+        assert!(tight.headroom_secs() < 0.0);
+    }
+
+    #[test]
+    fn boundary_is_inclusive() {
+        let c = SlackCheck {
+            slack: t(950),
+            upload_start: t(100),
+            upload_secs: 300.0,
+            exec_secs: 400.0,
+            download_secs: 150.0,
+            tau_secs: 0.0,
+        };
+        assert!(c.satisfied(), "≤ in Eq. 2 is inclusive");
+    }
+
+    #[test]
+    fn tau_margin_tightens_the_deadline() {
+        let c = SlackCheck {
+            slack: t(1000),
+            upload_start: t(100),
+            upload_secs: 300.0,
+            exec_secs: 400.0,
+            download_secs: 150.0,
+            tau_secs: 60.0,
+        };
+        assert!(!c.satisfied(), "τ = 60 s makes the 950 s round trip miss 940 s");
+        let relaxed = SlackCheck { tau_secs: 50.0, ..c };
+        assert!(relaxed.satisfied());
+    }
+
+    #[test]
+    fn headroom_matches_deadline_arithmetic() {
+        let c = SlackCheck {
+            slack: t(500),
+            upload_start: t(0),
+            upload_secs: 100.0,
+            exec_secs: 100.0,
+            download_secs: 100.0,
+            tau_secs: 25.0,
+        };
+        assert!((c.headroom_secs() - 175.0).abs() < 1e-9);
+        let _ = SimDuration::ZERO; // keep import used in all cfg combinations
+    }
+}

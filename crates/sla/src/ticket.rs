@@ -1,0 +1,202 @@
+//! Completion tickets and their attainment.
+//!
+//! "Jobs are given a ticket that they will finish a certain number of
+//! seconds from their submission point. Thus the OO metric is directly
+//! correlated to whether or not the expectation of the ticket-holder
+//! (human or machine) will be met." (Sec. I.) A ticket is the completion
+//! quote the controller issues at admission — here, the scheduler's own
+//! completion estimate plus a confidence margin. Attainment over a run is
+//! the empirical form of the paper's "probabilistic guarantees on service
+//! levels": quoting with a `k`-sigma margin buys a predictable attainment
+//! probability.
+
+use cloudburst_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One issued ticket and how the job actually did.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TicketOutcome {
+    /// 0-based job id.
+    pub id: u64,
+    /// When the ticket was issued (job admission).
+    pub issued: SimTime,
+    /// The quoted completion instant.
+    pub promised: SimTime,
+    /// The actual completion instant.
+    pub completed: SimTime,
+}
+
+impl TicketOutcome {
+    /// True iff the job completed by its promised instant.
+    pub fn met(&self) -> bool {
+        self.completed <= self.promised
+    }
+
+    /// Seconds late (positive) or early (negative).
+    pub fn lateness_secs(&self) -> f64 {
+        self.completed.as_secs_f64() - self.promised.as_secs_f64()
+    }
+
+    /// The quoted turnaround the ticket-holder saw, seconds.
+    pub fn quoted_secs(&self) -> f64 {
+        (self.promised - self.issued).as_secs_f64()
+    }
+}
+
+/// Aggregate ticket statistics for a run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TicketReport {
+    /// Number of tickets.
+    pub n: usize,
+    /// Fraction of tickets met, in `[0, 1]`.
+    pub attainment: f64,
+    /// Mean lateness in seconds (negative = typically early).
+    pub mean_lateness_secs: f64,
+    /// 95th-percentile lateness in seconds.
+    pub p95_lateness_secs: f64,
+    /// Mean quoted turnaround in seconds — what the margin costs the
+    /// customer in promised time.
+    pub mean_quote_secs: f64,
+}
+
+/// Summarizes ticket outcomes. Returns a zeroed report for an empty run.
+pub fn ticket_report(outcomes: &[TicketOutcome]) -> TicketReport {
+    if outcomes.is_empty() {
+        return TicketReport {
+            n: 0,
+            attainment: 0.0,
+            mean_lateness_secs: 0.0,
+            p95_lateness_secs: 0.0,
+            mean_quote_secs: 0.0,
+        };
+    }
+    let n = outcomes.len();
+    let met = outcomes.iter().filter(|o| o.met()).count();
+    let mut lateness: Vec<f64> = outcomes.iter().map(|o| o.lateness_secs()).collect();
+    let mean_lateness = lateness.iter().sum::<f64>() / n as f64;
+    lateness.sort_by(|a, b| a.partial_cmp(b).expect("finite lateness"));
+    let rank = 0.95 * (n - 1) as f64;
+    let (lo, hi) = (rank.floor() as usize, rank.ceil() as usize);
+    let p95 = if lo == hi {
+        lateness[lo]
+    } else {
+        lateness[lo] * (hi as f64 - rank) + lateness[hi] * (rank - lo as f64)
+    };
+    TicketReport {
+        n,
+        attainment: met as f64 / n as f64,
+        mean_lateness_secs: mean_lateness,
+        p95_lateness_secs: p95,
+        mean_quote_secs: outcomes.iter().map(|o| o.quoted_secs()).sum::<f64>() / n as f64,
+    }
+}
+
+/// An empirical probabilistic guarantee: over the observed sample, does
+/// `P(metric ≤ target)` reach `confidence`?
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GuaranteeCheck {
+    /// The target bound on the metric.
+    pub target: f64,
+    /// Required probability, in `(0, 1]`.
+    pub confidence: f64,
+    /// Empirical `P(metric ≤ target)` over the sample.
+    pub achieved: f64,
+    /// `achieved ≥ confidence`.
+    pub satisfied: bool,
+}
+
+/// Evaluates `P(sample ≤ target) ≥ confidence` empirically.
+pub fn check_guarantee(sample: &[f64], target: f64, confidence: f64) -> GuaranteeCheck {
+    assert!(confidence > 0.0 && confidence <= 1.0);
+    let achieved = if sample.is_empty() {
+        0.0
+    } else {
+        sample.iter().filter(|&&x| x <= target).count() as f64 / sample.len() as f64
+    };
+    GuaranteeCheck { target, confidence, achieved, satisfied: achieved >= confidence }
+}
+
+/// The smallest target `x` such that `P(sample ≤ x) ≥ confidence` —
+/// i.e. the quote a provider must offer to honor the guarantee. Panics on
+/// an empty sample.
+pub fn guaranteeable_target(sample: &[f64], confidence: f64) -> f64 {
+    assert!(!sample.is_empty(), "no observations to quote from");
+    assert!(confidence > 0.0 && confidence <= 1.0);
+    let mut v = sample.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+    let k = ((confidence * v.len() as f64).ceil() as usize).clamp(1, v.len());
+    v[k - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn outcome(id: u64, promised: u64, completed: u64) -> TicketOutcome {
+        TicketOutcome { id, issued: t(0), promised: t(promised), completed: t(completed) }
+    }
+
+    #[test]
+    fn met_is_inclusive() {
+        assert!(outcome(0, 100, 100).met());
+        assert!(outcome(0, 100, 99).met());
+        assert!(!outcome(0, 100, 101).met());
+        assert_eq!(outcome(0, 100, 130).lateness_secs(), 30.0);
+        assert_eq!(outcome(0, 100, 70).lateness_secs(), -30.0);
+        assert_eq!(outcome(0, 100, 70).quoted_secs(), 100.0);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let outcomes = vec![
+            outcome(0, 100, 90),  // early
+            outcome(1, 100, 100), // exactly on time
+            outcome(2, 100, 150), // late
+            outcome(3, 100, 80),  // early
+        ];
+        let r = ticket_report(&outcomes);
+        assert_eq!(r.n, 4);
+        assert_eq!(r.attainment, 0.75);
+        assert_eq!(r.mean_lateness_secs, (-10.0 + 0.0 + 50.0 - 20.0) / 4.0);
+        assert_eq!(r.mean_quote_secs, 100.0);
+        assert!(r.p95_lateness_secs > 0.0 && r.p95_lateness_secs <= 50.0);
+    }
+
+    #[test]
+    fn empty_report_is_zeroed() {
+        let r = ticket_report(&[]);
+        assert_eq!(r.n, 0);
+        assert_eq!(r.attainment, 0.0);
+    }
+
+    #[test]
+    fn guarantee_check() {
+        let sample = [10.0, 20.0, 30.0, 40.0, 50.0];
+        let g = check_guarantee(&sample, 35.0, 0.6);
+        assert!((g.achieved - 0.6).abs() < 1e-12);
+        assert!(g.satisfied);
+        assert!(!check_guarantee(&sample, 35.0, 0.8).satisfied);
+        assert!(!check_guarantee(&[], 1.0, 0.5).satisfied);
+    }
+
+    #[test]
+    fn guaranteeable_target_is_the_quantile() {
+        let sample = [50.0, 10.0, 30.0, 20.0, 40.0];
+        assert_eq!(guaranteeable_target(&sample, 0.2), 10.0);
+        assert_eq!(guaranteeable_target(&sample, 0.8), 40.0);
+        assert_eq!(guaranteeable_target(&sample, 1.0), 50.0);
+        // Honoring the quoted target reproduces the confidence.
+        let q = guaranteeable_target(&sample, 0.8);
+        assert!(check_guarantee(&sample, q, 0.8).satisfied);
+    }
+
+    #[test]
+    #[should_panic(expected = "no observations")]
+    fn empty_quote_panics() {
+        guaranteeable_target(&[], 0.9);
+    }
+}

@@ -1,0 +1,320 @@
+//! `pdfchunk` — job splitting for the Order-Preserving scheduler.
+//!
+//! Algorithm 2 (lines 3–10) reduces job-size variance by splitting a large
+//! job into smaller chunks when the sliding-window size deviation
+//! `σ(i..i+x)` exceeds a threshold. Chunks are inserted back into the queue
+//! at the parent's position, so they inherit its chronological priority; the
+//! Out-of-Order accounting treats the parent as complete when its last chunk
+//! completes.
+//!
+//! Documents are embarrassingly parallel (Sec. III-B), so a chunk's service
+//! time is the parent's pro-rata share plus a fixed per-chunk overhead
+//! (spool + merge cost — chunking is not free, which is why the policy only
+//! fires on high variance).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::document::DocumentFeatures;
+use crate::job::Job;
+use crate::stats;
+
+/// Tunables for Algorithm 2's chunking step.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ChunkPolicy {
+    /// Sliding window width `x` over which σ is computed (line 4).
+    pub window: usize,
+    /// Threshold `th` on the window size-stddev, in MB (line 5).
+    pub sigma_threshold_mb: f64,
+    /// Target chunk size in MB; a job is split into
+    /// `ceil(size / target)` chunks.
+    pub target_chunk_mb: f64,
+    /// Never produce chunks smaller than this (MB); guards against
+    /// pathological over-splitting.
+    pub min_chunk_mb: f64,
+    /// Fixed per-chunk service overhead in seconds (split + merge cost).
+    pub per_chunk_overhead_secs: f64,
+    /// Non-uniform chunking (Sec. VII future work): the effective target
+    /// chunk size at queue-position fraction `p ∈ [0, 1]` is
+    /// `target · (1 + γ·p)`. With `γ > 0`, head-of-queue jobs split finer
+    /// (their output is needed first — small chunks keep the order intact)
+    /// while tail jobs split coarser (they have slack anyway, so why pay
+    /// the per-chunk overhead). `γ = 0` (default) is the paper's uniform
+    /// chunking.
+    pub position_gamma: f64,
+}
+
+impl Default for ChunkPolicy {
+    fn default() -> Self {
+        ChunkPolicy {
+            window: 5,
+            sigma_threshold_mb: 60.0,
+            target_chunk_mb: 80.0,
+            min_chunk_mb: 10.0,
+            per_chunk_overhead_secs: 8.0,
+            position_gamma: 0.0,
+        }
+    }
+}
+
+impl ChunkPolicy {
+    /// Effective target chunk size (MB) for a job at queue-position
+    /// fraction `p ∈ [0, 1]` (0 = head).
+    pub fn target_at(&self, pos_frac: f64) -> f64 {
+        let p = pos_frac.clamp(0.0, 1.0);
+        (self.target_chunk_mb * (1.0 + self.position_gamma * p)).max(self.min_chunk_mb)
+    }
+
+    /// Number of chunks this policy splits a job of `size_mb` into (≥ 1),
+    /// for a job at the queue head.
+    pub fn n_chunks(&self, size_mb: f64) -> usize {
+        self.n_chunks_at(size_mb, 0.0)
+    }
+
+    /// As [`ChunkPolicy::n_chunks`], at queue-position fraction `pos_frac`.
+    pub fn n_chunks_at(&self, size_mb: f64, pos_frac: f64) -> usize {
+        let n = (size_mb / self.target_at(pos_frac)).ceil() as usize;
+        n.max(1)
+    }
+
+    /// Whether the window deviation triggers chunking for the job at the
+    /// window head (Algorithm 2 line 5), i.e. `σ > th` *and* splitting would
+    /// actually produce more than one chunk.
+    pub fn should_chunk(&self, window_sigma_mb: f64, size_mb: f64) -> bool {
+        self.should_chunk_at(window_sigma_mb, size_mb, 0.0)
+    }
+
+    /// As [`ChunkPolicy::should_chunk`], at queue-position fraction
+    /// `pos_frac`.
+    pub fn should_chunk_at(&self, window_sigma_mb: f64, size_mb: f64, pos_frac: f64) -> bool {
+        window_sigma_mb > self.sigma_threshold_mb && self.n_chunks_at(size_mb, pos_frac) > 1
+    }
+}
+
+/// Splits `job` into chunks per `policy`. Returns the chunk jobs in order;
+/// if the job is too small to split, returns a single-element vector with a
+/// clone of the job (no overhead added).
+///
+/// Invariants (property-tested):
+/// * chunk input sizes sum exactly to the parent's input size;
+/// * chunk output sizes sum exactly to the parent's output size;
+/// * every chunk records `parent == Some(job.id)` (when actually split);
+/// * total chunk service time ≈ parent service time + n × overhead
+///   (modulo per-chunk noise).
+pub fn chunk_job<R: Rng + ?Sized>(job: &Job, policy: &ChunkPolicy, rng: &mut R) -> Vec<Job> {
+    chunk_job_at(job, policy, 0.0, rng)
+}
+
+/// As [`chunk_job`], for a job at queue-position fraction `pos_frac` —
+/// the non-uniform chunking extension (larger `pos_frac` ⇒ coarser chunks
+/// when the policy's `position_gamma` is positive).
+pub fn chunk_job_at<R: Rng + ?Sized>(
+    job: &Job,
+    policy: &ChunkPolicy,
+    pos_frac: f64,
+    rng: &mut R,
+) -> Vec<Job> {
+    let n = policy.n_chunks_at(job.size_mb(), pos_frac);
+    if n <= 1 {
+        return vec![job.clone()];
+    }
+    let n64 = n as u64;
+    let in_base = job.features.size_bytes / n64;
+    let in_rem = job.features.size_bytes % n64;
+    let out_base = job.output_bytes / n64;
+    let out_rem = job.output_bytes % n64;
+    let pages_base = job.features.pages / n as u32;
+    let pages_rem = job.features.pages % n as u32;
+    let images_base = job.features.images / n as u32;
+    let images_rem = job.features.images % n as u32;
+
+    (0..n)
+        .map(|k| {
+            let k64 = k as u64;
+            let in_bytes = in_base + u64::from(k64 < in_rem);
+            let out_bytes = out_base + u64::from(k64 < out_rem);
+            let pages = pages_base + u32::from((k as u32) < pages_rem);
+            let images = images_base + u32::from((k as u32) < images_rem);
+            let share = in_bytes as f64 / job.features.size_bytes as f64;
+            // Pro-rata share of the parent's true service time plus the
+            // fixed split/merge overhead, with mild noise on the overhead.
+            let service = job.true_service_secs * share
+                + policy.per_chunk_overhead_secs * stats::noise_factor(rng, 0.10);
+            Job {
+                id: job.id, // provisional; the engine re-indexes on insert
+                batch: job.batch,
+                arrival: job.arrival,
+                features: DocumentFeatures { size_bytes: in_bytes, pages, images, ..job.features },
+                true_service_secs: service,
+                output_bytes: out_bytes,
+                parent: Some(job.id),
+            }
+        })
+        .collect()
+}
+
+/// Applies Algorithm 2 lines 3–10 to a whole batch: walks the job list with
+/// the sliding σ-window and replaces each triggering job with its chunks.
+/// Returns the expanded list (provisional ids preserved; callers re-index).
+pub fn chunk_batch<R: Rng + ?Sized>(jobs: &[Job], policy: &ChunkPolicy, rng: &mut R) -> Vec<Job> {
+    let mut list: Vec<Job> = jobs.to_vec();
+    let mut i = 0;
+    while i < list.len() {
+        let sizes: Vec<f64> = list.iter().map(|j| j.size_mb()).collect();
+        let sigma = stats::window_stddev(&sizes, i, policy.window);
+        if policy.should_chunk(sigma, list[i].size_mb()) {
+            let chunks = chunk_job(&list[i], policy, rng);
+            let added = chunks.len();
+            list.splice(i..=i, chunks);
+            // Skip past the inserted chunks: they are already ≤ target size,
+            // re-examining them cannot trigger another split.
+            i += added;
+        } else {
+            i += 1;
+        }
+    }
+    list
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::{JobType, BYTES_PER_MB};
+    use crate::job::JobId;
+    use cloudburst_sim::SimTime;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn job(id: u64, size_mb: u64) -> Job {
+        Job {
+            id: JobId(id),
+            batch: 0,
+            arrival: SimTime::ZERO,
+            features: DocumentFeatures {
+                size_bytes: size_mb * BYTES_PER_MB,
+                pages: 97,
+                images: 31,
+                resolution_dpi: 600,
+                color_fraction: 0.5,
+                coverage: 0.5,
+                text_ratio: 0.5,
+                job_type: JobType::Marketing,
+            },
+            true_service_secs: 600.0,
+            output_bytes: size_mb * BYTES_PER_MB / 2 + 7,
+            parent: None,
+        }
+    }
+
+    #[test]
+    fn small_jobs_pass_through() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let j = job(0, 40);
+        let out = chunk_job(&j, &ChunkPolicy::default(), &mut rng);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].parent.is_none());
+        assert_eq!(out[0].true_service_secs, j.true_service_secs);
+    }
+
+    #[test]
+    fn split_conserves_sizes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let j = job(3, 295);
+        let chunks = chunk_job(&j, &ChunkPolicy::default(), &mut rng);
+        assert_eq!(chunks.len(), 4, "ceil(295/80) = 4");
+        assert_eq!(chunks.iter().map(|c| c.features.size_bytes).sum::<u64>(), j.features.size_bytes);
+        assert_eq!(chunks.iter().map(|c| c.output_bytes).sum::<u64>(), j.output_bytes);
+        assert_eq!(chunks.iter().map(|c| c.features.pages).sum::<u32>(), j.features.pages);
+        assert_eq!(chunks.iter().map(|c| c.features.images).sum::<u32>(), j.features.images);
+        for c in &chunks {
+            assert_eq!(c.parent, Some(JobId(3)));
+            assert_eq!(c.arrival, j.arrival);
+            assert_eq!(c.batch, j.batch);
+        }
+    }
+
+    #[test]
+    fn split_service_time_is_pro_rata_plus_overhead() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let policy = ChunkPolicy::default();
+        let j = job(0, 240);
+        let chunks = chunk_job(&j, &policy, &mut rng);
+        let total: f64 = chunks.iter().map(|c| c.true_service_secs).sum();
+        let expected = j.true_service_secs + chunks.len() as f64 * policy.per_chunk_overhead_secs;
+        assert!((total - expected).abs() < expected * 0.1, "total={total} expected≈{expected}");
+    }
+
+    #[test]
+    fn should_chunk_requires_both_conditions() {
+        let p = ChunkPolicy::default();
+        assert!(p.should_chunk(100.0, 200.0));
+        assert!(!p.should_chunk(10.0, 200.0), "low variance: no chunking");
+        assert!(!p.should_chunk(100.0, 20.0), "small job: nothing to split");
+    }
+
+    #[test]
+    fn chunk_batch_expands_only_under_high_variance() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = ChunkPolicy::default();
+        // Homogeneous batch: low σ, nothing chunks.
+        let homo: Vec<Job> = (0..6).map(|i| job(i, 100)).collect();
+        assert_eq!(chunk_batch(&homo, &p, &mut rng).len(), 6);
+        // Mixed batch: 290 MB next to 5 MB jobs triggers chunking.
+        let mixed = vec![job(0, 5), job(1, 290), job(2, 8), job(3, 290), job(4, 5)];
+        let out = chunk_batch(&mixed, &p, &mut rng);
+        assert!(out.len() > mixed.len(), "large jobs should have been split");
+        assert_eq!(
+            out.iter().map(|c| c.features.size_bytes).sum::<u64>(),
+            mixed.iter().map(|c| c.features.size_bytes).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn chunk_batch_preserves_order() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = ChunkPolicy::default();
+        let mixed = vec![job(0, 5), job(1, 290), job(2, 8)];
+        let out = chunk_batch(&mixed, &p, &mut rng);
+        // Prefix before the split job, then its chunks, then the suffix.
+        assert_eq!(out[0].id, JobId(0));
+        assert!(out[1..out.len() - 1].iter().all(|c| c.parent == Some(JobId(1))));
+        assert_eq!(out.last().unwrap().id, JobId(2));
+    }
+
+    #[test]
+    fn position_gamma_coarsens_tail_chunks() {
+        let p = ChunkPolicy { position_gamma: 2.0, ..ChunkPolicy::default() };
+        // Head: target 80 MB → 290 MB splits into 4.
+        assert_eq!(p.n_chunks_at(290.0, 0.0), 4);
+        // Tail: target 80·(1+2) = 240 MB → 2 chunks.
+        assert_eq!(p.n_chunks_at(290.0, 1.0), 2);
+        // γ = 0 keeps chunking uniform.
+        let u = ChunkPolicy::default();
+        assert_eq!(u.n_chunks_at(290.0, 0.0), u.n_chunks_at(290.0, 1.0));
+        // Position fraction is clamped.
+        assert_eq!(p.n_chunks_at(290.0, 7.0), p.n_chunks_at(290.0, 1.0));
+    }
+
+    #[test]
+    fn chunk_job_at_respects_position() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let p = ChunkPolicy { position_gamma: 2.0, ..ChunkPolicy::default() };
+        let j = job(0, 290);
+        let head = chunk_job_at(&j, &p, 0.0, &mut rng);
+        let tail = chunk_job_at(&j, &p, 1.0, &mut rng);
+        assert!(head.len() > tail.len(), "{} vs {}", head.len(), tail.len());
+        assert_eq!(
+            tail.iter().map(|c| c.features.size_bytes).sum::<u64>(),
+            j.features.size_bytes
+        );
+    }
+
+    #[test]
+    fn n_chunks_monotone_in_size() {
+        let p = ChunkPolicy::default();
+        assert_eq!(p.n_chunks(10.0), 1);
+        assert_eq!(p.n_chunks(80.0), 1);
+        assert_eq!(p.n_chunks(81.0), 2);
+        assert_eq!(p.n_chunks(300.0), 4);
+    }
+}

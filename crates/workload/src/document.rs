@@ -1,0 +1,258 @@
+//! Document feature vectors.
+//!
+//! Sec. III-A-1 lists the QRSM input dimensions: "document size, number of
+//! images, the size of the images, number of images per page, resolution,
+//! color and monochrome elements, image features, number of pages, ratio of
+//! text to pages, coverage, specific job type". We model the subset that
+//! drives processing time in our ground-truth law and expose the whole
+//! vector to the QRSM so feature selection is exercised realistically.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::stats;
+
+/// Bytes per megabyte as used throughout the workspace (decimal MB).
+pub const BYTES_PER_MB: u64 = 1_000_000;
+
+/// The production job classes of the paper's printing domain (Sec. I).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JobType {
+    /// High page count, mostly monochrome text.
+    Newspaper,
+    /// Very high page count, low image density.
+    Book,
+    /// Low page count, image-heavy, full color.
+    Marketing,
+    /// Many small personalized pieces; moderate images.
+    MailCampaign,
+    /// Transactional documents (statements); text dominant.
+    Statement,
+    /// Image personalization; extreme image density.
+    ImagePersonalization,
+}
+
+impl JobType {
+    /// All job types, for sampling and enumeration.
+    pub const ALL: [JobType; 6] = [
+        JobType::Newspaper,
+        JobType::Book,
+        JobType::Marketing,
+        JobType::MailCampaign,
+        JobType::Statement,
+        JobType::ImagePersonalization,
+    ];
+
+    /// Typical pages per megabyte for this class (before noise).
+    fn pages_per_mb(self) -> f64 {
+        match self {
+            JobType::Newspaper => 1.2,
+            JobType::Book => 2.5,
+            JobType::Marketing => 0.25,
+            JobType::MailCampaign => 0.8,
+            JobType::Statement => 3.0,
+            JobType::ImagePersonalization => 0.15,
+        }
+    }
+
+    /// Typical images per page for this class (before noise).
+    fn images_per_page(self) -> f64 {
+        match self {
+            JobType::Newspaper => 1.5,
+            JobType::Book => 0.2,
+            JobType::Marketing => 4.0,
+            JobType::MailCampaign => 1.0,
+            JobType::Statement => 0.1,
+            JobType::ImagePersonalization => 6.0,
+        }
+    }
+
+    /// Typical color fraction for this class.
+    fn color_fraction(self) -> f64 {
+        match self {
+            JobType::Newspaper => 0.25,
+            JobType::Book => 0.05,
+            JobType::Marketing => 0.95,
+            JobType::MailCampaign => 0.6,
+            JobType::Statement => 0.15,
+            JobType::ImagePersonalization => 1.0,
+        }
+    }
+
+    /// A stable numeric encoding used as a QRSM feature.
+    pub fn code(self) -> f64 {
+        match self {
+            JobType::Newspaper => 0.0,
+            JobType::Book => 1.0,
+            JobType::Marketing => 2.0,
+            JobType::MailCampaign => 3.0,
+            JobType::Statement => 4.0,
+            JobType::ImagePersonalization => 5.0,
+        }
+    }
+}
+
+/// The observable features of a document job — everything a scheduler (and
+/// the QRSM) may inspect *before* the job runs.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DocumentFeatures {
+    /// Compressed input size in bytes (1 MB – 300 MB in the paper's domain).
+    pub size_bytes: u64,
+    /// Page count.
+    pub pages: u32,
+    /// Total number of raster images in the document.
+    pub images: u32,
+    /// Mean raster resolution in DPI.
+    pub resolution_dpi: u32,
+    /// Fraction of page area carrying color elements, in `[0, 1]`.
+    pub color_fraction: f64,
+    /// Ink/toner coverage fraction, in `[0, 1]`.
+    pub coverage: f64,
+    /// Ratio of text area to total page area, in `[0, 1]`.
+    pub text_ratio: f64,
+    /// Production job class.
+    pub job_type: JobType,
+}
+
+impl DocumentFeatures {
+    /// Input size in (decimal) megabytes.
+    pub fn size_mb(&self) -> f64 {
+        self.size_bytes as f64 / BYTES_PER_MB as f64
+    }
+
+    /// Images per page (0 if the document has no pages).
+    pub fn images_per_page(&self) -> f64 {
+        if self.pages == 0 {
+            0.0
+        } else {
+            self.images as f64 / self.pages as f64
+        }
+    }
+
+    /// The raw QRSM regressor vector for this document. Order is stable and
+    /// documented: `[size_mb, pages, images, resolution/600, color, coverage]`.
+    ///
+    /// Resolution is scaled by a nominal 600 DPI so all regressors share a
+    /// comparable magnitude, which conditions the normal equations.
+    pub fn regressors(&self) -> Vec<f64> {
+        vec![
+            self.size_mb(),
+            self.pages as f64,
+            self.images as f64,
+            self.resolution_dpi as f64 / 600.0,
+            self.color_fraction,
+            self.coverage,
+        ]
+    }
+
+    /// Number of entries returned by [`DocumentFeatures::regressors`].
+    pub const N_REGRESSORS: usize = 6;
+
+    /// Samples a document of the given size and class with correlated,
+    /// noisy secondary features.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R, size_bytes: u64, job_type: JobType) -> Self {
+        let size_mb = size_bytes as f64 / BYTES_PER_MB as f64;
+        let pages = (size_mb * job_type.pages_per_mb() * stats::noise_factor(rng, 0.25))
+            .round()
+            .max(1.0) as u32;
+        let images = (pages as f64 * job_type.images_per_page() * stats::noise_factor(rng, 0.35))
+            .round()
+            .max(0.0) as u32;
+        let resolution_dpi = *[300u32, 600, 600, 1200]
+            .get(rng.gen_range(0..4))
+            .expect("index in range");
+        let color_fraction =
+            (job_type.color_fraction() + stats::normal(rng, 0.0, 0.1)).clamp(0.0, 1.0);
+        let coverage = rng.gen_range(0.2..0.9);
+        let text_ratio = (1.0 - color_fraction * 0.6 + stats::normal(rng, 0.0, 0.08)).clamp(0.05, 1.0);
+        DocumentFeatures {
+            size_bytes,
+            pages,
+            images,
+            resolution_dpi,
+            color_fraction,
+            coverage,
+            text_ratio,
+            job_type,
+        }
+    }
+
+    /// Samples a uniformly random job class, then the document.
+    pub fn sample_any_type<R: Rng + ?Sized>(rng: &mut R, size_bytes: u64) -> Self {
+        let jt = JobType::ALL[rng.gen_range(0..JobType::ALL.len())];
+        Self::sample(rng, size_bytes, jt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn regressor_vector_is_stable() {
+        let f = DocumentFeatures {
+            size_bytes: 150 * BYTES_PER_MB,
+            pages: 100,
+            images: 40,
+            resolution_dpi: 600,
+            color_fraction: 0.5,
+            coverage: 0.4,
+            text_ratio: 0.7,
+            job_type: JobType::Marketing,
+        };
+        let r = f.regressors();
+        assert_eq!(r.len(), DocumentFeatures::N_REGRESSORS);
+        assert_eq!(r, vec![150.0, 100.0, 40.0, 1.0, 0.5, 0.4]);
+    }
+
+    #[test]
+    fn sampled_features_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let sz = rng.gen_range(BYTES_PER_MB..=300 * BYTES_PER_MB);
+            let f = DocumentFeatures::sample_any_type(&mut rng, sz);
+            assert_eq!(f.size_bytes, sz);
+            assert!(f.pages >= 1);
+            assert!((0.0..=1.0).contains(&f.color_fraction));
+            assert!((0.0..=1.0).contains(&f.coverage));
+            assert!((0.0..=1.0).contains(&f.text_ratio));
+            assert!([300, 600, 1200].contains(&f.resolution_dpi));
+        }
+    }
+
+    #[test]
+    fn class_biases_show_up() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let sz = 100 * BYTES_PER_MB;
+        let n = 300;
+        let mean_imgs = |jt: JobType, rng: &mut StdRng| -> f64 {
+            (0..n)
+                .map(|_| DocumentFeatures::sample(rng, sz, jt).images_per_page())
+                .sum::<f64>()
+                / n as f64
+        };
+        let marketing = mean_imgs(JobType::Marketing, &mut rng);
+        let book = mean_imgs(JobType::Book, &mut rng);
+        assert!(
+            marketing > 4.0 * book,
+            "marketing {marketing} should be image-dense vs book {book}"
+        );
+    }
+
+    #[test]
+    fn images_per_page_handles_zero_pages() {
+        let f = DocumentFeatures {
+            size_bytes: BYTES_PER_MB,
+            pages: 0,
+            images: 10,
+            resolution_dpi: 600,
+            color_fraction: 0.1,
+            coverage: 0.3,
+            text_ratio: 0.9,
+            job_type: JobType::Statement,
+        };
+        assert_eq!(f.images_per_page(), 0.0);
+    }
+}

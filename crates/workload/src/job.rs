@@ -1,0 +1,126 @@
+//! The job record flowing through queues, schedulers and clouds.
+
+use serde::{Deserialize, Serialize};
+
+use cloudburst_sim::SimTime;
+
+use crate::document::DocumentFeatures;
+
+/// Queue-order job identifier.
+///
+/// Ids are assigned in FCFS queue order (after any chunk insertion, see
+/// Algorithm 2), so the Out-of-Order metric of Sec. II-B can compare
+/// completion order against id order directly.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+impl JobId {
+    /// Raw index.
+    pub fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "j{}", self.0)
+    }
+}
+
+/// A unit of work. Ground-truth fields (`true_service_secs`,
+/// `output_bytes`) are *hidden* from schedulers — they must work from QRSM
+/// and bandwidth estimates; the simulation engine uses the truth.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Job {
+    /// FCFS queue-order id (unique within a run).
+    pub id: JobId,
+    /// Index of the batch this job arrived in.
+    pub batch: u32,
+    /// Arrival instant at the internal cloud's job queue.
+    pub arrival: SimTime,
+    /// Observable document features (scheduler-visible).
+    pub features: DocumentFeatures,
+    /// Ground truth: service time on a standard (speed 1.0) machine, seconds.
+    pub true_service_secs: f64,
+    /// Ground truth: result size in bytes (download leg of a bursted job).
+    pub output_bytes: u64,
+    /// If this job is a chunk produced by `pdfchunk`, the id of the original
+    /// job it was split from.
+    pub parent: Option<JobId>,
+}
+
+impl Job {
+    /// Input size in bytes (upload leg of a bursted job).
+    pub fn input_bytes(&self) -> u64 {
+        self.features.size_bytes
+    }
+
+    /// Input size in MB.
+    pub fn size_mb(&self) -> f64 {
+        self.features.size_mb()
+    }
+
+    /// True iff this job is a chunk of a split parent.
+    pub fn is_chunk(&self) -> bool {
+        self.parent.is_some()
+    }
+
+    /// Returns a copy with a different id (used when the engine re-indexes
+    /// the queue after chunk insertion).
+    pub fn with_id(&self, id: JobId) -> Job {
+        Job { id, ..self.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::{JobType, BYTES_PER_MB};
+
+    fn job(id: u64, size_mb: u64) -> Job {
+        Job {
+            id: JobId(id),
+            batch: 0,
+            arrival: SimTime::ZERO,
+            features: DocumentFeatures {
+                size_bytes: size_mb * BYTES_PER_MB,
+                pages: 10,
+                images: 5,
+                resolution_dpi: 600,
+                color_fraction: 0.5,
+                coverage: 0.5,
+                text_ratio: 0.5,
+                job_type: JobType::Book,
+            },
+            true_service_secs: 100.0,
+            output_bytes: size_mb * BYTES_PER_MB / 2,
+            parent: None,
+        }
+    }
+
+    #[test]
+    fn id_ordering_follows_queue_order() {
+        assert!(JobId(3) < JobId(10));
+        assert_eq!(JobId(7).index(), 7);
+        assert_eq!(format!("{}", JobId(4)), "j4");
+    }
+
+    #[test]
+    fn accessors() {
+        let j = job(1, 50);
+        assert_eq!(j.input_bytes(), 50 * BYTES_PER_MB);
+        assert!((j.size_mb() - 50.0).abs() < 1e-12);
+        assert!(!j.is_chunk());
+        let c = Job { parent: Some(JobId(1)), ..j.clone() };
+        assert!(c.is_chunk());
+    }
+
+    #[test]
+    fn with_id_reassigns_only_the_id() {
+        let j = job(1, 50);
+        let k = j.with_id(JobId(9));
+        assert_eq!(k.id, JobId(9));
+        assert_eq!(k.input_bytes(), j.input_bytes());
+        assert_eq!(k.true_service_secs, j.true_service_secs);
+    }
+}

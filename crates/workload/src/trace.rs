@@ -1,0 +1,177 @@
+//! Workload traces: save a generated arrival schedule to JSON and replay
+//! it later — so a workload can be shared, archived, or replayed against
+//! different schedulers and network conditions without regeneration. A
+//! trace created from production logs (arrival times, document features,
+//! observed service times) drops into the same format.
+
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::arrival::Batch;
+
+/// Format version written into every trace file.
+pub const TRACE_VERSION: u32 = 1;
+
+/// A serializable workload trace.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WorkloadTrace {
+    /// Format version (see [`TRACE_VERSION`]).
+    pub version: u32,
+    /// Free-form provenance note (generator seed, source system, …).
+    pub note: String,
+    /// The batches, in arrival order.
+    pub batches: Vec<Batch>,
+}
+
+impl WorkloadTrace {
+    /// Wraps batches into a trace with a provenance note.
+    pub fn new(note: impl Into<String>, batches: Vec<Batch>) -> WorkloadTrace {
+        WorkloadTrace { version: TRACE_VERSION, note: note.into(), batches }
+    }
+
+    /// Total job count across batches.
+    pub fn n_jobs(&self) -> usize {
+        self.batches.iter().map(|b| b.jobs.len()).sum()
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trace serializes")
+    }
+
+    /// Parses a trace, validating the version and basic integrity
+    /// (batches in arrival order, job ids unique).
+    pub fn from_json(text: &str) -> Result<WorkloadTrace, TraceError> {
+        let trace: WorkloadTrace = serde_json::from_str(text).map_err(TraceError::Parse)?;
+        if trace.version != TRACE_VERSION {
+            return Err(TraceError::Version(trace.version));
+        }
+        let mut last_arrival = None;
+        let mut ids = std::collections::HashSet::new();
+        for b in &trace.batches {
+            if let Some(prev) = last_arrival {
+                if b.arrival < prev {
+                    return Err(TraceError::Integrity("batches out of arrival order"));
+                }
+            }
+            last_arrival = Some(b.arrival);
+            for j in &b.jobs {
+                if !ids.insert(j.id) {
+                    return Err(TraceError::Integrity("duplicate job id"));
+                }
+                if j.arrival != b.arrival {
+                    return Err(TraceError::Integrity("job arrival differs from its batch"));
+                }
+            }
+        }
+        Ok(trace)
+    }
+
+    /// Writes the trace to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Loads a trace from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<WorkloadTrace, TraceError> {
+        let text = std::fs::read_to_string(path).map_err(TraceError::Io)?;
+        WorkloadTrace::from_json(&text)
+    }
+}
+
+/// Errors from trace loading.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The file could not be read.
+    Io(io::Error),
+    /// The JSON did not parse into a trace.
+    Parse(serde_json::Error),
+    /// Unknown format version.
+    Version(u32),
+    /// The trace violates a structural invariant.
+    Integrity(&'static str),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace io error: {e}"),
+            TraceError::Parse(e) => write!(f, "trace parse error: {e}"),
+            TraceError::Version(v) => write!(f, "unsupported trace version {v}"),
+            TraceError::Integrity(m) => write!(f, "trace integrity error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::{ArrivalConfig, BatchArrivals};
+    use crate::truth::GroundTruth;
+    use cloudburst_sim::RngFactory;
+
+    fn batches() -> Vec<Batch> {
+        BatchArrivals::new(ArrivalConfig { n_batches: 3, ..ArrivalConfig::default() })
+            .generate(&RngFactory::new(5), &GroundTruth::default())
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let trace = WorkloadTrace::new("seed 5", batches());
+        let back = WorkloadTrace::from_json(&trace.to_json()).unwrap();
+        assert_eq!(back.n_jobs(), trace.n_jobs());
+        assert_eq!(back.note, "seed 5");
+        for (a, b) in trace.batches.iter().zip(&back.batches) {
+            assert_eq!(a.arrival, b.arrival);
+            for (ja, jb) in a.jobs.iter().zip(&b.jobs) {
+                assert_eq!(ja.id, jb.id);
+                // JSON round-trips f64 to within one ulp of the printed form.
+                assert!((ja.true_service_secs - jb.true_service_secs).abs() < 1e-9);
+                assert_eq!(ja.features.size_bytes, jb.features.size_bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn save_and_load_via_file() {
+        let dir = std::env::temp_dir().join("cloudburst-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let trace = WorkloadTrace::new("file test", batches());
+        trace.save(&path).unwrap();
+        let back = WorkloadTrace::load(&path).unwrap();
+        assert_eq!(back.n_jobs(), trace.n_jobs());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_versions_and_broken_traces() {
+        let mut trace = WorkloadTrace::new("x", batches());
+        trace.version = 99;
+        assert!(matches!(
+            WorkloadTrace::from_json(&trace.to_json()),
+            Err(TraceError::Version(99))
+        ));
+
+        let mut dup = WorkloadTrace::new("x", batches());
+        let j = dup.batches[0].jobs[0].clone();
+        dup.batches[0].jobs.push(j); // duplicate id
+        assert!(matches!(
+            WorkloadTrace::from_json(&dup.to_json()),
+            Err(TraceError::Integrity("duplicate job id"))
+        ));
+
+        let mut unordered = WorkloadTrace::new("x", batches());
+        unordered.batches.swap(0, 2);
+        assert!(matches!(
+            WorkloadTrace::from_json(&unordered.to_json()),
+            Err(TraceError::Integrity(_))
+        ));
+
+        assert!(matches!(WorkloadTrace::from_json("not json"), Err(TraceError::Parse(_))));
+    }
+}

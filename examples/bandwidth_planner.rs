@@ -1,0 +1,75 @@
+//! Bandwidth planning: calibrate the time-of-day model and thread tuner
+//! against a live-looking pipe, then answer "when should I burst a 200 MB
+//! job today?".
+//!
+//! ```text
+//! cargo run --release --example bandwidth_planner
+//! ```
+//!
+//! Demonstrates the autonomic layer on its own (Sec. III-A-2): EWMA
+//! learning of the diurnal bandwidth profile from probe transfers, the
+//! hill-climbing thread tuner, and using both to predict transfer times.
+
+use cloudburst_repro::core::autonomic::calibrate;
+use cloudburst_repro::net::{BandwidthEstimator, BandwidthModel, Link, ThreadTuner};
+use cloudburst_repro::sim::{SimDuration, SimTime};
+
+fn main() {
+    // The "real" pipe: 250 KB/s mean with a strong diurnal swing and jitter.
+    let pipe = BandwidthModel::Jittered {
+        inner: Box::new(BandwidthModel::Diurnal {
+            base: 250_000.0,
+            amplitude: 140_000.0,
+            phase_secs: 0.0,
+        }),
+        sigma: 0.2,
+        slot: SimDuration::from_mins(10),
+        seed: 99,
+    };
+
+    // One week of calibration probes (the engine does this continuously).
+    let report = calibrate(&pipe, 7, 6, 1.5);
+    println!("calibration: {} probes, hourly MAPE {:.1} %\n", report.probes, report.mape() * 100.0);
+    println!("hour   true KB/s   learned KB/s   threads");
+    for h in 0..24 {
+        println!(
+            "{:>4}   {:>9.0}   {:>12.0}   {:>7}",
+            h,
+            report.hourly_true_bps[h] / 1e3,
+            report.hourly_est_bps[h] / 1e3,
+            report.hourly_threads[h],
+        );
+    }
+
+    // Rebuild the learned state into an estimator to answer planning
+    // questions (calibrate returns the per-hour snapshot).
+    let mut est = BandwidthEstimator::hourly();
+    let mut tuner = ThreadTuner::hourly();
+    for h in 0..24u64 {
+        let t = SimTime::from_secs(h * 3_600 + 1_800);
+        est.observe(t, report.hourly_est_bps[h as usize]);
+        let k = report.hourly_threads[h as usize];
+        tuner.report(t, k, Link::effective_rate(report.hourly_est_bps[h as usize], k, 1.5));
+    }
+
+    // Plan: a 200 MB upload plus a 100 MB result download, at each hour.
+    println!("\nplanning a 200 MB job (100 MB result) — predicted round-trip transfer time:");
+    let mut best = (0u64, f64::INFINITY);
+    for h in 0..24u64 {
+        let t = SimTime::from_secs(h * 3_600 + 1_800);
+        let k = tuner.current_best(t);
+        let up = est.predict_transfer_secs(t, 200_000_000, k, 1.5);
+        let down = est.predict_transfer_secs(t, 100_000_000, k, 1.5);
+        let total = up + down;
+        if total < best.1 {
+            best = (h, total);
+        }
+        println!("{:>4}   up {:>6.0}s + down {:>6.0}s = {:>6.0}s  ({k} threads)", h, up, down, total);
+    }
+    println!(
+        "\nbest window: {:02}:00–{:02}:59 — about {:.0} minutes of transfer",
+        best.0,
+        best.0,
+        best.1 / 60.0
+    );
+}

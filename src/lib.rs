@@ -1,0 +1,17 @@
+//! `cloudburst-repro` — meta-crate for the cloudburst workspace.
+//!
+//! Re-exports every workspace crate under one roof so the repository-level
+//! `examples/` and `tests/` can exercise the whole system through a single
+//! dependency. Library users should depend on the individual crates
+//! (`cloudburst-core`, `cloudburst-sched`, …) directly.
+
+#![warn(missing_docs)]
+
+pub use cloudburst_cluster as cluster;
+pub use cloudburst_core as core;
+pub use cloudburst_net as net;
+pub use cloudburst_qrsm as qrsm;
+pub use cloudburst_sched as sched;
+pub use cloudburst_sim as sim;
+pub use cloudburst_sla as sla;
+pub use cloudburst_workload as workload;

@@ -1,0 +1,131 @@
+//! Qualitative reproduction checks: the paper's headline comparisons must
+//! hold in direction (not absolute value) on paper-scale runs.
+//!
+//! These mirror the `repro` harness shape checks but run as part of
+//! `cargo test`, so a regression in any scheduler or substrate that flips a
+//! paper conclusion fails CI.
+
+use cloudburst_repro::core::runner::mean_of;
+use cloudburst_repro::core::{run_experiment, ExperimentConfig, SchedulerKind};
+use cloudburst_repro::workload::SizeBucket;
+
+const SEEDS: [u64; 3] = [41, 42, 43];
+
+fn mean_reports(
+    kind: SchedulerKind,
+    bucket: SizeBucket,
+    highvar: bool,
+) -> Vec<cloudburst_repro::sla::RunReport> {
+    SEEDS
+        .iter()
+        .map(|&seed| {
+            let cfg = if highvar {
+                ExperimentConfig::paper_high_variation(kind, bucket, seed)
+            } else {
+                ExperimentConfig::paper(kind, bucket, seed)
+            };
+            run_experiment(&cfg)
+        })
+        .collect()
+}
+
+#[test]
+fn cloud_bursting_beats_ic_only_on_makespan() {
+    // Fig. 6: ~10 % improvement.
+    for bucket in SizeBucket::ALL {
+        let ic = mean_of(&mean_reports(SchedulerKind::IcOnly, bucket, false), |r| r.makespan_secs);
+        let greedy =
+            mean_of(&mean_reports(SchedulerKind::Greedy, bucket, false), |r| r.makespan_secs);
+        let op = mean_of(&mean_reports(SchedulerKind::OrderPreserving, bucket, false), |r| {
+            r.makespan_secs
+        });
+        assert!(
+            greedy.min(op) < ic * 0.98,
+            "{}: bursting ({greedy:.0}/{op:.0}) must beat ic-only ({ic:.0})",
+            bucket.label()
+        );
+    }
+}
+
+#[test]
+fn op_delivers_more_ordered_data_under_high_variation() {
+    // Fig. 9: the Order-Preserving scheduler's OO metric dominates Greedy's
+    // for large jobs on a volatile pipe.
+    let g = mean_of(
+        &mean_reports(SchedulerKind::Greedy, SizeBucket::LargeBiased, true),
+        |r| r.mean_ordered_bytes(),
+    );
+    let o = mean_of(
+        &mean_reports(SchedulerKind::OrderPreserving, SizeBucket::LargeBiased, true),
+        |r| r.mean_ordered_bytes(),
+    );
+    assert!(o > g, "op ordered availability {o:.3e} must exceed greedy {g:.3e}");
+}
+
+#[test]
+fn greedy_waits_are_worse_for_large_jobs() {
+    // Fig. 8: Greedy's high peaks (press waits) outweigh Op's.
+    let g = mean_of(&mean_reports(SchedulerKind::Greedy, SizeBucket::LargeBiased, false), |r| {
+        r.peaks(120.0).1
+    });
+    let o = mean_of(
+        &mean_reports(SchedulerKind::OrderPreserving, SizeBucket::LargeBiased, false),
+        |r| r.peaks(120.0).1,
+    );
+    assert!(
+        o <= g * 1.15,
+        "op peak magnitude {o:.0} should not exceed greedy {g:.0} meaningfully"
+    );
+}
+
+#[test]
+fn op_shows_more_valleys_than_greedy_on_uniform() {
+    // Fig. 7's reading: valleys (early output) dominate under Op.
+    let g = mean_of(&mean_reports(SchedulerKind::Greedy, SizeBucket::Uniform, false), |r| {
+        r.valleys() as f64
+    });
+    let o = mean_of(
+        &mean_reports(SchedulerKind::OrderPreserving, SizeBucket::Uniform, false),
+        |r| r.valleys() as f64,
+    );
+    assert!(o > g, "op valleys {o} must exceed greedy valleys {g}");
+}
+
+#[test]
+fn sibs_does_not_hurt_op() {
+    // Sec. V-B-4: SIBS improves EC delivery; at minimum it must not
+    // regress the Op scheduler it wraps.
+    let op = mean_reports(SchedulerKind::OrderPreserving, SizeBucket::LargeBiased, false);
+    let sb = mean_reports(SchedulerKind::Sibs, SizeBucket::LargeBiased, false);
+    let sp_op = mean_of(&op, |r| r.speedup);
+    let sp_sb = mean_of(&sb, |r| r.speedup);
+    assert!(sp_sb >= sp_op * 0.98, "sibs speedup {sp_sb:.2} vs op {sp_op:.2}");
+    let ec_op = mean_of(&op, |r| r.ec_utilization);
+    let ec_sb = mean_of(&sb, |r| r.ec_utilization);
+    assert!(ec_sb >= ec_op - 0.02, "sibs EC util {ec_sb:.3} vs op {ec_op:.3}");
+}
+
+#[test]
+fn large_bucket_speedup_exceeds_uniform() {
+    // Table I: computation dominates the network legs for large jobs.
+    let large =
+        mean_of(&mean_reports(SchedulerKind::Greedy, SizeBucket::LargeBiased, false), |r| {
+            r.speedup
+        });
+    let uniform =
+        mean_of(&mean_reports(SchedulerKind::Greedy, SizeBucket::Uniform, false), |r| r.speedup);
+    assert!(large > uniform, "speedup(large)={large:.2} vs speedup(uniform)={uniform:.2}");
+}
+
+#[test]
+fn greedy_bursts_at_least_as_much_as_op_on_large() {
+    // Table I, large bucket: Greedy 0.19 vs Op 0.17.
+    let g = mean_of(&mean_reports(SchedulerKind::Greedy, SizeBucket::LargeBiased, false), |r| {
+        r.burst_ratio
+    });
+    let o = mean_of(
+        &mean_reports(SchedulerKind::OrderPreserving, SizeBucket::LargeBiased, false),
+        |r| r.burst_ratio,
+    );
+    assert!(g >= o * 0.9, "greedy burst {g:.3} vs op {o:.3}");
+}
