@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo CI: tier-1 verify (build + tests) plus lint. Mirrors what the
+# driver runs, so a green ci.sh means a green PR.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== tier-1: cargo build --release"
+cargo build --release
+
+echo "== tier-1: cargo test -q"
+cargo test -q
+
+echo "== workspace tests (bench crate included)"
+cargo test -q --release --workspace
+
+echo "== lint: cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "ci.sh: all green"

@@ -22,8 +22,11 @@ fn bench_link_contention(c: &mut Criterion) {
                     link.start(SimTime::ZERO, TransferId(i as u64), 5_000_000, 4);
                 }
                 let mut completions = 0;
+                let mut buf = Vec::new();
                 while let Some(w) = link.next_wake() {
-                    completions += link.advance(w).len();
+                    buf.clear();
+                    link.advance_into(w, &mut buf);
+                    completions += buf.len();
                 }
                 black_box(completions)
             })

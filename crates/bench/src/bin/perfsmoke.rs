@@ -1,0 +1,104 @@
+//! `perfsmoke` — a one-command perf trajectory probe.
+//!
+//! Times the raw event kernel (schedule/fire cascade and schedule/cancel
+//! churn, reported as events per second) plus a representative subset of
+//! the `repro` experiments, and prints a single line of JSON so successive
+//! runs can be collected as `BENCH_<n>.json` files and diffed:
+//!
+//! ```text
+//! perfsmoke            print the JSON line to stdout
+//! perfsmoke <path>     additionally write it to <path>
+//! ```
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use cloudburst_bench::run_experiment_by_id;
+use cloudburst_sim::{Sim, SimDuration};
+use serde_json::json;
+
+/// Experiments that together touch every subsystem: the Fig. 6 sweep
+/// (bucket × scheduler), the burstiness timeline, and the SIBS bound path.
+const REPRO_SUBSET: [&str; 3] = ["fig6", "fig4a", "sibs"];
+
+/// Self-rescheduling cascade: one live chain, `n` sequential fires — the
+/// pure schedule→fire hot path with maximal slot reuse.
+fn kernel_cascade(n: u64) -> f64 {
+    let mut sim: Sim<u64> = Sim::new();
+    fn chain(remaining: u64) -> impl FnOnce(&mut u64, &mut Sim<u64>) + 'static {
+        move |w, sim| {
+            *w += 1;
+            if remaining > 0 {
+                sim.schedule_in(SimDuration::from_micros(1), chain(remaining - 1));
+            }
+        }
+    }
+    sim.schedule_now(chain(n - 1));
+    let mut fired = 0u64;
+    let t0 = Instant::now();
+    sim.run(&mut fired);
+    let secs = t0.elapsed().as_secs_f64();
+    assert_eq!(fired, n);
+    n as f64 / secs
+}
+
+/// Schedule/cancel churn: batches where half the scheduled events are
+/// cancelled before firing — the tombstone-free cancellation path.
+fn kernel_churn(batches: u64, per_batch: u64) -> f64 {
+    let mut sim: Sim<u64> = Sim::new();
+    let mut ops = 0u64;
+    let t0 = Instant::now();
+    for b in 0..batches {
+        let ids: Vec<_> = (0..per_batch)
+            .map(|i| {
+                sim.schedule_in(SimDuration::from_micros(1 + (i % 7)), |w: &mut u64, _| *w += 1)
+            })
+            .collect();
+        for id in ids.iter().skip(b as usize % 2).step_by(2) {
+            sim.cancel(*id);
+        }
+        let mut fired = 0u64;
+        sim.run(&mut fired);
+        ops += per_batch;
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    ops as f64 / secs
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1);
+
+    // Warm-up keeps first-touch page faults and lazy init out of the numbers.
+    kernel_cascade(10_000);
+    let cascade_eps = kernel_cascade(200_000);
+    let churn_eps = kernel_churn(100, 1_000);
+
+    let mut repro = serde_json::Map::new();
+    let t_all = Instant::now();
+    for id in REPRO_SUBSET {
+        let t0 = Instant::now();
+        run_experiment_by_id(id).expect("known experiment id");
+        repro.insert(format!("repro_{id}_secs"), json!(t0.elapsed().as_secs_f64()));
+    }
+    let repro_total = t_all.elapsed().as_secs_f64();
+
+    let mut doc = serde_json::Map::new();
+    doc.insert("bench".into(), json!("perfsmoke"));
+    doc.insert("kernel_cascade_events_per_sec".into(), json!(cascade_eps));
+    doc.insert("kernel_churn_events_per_sec".into(), json!(churn_eps));
+    doc.insert("repro_subset_secs".into(), json!(repro_total));
+    doc.insert(
+        "threads".into(),
+        json!(std::thread::available_parallelism().map_or(1, |n| n.get())),
+    );
+    for (k, v) in repro {
+        doc.insert(k, v);
+    }
+
+    let line = serde_json::to_string(&serde_json::Value::Object(doc)).expect("serialize");
+    println!("{line}");
+    if let Some(path) = out_path {
+        let mut f = std::fs::File::create(&path).expect("create output file");
+        writeln!(f, "{line}").expect("write output file");
+    }
+}

@@ -8,9 +8,11 @@
 //! repro --svg <dir> …    additionally render the figures as SVG files
 //! ```
 
+use std::collections::BTreeMap;
 use std::io::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-use cloudburst_bench::{all_ids, run_experiment_by_id};
+use cloudburst_bench::{all_ids, run_experiment_by_id, ExpOutput};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,45 +46,85 @@ fn main() {
         args.iter().map(|s| s.as_str()).collect()
     };
 
+    // Experiments run on a worker pool (each id's output is buffered), but
+    // everything is printed and written strictly in id order as results
+    // stream in — byte-identical to a serial run.
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get()).min(ids.len()).max(1);
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, Option<ExpOutput>)>();
+    let ids_ref = &ids;
     let mut failures = 0;
-    for id in ids {
-        let Some(out) = run_experiment_by_id(id) else {
-            eprintln!("unknown experiment id: {id} (try `repro list`)");
-            failures += 1;
-            continue;
-        };
-        println!("================================================================");
-        println!("== {id}");
-        println!("================================================================");
-        println!("{}", out.text);
-        let shape_ok = out.summary.get("shape_ok").and_then(|v| v.as_bool());
-        match shape_ok {
-            Some(true) => println!("[shape-check] {id}: OK"),
-            Some(false) => {
-                println!("[shape-check] {id}: MISMATCH — see summary: {}", out.summary);
-                failures += 1;
-            }
-            None => {}
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(id) = ids_ref.get(i) else { break };
+                if tx.send((i, run_experiment_by_id(id))).is_err() {
+                    break;
+                }
+            });
         }
-        println!();
-        if let Some(dir) = &json_dir {
-            std::fs::create_dir_all(dir).expect("create json dir");
-            let path = format!("{dir}/{id}.json");
-            let mut f = std::fs::File::create(&path).expect("create json file");
-            writeln!(f, "{}", serde_json::to_string_pretty(&out.summary).expect("serialize"))
-                .expect("write json");
-        }
-        if let Some(dir) = &svg_dir {
-            std::fs::create_dir_all(dir).expect("create svg dir");
-            for (stem, svg) in &out.charts {
-                let path = format!("{dir}/{stem}.svg");
-                std::fs::write(&path, svg).expect("write svg");
-                println!("[figure] {path}");
+        drop(tx);
+        let mut buffered: BTreeMap<usize, Option<ExpOutput>> = BTreeMap::new();
+        let mut emit_next = 0usize;
+        for (i, out) in rx.iter() {
+            buffered.insert(i, out);
+            while let Some(out) = buffered.remove(&emit_next) {
+                emit(ids_ref[emit_next], out, &json_dir, &svg_dir, &mut failures);
+                emit_next += 1;
             }
         }
-    }
+    })
+    .expect("experiment worker panicked");
     if failures > 0 {
         eprintln!("{failures} experiment(s) failed their shape check");
         std::process::exit(1);
+    }
+}
+
+/// Prints one experiment's buffered output and writes its JSON/SVG
+/// artifacts. Always called in id order from the main thread.
+fn emit(
+    id: &str,
+    out: Option<ExpOutput>,
+    json_dir: &Option<String>,
+    svg_dir: &Option<String>,
+    failures: &mut u32,
+) {
+    let Some(out) = out else {
+        eprintln!("unknown experiment id: {id} (try `repro list`)");
+        *failures += 1;
+        return;
+    };
+    println!("================================================================");
+    println!("== {id}");
+    println!("================================================================");
+    println!("{}", out.text);
+    let shape_ok = out.summary.get("shape_ok").and_then(|v| v.as_bool());
+    match shape_ok {
+        Some(true) => println!("[shape-check] {id}: OK"),
+        Some(false) => {
+            println!("[shape-check] {id}: MISMATCH — see summary: {}", out.summary);
+            *failures += 1;
+        }
+        None => {}
+    }
+    println!();
+    if let Some(dir) = json_dir {
+        std::fs::create_dir_all(dir).expect("create json dir");
+        let path = format!("{dir}/{id}.json");
+        let mut f = std::fs::File::create(&path).expect("create json file");
+        writeln!(f, "{}", serde_json::to_string_pretty(&out.summary).expect("serialize"))
+            .expect("write json");
+    }
+    if let Some(dir) = svg_dir {
+        std::fs::create_dir_all(dir).expect("create svg dir");
+        for (stem, svg) in &out.charts {
+            let path = format!("{dir}/{stem}.svg");
+            std::fs::write(&path, svg).expect("write svg");
+            println!("[figure] {path}");
+        }
     }
 }

@@ -106,19 +106,24 @@ impl<K: Copy + PartialEq + std::fmt::Debug> Cloud<K> {
     }
 
     /// Keys of queued jobs in FCFS order (scheduler-observable state).
-    pub fn queued_keys(&self) -> Vec<K> {
-        self.queue.iter().map(|(k, _)| *k).collect()
+    pub fn queued_keys(&self) -> impl Iterator<Item = K> + '_ {
+        self.queue.iter().map(|(k, _)| *k)
+    }
+
+    /// Number of jobs currently executing.
+    pub fn running(&self) -> usize {
+        self.running.len()
     }
 
     /// Keys of running jobs with their start times.
-    pub fn running_keys(&self) -> Vec<(K, SimTime)> {
-        self.running.iter().map(|r| (r.key, r.started)).collect()
+    pub fn running_keys(&self) -> impl Iterator<Item = (K, SimTime)> + '_ {
+        self.running.iter().map(|r| (r.key, r.started))
     }
 
     /// Full detail of running jobs: `(key, machine, started)` — the input
     /// schedulers need to estimate per-machine drain times.
-    pub fn running_detail(&self) -> Vec<(K, MachineId, SimTime)> {
-        self.running.iter().map(|r| (r.key, r.machine, r.started)).collect()
+    pub fn running_detail(&self) -> impl Iterator<Item = (K, MachineId, SimTime)> + '_ {
+        self.running.iter().map(|r| (r.key, r.machine, r.started))
     }
 
     /// Jobs completed so far.
@@ -149,8 +154,17 @@ impl<K: Copy + PartialEq + std::fmt::Debug> Cloud<K> {
     }
 
     /// Advances to `to`, returning completions in chronological order.
+    /// Convenience wrapper over [`Cloud::advance_into`].
     pub fn advance(&mut self, to: SimTime) -> Vec<ExecCompletion<K>> {
         let mut done = Vec::new();
+        self.advance_into(to, &mut done);
+        done
+    }
+
+    /// Advances to `to`, appending completions to the caller-owned `done`
+    /// buffer in chronological order, so a driver loop can reuse one
+    /// allocation across every wake.
+    pub fn advance_into(&mut self, to: SimTime, done: &mut Vec<ExecCompletion<K>>) {
         loop {
             // Earliest finishing running job not after `to`.
             let next = self
@@ -169,7 +183,6 @@ impl<K: Copy + PartialEq + std::fmt::Debug> Cloud<K> {
             self.dispatch();
         }
         self.clock = self.clock.max(to);
-        done
     }
 
     /// Earliest pending completion, if any work is running.
@@ -267,7 +280,7 @@ mod tests {
         let done = c.advance(SimTime::from_secs(25));
         assert_eq!(done.iter().map(|d| d.key).collect::<Vec<_>>(), vec![1, 2]);
         assert_eq!(c.queued(), 0, "third is running");
-        assert_eq!(c.running_keys().len(), 1);
+        assert_eq!(c.running(), 1);
     }
 
     #[test]
@@ -310,7 +323,7 @@ mod tests {
         c.submit(SimTime::ZERO, 1, 10.0);
         c.submit(SimTime::ZERO, 2, 10.0);
         c.submit(SimTime::ZERO, 3, 10.0);
-        assert_eq!(c.queued_keys(), vec![2, 3]);
+        assert_eq!(c.queued_keys().collect::<Vec<_>>(), vec![2, 3]);
     }
 
     #[test]

@@ -18,9 +18,7 @@
 //! simulation itself; the scheduler sees estimates. This split is what lets
 //! the experiments reproduce the paper's robustness comparisons.
 
-use std::collections::HashMap;
-
-use cloudburst_cluster::Cloud;
+use cloudburst_cluster::{Cloud, ExecCompletion};
 use cloudburst_net::link::Completion;
 use cloudburst_net::queues::{SibsQueues, SizeClass};
 use cloudburst_net::{Link, SibsBounds, TransferId};
@@ -33,7 +31,7 @@ use cloudburst_sched::{
     BurstScheduler, EstimateProvider, GreedyScheduler, IcOnlyScheduler, LoadModel,
     OrderPreservingScheduler, Placement, ProcTimeModel, SibsScheduler,
 };
-use cloudburst_sim::{EventId, RngFactory, Sim, SimDuration, SimTime};
+use cloudburst_sim::{EventId, FxHashMap, RngFactory, Sim, SimDuration, SimTime};
 use cloudburst_sla::{metrics, oo_series, CompletionRecord, RunReport};
 use cloudburst_workload::arrival::training_corpus;
 use cloudburst_workload::{BatchArrivals, Job, JobId};
@@ -67,9 +65,10 @@ struct EcSite {
     /// FIFO download queue of finished EC jobs awaiting result transfer.
     down_queue: std::collections::VecDeque<(JobId, u64)>,
     down_active: Option<TransferId>,
-    /// Transfer bookkeeping: id → payload and thread count.
-    up_map: HashMap<TransferId, (Payload, u32)>,
-    down_map: HashMap<TransferId, (Payload, u32)>,
+    /// Transfer bookkeeping: id → payload and thread count. Ids are dense
+    /// trusted integers, so the maps use the fast in-tree Fx hasher.
+    up_map: FxHashMap<TransferId, (Payload, u32)>,
+    down_map: FxHashMap<TransferId, (Payload, u32)>,
     sibs_bounds: Option<SibsBounds>,
     uploaded_bytes: u64,
     downloaded_bytes: u64,
@@ -95,8 +94,8 @@ impl EcSite {
             up_slots,
             down_queue: std::collections::VecDeque::new(),
             down_active: None,
-            up_map: HashMap::new(),
-            down_map: HashMap::new(),
+            up_map: FxHashMap::default(),
+            down_map: FxHashMap::default(),
             sibs_bounds: None,
             uploaded_bytes: 0,
             downloaded_bytes: 0,
@@ -123,7 +122,7 @@ impl EcSite {
         self.up_queues.len()
             + self.up_map.values().filter(|(p, _)| matches!(p, Payload::Job(_))).count()
             + self.cloud.queued()
-            + self.cloud.running_keys().len()
+            + self.cloud.running()
             + self.down_queue.len()
             + self.down_map.values().filter(|(p, _)| matches!(p, Payload::Job(_))).count()
     }
@@ -170,6 +169,10 @@ pub struct EngineWorld {
     /// cost measure for the elastic-scaling extension.
     ec_provisioned_machine_secs: f64,
     last_provision_accrual: SimTime,
+    /// Reusable drain buffers for `on_wake` — completions are copied out
+    /// of the components into these so the wake loop never allocates.
+    scratch_exec: Vec<ExecCompletion<JobId>>,
+    scratch_link: Vec<Completion>,
 }
 
 impl EngineWorld {
@@ -272,6 +275,8 @@ impl EngineWorld {
             n_push_outs: 0,
             ec_provisioned_machine_secs: 0.0,
             last_provision_accrual: SimTime::ZERO,
+            scratch_exec: Vec::new(),
+            scratch_link: Vec::new(),
         }
     }
 
@@ -521,39 +526,49 @@ fn resync(w: &mut W, sim: &mut Sim<W>) {
 /// until quiescent, then pumps idle slots. All wake events funnel here.
 fn on_wake(w: &mut W, sim: &mut Sim<W>) {
     let now = sim.now();
+    // The drain buffers live on the world; they're taken out for the loop
+    // (completions are `Copy`) so handlers below can borrow `w` freely.
+    let mut execs = std::mem::take(&mut w.scratch_exec);
+    let mut transfers = std::mem::take(&mut w.scratch_link);
     loop {
         let mut any = false;
 
         // IC executions.
-        let ic_done = w.ic.advance(now);
-        for c in &ic_done {
-            any = true;
+        execs.clear();
+        w.ic.advance_into(now, &mut execs);
+        for c in &execs {
             finish_exec(w, c.key, c.at, c.started, true);
             // IC result goes straight to the result queue.
             record_completion(w, c.key, c.at);
         }
-        if !ic_done.is_empty() && w.cfg.rescheduling {
-            try_pull_back(w, now);
+        if !execs.is_empty() {
+            any = true;
+            if w.cfg.rescheduling {
+                try_pull_back(w, now);
+            }
         }
 
         for i in 0..w.sites.len() {
             // Upload completions.
-            let ups: Vec<Completion> = w.sites[i].up_link.advance(now);
-            for c in ups {
+            transfers.clear();
+            w.sites[i].up_link.advance_into(now, &mut transfers);
+            for &c in &transfers {
                 any = true;
                 on_upload_done(w, i, c);
             }
             // EC executions.
-            let exec_done = w.sites[i].cloud.advance(now);
-            for c in exec_done {
+            execs.clear();
+            w.sites[i].cloud.advance_into(now, &mut execs);
+            for &c in &execs {
                 any = true;
                 finish_exec(w, c.key, c.at, c.started, false);
                 let out = w.jobs[c.key.0 as usize].output_bytes;
                 w.sites[i].down_queue.push_back((c.key, out));
             }
             // Download completions.
-            let downs: Vec<Completion> = w.sites[i].down_link.advance(now);
-            for c in downs {
+            transfers.clear();
+            w.sites[i].down_link.advance_into(now, &mut transfers);
+            for &c in &transfers {
                 any = true;
                 on_download_done(w, i, c);
             }
@@ -562,6 +577,10 @@ fn on_wake(w: &mut W, sim: &mut Sim<W>) {
             break;
         }
     }
+    execs.clear();
+    transfers.clear();
+    w.scratch_exec = execs;
+    w.scratch_link = transfers;
     // Refill transfer slots.
     for i in 0..w.sites.len() {
         pump_uploads(w, i, now);
@@ -827,7 +846,7 @@ fn try_push_out(w: &mut W, now: SimTime) {
     if !w.sites[site].up_queues.is_empty() || w.sites[site].up_link.in_flight() > 0 {
         return;
     }
-    let waiting = w.ic.queued_keys();
+    let waiting: Vec<JobId> = w.ic.queued_keys().collect();
     if waiting.is_empty() {
         return;
     }

@@ -1,6 +1,16 @@
-//! Multi-run drivers: replications across seeds (parallelized with
-//! crossbeam scoped threads) and the bucket × scheduler sweeps the paper's
-//! evaluation section is built from.
+//! Multi-run drivers: replications across seeds and the bucket × scheduler
+//! sweeps the paper's evaluation section is built from.
+//!
+//! Everything fans out through [`parallel_map_ordered`]: a fixed pool of
+//! crossbeam scoped workers pulls indices off a shared atomic counter (a
+//! work queue, so an early-finishing thread immediately picks up the next
+//! run instead of idling at a chunk barrier) and writes each result into
+//! its input slot — callers always see results in input order, identical
+//! to a serial run.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
 
 use cloudburst_sla::RunReport;
 use cloudburst_workload::SizeBucket;
@@ -8,43 +18,56 @@ use cloudburst_workload::SizeBucket;
 use crate::config::{ExperimentConfig, SchedulerKind};
 use crate::engine::run_experiment;
 
-/// Runs the same configuration across `seeds`, one OS thread per run
-/// (bounded by available parallelism), returning reports in seed order.
-pub fn run_replications(base: &ExperimentConfig, seeds: &[u64]) -> Vec<RunReport> {
-    let max_par = std::thread::available_parallelism().map_or(4, |n| n.get());
-    let mut out: Vec<Option<RunReport>> = vec![None; seeds.len()];
-    for chunk in seeds
-        .iter()
-        .enumerate()
-        .collect::<Vec<_>>()
-        .chunks(max_par.max(1))
-    {
-        crossbeam::scope(|scope| {
-            let mut handles = Vec::new();
-            for &(i, &seed) in chunk {
-                let mut cfg = base.clone();
-                cfg.seed = seed;
-                handles.push((i, scope.spawn(move |_| run_experiment(&cfg))));
-            }
-            for (i, h) in handles {
-                out[i] = Some(h.join().expect("replication thread panicked"));
-            }
-        })
-        .expect("crossbeam scope");
+/// Maps `f` over `items` on a worker pool bounded by the machine's
+/// available parallelism, returning the results in input order. `f` must
+/// be deterministic per item for the output to match a serial run (every
+/// driver in this crate is). Runs inline when a pool would not help.
+pub fn parallel_map_ordered<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = std::thread::available_parallelism().map_or(4, |c| c.get()).min(n);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
-    out.into_iter().map(|r| r.expect("all runs complete")).collect()
+    let next = AtomicUsize::new(0);
+    let out: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                out.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("worker pool panicked");
+    out.into_inner().into_iter().map(|r| r.expect("worker filled every slot")).collect()
+}
+
+/// Runs the same configuration across `seeds` on the worker pool,
+/// returning reports in seed order.
+pub fn run_replications(base: &ExperimentConfig, seeds: &[u64]) -> Vec<RunReport> {
+    parallel_map_ordered(seeds, |_, &seed| {
+        let mut cfg = base.clone();
+        cfg.seed = seed;
+        run_experiment(&cfg)
+    })
 }
 
 /// Runs one scheduler over all three buckets (Fig. 6's x-axis).
 pub fn run_all_buckets(base: &ExperimentConfig) -> Vec<RunReport> {
-    SizeBucket::ALL
-        .iter()
-        .map(|&bucket| {
-            let mut cfg = base.clone();
-            cfg.arrivals.bucket = bucket;
-            run_experiment(&cfg)
-        })
-        .collect()
+    parallel_map_ordered(&SizeBucket::ALL, |_, &bucket| {
+        let mut cfg = base.clone();
+        cfg.arrivals.bucket = bucket;
+        run_experiment(&cfg)
+    })
 }
 
 /// Mean of a metric over reports.
@@ -61,16 +84,13 @@ pub fn run_lineup(
     kinds: &[SchedulerKind],
     bucket: SizeBucket,
     seed: u64,
-    tweak: impl Fn(&mut ExperimentConfig),
+    tweak: impl Fn(&mut ExperimentConfig) + Sync,
 ) -> Vec<RunReport> {
-    kinds
-        .iter()
-        .map(|&k| {
-            let mut cfg = ExperimentConfig::paper(k, bucket, seed);
-            tweak(&mut cfg);
-            run_experiment(&cfg)
-        })
-        .collect()
+    parallel_map_ordered(kinds, |_, &k| {
+        let mut cfg = ExperimentConfig::paper(k, bucket, seed);
+        tweak(&mut cfg);
+        run_experiment(&cfg)
+    })
 }
 
 #[cfg(test)]
@@ -90,6 +110,18 @@ mod tests {
             scheduler: SchedulerKind::Greedy,
             ..ExperimentConfig::default()
         }
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<u64> = (0..40).collect();
+        let out = parallel_map_ordered(&items, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * 3
+        });
+        assert_eq!(out, (0..40).map(|x| x * 3).collect::<Vec<_>>());
+        let empty: [u64; 0] = [];
+        assert!(parallel_map_ordered(&empty, |_, &x| x).is_empty());
     }
 
     #[test]

@@ -146,8 +146,8 @@ impl Link {
     }
 
     /// Ids of the in-flight transfers.
-    pub fn active_ids(&self) -> Vec<TransferId> {
-        self.active.iter().map(|t| t.id).collect()
+    pub fn active_ids(&self) -> impl Iterator<Item = TransferId> + '_ {
+        self.active.iter().map(|t| t.id)
     }
 
     /// Total threads currently contending on the link.
@@ -191,9 +191,19 @@ impl Link {
     }
 
     /// Integrates all transfers forward to `to`, returning completions in
-    /// chronological order.
+    /// chronological order. Convenience wrapper over
+    /// [`Link::advance_into`]; the engine's per-wake hot path uses the
+    /// buffer-reusing form directly.
     pub fn advance(&mut self, to: SimTime) -> Vec<Completion> {
         let mut done = Vec::new();
+        self.advance_into(to, &mut done);
+        done
+    }
+
+    /// Integrates all transfers forward to `to`, appending completions to
+    /// `done` in chronological order. The buffer is caller-owned so a
+    /// driver loop can reuse one allocation across every wake.
+    pub fn advance_into(&mut self, to: SimTime, done: &mut Vec<Completion>) {
         // Work in pieces: each piece ends at the next slot boundary, the
         // next completion under the current rate, or `to`.
         while self.clock < to {
@@ -217,7 +227,7 @@ impl Link {
                     continue;
                 }
                 let eta = self.clock + SimDuration::from_secs_f64(tr.remaining / r);
-                if eta <= piece_end && first.map_or(true, |(_, t)| eta < t) {
+                if eta <= piece_end && first.is_none_or(|(_, t)| eta < t) {
                     first = Some((i, eta));
                 }
             }
@@ -241,7 +251,6 @@ impl Link {
                 i += 1;
             }
         }
-        done
     }
 
     /// When should the engine next call [`Link::advance`]? Returns the

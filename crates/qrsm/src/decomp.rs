@@ -1,6 +1,10 @@
 //! Matrix factorizations: Cholesky (for SPD normal equations) and
 //! Householder QR (for numerically stable least squares).
 
+// Triangular solves and Householder sweeps read more like the textbook
+// formulas with explicit indices than with iterator chains.
+#![allow(clippy::needless_range_loop)]
+
 use crate::matrix::{Matrix, MatrixError};
 
 /// Lower-triangular Cholesky factor `L` with `A = L·Lᵀ`.

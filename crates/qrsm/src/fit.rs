@@ -95,13 +95,13 @@ fn lad_irls(x: &Matrix, y: &[f64], max_iter: usize, tol: f64) -> Result<Vec<f64>
         // Build weighted normal equations: Xᵀ W X β = Xᵀ W y.
         let mut g = Matrix::zeros(p, p);
         let mut rhs = vec![0.0; p];
-        for r in 0..n {
+        for (r, &yr) in y.iter().enumerate().take(n) {
             let row = x.row(r);
             let pred: f64 = row.iter().zip(&beta).map(|(a, b)| a * b).sum();
-            let w = 1.0 / (y[r] - pred).abs().max(delta);
+            let w = 1.0 / (yr - pred).abs().max(delta);
             for i in 0..p {
                 let wa = w * row[i];
-                rhs[i] += wa * y[r];
+                rhs[i] += wa * yr;
                 for j in i..p {
                     g[(i, j)] += wa * row[j];
                 }

@@ -156,9 +156,8 @@ impl Matrix {
             return Err(MatrixError::DimensionMismatch);
         }
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
+        for (r, &w) in y.iter().enumerate().take(self.rows) {
             let row = self.row(r);
-            let w = y[r];
             for (o, &a) in out.iter_mut().zip(row) {
                 *o += a * w;
             }

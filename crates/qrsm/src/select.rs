@@ -85,7 +85,7 @@ pub fn forward_select(
             let Ok(rmse) = cv_rmse_for(&full, ys, &trial, method, k) else {
                 continue;
             };
-            if best_candidate.map_or(true, |(_, r)| rmse < r) {
+            if best_candidate.is_none_or(|(_, r)| rmse < r) {
                 best_candidate = Some((t, rmse));
             }
         }

@@ -1,45 +1,72 @@
 //! The event queue and simulation driver.
 //!
-//! Events are boxed `FnOnce(&mut W, &mut Sim<W>)` closures ordered by
+//! Events are `FnOnce(&mut W, &mut Sim<W>)` closures ordered by
 //! `(time, sequence)`. The monotone sequence number gives simultaneous events
 //! a stable first-scheduled-first-fired order, which is essential for
 //! reproducibility: two runs with the same seed execute the exact same event
 //! interleaving.
 //!
-//! Cancellation is tombstone-based: [`Sim::cancel`] marks the event id dead
-//! and the driver drops dead events when they surface at the head of the
-//! heap. This keeps `cancel` O(1) amortized without requiring a decrease-key
-//! heap.
+//! # Hot-path layout
+//!
+//! The heap holds only `Copy` `(time, seq, slot)` triples; the closure and
+//! liveness state live in a generational slab indexed by `slot`. An
+//! [`EventId`] carries both the slot index and the event's globally unique
+//! sequence number, so a lookup is one bounds-checked array access plus a
+//! `seq` comparison — no hashing anywhere.
+//!
+//! Cancellation drops the closure immediately and vacates the slot (the slot
+//! goes on a free list for reuse); the heap entry becomes a stale triple
+//! that is discarded when it reaches the head. Both [`Sim::cancel`] and the
+//! driver eagerly pop stale triples off the head, so the head of the heap is
+//! always a live event and [`Sim::peek_next`] is a read-only `&self` peek.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 use crate::time::{SimDuration, SimTime};
 
 /// Handle to a scheduled event, usable to cancel it before it fires.
+///
+/// The id stays valid (and inert) after the event fires or is cancelled:
+/// the slab slot is generational, so a reused slot cannot be confused with
+/// the event that previously occupied it.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-pub struct EventId(u64);
+pub struct EventId {
+    seq: u64,
+    slot: u32,
+}
 
 type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
 
-struct Scheduled<W> {
-    at: SimTime,
-    seq: u64,
-    f: EventFn<W>,
+/// Sentinel for "no free slot" in the slab free list.
+const NIL: u32 = u32::MAX;
+
+enum Slot<W> {
+    Vacant { next_free: u32 },
+    Occupied { seq: u64, f: EventFn<W> },
 }
 
-impl<W> PartialEq for Scheduled<W> {
+/// What the heap orders: a `Copy` triple, closure stored out-of-line in the
+/// slab so sift-up/down moves 24 bytes and never touches an allocator.
+#[derive(Clone, Copy)]
+struct HeapEntry {
+    at: SimTime,
+    seq: u64,
+    slot: u32,
+}
+
+impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl<W> Eq for Scheduled<W> {}
-impl<W> PartialOrd for Scheduled<W> {
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<W> Ord for Scheduled<W> {
+impl Ord for HeapEntry {
     // Reversed so the std max-heap pops the earliest (time, seq) first.
     fn cmp(&self, other: &Self) -> Ordering {
         (other.at, other.seq).cmp(&(self.at, self.seq))
@@ -53,13 +80,13 @@ impl<W> Ord for Scheduled<W> {
 /// example.
 pub struct Sim<W> {
     now: SimTime,
-    queue: BinaryHeap<Scheduled<W>>,
+    queue: BinaryHeap<HeapEntry>,
     seq: u64,
-    /// Tombstones for cancelled-but-not-yet-popped events.
-    cancelled: HashSet<u64>,
-    /// Seqs currently scheduled and not cancelled — the authority on
-    /// whether an id is still live (fired and cancelled ids are absent).
-    live: HashSet<u64>,
+    /// Generational slab: slot `i` of a live event holds its closure and
+    /// seq; vacated slots chain into a free list for reuse.
+    slots: Vec<Slot<W>>,
+    free_head: u32,
+    live: usize,
     fired: u64,
 }
 
@@ -76,8 +103,9 @@ impl<W> Sim<W> {
             now: SimTime::ZERO,
             queue: BinaryHeap::new(),
             seq: 0,
-            cancelled: HashSet::new(),
-            live: HashSet::new(),
+            slots: Vec::new(),
+            free_head: NIL,
+            live: 0,
             fired: 0,
         }
     }
@@ -94,7 +122,13 @@ impl<W> Sim<W> {
 
     /// Number of live (scheduled, not cancelled) events.
     pub fn pending(&self) -> usize {
-        self.live.len()
+        self.live
+    }
+
+    /// Number of slab slots ever allocated — the high-water mark of
+    /// simultaneously pending events, not the total scheduled (diagnostics).
+    pub fn slot_capacity(&self) -> usize {
+        self.slots.len()
     }
 
     /// Schedules `f` to fire at absolute time `at`.
@@ -115,9 +149,23 @@ impl<W> Sim<W> {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.live.insert(seq);
-        self.queue.push(Scheduled { at, seq, f: Box::new(f) });
-        EventId(seq)
+        let f: EventFn<W> = Box::new(f);
+        let slot = if self.free_head != NIL {
+            let slot = self.free_head;
+            let reused = std::mem::replace(&mut self.slots[slot as usize], Slot::Occupied { seq, f });
+            match reused {
+                Slot::Vacant { next_free } => self.free_head = next_free,
+                Slot::Occupied { .. } => unreachable!("free list pointed at an occupied slot"),
+            }
+            slot
+        } else {
+            assert!(self.slots.len() < NIL as usize, "event slab exhausted");
+            self.slots.push(Slot::Occupied { seq, f });
+            (self.slots.len() - 1) as u32
+        };
+        self.live += 1;
+        self.queue.push(HeapEntry { at, seq, slot });
+        EventId { seq, slot }
     }
 
     /// Schedules `f` to fire after `delay`.
@@ -136,36 +184,69 @@ impl<W> Sim<W> {
         self.schedule_at(self.now, f)
     }
 
+    /// `true` if `id` refers to a still-pending event.
+    fn is_live(&self, seq: u64, slot: u32) -> bool {
+        matches!(
+            self.slots.get(slot as usize),
+            Some(Slot::Occupied { seq: s, .. }) if *s == seq
+        )
+    }
+
+    /// Takes the closure out of `slot`, vacating it onto the free list.
+    /// Caller must have checked liveness.
+    fn vacate(&mut self, slot: u32) -> EventFn<W> {
+        let vacant = Slot::Vacant { next_free: self.free_head };
+        match std::mem::replace(&mut self.slots[slot as usize], vacant) {
+            Slot::Occupied { f, .. } => {
+                self.free_head = slot;
+                self.live -= 1;
+                f
+            }
+            Slot::Vacant { .. } => unreachable!("vacated a vacant slot"),
+        }
+    }
+
+    /// Pops stale (cancelled) triples off the heap head so the head — and
+    /// therefore [`Sim::peek_next`] — always reflects a live event.
+    fn compact_head(&mut self) {
+        while let Some(e) = self.queue.peek() {
+            if self.is_live(e.seq, e.slot) {
+                break;
+            }
+            self.queue.pop();
+        }
+    }
+
     /// Cancels a previously scheduled event. Returns `true` if the event was
     /// still pending (it will now never fire), `false` if it already fired or
     /// was already cancelled.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if self.live.remove(&id.0) {
-            // Tombstone; the driver drops it when it surfaces at the head.
-            self.cancelled.insert(id.0);
-            true
-        } else {
-            false
+        if !self.is_live(id.seq, id.slot) {
+            return false;
         }
+        // Drop the closure now; its heap triple is discarded when it
+        // surfaces at the head.
+        drop(self.vacate(id.slot));
+        self.compact_head();
+        true
     }
 
     /// Pops and fires the next live event. Returns `false` when the queue is
     /// exhausted.
     pub fn step(&mut self, world: &mut W) -> bool {
-        loop {
-            let Some(ev) = self.queue.pop() else {
-                return false;
-            };
-            if self.cancelled.remove(&ev.seq) {
-                continue;
-            }
-            self.live.remove(&ev.seq);
-            debug_assert!(ev.at >= self.now, "event queue went backwards");
-            self.now = ev.at;
-            self.fired += 1;
-            (ev.f)(world, self);
-            return true;
-        }
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        // compact_head keeps the head live; a stale pop means the invariant
+        // broke somewhere.
+        debug_assert!(self.is_live(ev.seq, ev.slot), "stale event at compacted head");
+        let f = self.vacate(ev.slot);
+        self.compact_head();
+        debug_assert!(ev.at >= self.now, "event queue went backwards");
+        self.now = ev.at;
+        self.fired += 1;
+        f(world, self);
+        true
     }
 
     /// Runs until no events remain.
@@ -179,8 +260,6 @@ impl<W> Sim<W> {
     /// remain pending.
     pub fn run_until(&mut self, world: &mut W, until: SimTime) {
         loop {
-            // peek_next (not queue.peek) so a cancelled event at the head
-            // cannot trick the loop into firing a live event beyond `until`.
             match self.peek_next() {
                 Some(at) if at <= until => {
                     let fired = self.step(world);
@@ -196,18 +275,10 @@ impl<W> Sim<W> {
         }
     }
 
-    /// Time of the next live event, if any.
-    pub fn peek_next(&mut self) -> Option<SimTime> {
-        // Drop dead events off the head so the answer reflects a live event.
-        while let Some(ev) = self.queue.peek() {
-            if self.cancelled.contains(&ev.seq) {
-                let ev = self.queue.pop().expect("peeked");
-                self.cancelled.remove(&ev.seq);
-            } else {
-                return Some(ev.at);
-            }
-        }
-        None
+    /// Time of the next live event, if any. Read-only: cancelled events are
+    /// compacted off the head eagerly, never here.
+    pub fn peek_next(&self) -> Option<SimTime> {
+        self.queue.peek().map(|e| e.at)
     }
 }
 
@@ -266,7 +337,7 @@ mod tests {
     #[test]
     fn cancel_unknown_id_is_false() {
         let mut sim: Sim<()> = Sim::new();
-        assert!(!sim.cancel(EventId(42)));
+        assert!(!sim.cancel(EventId { seq: 42, slot: 7 }));
     }
 
     #[test]
@@ -278,6 +349,38 @@ mod tests {
         assert_eq!(w, 1);
         assert!(!sim.cancel(id), "already-fired event cannot be cancelled");
         assert_eq!(sim.pending(), 0);
+    }
+
+    #[test]
+    fn stale_id_cannot_cancel_slot_reuser() {
+        // a fires (or is cancelled), its slot is reused by b; a's old id
+        // must not cancel b.
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let a = sim.schedule_at(SimTime::from_secs(1), |w: &mut Vec<u32>, _| w.push(1));
+        assert!(sim.cancel(a));
+        let b = sim.schedule_at(SimTime::from_secs(2), |w: &mut Vec<u32>, _| w.push(2));
+        assert_eq!(a.slot, b.slot, "test premise: slot is reused");
+        assert!(!sim.cancel(a), "stale id must not hit the reused slot");
+        let mut w = Vec::new();
+        sim.run(&mut w);
+        assert_eq!(w, vec![2]);
+    }
+
+    #[test]
+    fn slots_are_reused_not_grown() {
+        let mut sim: Sim<u64> = Sim::new();
+        // Self-rescheduling chain: never more than one pending event.
+        fn tick(w: &mut u64, sim: &mut Sim<u64>) {
+            *w += 1;
+            if *w < 1000 {
+                sim.schedule_in(SimDuration::from_secs(1), tick);
+            }
+        }
+        sim.schedule_now(tick);
+        let mut w = 0u64;
+        sim.run(&mut w);
+        assert_eq!(w, 1000);
+        assert_eq!(sim.slot_capacity(), 1, "chain must reuse a single slot");
     }
 
     #[test]
@@ -316,6 +419,28 @@ mod tests {
         sim.schedule_at(SimTime::from_secs(2), |_, _| {});
         sim.cancel(a);
         assert_eq!(sim.peek_next(), Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn peek_next_live_after_interleaved_cancels() {
+        // Cancel mid-heap entries, then fire past them: the head must stay
+        // live at every observation point.
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let ids: Vec<EventId> = (1..=10)
+            .map(|s| sim.schedule_at(SimTime::from_secs(s), move |w: &mut Vec<u32>, _| w.push(s as u32)))
+            .collect();
+        for &id in &ids[2..8] {
+            sim.cancel(id);
+        }
+        let mut w = Vec::new();
+        assert_eq!(sim.peek_next(), Some(SimTime::from_secs(1)));
+        assert!(sim.step(&mut w));
+        assert_eq!(sim.peek_next(), Some(SimTime::from_secs(2)));
+        assert!(sim.step(&mut w));
+        // Events 3..=8 are cancelled; head must already point at 9.
+        assert_eq!(sim.peek_next(), Some(SimTime::from_secs(9)));
+        sim.run(&mut w);
+        assert_eq!(w, vec![1, 2, 9, 10]);
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! A tiny FxHash-style hasher for small integer keys.
+//!
+//! The engine keys its transfer bookkeeping maps by dense `u64` ids; the
+//! default SipHash is DoS-resistant but an order of magnitude slower than
+//! needed for trusted in-process keys. This is the classic multiply-rotate
+//! mix used by rustc's FxHash: one rotate, one xor, one multiply per word.
+//! Not DoS-resistant — never use it on attacker-controlled keys.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// rustc-fx multiplier (64-bit golden-ratio-derived odd constant).
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The hasher state: a single word folded once per input word.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`] — drop-in for trusted integer-keyed maps.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_works_and_distributes() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&i), Some(&(i * 2)));
+        }
+        // Distinct small keys hash to distinct values (sanity, not rigor).
+        let mut seen = FxHashSet::default();
+        for i in 0..1000u64 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            seen.insert(h.finish());
+        }
+        assert_eq!(seen.len(), 1000);
+    }
+
+    #[test]
+    fn byte_writes_match_word_writes_for_whole_words() {
+        let mut a = FxHasher::default();
+        a.write(&42u64.to_le_bytes());
+        let mut b = FxHasher::default();
+        b.write_u64(42);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

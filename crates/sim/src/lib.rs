@@ -32,10 +32,12 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod fxhash;
 pub mod process;
 pub mod rng;
 pub mod time;
 
 pub use event::{EventId, Sim};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use rng::RngFactory;
 pub use time::{SimDuration, SimTime};

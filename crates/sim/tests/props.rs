@@ -1,10 +1,12 @@
 //! Property tests for the DES kernel: ordering, cancellation, run_until
 //! semantics and RNG stream independence under arbitrary inputs.
 
+use std::collections::HashSet;
+
 use proptest::prelude::*;
 
 use cloudburst_sim::process::Ticker;
-use cloudburst_sim::{RngFactory, Sim, SimDuration, SimTime};
+use cloudburst_sim::{EventId, RngFactory, Sim, SimDuration, SimTime};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -95,6 +97,68 @@ proptest! {
         for (i, &t) in seen.iter().enumerate() {
             prop_assert_eq!(t, (i as u64 + 1) * period);
         }
+    }
+
+    /// Interleaved schedule/cancel/step with slab slot reuse: a cancelled
+    /// event never fires, nothing fires twice, a spent id cannot cancel the
+    /// slot's next occupant, and no `EventId` is ever issued twice (the
+    /// generation half of the id keeps reused slots distinguishable).
+    #[test]
+    fn slot_reuse_never_confuses_ids(
+        ops in prop::collection::vec((0u8..4, 0u64..40, 0usize..1 << 20), 1..400),
+    ) {
+        let mut sim: Sim<Vec<u64>> = Sim::new();
+        let mut live: Vec<(EventId, u64)> = Vec::new();
+        let mut spent: Vec<EventId> = Vec::new();
+        let mut cancelled: Vec<u64> = Vec::new();
+        let mut issued: HashSet<EventId> = HashSet::new();
+        let mut token = 0u64;
+        let mut log: Vec<u64> = Vec::new();
+        for (op, delay, pick) in ops {
+            match op {
+                // Biased 2:1 toward scheduling so slots churn through reuse.
+                0 | 1 => {
+                    let tk = token;
+                    token += 1;
+                    let id = sim
+                        .schedule_in(SimDuration::from_micros(delay), move |w: &mut Vec<u64>, _| {
+                            w.push(tk)
+                        });
+                    prop_assert!(issued.insert(id), "EventId issued twice: {:?}", id);
+                    live.push((id, tk));
+                }
+                2 => {
+                    if !live.is_empty() {
+                        let (id, tk) = live.swap_remove(pick % live.len());
+                        prop_assert!(sim.cancel(id));
+                        prop_assert!(!sim.cancel(id), "double-cancel succeeded");
+                        cancelled.push(tk);
+                        spent.push(id);
+                    }
+                }
+                _ => {
+                    let before = log.len();
+                    if sim.step(&mut log) {
+                        let tk = log[before];
+                        if let Some(i) = live.iter().position(|&(_, t)| t == tk) {
+                            spent.push(live.swap_remove(i).0);
+                        }
+                    }
+                }
+            }
+            // A fired or cancelled id must stay inert even after its slot
+            // has been handed to a newer event.
+            if let Some(&stale) = spent.last() {
+                prop_assert!(!sim.cancel(stale), "stale id cancelled a live event");
+            }
+        }
+        sim.run(&mut log);
+        let fired: HashSet<u64> = log.iter().copied().collect();
+        prop_assert_eq!(fired.len(), log.len(), "an event fired twice");
+        for tk in &cancelled {
+            prop_assert!(!fired.contains(tk), "cancelled event fired");
+        }
+        prop_assert_eq!(log.len() + cancelled.len(), token as usize);
     }
 
     /// RNG streams: same label reproduces, different labels decorrelate.

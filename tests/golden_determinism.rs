@@ -1,0 +1,30 @@
+//! Golden determinism at full-system scale: a fixed seed must produce a
+//! byte-identical `RunReport` JSON every time. A paper-scale run pushes
+//! tens of thousands of events through a live set of a few dozen, so the
+//! kernel's slab recycles every slot hundreds of times over — any ordering
+//! leak from slot reuse would show up here as a diverging report.
+
+use cloudburst_repro::core::{run_experiment, ExperimentConfig, SchedulerKind};
+use cloudburst_repro::workload::SizeBucket;
+
+fn report_json(cfg: &ExperimentConfig) -> String {
+    serde_json::to_string(&run_experiment(cfg)).expect("RunReport serializes")
+}
+
+#[test]
+fn fixed_seed_reproduces_identical_report_json() {
+    for kind in [SchedulerKind::Greedy, SchedulerKind::OrderPreserving, SchedulerKind::Sibs] {
+        let cfg = ExperimentConfig::paper(kind, SizeBucket::LargeBiased, 22);
+        assert_eq!(report_json(&cfg), report_json(&cfg), "{kind:?} diverged");
+    }
+}
+
+#[test]
+fn high_variation_run_is_reproducible_too() {
+    let cfg = ExperimentConfig::paper_high_variation(
+        SchedulerKind::OrderPreserving,
+        SizeBucket::Uniform,
+        44,
+    );
+    assert_eq!(report_json(&cfg), report_json(&cfg));
+}

@@ -1,0 +1,200 @@
+//! Unbounded MPMC channel (Mutex + Condvar queue with sender counting).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Inner<T> {
+    queue: Mutex<VecDeque<T>>,
+    ready: Condvar,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+/// Sending half; clonable. The channel disconnects when the last sender
+/// drops.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Receiving half; clonable (MPMC — each message goes to one receiver).
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Error returned by [`Sender::send`] when all receivers are gone; carries
+/// the unsent message.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and all
+/// senders are gone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message available right now.
+    Empty,
+    /// All senders dropped and the queue is drained.
+    Disconnected,
+}
+
+/// Creates an unbounded MPMC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (Sender { inner: Arc::clone(&inner) }, Receiver { inner })
+}
+
+impl<T> Sender<T> {
+    /// Enqueues a message; fails (returning it) if no receiver remains.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        if self.inner.receivers.load(Ordering::SeqCst) == 0 {
+            return Err(SendError(msg));
+        }
+        self.inner.queue.lock().unwrap().push_back(msg);
+        self.inner.ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.senders.fetch_add(1, Ordering::SeqCst);
+        Sender { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last sender gone: wake all blocked receivers so they observe
+            // the disconnect.
+            let _guard = self.inner.queue.lock().unwrap();
+            self.inner.ready.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or every sender is dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut q = self.inner.queue.lock().unwrap();
+        loop {
+            if let Some(msg) = q.pop_front() {
+                return Ok(msg);
+            }
+            if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                return Err(RecvError);
+            }
+            q = self.inner.ready.wait(q).unwrap();
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut q = self.inner.queue.lock().unwrap();
+        if let Some(msg) = q.pop_front() {
+            return Ok(msg);
+        }
+        if self.inner.senders.load(Ordering::SeqCst) == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Blocking iterator; ends when the channel disconnects.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.inner.receivers.fetch_add(1, Ordering::SeqCst);
+        Receiver { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.inner.receivers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Blocking iterator over received messages.
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_single_consumer() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn disconnects_when_all_senders_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        let tx2 = tx.clone();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_with_no_receivers() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn mpmc_distributes_all_messages() {
+        let (tx, rx) = unbounded();
+        let n = 100;
+        let consumers: Vec<_> = (0..4).map(|_| rx.clone()).collect();
+        drop(rx);
+        let handles: Vec<_> = consumers
+            .into_iter()
+            .map(|rx| std::thread::spawn(move || rx.iter().count()))
+            .collect();
+        for i in 0..n {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, n);
+    }
+}

@@ -1,0 +1,23 @@
+//! Minimal in-tree stand-in for `crossbeam` (offline build).
+//!
+//! Provides the two pieces the workspace uses:
+//!
+//! - [`scope`] — scoped threads with the crossbeam 0.8 call shape
+//!   (`crossbeam::scope(|s| { s.spawn(|_| ...); }).expect(...)`);
+//! - [`channel::unbounded`] — an unbounded MPMC channel whose receivers
+//!   disconnect when every sender is dropped.
+//!
+//! Scoped threads are built on plain `std::thread::spawn` with a
+//! lifetime-erased boxed closure; soundness comes from `scope` joining
+//! every spawned thread before it returns, so no borrow can outlive the
+//! caller's frame.
+
+pub mod channel;
+mod scope_impl;
+
+pub use scope_impl::{scope, Scope, ScopedJoinHandle};
+
+/// Re-export matching `crossbeam::thread::scope` paths.
+pub mod thread {
+    pub use crate::scope_impl::{scope, Scope, ScopedJoinHandle};
+}

@@ -1,0 +1,160 @@
+//! Scoped threads over `std::thread::spawn`.
+
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+type Payload = Box<dyn std::any::Any + Send + 'static>;
+type SharedHandle = Arc<Mutex<Option<thread::JoinHandle<()>>>>;
+
+/// A scope in which borrowed-data threads can be spawned.
+pub struct Scope<'env> {
+    handles: Mutex<Vec<SharedHandle>>,
+    any_panic: Arc<AtomicBool>,
+    // Invariant in 'env, mirroring crossbeam.
+    _marker: PhantomData<&'env mut &'env ()>,
+}
+
+/// Handle to one scoped thread; `join` returns the closure's result.
+pub struct ScopedJoinHandle<'scope, T> {
+    handle: SharedHandle,
+    result: Arc<Mutex<Option<thread::Result<T>>>>,
+    _marker: PhantomData<&'scope ()>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread and returns its result (`Err` on panic).
+    pub fn join(self) -> thread::Result<T> {
+        if let Some(h) = self.handle.lock().unwrap().take() {
+            let _ = h.join();
+        }
+        self.result
+            .lock()
+            .unwrap()
+            .take()
+            .expect("scoped thread result already taken")
+    }
+}
+
+impl<'env> Scope<'env> {
+    fn new() -> Scope<'env> {
+        Scope {
+            handles: Mutex::new(Vec::new()),
+            any_panic: Arc::new(AtomicBool::new(false)),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Spawns a thread that may borrow from the enclosing `scope` call.
+    ///
+    /// The closure receives a nested [`Scope`] (crossbeam passes the scope
+    /// back in; every in-tree caller ignores it, and a nested scope keeps
+    /// the join-before-return guarantee for any future nested spawns).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'_, T>
+    where
+        F: FnOnce(&Scope<'env>) -> T + Send + 'env,
+        T: Send + 'env,
+    {
+        let result: Arc<Mutex<Option<thread::Result<T>>>> = Arc::new(Mutex::new(None));
+        let result_in = Arc::clone(&result);
+        let any_panic = Arc::clone(&self.any_panic);
+        let body: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            let nested = Scope::new();
+            let out = catch_unwind(AssertUnwindSafe(|| f(&nested)));
+            let child_panics = nested.join_all();
+            if out.is_err() || child_panics {
+                any_panic.store(true, Ordering::SeqCst);
+            }
+            *result_in.lock().unwrap() = Some(out);
+        });
+        // SAFETY: `scope` (and `join_all` for nested scopes) joins this
+        // thread before 'env ends, so the borrowed environment outlives
+        // the thread despite the 'static erasure.
+        let body: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(body) };
+        let handle: SharedHandle = Arc::new(Mutex::new(Some(thread::spawn(body))));
+        self.handles.lock().unwrap().push(Arc::clone(&handle));
+        ScopedJoinHandle { handle, result, _marker: PhantomData }
+    }
+
+    /// Joins every thread spawned in this scope; reports panics.
+    fn join_all(&self) -> bool {
+        loop {
+            let next = self.handles.lock().unwrap().pop();
+            match next {
+                Some(shared) => {
+                    if let Some(h) = shared.lock().unwrap().take() {
+                        let _ = h.join();
+                    }
+                }
+                None => break,
+            }
+        }
+        self.any_panic.load(Ordering::SeqCst)
+    }
+}
+
+/// Runs `f` with a [`Scope`], joining all spawned threads before
+/// returning. Returns `Err` if any unjoined child thread panicked; a panic
+/// in `f` itself is resumed after the joins.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: FnOnce(&Scope<'env>) -> R,
+{
+    let sc = Scope::new();
+    let out = catch_unwind(AssertUnwindSafe(|| f(&sc)));
+    let any_panic = sc.join_all();
+    match out {
+        Err(payload) => resume_unwind(payload),
+        Ok(v) => {
+            if any_panic {
+                let payload: Payload = Box::new("a scoped thread panicked");
+                Err(payload)
+            } else {
+                Ok(v)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn scoped_threads_can_borrow() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = AtomicUsize::new(0);
+        scope(|s| {
+            for chunk in data.chunks(2) {
+                let total = &total;
+                s.spawn(move |_| {
+                    total.fetch_add(chunk.iter().sum::<u64>() as usize, Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn join_returns_value() {
+        let x = 21;
+        let doubled = scope(|s| {
+            let h = s.spawn(|_| x * 2);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(doubled, 42);
+    }
+
+    #[test]
+    fn child_panic_is_an_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

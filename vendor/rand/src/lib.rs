@@ -1,0 +1,246 @@
+//! Minimal in-tree stand-in for the `rand` crate (0.8-compatible API
+//! subset), used because this build environment has no access to the
+//! crates.io registry. Only the surface the cloudburst workspace uses is
+//! provided: `StdRng`, `SeedableRng`, the `Rng` extension trait
+//! (`gen`/`gen_range`/`gen_bool`/`sample`/`sample_iter`), the `Standard`
+//! distribution and `rngs::mock::StepRng`.
+//!
+//! Determinism contract: the same seed always produces the same stream on
+//! every platform. The stream is NOT bit-compatible with upstream `rand`
+//! (different core generator), which is fine — nothing in the workspace
+//! compares against externally generated sequences.
+
+pub mod distributions;
+pub mod rngs;
+
+pub use distributions::{Distribution, Standard};
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// User-facing random value generation, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of any [`Standard`]-distributed type.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples uniformly from a (half-open or inclusive) range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        unit_f64(self) < p
+    }
+
+    /// Samples from an explicit distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+
+    /// Infinite iterator of samples from `distr`, consuming the generator.
+    fn sample_iter<T, D: Distribution<T>>(self, distr: D) -> distributions::DistIter<D, Self, T>
+    where
+        Self: Sized,
+    {
+        distributions::DistIter::new(self, distr)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of a generator from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The per-generator seed type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Builds the generator from a full-width seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanded through splitmix64.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = splitmix64(&mut state);
+            let bytes = state.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// One splitmix64 step (Steele, Lea & Flood 2014).
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)` with 53 random bits.
+pub(crate) fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform draw in `[0, span)`; `span == 0` means the full `u64` range.
+pub(crate) fn below_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    if span == 0 {
+        return rng.next_u64();
+    }
+    // Widening multiply (Lemire); the O(2^-64) bias is irrelevant here.
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+/// Ranges a [`Rng::gen_range`] call accepts, parameterized by the sampled
+/// type so inference can flow from the call site into the range literal
+/// (mirrors rand's `SampleRange<T>`).
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types `gen_range` can sample uniformly. The single blanket
+/// [`SampleRange`] impl below pivots on this trait so type inference can
+/// equate the range's element type with the requested output type (e.g.
+/// `slice.get(rng.gen_range(0..4))` infers `usize`).
+pub trait SampleUniform: PartialOrd + Sized {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! int_uniform_impl {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                assert!(lo < hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + below_u64(rng, span) as i128) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u64; // 0 on full u64
+                (lo as i128 + below_u64(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_uniform_impl!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_uniform_impl {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                assert!(lo < hi, "cannot sample empty range");
+                lo + (unit_f64(rng) as $t) * (hi - lo)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                assert!(lo <= hi, "cannot sample empty range");
+                lo + (unit_f64(rng) as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+float_uniform_impl!(f32, f64);
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(va[0], c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = r.gen_range(3u64..17);
+            assert!((3..17).contains(&x));
+            let y = r.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&y));
+            let f = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_zero_one() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut lo = 1.0f64;
+        let mut hi = 0.0f64;
+        for _ in 0..10_000 {
+            let u: f64 = r.gen();
+            assert!((0.0..1.0).contains(&u));
+            lo = lo.min(u);
+            hi = hi.max(u);
+        }
+        assert!(lo < 0.01 && hi > 0.99, "poor coverage: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "{hits}");
+    }
+}

@@ -1,0 +1,83 @@
+//! Concrete generators: [`StdRng`] and the deterministic [`mock::StepRng`].
+
+use crate::{splitmix64, RngCore, SeedableRng};
+
+/// The workspace's standard seeded generator.
+///
+/// Internally an xoshiro256** over four `u64` words taken little-endian from
+/// the 32-byte seed. Not bit-compatible with upstream `rand::rngs::StdRng`
+/// (which is ChaCha12) — only internal reproducibility is required.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+            *word = u64::from_le_bytes(b);
+        }
+        if s == [0; 4] {
+            // All-zero state is the one fixed point of xoshiro; re-derive.
+            let mut st = 0x853c_49e6_748f_ea9bu64;
+            for word in &mut s {
+                *word = splitmix64(&mut st);
+            }
+        }
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Mock generators for tests.
+pub mod mock {
+    use crate::RngCore;
+
+    /// Yields `start`, `start + step`, `start + 2*step`, … (wrapping).
+    #[derive(Clone, Debug)]
+    pub struct StepRng {
+        v: u64,
+        step: u64,
+    }
+
+    impl StepRng {
+        /// Creates a generator starting at `start` advancing by `step`.
+        pub fn new(start: u64, step: u64) -> Self {
+            StepRng { v: start, step }
+        }
+    }
+
+    impl RngCore for StepRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            let out = self.v;
+            self.v = self.v.wrapping_add(self.step);
+            out
+        }
+    }
+}

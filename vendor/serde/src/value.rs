@@ -1,0 +1,395 @@
+//! The dynamic JSON value tree shared by the in-tree `serde` and
+//! `serde_json` stand-ins.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum Value {
+    /// `null`
+    #[default]
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (insertion-ordered).
+    Object(Map),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Object member lookup; `None` for non-objects and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// `true` iff this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if an in-range integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    fn write_json(&self, out: &mut String, indent: Option<usize>) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => n.write_json(out),
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => write_seq(out, indent, '[', ']', items.len(), |out, i, ind| {
+                items[i].write_json(out, ind)
+            }),
+            Value::Object(map) => write_seq(out, indent, '{', '}', map.len(), |out, i, ind| {
+                let (k, v) = &map.entries[i];
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                v.write_json(out, ind);
+            }),
+        }
+    }
+
+    /// Compact JSON text.
+    pub fn render_compact(&self) -> String {
+        let mut s = String::new();
+        self.write_json(&mut s, None);
+        s
+    }
+
+    /// Two-space-indented JSON text.
+    pub fn render_pretty(&self) -> String {
+        let mut s = String::new();
+        self.write_json(&mut s, Some(0));
+        s
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, Option<usize>),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    let inner = indent.map(|d| d + 1);
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(d) = inner {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', d * 2));
+        }
+        item(out, i, inner);
+    }
+    if let Some(d) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', d * 2));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_compact())
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// A JSON number: unsigned, signed, or floating.
+///
+/// Integers keep full 64-bit precision; floats are finite (non-finite
+/// values serialize as `null`, matching serde_json).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Number {
+    n: N,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum N {
+    U(u64),
+    I(i64),
+    F(f64),
+}
+
+impl Number {
+    /// A non-negative integer.
+    pub fn from_u64(n: u64) -> Number {
+        Number { n: N::U(n) }
+    }
+
+    /// A signed integer (stored unsigned when non-negative).
+    pub fn from_i64(n: i64) -> Number {
+        if n >= 0 {
+            Number { n: N::U(n as u64) }
+        } else {
+            Number { n: N::I(n) }
+        }
+    }
+
+    /// A float.
+    pub fn from_f64(f: f64) -> Number {
+        Number { n: N::F(f) }
+    }
+
+    /// Lossy widening to `f64` (always succeeds for finite floats).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.n {
+            N::U(n) => Some(n as f64),
+            N::I(n) => Some(n as f64),
+            N::F(f) => Some(f),
+        }
+    }
+
+    /// Exact `u64`, if non-negative integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.n {
+            N::U(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Exact `i64`, if integral and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.n {
+            N::U(n) if n <= i64::MAX as u64 => Some(n as i64),
+            N::I(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self.n {
+            N::U(n) => out.push_str(&n.to_string()),
+            N::I(n) => out.push_str(&n.to_string()),
+            // {:?} is the shortest roundtrip form and keeps a trailing
+            // ".0" on integral floats, so float-ness survives reparsing.
+            N::F(f) if f.is_finite() => out.push_str(&format!("{f:?}")),
+            N::F(_) => out.push_str("null"),
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed map of [`Value`]s.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// An empty map.
+    pub fn new() -> Map {
+        Map::default()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff there are no members.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts or replaces; returns the previous value for `key` if any.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Member lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// `true` iff `key` is a member.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(idx).1)
+    }
+
+    /// Iterates members in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Iterates keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// Iterates values in insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+}
+
+impl std::ops::Index<&str> for Map {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl IntoIterator for Map {
+    type Item = (String, Value);
+    type IntoIter = std::vec::IntoIter<(String, Value)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Map {
+        let mut m = Map::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_compact_json() {
+        let mut m = Map::new();
+        m.insert("b".into(), Value::Number(Number::from_f64(1.0)));
+        m.insert("a".into(), Value::String("x\"y".into()));
+        let v = Value::Object(m);
+        assert_eq!(v.to_string(), r#"{"b":1.0,"a":"x\"y"}"#);
+    }
+
+    #[test]
+    fn index_missing_returns_null() {
+        let v = Value::Array(vec![Value::Bool(true)]);
+        assert!(v[3].is_null());
+        assert!(v["nope"].is_null());
+    }
+
+    #[test]
+    fn pretty_indents_two_spaces() {
+        let mut m = Map::new();
+        m.insert("a".into(), Value::Array(vec![Value::Number(Number::from_u64(1))]));
+        let s = Value::Object(m).render_pretty();
+        assert_eq!(s, "{\n  \"a\": [\n    1\n  ]\n}");
+    }
+}

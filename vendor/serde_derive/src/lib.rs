@@ -1,0 +1,339 @@
+//! Minimal in-tree stand-in for `serde_derive` (offline build).
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! collapsed value-tree traits of the in-tree `serde` crate, with no `syn`
+//! or `quote` dependency: the item is parsed directly from the
+//! `proc_macro::TokenStream` and the impl is emitted as source text.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//! non-generic named/tuple/unit structs and enums with unit, tuple and
+//! struct variants, no `#[serde(...)]` attributes. Encoding matches
+//! upstream serde's defaults: structs → objects, newtype structs →
+//! transparent, tuple structs → arrays, enums → externally tagged.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field list.
+enum Fields {
+    Unit,
+    /// Tuple fields (arity only — types don't matter at this layer).
+    Tuple(usize),
+    /// Named field identifiers in declaration order.
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Splits a group body on top-level commas, treating `<...>` as nesting
+/// (angle brackets are bare `Punct`s, so `Vec<(f64, f64)>`-style types
+/// would otherwise split mid-generic).
+fn split_commas(body: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle: i32 = 0;
+    for tt in body {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && angle > 0 => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                out.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        out.last_mut().unwrap().push(tt);
+    }
+    out.retain(|chunk| !chunk.is_empty());
+    out
+}
+
+/// Strips leading attributes (`#[...]`) and visibility (`pub`,
+/// `pub(crate)`, …) from a token slice.
+fn skip_attrs_and_vis(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut rest = tokens;
+    loop {
+        match rest {
+            [TokenTree::Punct(p), TokenTree::Group(_), tail @ ..] if p.as_char() == '#' => {
+                rest = tail;
+            }
+            [TokenTree::Ident(id), tail @ ..] if id.to_string() == "pub" => {
+                rest = match tail {
+                    [TokenTree::Group(g), t @ ..] if g.delimiter() == Delimiter::Parenthesis => t,
+                    t => t,
+                };
+            }
+            _ => return rest,
+        }
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    split_commas(body)
+        .iter()
+        .filter_map(|chunk| match skip_attrs_and_vis(chunk) {
+            [TokenTree::Ident(name), ..] => Some(name.to_string()),
+            _ => None,
+        })
+        .collect()
+}
+
+fn parse_fields_group(g: &proc_macro::Group) -> Fields {
+    match g.delimiter() {
+        Delimiter::Brace => Fields::Named(parse_named_fields(g.stream())),
+        Delimiter::Parenthesis => Fields::Tuple(split_commas(g.stream()).len()),
+        _ => Fields::Unit,
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let rest = skip_attrs_and_vis(&tokens);
+    let (kind, name, tail) = match rest {
+        [TokenTree::Ident(kw), TokenTree::Ident(name), tail @ ..] => {
+            (kw.to_string(), name.to_string(), tail)
+        }
+        _ => panic!("derive(Serialize/Deserialize): expected `struct` or `enum`"),
+    };
+    // Generic parameters are not supported (nothing in-tree derives on a
+    // generic type); skip to the body group / semicolon and fail loudly if
+    // angle brackets show up.
+    if matches!(tail.first(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive(Serialize/Deserialize): generic types are not supported by the in-tree serde_derive");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tail.first() {
+                Some(TokenTree::Group(g)) => parse_fields_group(g),
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                _ => panic!("derive: malformed struct `{name}`"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tail.first() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                _ => panic!("derive: malformed enum `{name}`"),
+            };
+            let variants = split_commas(body)
+                .iter()
+                .map(|chunk| {
+                    let chunk = skip_attrs_and_vis(chunk);
+                    match chunk {
+                        [TokenTree::Ident(vname), rest @ ..] => Variant {
+                            name: vname.to_string(),
+                            fields: match rest.first() {
+                                Some(TokenTree::Group(g)) => parse_fields_group(g),
+                                _ => Fields::Unit,
+                            },
+                        },
+                        _ => panic!("derive: malformed variant in enum `{name}`"),
+                    }
+                })
+                .collect();
+            Item::Enum { name, variants }
+        }
+        other => panic!("derive(Serialize/Deserialize): unsupported item kind `{other}`"),
+    }
+}
+
+/// Derives the in-tree `serde::Serialize` (value-tree rendering).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let body = match &fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                }
+                Fields::Named(names) => {
+                    let mut s = String::from("let mut m = ::serde::Map::new();\n");
+                    for f in names {
+                        s.push_str(&format!(
+                            "m.insert(String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}));\n"
+                        ));
+                    }
+                    s.push_str("::serde::Value::Object(m)");
+                    s
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(String::from(\"{vn}\")),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{\n\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert(String::from(\"{vn}\"), {inner});\n\
+                             ::serde::Value::Object(m)\n}}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let mut inner = String::from("let mut fm = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "fm.insert(String::from(\"{f}\"), ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{\n{inner}\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert(String::from(\"{vn}\"), ::serde::Value::Object(fm));\n\
+                             ::serde::Value::Object(m)\n}}\n",
+                            fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\nmatch self {{\n{arms}}}\n}}\n}}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Derives the in-tree `serde::Deserialize` (value-tree rebuilding).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let body = match &fields {
+                Fields::Unit => format!("{{ let _ = v; Ok({name}) }}"),
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+                }
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "match v {{\n\
+                         ::serde::Value::Array(items) if items.len() == {n} => \
+                         Ok({name}({})),\n\
+                         other => Err(::serde::Error::custom(format!(\
+                         \"{name}: expected array of length {n}, got {{other}}\"))),\n}}",
+                        elems.join(", ")
+                    )
+                }
+                Fields::Named(names) => {
+                    let mut inits = String::new();
+                    for f in names {
+                        inits.push_str(&format!(
+                            "{f}: ::serde::Deserialize::from_value(\
+                             obj.get(\"{f}\").unwrap_or(&::serde::Value::Null))\
+                             .map_err(|e| ::serde::Error::custom(\
+                             format!(\"{name}.{f}: {{e}}\")))?,\n"
+                        ));
+                    }
+                    format!(
+                        "let obj = v.as_object().ok_or_else(|| ::serde::Error::custom(\
+                         format!(\"{name}: expected object, got {{v}}\")))?;\n\
+                         Ok({name} {{\n{inits}}})"
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n{body}\n}}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                        // Also accept {"Variant": null} for symmetry.
+                        tagged_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    Fields::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => match inner {{\n\
+                             ::serde::Value::Array(items) if items.len() == {n} => \
+                             Ok({name}::{vn}({})),\n\
+                             other => Err(::serde::Error::custom(format!(\
+                             \"{name}::{vn}: expected array of length {n}, got {{other}}\"))),\n}},\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 fobj.get(\"{f}\").unwrap_or(&::serde::Value::Null))\
+                                 .map_err(|e| ::serde::Error::custom(\
+                                 format!(\"{name}::{vn}.{f}: {{e}}\")))?,\n"
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let fobj = inner.as_object().ok_or_else(|| ::serde::Error::custom(\
+                             format!(\"{name}::{vn}: expected object, got {{inner}}\")))?;\n\
+                             Ok({name}::{vn} {{\n{inits}}})\n}},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                 match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n{unit_arms}\
+                 other => Err(::serde::Error::custom(format!(\
+                 \"{name}: unknown variant `{{other}}`\"))),\n}},\n\
+                 ::serde::Value::Object(m) if m.len() == 1 => {{\n\
+                 let (tag, inner) = m.iter().next().unwrap();\n\
+                 match tag.as_str() {{\n{tagged_arms}\
+                 other => Err(::serde::Error::custom(format!(\
+                 \"{name}: unknown variant `{{other}}`\"))),\n}}\n}},\n\
+                 other => Err(::serde::Error::custom(format!(\
+                 \"{name}: expected variant string or single-key object, got {{other}}\"))),\n\
+                 }}\n}}\n}}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive: generated Deserialize impl failed to parse")
+}

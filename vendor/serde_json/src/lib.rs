@@ -1,0 +1,92 @@
+//! Minimal in-tree stand-in for `serde_json` (offline build).
+//!
+//! Shares the [`Value`] tree with the in-tree `serde` crate; adds JSON text
+//! parsing ([`from_str`]), rendering ([`to_string`], [`to_string_pretty`])
+//! and the [`json!`] macro (object-literal and plain-expression forms).
+
+pub use serde::{Error, Map, Number, Value};
+
+mod parse;
+
+pub use parse::from_str_value;
+
+/// Renders any [`serde::Serialize`] type as compact JSON.
+///
+/// Infallible in this stand-in (kept `Result` for API compatibility).
+#[allow(clippy::unnecessary_wraps)]
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().render_compact())
+}
+
+/// Renders any [`serde::Serialize`] type as two-space-indented JSON.
+#[allow(clippy::unnecessary_wraps)]
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().render_pretty())
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Rebuilds a typed value from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_value(value)
+}
+
+/// Parses JSON text into any [`serde::Deserialize`] type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    T::from_value(&parse::from_str_value(s)?)
+}
+
+/// Builds a [`Value`] from an object literal (`json!({"k": expr, ...})`),
+/// an array literal (`json!([expr, ...])`), `json!(null)`, or any
+/// serializable expression (`json!(expr)`).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$elem) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $( map.insert($key.to_string(), $crate::to_value(&$val)); )*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_forms() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(3u32), Value::Number(Number::from_u64(3)));
+        let v = json!({"a": 1.5f64, "b": true, "c": vec![1u64, 2]});
+        assert_eq!(v["a"].as_f64(), Some(1.5));
+        assert_eq!(v["b"].as_bool(), Some(true));
+        assert_eq!(v["c"][1].as_u64(), Some(2));
+        assert_eq!(json!([1u64, 2u64]), json!(vec![1u64, 2u64]));
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let v = json!({"s": "a\"b\\c\nd", "n": -42i64, "f": 0.125f64});
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back2: Value = from_str(&pretty).unwrap();
+        assert_eq!(back2, v);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("truex").is_err());
+    }
+}
