@@ -13,6 +13,12 @@ cargo test -q
 echo "== workspace tests (bench crate included)"
 cargo test -q --release --workspace
 
+echo "== benches compile: cargo bench --no-run"
+cargo bench --no-run
+
+echo "== perfsmoke probes"
+cargo run --release -p cloudburst-bench --bin perfsmoke
+
 echo "== lint: cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

@@ -4,7 +4,51 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use cloudburst_sim::{SimDuration, SimTime};
-use cloudburst_sla::{metrics, oo_series, CompletionRecord, OoConfig};
+use cloudburst_sla::{metrics, oo_series, CompletionRecord, OoConfig, OoSample};
+
+/// The pre-streaming per-sample rescan, kept here as the bench baseline
+/// (the library's copy is `#[cfg(test)]`-gated as the equivalence oracle).
+fn oo_series_rescan(
+    completions: &[CompletionRecord],
+    total_jobs: usize,
+    horizon: SimTime,
+    cfg: OoConfig,
+) -> Vec<OoSample> {
+    let mut by_time: Vec<&CompletionRecord> = completions.iter().collect();
+    by_time.sort_by_key(|c| (c.at, c.id));
+    let mut complete = vec![false; total_jobs];
+    let mut bytes = vec![0u64; total_jobs];
+    let mut samples = Vec::new();
+    let mut next = 0usize;
+    let mut m_t: Option<u64> = None;
+    let mut t = SimTime::ZERO + cfg.sample_interval;
+    while t <= horizon {
+        while next < by_time.len() && by_time[next].at <= t {
+            let c = by_time[next];
+            complete[c.id as usize] = true;
+            bytes[c.id as usize] = c.bytes;
+            next += 1;
+        }
+        let mut best: Option<u64> = None;
+        let mut prefix = 0u64;
+        for i in 0..total_jobs as u64 {
+            if complete[i as usize] {
+                prefix += 1;
+                if (i + 1).saturating_sub(cfg.tolerance) <= prefix {
+                    best = Some(i);
+                }
+            }
+        }
+        m_t = best.or(m_t);
+        let o_t = match m_t {
+            None => 0,
+            Some(m) => (0..=m).filter(|&i| complete[i as usize]).map(|i| bytes[i as usize]).sum(),
+        };
+        samples.push(OoSample { at: t, m_t, o_t, completed: prefix as usize });
+        t += cfg.sample_interval;
+    }
+    samples
+}
 
 fn completions(n: usize) -> Vec<CompletionRecord> {
     (0..n)
@@ -23,8 +67,11 @@ fn bench_oo_series(c: &mut Criterion) {
         let comps = completions(n);
         let horizon = SimTime::from_secs(n as u64 * 60 + 120);
         let cfg = OoConfig { tolerance: 4, sample_interval: SimDuration::from_mins(2) };
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+        group.bench_with_input(BenchmarkId::new("streaming", n), &n, |b, _| {
             b.iter(|| black_box(oo_series(&comps, n, horizon, cfg)))
+        });
+        group.bench_with_input(BenchmarkId::new("rescan", n), &n, |b, _| {
+            b.iter(|| black_box(oo_series_rescan(&comps, n, horizon, cfg)))
         });
     }
     group.finish();

@@ -1,9 +1,12 @@
 //! `perfsmoke` — a one-command perf trajectory probe.
 //!
 //! Times the raw event kernel (schedule/fire cascade and schedule/cancel
-//! churn, reported as events per second) plus a representative subset of
-//! the `repro` experiments, and prints a single line of JSON so successive
-//! runs can be collected as `BENCH_<n>.json` files and diffed:
+//! churn, reported as events per second), the autonomic-model fast paths
+//! (sliding-window RLS refit vs the legacy batch refit; streaming OO
+//! series vs the legacy per-sample rescan, both reported with speedups),
+//! plus a representative subset of the `repro` experiments, and prints a
+//! single line of JSON so successive runs can be collected as
+//! `BENCH_<n>.json` files and diffed:
 //!
 //! ```text
 //! perfsmoke            print the JSON line to stdout
@@ -14,7 +17,11 @@ use std::io::Write as _;
 use std::time::Instant;
 
 use cloudburst_bench::run_experiment_by_id;
-use cloudburst_sim::{Sim, SimDuration};
+use cloudburst_qrsm::{design::QuadraticDesign, fit, Method, QrsModel};
+use cloudburst_sim::{RngFactory, Sim, SimDuration, SimTime};
+use cloudburst_sla::{oo_series, CompletionRecord, OoConfig, OoSample};
+use cloudburst_workload::arrival::training_corpus;
+use cloudburst_workload::GroundTruth;
 use serde_json::json;
 
 /// Experiments that together touch every subsystem: the Fig. 6 sweep
@@ -65,6 +72,116 @@ fn kernel_churn(batches: u64, per_batch: u64) -> f64 {
     ops as f64 / secs
 }
 
+/// Legacy vs RLS refit at the engine's default window size (400, the
+/// training-corpus size). Returns `(batch_secs_per_refit,
+/// rls_secs_per_refit)` — the RLS number times a full observe→refit step
+/// (eviction down-date, row up-date, Cholesky solve, residual stats).
+fn qrsm_refit_probe(window: usize, iters: usize) -> (f64, f64) {
+    let rngs = RngFactory::new(1234);
+    let truth = GroundTruth::default();
+    let c = training_corpus(&mut rngs.stream("perfsmoke/qrsm"), &truth, window + iters);
+    let xs: Vec<Vec<f64>> = c.iter().map(|(f, _)| f.regressors()).collect();
+    let ys: Vec<f64> = c.iter().map(|(_, t)| *t).collect();
+    let (wxs, wys) = (&xs[..window], &ys[..window]);
+
+    // Legacy path: every refit re-expands the window and solves cold.
+    let d = QuadraticDesign::new(xs[0].len());
+    let t0 = Instant::now();
+    let mut sink = 0.0;
+    for _ in 0..iters.min(60) {
+        let m = d.design_matrix(wxs);
+        sink += fit::fit(&m, wys, Method::Ols).expect("batch fit")[0];
+    }
+    let batch = t0.elapsed().as_secs_f64() / iters.min(60) as f64;
+
+    let mut m = QrsModel::fit(wxs, wys, Method::Ols)
+        .expect("seed fit")
+        .with_window_capacity(window)
+        .with_refit_every(1);
+    let t0 = Instant::now();
+    for i in 0..iters {
+        m.observe(&xs[window + i], ys[window + i]);
+    }
+    let rls = t0.elapsed().as_secs_f64() / iters as f64;
+    assert!(sink.is_finite() && m.rmse().is_finite());
+    (batch, rls)
+}
+
+/// Streaming vs rescan OO series at repro scale (jobs × a full-horizon
+/// 2-minute sampling grid). Returns `(rescan_secs, streaming_secs)` per
+/// full-series computation.
+fn oo_series_probe(jobs: usize, reps: usize) -> (f64, f64) {
+    let comps: Vec<CompletionRecord> = (0..jobs)
+        .map(|i| CompletionRecord {
+            id: i as u64,
+            at: SimTime::from_secs(((i as u64 * 2_654_435_761) % (jobs as u64 * 60)) + 1),
+            bytes: 1_000_000 + (i as u64 % 100) * 10_000,
+        })
+        .collect();
+    let horizon = SimTime::from_secs(jobs as u64 * 60 + 120);
+    let cfg = OoConfig { tolerance: 4, sample_interval: SimDuration::from_mins(2) };
+
+    let t0 = Instant::now();
+    let mut last: Vec<OoSample> = Vec::new();
+    for _ in 0..reps {
+        last = oo_series_rescan(&comps, jobs, horizon, cfg);
+    }
+    let rescan = t0.elapsed().as_secs_f64() / reps as f64;
+
+    let t0 = Instant::now();
+    let mut stream_last: Vec<OoSample> = Vec::new();
+    for _ in 0..reps {
+        stream_last = oo_series(&comps, jobs, horizon, cfg);
+    }
+    let streaming = t0.elapsed().as_secs_f64() / reps as f64;
+    assert_eq!(last, stream_last, "streaming series must match the rescan");
+    (rescan, streaming)
+}
+
+/// The pre-streaming per-sample rescan (the library's copy is
+/// `#[cfg(test)]`-gated as the equivalence oracle).
+fn oo_series_rescan(
+    completions: &[CompletionRecord],
+    total_jobs: usize,
+    horizon: SimTime,
+    cfg: OoConfig,
+) -> Vec<OoSample> {
+    let mut by_time: Vec<&CompletionRecord> = completions.iter().collect();
+    by_time.sort_by_key(|c| (c.at, c.id));
+    let mut complete = vec![false; total_jobs];
+    let mut bytes = vec![0u64; total_jobs];
+    let mut samples = Vec::new();
+    let mut next = 0usize;
+    let mut m_t: Option<u64> = None;
+    let mut t = SimTime::ZERO + cfg.sample_interval;
+    while t <= horizon {
+        while next < by_time.len() && by_time[next].at <= t {
+            let c = by_time[next];
+            complete[c.id as usize] = true;
+            bytes[c.id as usize] = c.bytes;
+            next += 1;
+        }
+        let mut best: Option<u64> = None;
+        let mut prefix = 0u64;
+        for i in 0..total_jobs as u64 {
+            if complete[i as usize] {
+                prefix += 1;
+                if (i + 1).saturating_sub(cfg.tolerance) <= prefix {
+                    best = Some(i);
+                }
+            }
+        }
+        m_t = best.or(m_t);
+        let o_t = match m_t {
+            None => 0,
+            Some(m) => (0..=m).filter(|&i| complete[i as usize]).map(|i| bytes[i as usize]).sum(),
+        };
+        samples.push(OoSample { at: t, m_t, o_t, completed: prefix as usize });
+        t += cfg.sample_interval;
+    }
+    samples
+}
+
 fn main() {
     let out_path = std::env::args().nth(1);
 
@@ -72,6 +189,10 @@ fn main() {
     kernel_cascade(10_000);
     let cascade_eps = kernel_cascade(200_000);
     let churn_eps = kernel_churn(100, 1_000);
+
+    qrsm_refit_probe(400, 50); // warm-up
+    let (refit_batch, refit_rls) = qrsm_refit_probe(400, 2_000);
+    let (oo_rescan, oo_stream) = oo_series_probe(2_000, 30);
 
     let mut repro = serde_json::Map::new();
     let t_all = Instant::now();
@@ -86,6 +207,12 @@ fn main() {
     doc.insert("bench".into(), json!("perfsmoke"));
     doc.insert("kernel_cascade_events_per_sec".into(), json!(cascade_eps));
     doc.insert("kernel_churn_events_per_sec".into(), json!(churn_eps));
+    doc.insert("qrsm_refit_batch_secs".into(), json!(refit_batch));
+    doc.insert("qrsm_refit_rls_secs".into(), json!(refit_rls));
+    doc.insert("qrsm_refit_speedup".into(), json!(refit_batch / refit_rls));
+    doc.insert("oo_series_rescan_secs".into(), json!(oo_rescan));
+    doc.insert("oo_series_streaming_secs".into(), json!(oo_stream));
+    doc.insert("oo_series_speedup".into(), json!(oo_rescan / oo_stream));
     doc.insert("repro_subset_secs".into(), json!(repro_total));
     doc.insert(
         "threads".into(),

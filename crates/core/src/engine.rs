@@ -190,13 +190,18 @@ impl EngineWorld {
                 .collect();
             ProcTimeModel::PerClass(
                 cloudburst_qrsm::ClassedModel::fit(&samples, cfg.fit.to_method(), 60)
-                    .expect("training corpus must support a quadratic fit"),
+                    .expect("training corpus must support a quadratic fit")
+                    .with_refit_every(1),
             )
         } else {
+            // Sliding-window RLS makes refits O(terms³) instead of
+            // O(window·terms²), so the model re-solves on every observation
+            // instead of batching 25 of them — estimate error tracks drift
+            // as tightly as the window allows.
             ProcTimeModel::Pooled(
                 QrsModel::fit(&xs, &ys, cfg.fit.to_method())
                     .expect("training corpus must support a quadratic fit")
-                    .with_refit_every(25),
+                    .with_refit_every(1),
             )
         };
 
@@ -781,7 +786,7 @@ fn finish_exec(w: &mut W, id: JobId, at: SimTime, started: SimTime, ic: bool) {
     let standard_secs = (at - started).as_secs_f64() * speed;
     let job = &w.jobs[id.0 as usize];
     let class = job.features.job_type.code() as u64;
-    let regress = job.features.regressors();
+    let regress = job.features.regressors_arr();
     w.est.qrsm.observe(class, &regress, standard_secs);
 }
 

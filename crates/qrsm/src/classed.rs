@@ -8,6 +8,12 @@
 //! A [`ClassedModel`] therefore keeps one [`QrsModel`] per class with
 //! enough training data, falling back to a pooled model for rare classes,
 //! and keeps both tuned online.
+//!
+//! Every constituent [`QrsModel`] owns its sliding-window ring storage and
+//! its refit scratch (Cholesky workspace + solve buffer), allocated once at
+//! fit time — so routing observations through a [`ClassedModel`] stays
+//! allocation-free per observe and `O(terms²)`/`O(terms³)` per up-date/refit
+//! regardless of how many class specializations exist.
 
 use std::collections::HashMap;
 
@@ -61,6 +67,17 @@ impl ClassedModel {
             }
         }
         Ok(ClassedModel { pooled, per_class, min_samples })
+    }
+
+    /// Sets the auto-refit interval on the pooled model and every class
+    /// specialization (see [`QrsModel::with_refit_every`]).
+    pub fn with_refit_every(mut self, every: usize) -> ClassedModel {
+        self.pooled = self.pooled.with_refit_every(every);
+        for m in self.per_class.values_mut() {
+            let tuned = m.clone().with_refit_every(every);
+            *m = tuned;
+        }
+        self
     }
 
     /// Predicts for a job of class `class`; specializes when a class model

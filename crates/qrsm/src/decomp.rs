@@ -18,11 +18,21 @@ impl Cholesky {
     /// [`MatrixError::Singular`] if a pivot drops below `1e-12` (matrix not
     /// SPD to working precision).
     pub fn new(a: &Matrix) -> Result<Cholesky, MatrixError> {
-        if a.rows() != a.cols() {
+        let mut l = Matrix::zeros(a.rows(), a.rows());
+        Cholesky::factorize_into(a, &mut l)?;
+        Ok(Cholesky { l })
+    }
+
+    /// Factorizes `a` into a caller-owned workspace `l` without allocating —
+    /// the refit fast path reuses one workspace across every online refit.
+    /// Only the lower triangle of `a` is read and only the lower triangle of
+    /// `l` is written; anything above the diagonal of `l` is left untouched
+    /// (stale workspace contents are never read back).
+    pub fn factorize_into(a: &Matrix, l: &mut Matrix) -> Result<(), MatrixError> {
+        if a.rows() != a.cols() || l.rows() != a.rows() || l.cols() != a.cols() {
             return Err(MatrixError::DimensionMismatch);
         }
         let n = a.rows();
-        let mut l = Matrix::zeros(n, n);
         for i in 0..n {
             for j in 0..=i {
                 let mut sum = a[(i, j)];
@@ -39,33 +49,39 @@ impl Cholesky {
                 }
             }
         }
-        Ok(Cholesky { l })
+        Ok(())
+    }
+
+    /// Solves `A·x = b` in place on `b` (forward then backward substitution)
+    /// given a factor written by [`Cholesky::factorize_into`]. Allocation-free.
+    pub fn solve_in_place(l: &Matrix, b: &mut [f64]) -> Result<(), MatrixError> {
+        let n = l.rows();
+        if b.len() != n || l.cols() != n {
+            return Err(MatrixError::DimensionMismatch);
+        }
+        // Forward: L·y = b, overwriting b with y.
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= l[(i, k)] * b[k];
+            }
+            b[i] = sum / l[(i, i)];
+        }
+        // Backward: Lᵀ·x = y, overwriting in place.
+        for i in (0..n).rev() {
+            let mut sum = b[i];
+            for k in i + 1..n {
+                sum -= l[(k, i)] * b[k];
+            }
+            b[i] = sum / l[(i, i)];
+        }
+        Ok(())
     }
 
     /// Solves `A·x = b` by forward/backward substitution.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, MatrixError> {
-        let n = self.l.rows();
-        if b.len() != n {
-            return Err(MatrixError::DimensionMismatch);
-        }
-        // Forward: L·y = b
-        let mut y = vec![0.0; n];
-        for i in 0..n {
-            let mut sum = b[i];
-            for k in 0..i {
-                sum -= self.l[(i, k)] * y[k];
-            }
-            y[i] = sum / self.l[(i, i)];
-        }
-        // Backward: Lᵀ·x = y
-        let mut x = vec![0.0; n];
-        for i in (0..n).rev() {
-            let mut sum = y[i];
-            for k in i + 1..n {
-                sum -= self.l[(k, i)] * x[k];
-            }
-            x[i] = sum / self.l[(i, i)];
-        }
+        let mut x = b.to_vec();
+        Cholesky::solve_in_place(&self.l, &mut x)?;
         Ok(x)
     }
 

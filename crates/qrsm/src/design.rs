@@ -79,17 +79,26 @@ impl QuadraticDesign {
     /// Expands one raw feature vector into the basis. Panics if `x` has the
     /// wrong arity.
     pub fn expand(&self, x: &[f64]) -> Vec<f64> {
+        let mut row = vec![0.0; self.terms.len()];
+        self.expand_into(x, &mut row);
+        row
+    }
+
+    /// Expands one raw feature vector into a caller-provided row — the
+    /// allocation-free path used by the sliding-window model, which writes
+    /// each design row exactly once into its ring storage. Panics if `x` or
+    /// `out` has the wrong arity.
+    pub fn expand_into(&self, x: &[f64], out: &mut [f64]) {
         assert_eq!(x.len(), self.n_features, "feature arity mismatch");
-        let mut row = Vec::with_capacity(self.terms.len());
-        for t in &self.terms {
-            row.push(match *t {
+        assert_eq!(out.len(), self.terms.len(), "row arity mismatch");
+        for (o, t) in out.iter_mut().zip(&self.terms) {
+            *o = match *t {
                 Term::Intercept => 1.0,
                 Term::Linear(i) => x[i],
                 Term::Interaction(i, j) => x[i] * x[j],
                 Term::Quadratic(i) => x[i] * x[i],
-            });
+            };
         }
-        row
     }
 
     /// Builds the design matrix for a sample of raw feature vectors.
@@ -98,10 +107,22 @@ impl QuadraticDesign {
         Matrix::from_rows(&rows)
     }
 
-    /// Evaluates the polynomial with the given coefficient vector at `x`.
+    /// Evaluates the polynomial with the given coefficient vector at `x`,
+    /// accumulating term-by-term without materializing the design row, so
+    /// every prediction is heap-allocation-free.
     pub fn eval(&self, coeffs: &[f64], x: &[f64]) -> f64 {
         assert_eq!(coeffs.len(), self.terms.len(), "coefficient arity mismatch");
-        self.expand(x).iter().zip(coeffs).map(|(b, c)| b * c).sum()
+        assert_eq!(x.len(), self.n_features, "feature arity mismatch");
+        let mut acc = 0.0;
+        for (t, c) in self.terms.iter().zip(coeffs) {
+            acc += c * match *t {
+                Term::Intercept => 1.0,
+                Term::Linear(i) => x[i],
+                Term::Interaction(i, j) => x[i] * x[j],
+                Term::Quadratic(i) => x[i] * x[i],
+            };
+        }
+        acc
     }
 }
 

@@ -84,19 +84,34 @@ fn ridge(x: &Matrix, y: &[f64], lambda: f64) -> Result<Vec<f64>, FitError> {
 /// weighted ridge system with a tiny stabilizing penalty.
 fn lad_irls(x: &Matrix, y: &[f64], max_iter: usize, tol: f64) -> Result<Vec<f64>, FitError> {
     let n = x.rows();
-    let p = x.cols();
-    let delta = 1e-6;
     // Start from OLS (fall back to mild ridge if singular).
-    let mut beta = match Qr::new(x)?.solve(y) {
+    let beta = match Qr::new(x)?.solve(y) {
         Ok(b) => b,
         Err(_) => ridge(x, y, 1e-6)?,
     };
+    lad_irls_rows((0..n).map(|r| (x.row(r), y[r])), x.cols(), beta, max_iter, tol)
+}
+
+/// The IRLS core over any re-iterable `(design row, response)` stream — the
+/// sliding-window model feeds its ring-stored rows here directly, without
+/// rebuilding a design matrix.
+pub(crate) fn lad_irls_rows<'a, I>(
+    data: I,
+    p: usize,
+    start: Vec<f64>,
+    max_iter: usize,
+    tol: f64,
+) -> Result<Vec<f64>, FitError>
+where
+    I: Iterator<Item = (&'a [f64], f64)> + Clone,
+{
+    let delta = 1e-6;
+    let mut beta = start;
     for _ in 0..max_iter {
         // Build weighted normal equations: Xᵀ W X β = Xᵀ W y.
         let mut g = Matrix::zeros(p, p);
         let mut rhs = vec![0.0; p];
-        for (r, &yr) in y.iter().enumerate().take(n) {
-            let row = x.row(r);
+        for (row, yr) in data.clone() {
             let pred: f64 = row.iter().zip(&beta).map(|(a, b)| a * b).sum();
             let w = 1.0 / (yr - pred).abs().max(delta);
             for i in 0..p {

@@ -4,11 +4,50 @@
 //! initial best estimate model based on a standard set of production data",
 //! Sec. III-A-1) and is then tuned online: every observed `(features, actual
 //! time)` pair enters a sliding window, and the model refits periodically.
+//!
+//! # The incremental fast path
+//!
+//! Online tuning is sliding-window **recursive least squares** over the
+//! normal equations. The window stores each *expanded design row* exactly
+//! once, in a flat ring buffer, and the model maintains
+//!
+//! ```text
+//! G = XᵀX   (lower triangle),   b = Xᵀy,   s = Σ y²
+//! ```
+//!
+//! incrementally: an incoming observation is a rank-1 **up-date** of
+//! `(G, b, s)`, an observation falling out of the window is a rank-1
+//! **down-date** — both `O(terms²)`. A refit then solves the small
+//! `terms×terms` system `G·β = b` by Cholesky into pre-allocated workspace
+//! (`O(terms³)`), instead of re-expanding the whole window and re-running a
+//! Householder QR (`O(window × terms²)` plus per-refit allocations). That
+//! makes refitting *every* observation affordable, which is what keeps the
+//! estimate error — and hence the SLA penalty — low under drift.
+//!
+//! Steady-state costs:
+//!
+//! * [`QrsModel::observe`] (non-refit step): zero heap allocations.
+//! * [`QrsModel::predict`]: zero heap allocations (term-wise evaluation,
+//!   no design row is materialized).
+//! * [`QrsModel::refit`]: `O(terms³ + window × terms)` for OLS/ridge, no
+//!   allocations (the Cholesky workspace and solve buffer are owned by the
+//!   model); LAD falls back to IRLS over the stored rows (allocates per
+//!   iteration, still never re-expands the window).
+//!
+//! Floating-point drift from long up/down-date chains is bounded by a full
+//! normal-equation rebuild from the stored rows every
+//! [`REBUILD_DOWNDATES`] evictions (amortized `O(terms²)` per observe).
 
-use std::collections::VecDeque;
-
+use crate::decomp::Cholesky;
 use crate::design::QuadraticDesign;
-use crate::fit::{fit, FitError, Method};
+use crate::fit::{fit, lad_irls_rows, FitError, Method};
+use crate::matrix::Matrix;
+
+/// Down-dates between full normal-equation rebuilds. Each up/down-date pair
+/// loses at most a few ulps, so thousands of them keep the maintained
+/// `XᵀX` within ~1e-12 relative of exact; rebuilding this rarely makes the
+/// amortized cost negligible.
+const REBUILD_DOWNDATES: usize = 8_192;
 
 /// A fitted quadratic response-surface model `features → processing seconds`.
 #[derive(Clone, Debug)]
@@ -20,13 +59,36 @@ pub struct QrsModel {
     rmse: f64,
     /// Mean absolute percentage training error, in `[0, ∞)`.
     mape: f64,
-    /// Sliding observation window for online tuning.
-    window: VecDeque<(Vec<f64>, f64)>,
+    /// Sliding-window design rows: a flat ring of `window_capacity` rows ×
+    /// `n_terms` columns. Each row is expanded exactly once, on entry.
+    rows: Vec<f64>,
+    /// Responses, ring-ordered alongside `rows`.
+    ys: Vec<f64>,
+    /// Ring index of the oldest live row.
+    head: usize,
+    /// Live rows in the window.
+    len: usize,
     window_capacity: usize,
+    /// `XᵀX` over the window; only the lower triangle is maintained (the
+    /// Cholesky factorization reads nothing above the diagonal).
+    gram: Matrix,
+    /// `Xᵀy` over the window.
+    xty: Vec<f64>,
+    /// `Σ y²` over the window (kept alongside the other moments; cheap and
+    /// useful for fast SSE identities).
+    yty: f64,
+    /// Evictions since the last full rebuild (drift control).
+    downdates: usize,
     /// Observations accumulated since the last refit.
     since_refit: usize,
     /// Refit after this many new observations (0 disables auto-refit).
     refit_every: usize,
+    /// Cholesky workspace (lower factor), reused across refits.
+    chol: Matrix,
+    /// Ridge/LAD workspace for the modified normal matrix.
+    work: Matrix,
+    /// Right-hand-side / solution buffer, reused across refits.
+    solve_buf: Vec<f64>,
 }
 
 impl QrsModel {
@@ -38,32 +100,57 @@ impl QrsModel {
         let design = QuadraticDesign::new(xs[0].len());
         let x = design.design_matrix(xs);
         let coeffs = fit(&x, ys, method)?;
-        let (rmse, mape) = residual_stats(&design, &coeffs, xs, ys);
-        let mut window = VecDeque::with_capacity(xs.len());
-        for (x, &y) in xs.iter().zip(ys) {
-            window.push_back((x.clone(), y));
-        }
+        let p = design.n_terms();
         let window_capacity = xs.len().max(64);
-        Ok(QrsModel {
+        let mut m = QrsModel {
             design,
             coeffs,
             method,
-            rmse,
-            mape,
-            window,
+            rmse: 0.0,
+            mape: 0.0,
+            rows: vec![0.0; window_capacity * p],
+            ys: vec![0.0; window_capacity],
+            head: 0,
+            len: 0,
             window_capacity,
+            gram: Matrix::zeros(p, p),
+            xty: vec![0.0; p],
+            yty: 0.0,
+            downdates: 0,
             since_refit: 0,
             refit_every: 50,
-        })
+            chol: Matrix::zeros(p, p),
+            work: Matrix::zeros(p, p),
+            solve_buf: vec![0.0; p],
+        };
+        for (x, &y) in xs.iter().zip(ys) {
+            m.push_observation(x, y);
+        }
+        let (rmse, mape) = m.window_residual_stats();
+        m.rmse = rmse;
+        m.mape = mape;
+        Ok(m)
     }
 
     /// Sets the sliding-window capacity for online tuning (default: the
-    /// initial training-set size).
+    /// initial training-set size). Keeps the newest rows when shrinking.
     pub fn with_window_capacity(mut self, cap: usize) -> QrsModel {
-        self.window_capacity = cap.max(self.design.n_terms() + 1);
-        while self.window.len() > self.window_capacity {
-            self.window.pop_front();
+        let p = self.design.n_terms();
+        let cap = cap.max(p + 1);
+        let keep = self.len.min(cap);
+        let mut rows = vec![0.0; cap * p];
+        let mut ys = vec![0.0; cap];
+        for k in 0..keep {
+            let src = (self.head + self.len - keep + k) % self.window_capacity;
+            rows[k * p..(k + 1) * p].copy_from_slice(&self.rows[src * p..(src + 1) * p]);
+            ys[k] = self.ys[src];
         }
+        self.rows = rows;
+        self.ys = ys;
+        self.head = 0;
+        self.len = keep;
+        self.window_capacity = cap;
+        self.rebuild_normals();
         self
     }
 
@@ -76,13 +163,14 @@ impl QrsModel {
 
     /// Predicted processing time (seconds) for a raw feature vector. Floored
     /// at 0.1 s — a response surface extrapolating negative time is treated
-    /// as "effectively instant".
+    /// as "effectively instant". Heap-allocation-free.
     pub fn predict(&self, x: &[f64]) -> f64 {
         self.design.eval(&self.coeffs, x).max(0.1)
     }
 
     /// Conservative prediction: point estimate plus `k` training-RMSEs.
     /// `k ≈ 1` gives roughly 84 % coverage under normal residuals.
+    /// Heap-allocation-free.
     pub fn predict_upper(&self, x: &[f64], k: f64) -> f64 {
         self.predict(x) + k * self.rmse
     }
@@ -90,12 +178,11 @@ impl QrsModel {
     /// Records an observed `(features, actual seconds)` pair in the sliding
     /// window and refits if the refit interval elapsed. Returns `true` if a
     /// refit happened (a failed refit keeps the old coefficients and also
-    /// returns `false`).
+    /// returns `false`). The non-refit step performs no heap allocation:
+    /// the design row is expanded straight into its ring slot and the
+    /// normal equations are rank-1 up/down-dated in place.
     pub fn observe(&mut self, x: &[f64], y: f64) -> bool {
-        self.window.push_back((x.to_vec(), y));
-        while self.window.len() > self.window_capacity {
-            self.window.pop_front();
-        }
+        self.push_observation(x, y);
         self.since_refit += 1;
         if self.refit_every > 0 && self.since_refit >= self.refit_every {
             self.since_refit = 0;
@@ -104,17 +191,48 @@ impl QrsModel {
         false
     }
 
-    /// Refits on the current window, keeping old coefficients on failure.
+    /// Re-solves the coefficients from the incrementally maintained normal
+    /// equations, keeping old coefficients on failure. `O(terms³)` plus a
+    /// single `O(window × terms)` residual pass — the window is never
+    /// re-expanded or cloned.
     pub fn refit(&mut self) -> Result<(), FitError> {
-        let xs: Vec<Vec<f64>> = self.window.iter().map(|(x, _)| x.clone()).collect();
-        let ys: Vec<f64> = self.window.iter().map(|(_, y)| *y).collect();
-        if xs.len() < self.design.n_terms() {
+        let p = self.design.n_terms();
+        if self.len < p {
             return Err(FitError::TooFewObservations);
         }
-        let m = self.design.design_matrix(&xs);
-        let coeffs = fit(&m, &ys, self.method)?;
-        let (rmse, mape) = residual_stats(&self.design, &coeffs, &xs, &ys);
-        self.coeffs = coeffs;
+        match self.method {
+            Method::Ols => {
+                Cholesky::factorize_into(&self.gram, &mut self.chol)
+                    .map_err(FitError::from)?;
+                self.solve_buf.copy_from_slice(&self.xty);
+                Cholesky::solve_in_place(&self.chol, &mut self.solve_buf)
+                    .map_err(FitError::from)?;
+                self.coeffs.copy_from_slice(&self.solve_buf);
+            }
+            Method::Ridge(lambda) => {
+                assert!(lambda >= 0.0, "ridge penalty must be non-negative");
+                self.load_penalized_work(lambda);
+                Cholesky::factorize_into(&self.work, &mut self.chol)
+                    .map_err(FitError::from)?;
+                self.solve_buf.copy_from_slice(&self.xty);
+                Cholesky::solve_in_place(&self.chol, &mut self.solve_buf)
+                    .map_err(FitError::from)?;
+                self.coeffs.copy_from_slice(&self.solve_buf);
+            }
+            Method::Lad => {
+                // IRLS over the ring-stored rows (Schlossmacher), started
+                // from the normal-equation OLS solution (mild ridge if the
+                // window is degenerate) — mirrors the batch fit's QR start.
+                let start = match self.normal_solve(0.0) {
+                    Ok(b) => b,
+                    Err(_) => self.normal_solve(1e-6)?,
+                };
+                let p = self.design.n_terms();
+                let coeffs = lad_irls_rows(self.window_iter(), p, start, 40, 1e-8)?;
+                self.coeffs = coeffs;
+            }
+        }
+        let (rmse, mape) = self.window_residual_stats();
         self.rmse = rmse;
         self.mape = mape;
         Ok(())
@@ -142,27 +260,120 @@ impl QrsModel {
 
     /// Number of observations currently in the tuning window.
     pub fn window_len(&self) -> usize {
-        self.window.len()
+        self.len
+    }
+
+    /// Inserts one observation into the ring, down-dating the evicted row
+    /// first when the window is full. No heap allocation.
+    fn push_observation(&mut self, x: &[f64], y: f64) {
+        let p = self.design.n_terms();
+        let slot = if self.len == self.window_capacity {
+            // Evict the oldest row: remove its contribution, reuse its slot.
+            let h = self.head;
+            let Self { rows, ys, gram, xty, yty, .. } = self;
+            rank1(gram, xty, yty, &rows[h * p..(h + 1) * p], ys[h], -1.0);
+            self.head = (self.head + 1) % self.window_capacity;
+            self.downdates += 1;
+            h
+        } else {
+            let s = (self.head + self.len) % self.window_capacity;
+            self.len += 1;
+            s
+        };
+        {
+            let Self { design, rows, ys, gram, xty, yty, .. } = self;
+            let row = &mut rows[slot * p..(slot + 1) * p];
+            design.expand_into(x, row);
+            ys[slot] = y;
+            rank1(gram, xty, yty, row, y, 1.0);
+        }
+        if self.downdates >= REBUILD_DOWNDATES {
+            self.rebuild_normals();
+        }
+    }
+
+    /// Recomputes `XᵀX`, `Xᵀy` and `Σy²` exactly from the stored rows.
+    fn rebuild_normals(&mut self) {
+        let p = self.design.n_terms();
+        let Self { rows, ys, gram, xty, yty, head, len, window_capacity, .. } = self;
+        for i in 0..p {
+            for j in 0..=i {
+                gram[(i, j)] = 0.0;
+            }
+        }
+        xty.fill(0.0);
+        *yty = 0.0;
+        for k in 0..*len {
+            let i = (*head + k) % *window_capacity;
+            rank1(gram, xty, yty, &rows[i * p..(i + 1) * p], ys[i], 1.0);
+        }
+        self.downdates = 0;
+    }
+
+    /// Copies the gram lower triangle into `work` with the ridge penalty
+    /// added to every non-intercept diagonal entry.
+    fn load_penalized_work(&mut self, lambda: f64) {
+        let p = self.design.n_terms();
+        for i in 0..p {
+            for j in 0..=i {
+                self.work[(i, j)] = self.gram[(i, j)];
+            }
+        }
+        for i in 1..p {
+            self.work[(i, i)] += lambda;
+        }
+    }
+
+    /// Solves `(XᵀX + λD)·β = Xᵀy` into a fresh vector (LAD start point).
+    fn normal_solve(&mut self, lambda: f64) -> Result<Vec<f64>, FitError> {
+        self.load_penalized_work(lambda);
+        Cholesky::factorize_into(&self.work, &mut self.chol).map_err(FitError::from)?;
+        let mut beta = self.xty.clone();
+        Cholesky::solve_in_place(&self.chol, &mut beta).map_err(FitError::from)?;
+        Ok(beta)
+    }
+
+    /// Oldest-first `(design row, response)` view of the window.
+    fn window_iter(&self) -> impl Iterator<Item = (&[f64], f64)> + Clone + '_ {
+        let p = self.design.n_terms();
+        (0..self.len).map(move |k| {
+            let i = (self.head + k) % self.window_capacity;
+            (&self.rows[i * p..(i + 1) * p], self.ys[i])
+        })
+    }
+
+    /// RMSE/MAPE over the window for the current coefficients, streamed
+    /// over the stored rows — one dot product per row, no re-expansion, no
+    /// allocation.
+    fn window_residual_stats(&self) -> (f64, f64) {
+        let n = self.len as f64;
+        let mut sse = 0.0;
+        let mut ape = 0.0;
+        for (row, y) in self.window_iter() {
+            let pred: f64 = row.iter().zip(&self.coeffs).map(|(b, c)| b * c).sum();
+            sse += (pred - y) * (pred - y);
+            if y.abs() > 1e-9 {
+                ape += ((pred - y) / y).abs();
+            }
+        }
+        ((sse / n).sqrt(), ape / n)
     }
 }
 
-fn residual_stats(
-    design: &QuadraticDesign,
-    coeffs: &[f64],
-    xs: &[Vec<f64>],
-    ys: &[f64],
-) -> (f64, f64) {
-    let n = xs.len() as f64;
-    let mut sse = 0.0;
-    let mut ape = 0.0;
-    for (x, &y) in xs.iter().zip(ys) {
-        let pred = design.eval(coeffs, x);
-        sse += (pred - y) * (pred - y);
-        if y.abs() > 1e-9 {
-            ape += ((pred - y) / y).abs();
+/// Rank-1 up-date (`sign = +1`) or down-date (`sign = -1`) of the normal
+/// equations with one `(row, y)` pair. Touches only the gram lower triangle.
+fn rank1(gram: &mut Matrix, xty: &mut [f64], yty: &mut f64, row: &[f64], y: f64, sign: f64) {
+    for i in 0..row.len() {
+        let ai = sign * row[i];
+        if ai == 0.0 {
+            continue;
+        }
+        xty[i] += ai * y;
+        for j in 0..=i {
+            gram[(i, j)] += ai * row[j];
         }
     }
-    ((sse / n).sqrt(), ape / n)
+    *yty += sign * y * y;
 }
 
 #[cfg(test)]
@@ -257,5 +468,39 @@ mod tests {
     #[test]
     fn empty_fit_is_rejected() {
         assert_eq!(QrsModel::fit(&[], &[], Method::Ols).unwrap_err(), FitError::TooFewObservations);
+    }
+
+    #[test]
+    fn rls_refit_matches_cold_batch_fit() {
+        // After a full wrap of the ring (every original row evicted), the
+        // incrementally maintained coefficients still agree with a batch
+        // refit on exactly the surviving window.
+        let (xs, ys) = dataset(60);
+        let mut m = QrsModel::fit(&xs, &ys, Method::Ols)
+            .unwrap()
+            .with_window_capacity(40)
+            .with_refit_every(1);
+        let mut window: Vec<(Vec<f64>, f64)> =
+            xs.iter().cloned().zip(ys.iter().copied()).collect();
+        for i in 0..120 {
+            let x = vec![((i * 5) % 13) as f64, ((i * 7) % 9) as f64];
+            let y = truth(&x) + (i % 3) as f64;
+            assert!(m.observe(&x, y), "refit must succeed on well-posed data");
+            window.push((x, y));
+        }
+        let tail = &window[window.len() - 40..];
+        let bxs: Vec<Vec<f64>> = tail.iter().map(|(x, _)| x.clone()).collect();
+        let bys: Vec<f64> = tail.iter().map(|(_, y)| *y).collect();
+        let batch = QrsModel::fit(&bxs, &bys, Method::Ols).unwrap();
+        for (a, b) in m.coeffs().iter().zip(batch.coeffs()) {
+            assert!(
+                (a - b).abs() <= 1e-6 * (1.0 + b.abs()),
+                "RLS {a} vs batch {b}\nrls={:?}\nbatch={:?}",
+                m.coeffs(),
+                batch.coeffs()
+            );
+        }
+        assert!((m.rmse() - batch.rmse()).abs() < 1e-6 * (1.0 + batch.rmse()));
+        assert!((m.mape() - batch.mape()).abs() < 1e-6 * (1.0 + batch.mape()));
     }
 }

@@ -1,0 +1,77 @@
+//! Verifies the acceptance-critical allocation behaviour of the hot path:
+//! `QrsModel::predict` and the non-refit `observe` step perform zero heap
+//! allocations, and an OLS refit from the maintained normal equations is
+//! allocation-free too (it solves into model-owned scratch).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use cloudburst_qrsm::{Method, QrsModel};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn allocations<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let out = f();
+    (ALLOCATIONS.load(Ordering::Relaxed) - before, out)
+}
+
+// One test function: the counter is process-global, so concurrent tests in
+// this binary would pollute each other's deltas.
+#[test]
+fn hot_path_is_allocation_free() {
+    let xs: Vec<Vec<f64>> = (0..120)
+        .map(|i| vec![(i % 17) as f64, ((i * 3) % 11) as f64, ((i * 5) % 7) as f64])
+        .collect();
+    let ys: Vec<f64> =
+        xs.iter().map(|x| 5.0 + 2.0 * x[0] + 0.4 * x[1] * x[2] + 0.1 * x[0] * x[0]).collect();
+    let mut m = QrsModel::fit(&xs, &ys, Method::Ols).unwrap().with_refit_every(0);
+
+    let probe = [3.0, 4.0, 5.0];
+    let (n, p) = allocations(|| {
+        let mut acc = 0.0;
+        for _ in 0..100 {
+            acc += m.predict(&probe) + m.predict_upper(&probe, 1.0);
+        }
+        acc
+    });
+    assert!(p.is_finite());
+    assert_eq!(n, 0, "predict/predict_upper must not allocate");
+
+    // Non-refit observes, both below capacity and after the ring wraps
+    // (eviction + down-date path).
+    let (n, _) = allocations(|| {
+        for i in 0..300 {
+            let x = [(i % 13) as f64, (i % 5) as f64, (i % 3) as f64];
+            m.observe(&x, 10.0 + i as f64);
+        }
+    });
+    assert_eq!(n, 0, "non-refit observe must not allocate");
+
+    // An OLS refit solves the maintained normal equations into model-owned
+    // scratch buffers.
+    let (n, r) = allocations(|| m.refit());
+    assert!(r.is_ok());
+    assert_eq!(n, 0, "OLS refit must not allocate");
+}

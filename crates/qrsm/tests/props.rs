@@ -137,6 +137,57 @@ proptest! {
         prop_assert!((d.eval(&coeffs, &x) - manual).abs() < 1e-9);
     }
 
+    /// The sliding-window RLS coefficients (rank-1 up/down-dated normal
+    /// equations, Cholesky solve) match a cold batch `fit()` on exactly the
+    /// surviving window to ≤1e-6 relative error — including after random
+    /// numbers of evictions have cycled rows out of the ring.
+    #[test]
+    fn rls_matches_cold_batch_fit_after_evictions(
+        window in 16usize..48,
+        extra in 0usize..120,
+        noise_seed in 0u64..1_000,
+        c0 in -2.0f64..2.0,
+        c1 in -2.0f64..2.0,
+        lambda in -5.0f64..5.0,
+    ) {
+        // Negative draws select OLS; positive ones exercise the ridge path.
+        let method = if lambda <= 0.0 { Method::Ols } else { Method::Ridge(lambda) };
+        let point = |i: usize| vec![(i % 13) as f64 * 0.5, ((i * 7) % 11) as f64 - 5.0];
+        let respond = |i: usize, x: &[f64]| {
+            let noise = ((noise_seed + i as u64 * 2654435761) % 97) as f64 / 97.0 - 0.5;
+            3.0 + c0 * x[0] + c1 * x[1] + 0.3 * x[0] * x[1] + noise
+        };
+        let n0 = window + 5; // initial corpus larger than the window
+        let xs: Vec<Vec<f64>> = (0..n0).map(point).collect();
+        let ys: Vec<f64> = xs.iter().enumerate().map(|(i, x)| respond(i, x)).collect();
+        let mut m = QrsModel::fit(&xs, &ys, method)
+            .unwrap()
+            .with_window_capacity(window)
+            .with_refit_every(1);
+        let mut all: Vec<(Vec<f64>, f64)> = xs.into_iter().zip(ys).collect();
+        for i in n0..n0 + extra {
+            let x = point(i);
+            let y = respond(i, &x);
+            prop_assert!(m.observe(&x, y), "refit must succeed on well-posed data");
+            all.push((x, y));
+        }
+        // Cold batch fit on exactly the rows the ring retained (the newest
+        // `window` observations).
+        let tail = &all[all.len() - window..];
+        let bxs: Vec<Vec<f64>> = tail.iter().map(|(x, _)| x.clone()).collect();
+        let bys: Vec<f64> = tail.iter().map(|(_, y)| *y).collect();
+        let batch = QrsModel::fit(&bxs, &bys, method).unwrap();
+        m.refit().unwrap(); // with_window_capacity may have trimmed without refit
+        for (a, b) in m.coeffs().iter().zip(batch.coeffs()) {
+            prop_assert!(
+                (a - b).abs() <= 1e-6 * (1.0 + b.abs()),
+                "RLS {a} vs batch {b}"
+            );
+        }
+        prop_assert!((m.rmse() - batch.rmse()).abs() <= 1e-6 * (1.0 + batch.rmse()));
+        prop_assert!((m.mape() - batch.mape()).abs() <= 1e-6 * (1.0 + batch.mape()));
+    }
+
     /// Per-class models never do worse than pooled on their own class when
     /// regimes genuinely differ (noise-free).
     #[test]

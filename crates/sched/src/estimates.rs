@@ -117,8 +117,10 @@ impl EstimateProvider {
     }
 
     /// Estimated execution seconds for `job` on a standard machine.
+    /// Heap-allocation-free: the regressors live on the stack and the model
+    /// evaluates term-by-term without materializing a design row.
     pub fn exec_secs(&self, job: &Job) -> f64 {
-        self.qrsm.predict(job.features.job_type.code() as u64, &job.features.regressors())
+        self.qrsm.predict(job.features.job_type.code() as u64, &job.features.regressors_arr())
     }
 
     /// Estimated execution seconds on an IC machine.

@@ -14,7 +14,28 @@
 //! `o_t` is the amount of ordered data ready for the printer at `s_t`.
 //! Ranks are 1-based in the paper; this module takes 0-based ids and
 //! converts internally.
-
+//!
+//! # Streaming evaluation
+//!
+//! The series is computed in a single pass over the completions in time
+//! order — `O(completions + total_jobs + samples)` for the whole run, with
+//! no per-sample rescan. Write `gap(i)` for the number of *incomplete* ids
+//! `≤ i`; Eq. 5's qualification `(i+1) − t_l ≤ prefix(i)` is exactly
+//! `gap(i) ≤ t_l`. Since `gap` is non-decreasing in `i`, the qualifying ids
+//! always form a prefix `[0, frontier)`, and since completions only accrue,
+//! both the frontier and `m_t` are monotone in time. The loop therefore
+//! maintains:
+//!
+//! * `frontier` — one past the highest id with `gap ≤ t_l`; never retreats,
+//!   each id is stepped over exactly once per run (frontier resume);
+//! * `missing` — incomplete ids below the frontier (`= gap(frontier−1)`,
+//!   invariant `missing ≤ t_l`);
+//! * `m_t` — the highest *complete* id below the frontier (every id in
+//!   `(m_t, frontier)` is incomplete, which is what makes `o_t` a running
+//!   sum);
+//! * `o_t` — bytes of complete ids `≤ m_t`, accumulated as the frontier
+//!   steps over complete ids and when a straggler below the frontier
+//!   arrives (`missing` drops, its bytes join `o_t`, `m_t` max-updates).
 use cloudburst_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -62,10 +83,81 @@ pub struct OoSample {
 
 /// Computes the OO series over `[sample_interval, horizon]`.
 ///
-/// `total_jobs` bounds the rank space (ids must be `< total_jobs`).
-/// Completions may be passed in any order. Jobs absent from `completions`
-/// are treated as never finishing within the horizon.
+/// `total_jobs` bounds the rank space (ids must be `< total_jobs`;
+/// validated in debug builds, out-of-range ids abort either way via the
+/// bounds check). Completions may be passed in any order. Jobs absent from
+/// `completions` are treated as never finishing within the horizon.
 pub fn oo_series(
+    completions: &[CompletionRecord],
+    total_jobs: usize,
+    horizon: SimTime,
+    cfg: OoConfig,
+) -> Vec<OoSample> {
+    assert!(!cfg.sample_interval.is_zero(), "sampling interval must be positive");
+    let mut by_time: Vec<&CompletionRecord> = completions.iter().collect();
+    by_time.sort_by_key(|c| (c.at, c.id));
+
+    let mut complete = vec![false; total_jobs];
+    let mut bytes = vec![0u64; total_jobs];
+    let mut samples = Vec::new();
+    let mut next = 0usize; // next completion (by time) to ingest
+    let mut completed = 0usize; // |C_t|
+    // Streaming frontier state (see the module docs for the invariants).
+    let mut frontier = 0usize;
+    let mut missing = 0u64;
+    let mut m_t: Option<u64> = None;
+    let mut o_t = 0u64;
+    let mut t = SimTime::ZERO + cfg.sample_interval;
+    while t <= horizon {
+        while next < by_time.len() && by_time[next].at <= t {
+            let c = by_time[next];
+            next += 1;
+            let i = c.id as usize;
+            debug_assert!(i < total_jobs, "id {} out of range {total_jobs}", c.id);
+            if complete[i] {
+                // Duplicate record: keep the latest bytes value, adjusting
+                // o_t if this id is already counted (complete below the
+                // frontier implies id ≤ m_t).
+                if i < frontier {
+                    o_t = o_t - bytes[i] + c.bytes;
+                }
+                bytes[i] = c.bytes;
+                continue;
+            }
+            complete[i] = true;
+            bytes[i] = c.bytes;
+            completed += 1;
+            if i < frontier {
+                // A straggler below the frontier: one fewer gap, and its
+                // bytes become orderable immediately.
+                missing -= 1;
+                o_t += c.bytes;
+                m_t = Some(m_t.map_or(c.id, |m| m.max(c.id)));
+            }
+        }
+        // Advance the frontier while the gap budget holds. Each id is
+        // crossed exactly once over the whole run.
+        while frontier < total_jobs {
+            if complete[frontier] {
+                m_t = Some(frontier as u64);
+                o_t += bytes[frontier];
+            } else if missing < cfg.tolerance {
+                missing += 1;
+            } else {
+                break;
+            }
+            frontier += 1;
+        }
+        samples.push(OoSample { at: t, m_t, o_t, completed });
+        t += cfg.sample_interval;
+    }
+    samples
+}
+
+/// The original per-sample rescan implementation, retained verbatim as the
+/// equivalence oracle for the streaming path (total work O(samples × jobs)).
+#[cfg(test)]
+fn oo_series_rescan(
     completions: &[CompletionRecord],
     total_jobs: usize,
     horizon: SimTime,
@@ -78,14 +170,10 @@ pub fn oo_series(
     let mut by_time: Vec<&CompletionRecord> = completions.iter().collect();
     by_time.sort_by_key(|c| (c.at, c.id));
 
-    // Incremental state: which ranks are complete, their sizes, and a
-    // prefix-count maintained on the fly. m_t is monotone in t (both sides
-    // of Eq. 5 only grow as completions accrue), so each sample resumes the
-    // scan from the previous m_t.
     let mut complete = vec![false; total_jobs];
     let mut bytes = vec![0u64; total_jobs];
     let mut samples = Vec::new();
-    let mut next = 0usize; // next completion (by time) to ingest
+    let mut next = 0usize;
     let mut m_t: Option<u64> = None;
     let mut t = SimTime::ZERO + cfg.sample_interval;
     while t <= horizon {
@@ -95,9 +183,6 @@ pub fn oo_series(
             bytes[c.id as usize] = c.bytes;
             next += 1;
         }
-        // Count of completed ranks ≤ i, resumed incrementally per sample.
-        // (Recomputing the prefix count from 0 keeps the logic obviously
-        // correct; total work per run is O(samples × jobs), tiny here.)
         let mut best: Option<u64> = None;
         let mut prefix = 0u64;
         for i in 0..total_jobs as u64 {
@@ -129,6 +214,7 @@ pub fn final_ordered_bytes(series: &[OoSample]) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn rec(id: u64, secs: u64, bytes: u64) -> CompletionRecord {
         CompletionRecord { id, at: SimTime::from_secs(secs), bytes }
@@ -225,8 +311,54 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "out of range")]
     fn id_out_of_range_panics() {
         oo_series(&[rec(7, 1, 1)], 3, SimTime::from_secs(10), cfg(0, 5));
+    }
+
+    #[test]
+    fn streaming_matches_rescan_on_fixed_cases() {
+        let cases: Vec<(Vec<CompletionRecord>, usize, u64, OoConfig)> = vec![
+            (vec![rec(0, 10, 100), rec(1, 20, 200), rec(2, 30, 300)], 3, 40, cfg(0, 10)),
+            (vec![rec(0, 35, 100), rec(1, 5, 200), rec(2, 6, 300)], 3, 40, cfg(0, 10)),
+            (vec![rec(1, 5, 200), rec(2, 6, 300)], 3, 20, cfg(1, 10)),
+            (vec![rec(3, 4, 7), rec(0, 9, 2)], 6, 50, cfg(2, 7)),
+            (vec![], 5, 30, cfg(2, 10)),
+        ];
+        for (comps, n, hz, c) in cases {
+            let horizon = SimTime::from_secs(hz);
+            assert_eq!(
+                oo_series(&comps, n, horizon, c),
+                oo_series_rescan(&comps, n, horizon, c),
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// The streaming series is PartialEq-identical to the retained
+        /// rescan reference on arbitrary completion sets (including
+        /// duplicate ids, stragglers, and completions past the horizon).
+        #[test]
+        fn streaming_is_identical_to_rescan(
+            total_jobs in 1usize..40,
+            tolerance in 0u64..6,
+            interval in 1u64..90,
+            horizon in 1u64..600,
+            raw in proptest::collection::vec((0u64..40, 0u64..700, 0u64..10_000), 0..60),
+        ) {
+            let comps: Vec<CompletionRecord> = raw
+                .into_iter()
+                .map(|(id, secs, bytes)| rec(id % total_jobs as u64, secs, bytes))
+                .collect();
+            let c = cfg(tolerance, interval);
+            let horizon = SimTime::from_secs(horizon);
+            prop_assert_eq!(
+                oo_series(&comps, total_jobs, horizon, c),
+                oo_series_rescan(&comps, total_jobs, horizon, c)
+            );
+        }
     }
 }

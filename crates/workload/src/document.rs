@@ -135,7 +135,13 @@ impl DocumentFeatures {
     /// Resolution is scaled by a nominal 600 DPI so all regressors share a
     /// comparable magnitude, which conditions the normal equations.
     pub fn regressors(&self) -> Vec<f64> {
-        vec![
+        self.regressors_arr().to_vec()
+    }
+
+    /// Stack-allocated regressor vector — the per-prediction hot path uses
+    /// this to keep model evaluation heap-allocation-free.
+    pub fn regressors_arr(&self) -> [f64; Self::N_REGRESSORS] {
+        [
             self.size_mb(),
             self.pages as f64,
             self.images as f64,
