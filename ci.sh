@@ -19,7 +19,10 @@ cargo bench --no-run
 echo "== perfsmoke probes"
 cargo run --release -p cloudburst-bench --bin perfsmoke
 
-echo "== lint: cargo clippy --workspace -- -D warnings"
-cargo clippy --workspace -- -D warnings
+echo "== lint: cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== conformance: cargo run --release -p cloudburst-conform"
+cargo run --release -p cloudburst-conform
 
 echo "ci.sh: all green"

@@ -13,6 +13,11 @@
 //! perfsmoke <path>     additionally write it to <path>
 //! ```
 
+// Timing wall-clock durations is this binary's whole purpose; the
+// disallowed-methods ban on Instant::now targets deterministic library
+// code, not the perf harness.
+#![allow(clippy::disallowed_methods)]
+
 use std::io::Write as _;
 use std::time::Instant;
 

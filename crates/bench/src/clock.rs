@@ -1,0 +1,41 @@
+//! The real-time [`Clock`] implementation for live-pipeline demos.
+//!
+//! `cloudburst-core` is a deterministic crate and must not read the wall
+//! clock (conform rule `determinism/wall-clock`), so its live pipeline
+//! takes the time source from the caller. This is that source: bin-side
+//! code (the bench harness, examples) hands a [`WallClock`] to
+//! `cloudburst_core::live::run_live` when it wants real pacing.
+
+use std::time::{Duration, Instant};
+
+use cloudburst_core::live::Clock;
+
+/// Monotonic wall-clock time with a real blocking sleep.
+#[derive(Clone, Copy, Debug)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// A clock whose epoch is now.
+    #[allow(clippy::disallowed_methods)] // the one sanctioned wall-clock read for live pacing
+    pub fn start() -> WallClock {
+        WallClock { epoch: Instant::now() }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::start()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}

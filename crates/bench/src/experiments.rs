@@ -109,15 +109,15 @@ pub fn fig3() -> ExpOutput {
     let cv = validate::cross_validate(&xs, &ys, Method::Ols, 5).expect("cv");
 
     let mut text = String::new();
-    writeln!(text, "QRSM processing-time surface (minutes) — rows: size MB, cols: images").unwrap();
+    writeln!(text, "QRSM processing-time surface (minutes) — rows: size MB, cols: images").expect("fmt write to String cannot fail");
     let image_counts = [0u32, 40, 80, 120, 160];
-    write!(text, "{:>8}", "size\\img").unwrap();
+    write!(text, "{:>8}", "size\\img").expect("fmt write to String cannot fail");
     for i in image_counts {
-        write!(text, "{i:>8}").unwrap();
+        write!(text, "{i:>8}").expect("fmt write to String cannot fail");
     }
-    writeln!(text).unwrap();
+    writeln!(text).expect("fmt write to String cannot fail");
     for size_mb in (25..=275).step_by(50) {
-        write!(text, "{size_mb:>8}").unwrap();
+        write!(text, "{size_mb:>8}").expect("fmt write to String cannot fail");
         for imgs in image_counts {
             let f = DocumentFeatures {
                 size_bytes: size_mb * 1_000_000,
@@ -129,9 +129,9 @@ pub fn fig3() -> ExpOutput {
                 text_ratio: 0.6,
                 job_type: JobType::Newspaper,
             };
-            write!(text, "{:>8.1}", model.predict(&f.regressors()) / 60.0).unwrap();
+            write!(text, "{:>8.1}", model.predict(&f.regressors()) / 60.0).expect("fmt write to String cannot fail");
         }
-        writeln!(text).unwrap();
+        writeln!(text).expect("fmt write to String cannot fail");
     }
     writeln!(
         text,
@@ -142,7 +142,7 @@ pub fn fig3() -> ExpOutput {
         cv.mean_mape() * 100.0,
         cv.mean_r2()
     )
-    .unwrap();
+    .expect("fmt write to String cannot fail");
 
     // "A relevant set of features are extracted": stepwise selection over
     // the 28-term basis — which document features actually drive time.
@@ -155,7 +155,7 @@ pub fn fig3() -> ExpOutput {
         sel.cv_rmse(),
         sel.terms().iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ")
     )
-    .unwrap();
+    .expect("fmt write to String cannot fail");
 
     // Shape checks: the surface rises with size and with image count, and
     // the fit explains most of the variance despite the lognormal noise.
@@ -210,7 +210,7 @@ fn fig4_model() -> BandwidthModel {
 pub fn fig4a() -> ExpOutput {
     let rep = calibrate(&fig4_model(), 3, 6, 1.5);
     let mut text = String::new();
-    writeln!(text, "hour  true_KBps  est_KBps").unwrap();
+    writeln!(text, "hour  true_KBps  est_KBps").expect("fmt write to String cannot fail");
     for h in 0..24 {
         writeln!(
             text,
@@ -218,9 +218,9 @@ pub fn fig4a() -> ExpOutput {
             rep.hourly_true_bps[h] / 1_000.0,
             rep.hourly_est_bps[h] / 1_000.0
         )
-        .unwrap();
+        .expect("fmt write to String cannot fail");
     }
-    writeln!(text, "\nprobes={}  MAPE={:.1}%", rep.probes, rep.mape() * 100.0).unwrap();
+    writeln!(text, "\nprobes={}  MAPE={:.1}%", rep.probes, rep.mape() * 100.0).expect("fmt write to String cannot fail");
     let peak = rep.hourly_est_bps[6] > rep.hourly_est_bps[18];
     let chart = crate::svg::Chart::new(
         "Fig 4(a): time-of-day bandwidth — truth vs learned",
@@ -256,7 +256,7 @@ pub fn fig4b() -> ExpOutput {
     let days = 14; // long calibration: the tuner probes once per slot visit
     let rep = calibrate(&model, days, 12, 1.5);
     let mut text = String::new();
-    writeln!(text, "hour  tuned_threads  analytic_optimum").unwrap();
+    writeln!(text, "hour  tuned_threads  analytic_optimum").expect("fmt write to String cannot fail");
     let mut matches = 0;
     for h in 0..24 {
         let mid = cloudburst_sim::SimTime::from_secs(
@@ -266,13 +266,13 @@ pub fn fig4b() -> ExpOutput {
         if (rep.hourly_threads[h] as i64 - opt as i64).abs() <= 3 {
             matches += 1;
         }
-        writeln!(text, "{h:>4}  {:>13}  {:>16}", rep.hourly_threads[h], opt).unwrap();
+        writeln!(text, "{h:>4}  {:>13}  {:>16}", rep.hourly_threads[h], opt).expect("fmt write to String cannot fail");
     }
     // Shape: more threads in fast hours than slow hours, and most hours
     // near the analytic optimum despite the ±15 % jitter on the probes.
     let fast: f64 = (0..12).map(|h| rep.hourly_threads[h] as f64).sum::<f64>() / 12.0;
     let slow: f64 = (12..24).map(|h| rep.hourly_threads[h] as f64).sum::<f64>() / 12.0;
-    writeln!(text, "\nwithin-3-of-optimum: {matches}/24   fast-half mean={fast:.1} slow-half mean={slow:.1}").unwrap();
+    writeln!(text, "\nwithin-3-of-optimum: {matches}/24   fast-half mean={fast:.1} slow-half mean={slow:.1}").expect("fmt write to String cannot fail");
     let chart = crate::svg::Chart::new(
         "Fig 4(b): threads to saturate the pipe",
         "hour of day",
@@ -305,7 +305,7 @@ pub fn fig4b() -> ExpOutput {
 /// Greedy ≈ Op.
 pub fn fig6() -> ExpOutput {
     let mut text = String::new();
-    writeln!(text, "{:>8}  {:>10} {:>10} {:>10}  improvement", "bucket", "ic-only", "greedy", "op").unwrap();
+    writeln!(text, "{:>8}  {:>10} {:>10} {:>10}  improvement", "bucket", "ic-only", "greedy", "op").expect("fmt write to String cannot fail");
     let mut improvements = Vec::new();
     let mut greedy_vs_op = Vec::new();
     let mut matrix: Vec<Vec<f64>> = Vec::new();
@@ -328,7 +328,7 @@ pub fn fig6() -> ExpOutput {
             ms[2],
             improvement * 100.0
         )
-        .unwrap();
+        .expect("fmt write to String cannot fail");
     }
     let mean_improvement = improvements.iter().sum::<f64>() / improvements.len() as f64;
     let max_greedy_op_gap = greedy_vs_op.iter().cloned().fold(0.0, f64::max);
@@ -338,7 +338,7 @@ pub fn fig6() -> ExpOutput {
         mean_improvement * 100.0,
         max_greedy_op_gap * 100.0
     )
-    .unwrap();
+    .expect("fmt write to String cannot fail");
     let chart = crate::svg::Chart::new(
         "Fig 6: makespan per scheduler (x: small/uniform/large)",
         "bucket (0=small, 1=uniform, 2=large)",
@@ -402,22 +402,22 @@ impl From<&RunReport> for ExpOutputParts {
 }
 
 fn render_series(text: &mut String, parts: &[(&str, &ExpOutputParts)]) {
-    writeln!(text, "per-job completion delay vs in-order requirement (seconds; >0 = peak/wait, <0 = valley/early)").unwrap();
-    write!(text, "{:>5}", "job").unwrap();
+    writeln!(text, "per-job completion delay vs in-order requirement (seconds; >0 = peak/wait, <0 = valley/early)").expect("fmt write to String cannot fail");
+    write!(text, "{:>5}", "job").expect("fmt write to String cannot fail");
     for (label, _) in parts {
-        write!(text, "{label:>12}").unwrap();
+        write!(text, "{label:>12}").expect("fmt write to String cannot fail");
     }
-    writeln!(text).unwrap();
+    writeln!(text).expect("fmt write to String cannot fail");
     let n = parts.iter().map(|(_, p)| p.deltas.len()).max().unwrap_or(0);
     for i in 0..n {
-        write!(text, "{i:>5}").unwrap();
+        write!(text, "{i:>5}").expect("fmt write to String cannot fail");
         for (_, p) in parts {
             match p.deltas.get(i) {
-                Some(d) => write!(text, "{d:>12.1}").unwrap(),
-                None => write!(text, "{:>12}", "-").unwrap(),
+                Some(d) => write!(text, "{d:>12.1}").expect("fmt write to String cannot fail"),
+                None => write!(text, "{:>12}", "-").expect("fmt write to String cannot fail"),
             }
         }
-        writeln!(text).unwrap();
+        writeln!(text).expect("fmt write to String cannot fail");
     }
     for (label, p) in parts {
         writeln!(
@@ -425,7 +425,7 @@ fn render_series(text: &mut String, parts: &[(&str, &ExpOutputParts)]) {
             "{label}: high peaks (>120 s) = {}, peak magnitude = {:.0} s, valleys = {}",
             p.hi_peaks, p.peak_magnitude, p.valleys
         )
-        .unwrap();
+        .expect("fmt write to String cannot fail");
     }
 }
 
@@ -437,10 +437,10 @@ pub fn fig7() -> ExpOutput {
     let mut summaries = serde_json::Map::new();
     let mut charts = Vec::new();
     for bucket in [SizeBucket::Uniform, SizeBucket::SmallBiased] {
-        writeln!(text, "== bucket: {} ==", bucket.label()).unwrap();
+        writeln!(text, "== bucket: {} ==", bucket.label()).expect("fmt write to String cannot fail");
         let (g, o) = completion_series(bucket);
         render_series(&mut text, &[("greedy", &g), ("op", &o)]);
-        writeln!(text).unwrap();
+        writeln!(text).expect("fmt write to String cannot fail");
         charts.push((format!("fig7-{}-delays", bucket.label()), delay_chart(bucket.label(), &g, &o).to_svg()));
         // Shape: Op's waits (peak magnitude) must not exceed Greedy's, and
         // its early completions (valleys) must be in the same range or
@@ -528,13 +528,13 @@ pub fn fig9() -> ExpOutput {
         g_mean += g.mean_ordered_bytes() / AGG_SEEDS.len() as f64;
         o_mean += o.mean_ordered_bytes() / AGG_SEEDS.len() as f64;
         if seed == SERIES_SEED {
-            writeln!(text, "t_min   greedy_o_t_MB   op_o_t_MB").unwrap();
+            writeln!(text, "t_min   greedy_o_t_MB   op_o_t_MB").expect("fmt write to String cannot fail");
             let n = g.oo_series.len().max(o.oo_series.len());
             for i in 0..n {
                 let t = (i + 1) * 2;
                 let gv = g.oo_series.get(i).map_or(f64::NAN, |s| s.o_t as f64 / 1e6);
                 let ov = o.oo_series.get(i).map_or(f64::NAN, |s| s.o_t as f64 / 1e6);
-                writeln!(text, "{t:>5}   {gv:>13.1}   {ov:>9.1}").unwrap();
+                writeln!(text, "{t:>5}   {gv:>13.1}   {ov:>9.1}").expect("fmt write to String cannot fail");
             }
             let to_pts = |r: &RunReport| {
                 r.oo_series
@@ -555,7 +555,7 @@ pub fn fig9() -> ExpOutput {
         o_mean / 1e6,
         (o_mean / g_mean - 1.0) * 100.0
     )
-    .unwrap();
+    .expect("fmt write to String cannot fail");
     let chart = crate::svg::Chart::new(
         "Fig 9: ordered output (OO metric) under high network variation — large bucket",
         "time (min)",
@@ -603,7 +603,7 @@ pub fn fig10() -> ExpOutput {
             }
         }
         if seed == SERIES_SEED {
-            writeln!(text, "t_min   greedy_rel   op_rel   op+sibs_rel   (vs ic-only, tol=4)").unwrap();
+            writeln!(text, "t_min   greedy_rel   op_rel   op+sibs_rel   (vs ic-only, tol=4)").expect("fmt write to String cannot fail");
             let rels: Vec<Vec<f64>> = reports.iter().map(|r| r.oo_relative_to(&base)).collect();
             // oo_relative_to skips samples until the baseline produces its
             // first ordered byte; offset the time axis accordingly.
@@ -614,7 +614,7 @@ pub fn fig10() -> ExpOutput {
                 let g = rels[0].get(i).copied().unwrap_or(f64::NAN);
                 let o = rels[1].get(i).copied().unwrap_or(f64::NAN);
                 let s = rels[2].get(i).copied().unwrap_or(f64::NAN);
-                writeln!(text, "{:>5}   {g:>10.3}   {o:>6.3}   {s:>11.3}", t_of(i)).unwrap();
+                writeln!(text, "{:>5}   {g:>10.3}   {o:>6.3}   {s:>11.3}", t_of(i)).expect("fmt write to String cannot fail");
             }
             for (k, rel) in kinds.iter().zip(&rels) {
                 chart_series.push(crate::svg::Series::new(
@@ -632,7 +632,7 @@ pub fn fig10() -> ExpOutput {
         means[1],
         means[2]
     )
-    .unwrap();
+    .expect("fmt write to String cannot fail");
     let chart = crate::svg::Chart::new(
         "Fig 10: OO metric relative to IC-only (tol=4, large bucket)",
         "time (min)",
@@ -672,7 +672,7 @@ pub fn table1() -> ExpOutput {
         "{:>8} | {:>6} {:>6} | {:>6} {:>6} | {:>6} {:>6} | {:>6} {:>6}",
         "bucket", "ICu-g", "ICu-op", "ECu-g", "ECu-op", "br-g", "br-op", "sp-g", "sp-op"
     )
-    .unwrap();
+    .expect("fmt write to String cannot fail");
     let mut rows = serde_json::Map::new();
     let mut ok = true;
     for (bucket, paper_row) in
@@ -703,14 +703,14 @@ pub fn table1() -> ExpOutput {
             row[6],
             row[7]
         )
-        .unwrap();
+        .expect("fmt write to String cannot fail");
         writeln!(
             text,
             "{:>8} | {:>6.1} {:>6.1} | {:>6.1} {:>6.1} | {:>6.2} {:>6.2} | {:>6.2} {:>6.2}   (paper)",
             "", paper_row.1[0], paper_row.1[1], paper_row.1[2], paper_row.1[3], paper_row.1[4],
             paper_row.1[5], paper_row.1[6], paper_row.1[7]
         )
-        .unwrap();
+        .expect("fmt write to String cannot fail");
         // Shape checks per the paper's reading of Table I.
         let speedup_close = (row[6] - row[7]).abs() / row[6].max(row[7]) < 0.1;
         rows.insert(
@@ -725,15 +725,15 @@ pub fn table1() -> ExpOutput {
     }
     // Large jobs yield higher speedup than uniform (computation dominates
     // the network legs).
-    let sp_large = rows["large"]["measured"][6].as_f64().unwrap();
-    let sp_uniform = rows["uniform"]["measured"][6].as_f64().unwrap();
+    let sp_large = rows["large"]["measured"][6].as_f64().expect("summary JSON carries numeric cells");
+    let sp_uniform = rows["uniform"]["measured"][6].as_f64().expect("summary JSON carries numeric cells");
     let large_faster = sp_large > sp_uniform;
     writeln!(
         text,
         "\nshape: speedup(large) > speedup(uniform): {} ({:.2} vs {:.2}, paper 6.73 vs 5.6)",
         large_faster, sp_large, sp_uniform
     )
-    .unwrap();
+    .expect("fmt write to String cannot fail");
     ok &= large_faster;
     rows.insert("shape_ok".into(), json!(ok));
     ExpOutput { id: "table1", charts: Vec::new(), text, summary: Value::Object(rows) }
@@ -755,10 +755,10 @@ pub fn sibs() -> ExpOutput {
     let sp_sb = mean_of(&sb, |r| r.speedup);
     let gain = (sp_sb / sp_op - 1.0) * 100.0;
     let mut text = String::new();
-    writeln!(text, "              op     op+sibs   paper(op→sibs)").unwrap();
-    writeln!(text, "EC util   {ec_op:>6.1}%   {ec_sb:>6.1}%   44% → 58%").unwrap();
-    writeln!(text, "IC util        -   {ic_sb:>6.1}%   ~81%").unwrap();
-    writeln!(text, "speedup   {sp_op:>6.2}   {sp_sb:>7.2}   +2%  (measured {gain:+.1}%)").unwrap();
+    writeln!(text, "              op     op+sibs   paper(op→sibs)").expect("fmt write to String cannot fail");
+    writeln!(text, "EC util   {ec_op:>6.1}%   {ec_sb:>6.1}%   44% → 58%").expect("fmt write to String cannot fail");
+    writeln!(text, "IC util        -   {ic_sb:>6.1}%   ~81%").expect("fmt write to String cannot fail");
+    writeln!(text, "speedup   {sp_op:>6.2}   {sp_sb:>7.2}   +2%  (measured {gain:+.1}%)").expect("fmt write to String cannot fail");
     ExpOutput {
         id: "sibs",
         charts: Vec::new(),
@@ -785,15 +785,15 @@ pub fn tickets() -> ExpOutput {
         [SchedulerKind::Greedy, SchedulerKind::OrderPreserving, SchedulerKind::Sibs];
     let margins = [0.0f64, 0.5, 1.0, 2.0];
     let mut text = String::new();
-    writeln!(text, "ticket attainment (large bucket, high variation), by quoting margin k:").unwrap();
-    write!(text, "{:>9}", "margin k").unwrap();
+    writeln!(text, "ticket attainment (large bucket, high variation), by quoting margin k:").expect("fmt write to String cannot fail");
+    write!(text, "{:>9}", "margin k").expect("fmt write to String cannot fail");
     for k in kinds {
-        write!(text, "{:>10}", k.label()).unwrap();
+        write!(text, "{:>10}", k.label()).expect("fmt write to String cannot fail");
     }
-    writeln!(text).unwrap();
+    writeln!(text).expect("fmt write to String cannot fail");
     let mut attain = vec![vec![0.0f64; kinds.len()]; margins.len()];
     for (mi, &k_margin) in margins.iter().enumerate() {
-        write!(text, "{k_margin:>9.1}").unwrap();
+        write!(text, "{k_margin:>9.1}").expect("fmt write to String cannot fail");
         for (ki, &kind) in kinds.iter().enumerate() {
             let mut a = 0.0;
             for &seed in &AGG_SEEDS {
@@ -806,13 +806,13 @@ pub fn tickets() -> ExpOutput {
                 a += run_experiment(&cfg).ticket_report().attainment / AGG_SEEDS.len() as f64;
             }
             attain[mi][ki] = a;
-            write!(text, "{:>9.1}%", a * 100.0).unwrap();
+            write!(text, "{:>9.1}%", a * 100.0).expect("fmt write to String cannot fail");
         }
-        writeln!(text).unwrap();
+        writeln!(text).expect("fmt write to String cannot fail");
     }
     // The guaranteeable whole-run quote: what makespan can be promised at
     // 90 % confidence, per scheduler, from replicated runs.
-    writeln!(text, "\n90%-guaranteeable makespan quote (10 seeds):").unwrap();
+    writeln!(text, "\n90%-guaranteeable makespan quote (10 seeds):").expect("fmt write to String cannot fail");
     let seeds: Vec<u64> = (100..110).collect();
     let mut quotes = Vec::new();
     for &kind in &kinds {
@@ -820,7 +820,7 @@ pub fn tickets() -> ExpOutput {
         let makespans: Vec<f64> =
             run_replications(&base, &seeds).iter().map(|r| r.makespan_secs).collect();
         let q = guaranteeable_target(&makespans, 0.9);
-        writeln!(text, "  {:>8}: {:>8.0}s", kind.label(), q).unwrap();
+        writeln!(text, "  {:>8}: {:>8.0}s", kind.label(), q).expect("fmt write to String cannot fail");
         quotes.push(q);
     }
     // Shapes: attainment is monotone in the quoting margin for every
@@ -866,10 +866,10 @@ pub fn ablate_chunk() -> ExpOutput {
     let ms_with = mean_of(&with, |r| r.makespan_secs);
     let ms_without = mean_of(&without, |r| r.makespan_secs);
     let mut text = String::new();
-    writeln!(text, "                 op (chunked)   op-nochunk").unwrap();
-    writeln!(text, "peak magnitude   {pm_with:>12.0}s  {pm_without:>10.0}s").unwrap();
-    writeln!(text, "mean ordered MB  {:>12.1}   {:>10.1}", oo_with / 1e6, oo_without / 1e6).unwrap();
-    writeln!(text, "makespan         {ms_with:>12.0}s  {ms_without:>10.0}s").unwrap();
+    writeln!(text, "                 op (chunked)   op-nochunk").expect("fmt write to String cannot fail");
+    writeln!(text, "peak magnitude   {pm_with:>12.0}s  {pm_without:>10.0}s").expect("fmt write to String cannot fail");
+    writeln!(text, "mean ordered MB  {:>12.1}   {:>10.1}", oo_with / 1e6, oo_without / 1e6).expect("fmt write to String cannot fail");
+    writeln!(text, "makespan         {ms_with:>12.0}s  {ms_without:>10.0}s").expect("fmt write to String cannot fail");
     ExpOutput {
         id: "ablate-chunk",
         charts: Vec::new(),
@@ -889,14 +889,14 @@ pub fn ablate_chunk() -> ExpOutput {
 pub fn ablate_ewma() -> ExpOutput {
     let model = fig4_model();
     let mut text = String::new();
-    writeln!(text, "alpha  slots  hourly_MAPE").unwrap();
+    writeln!(text, "alpha  slots  hourly_MAPE").expect("fmt write to String cannot fail");
     let mut rows = Vec::new();
-    let mut mape_at = std::collections::HashMap::new();
+    let mut mape_at = std::collections::BTreeMap::new();
     for &(alpha, slots) in
         &[(0.1f64, 24usize), (0.3, 24), (0.7, 24), (1.0, 24), (0.3, 1), (1.0, 1)]
     {
         let rep = cloudburst_core::autonomic::calibrate_with(&model, 7, 6, 1.5, slots, alpha);
-        writeln!(text, "{alpha:>5.1}  {slots:>5}  {:>10.1}%", rep.mape() * 100.0).unwrap();
+        writeln!(text, "{alpha:>5.1}  {slots:>5}  {:>10.1}%", rep.mape() * 100.0).expect("fmt write to String cannot fail");
         mape_at.insert((format!("{alpha:.1}"), slots), rep.mape());
         rows.push(json!({"alpha": alpha, "slots": slots, "mape": rep.mape()}));
     }
@@ -910,7 +910,7 @@ pub fn ablate_ewma() -> ExpOutput {
         without_table * 100.0,
         with_table * 100.0
     )
-    .unwrap();
+    .expect("fmt write to String cannot fail");
     ExpOutput {
         id: "ablate-ewma",
         charts: Vec::new(),
@@ -950,10 +950,10 @@ pub fn ablate_resched() -> ExpOutput {
         fired += world.pull_backs() + world.push_outs();
     }
     let mut text = String::new();
-    writeln!(text, "high-noise regime (sigma=0.45, 4 IC machines), large bucket").unwrap();
-    writeln!(text, "makespan without rescheduling: {ms_off:>8.0}s").unwrap();
-    writeln!(text, "makespan with    rescheduling: {ms_on:>8.0}s  ({:+.1}%)", (ms_on / ms_off - 1.0) * 100.0).unwrap();
-    writeln!(text, "rescheduling actions fired:    {fired}").unwrap();
+    writeln!(text, "high-noise regime (sigma=0.45, 4 IC machines), large bucket").expect("fmt write to String cannot fail");
+    writeln!(text, "makespan without rescheduling: {ms_off:>8.0}s").expect("fmt write to String cannot fail");
+    writeln!(text, "makespan with    rescheduling: {ms_on:>8.0}s  ({:+.1}%)", (ms_on / ms_off - 1.0) * 100.0).expect("fmt write to String cannot fail");
+    writeln!(text, "rescheduling actions fired:    {fired}").expect("fmt write to String cannot fail");
     ExpOutput {
         id: "ablate-resched",
         charts: Vec::new(),
@@ -992,17 +992,17 @@ pub fn ablate_scaling() -> ExpOutput {
         Some(ScalingPolicy { min_instances: 1, max_instances: 8, period: SimDuration::from_mins(2) }),
     );
     let mut text = String::new();
-    writeln!(text, "            makespan   EC instance-seconds provisioned").unwrap();
-    writeln!(text, "fixed n=2   {:>8.0}s  {:>12.0}", fixed2.0, fixed2.1).unwrap();
-    writeln!(text, "fixed n=8   {:>8.0}s  {:>12.0}", fixed8.0, fixed8.1).unwrap();
-    writeln!(text, "elastic 1-8 {:>8.0}s  {:>12.0}", elastic.0, elastic.1).unwrap();
+    writeln!(text, "            makespan   EC instance-seconds provisioned").expect("fmt write to String cannot fail");
+    writeln!(text, "fixed n=2   {:>8.0}s  {:>12.0}", fixed2.0, fixed2.1).expect("fmt write to String cannot fail");
+    writeln!(text, "fixed n=8   {:>8.0}s  {:>12.0}", fixed8.0, fixed8.1).expect("fmt write to String cannot fail");
+    writeln!(text, "elastic 1-8 {:>8.0}s  {:>12.0}", elastic.0, elastic.1).expect("fmt write to String cannot fail");
     writeln!(
         text,
         "\nelastic keeps {:.1}% of the fixed-8 makespan at {:.0}% of its provisioned cost",
         elastic.0 / fixed8.0 * 100.0,
         elastic.1 / fixed8.1 * 100.0
     )
-    .unwrap();
+    .expect("fmt write to String cannot fail");
     ExpOutput {
         id: "ablate-scaling",
         charts: Vec::new(),
@@ -1023,7 +1023,7 @@ pub fn ablate_scaling() -> ExpOutput {
 /// not). γ sweep on the large bucket with the Op scheduler.
 pub fn ablate_chunkpos() -> ExpOutput {
     let mut text = String::new();
-    writeln!(text, "gamma   jobs(after chunking)   makespan   mean_ordered_MB   peak_mag").unwrap();
+    writeln!(text, "gamma   jobs(after chunking)   makespan   mean_ordered_MB   peak_mag").expect("fmt write to String cannot fail");
     let mut rows = Vec::new();
     let mut stats = Vec::new();
     for &gamma in &[0.0f64, 1.0, 2.0, 4.0] {
@@ -1044,7 +1044,7 @@ pub fn ablate_chunkpos() -> ExpOutput {
             oo += r.mean_ordered_bytes() / 1e6 / AGG_SEEDS.len() as f64;
             pm += r.peaks(120.0).1 / AGG_SEEDS.len() as f64;
         }
-        writeln!(text, "{gamma:>5.1}   {n_jobs:>20.0}   {ms:>7.0}s   {oo:>15.1}   {pm:>7.0}s").unwrap();
+        writeln!(text, "{gamma:>5.1}   {n_jobs:>20.0}   {ms:>7.0}s   {oo:>15.1}   {pm:>7.0}s").expect("fmt write to String cannot fail");
         rows.push(json!({"gamma": gamma, "n_jobs": n_jobs, "makespan": ms, "mean_oo_mb": oo}));
         stats.push((gamma, n_jobs, ms, oo));
     }
@@ -1061,7 +1061,7 @@ pub fn ablate_chunkpos() -> ExpOutput {
         ms_best,
         ms0
     )
-    .unwrap();
+    .expect("fmt write to String cannot fail");
     ExpOutput {
         id: "ablate-chunkpos",
         charts: Vec::new(),
@@ -1125,20 +1125,20 @@ pub fn ablate_classes() -> ExpOutput {
         }
     }
     let mut text = String::new();
-    writeln!(text, "class-varied truth (per-class pipeline factors 0.7–1.9)").unwrap();
-    writeln!(text, "held-out MAPE: pooled={:.1}%  per-class={:.1}%", mape_pooled * 100.0, mape_classed * 100.0).unwrap();
+    writeln!(text, "class-varied truth (per-class pipeline factors 0.7–1.9)").expect("fmt write to String cannot fail");
+    writeln!(text, "held-out MAPE: pooled={:.1}%  per-class={:.1}%", mape_pooled * 100.0, mape_classed * 100.0).expect("fmt write to String cannot fail");
     writeln!(
         text,
         "mean |completion-estimate error| (k=0): pooled={:.0}s  per-class={:.0}s",
         abs_lateness[0], abs_lateness[1]
     )
-    .unwrap();
-    writeln!(text, "specialized classes: {:?}", classed.specialized_classes()).unwrap();
+    .expect("fmt write to String cannot fail");
+    writeln!(text, "specialized classes: {:?}", classed.specialized_classes()).expect("fmt write to String cannot fail");
     writeln!(
         text,
         "\nnote: document features (pages/images per MB) leak class identity, so the\npooled model recovers part of the class effect; the per-class gain is real\nbut bounded by the lognormal noise floor (~9.6% MAPE).",
     )
-    .unwrap();
+    .expect("fmt write to String cannot fail");
     ExpOutput {
         id: "ablate-classes",
         charts: Vec::new(),
@@ -1161,10 +1161,10 @@ pub fn ablate_multiec() -> ExpOutput {
     base.n_ic = 2; // force heavy bursting
     let c = compare_split_vs_consolidated(&base, 2, 250_000.0);
     let mut text = String::new();
-    writeln!(text, "two sites (own pipes): makespan={:>8.0}s burst={:.2}", c.split.makespan_secs, c.split.burst_ratio).unwrap();
-    writeln!(text, "consolidated (1 pipe): makespan={:>8.0}s burst={:.2}", c.consolidated.makespan_secs, c.consolidated.burst_ratio).unwrap();
+    writeln!(text, "two sites (own pipes): makespan={:>8.0}s burst={:.2}", c.split.makespan_secs, c.split.burst_ratio).expect("fmt write to String cannot fail");
+    writeln!(text, "consolidated (1 pipe): makespan={:>8.0}s burst={:.2}", c.consolidated.makespan_secs, c.consolidated.burst_ratio).expect("fmt write to String cannot fail");
     let gain = 1.0 - c.split.makespan_secs / c.consolidated.makespan_secs;
-    writeln!(text, "independent-pipe gain: {:+.1}%", gain * 100.0).unwrap();
+    writeln!(text, "independent-pipe gain: {:+.1}%", gain * 100.0).expect("fmt write to String cannot fail");
     ExpOutput {
         id: "ablate-multiec",
         charts: Vec::new(),

@@ -12,10 +12,15 @@
 //!
 //! Criterion micro-benchmarks for the hot components live in `benches/`.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod experiments;
 pub mod svg;
 
+pub use clock::WallClock;
 pub use experiments::{all_ids, run_experiment_by_id, ExpOutput};
 pub use svg::{Chart, Series};

@@ -106,8 +106,8 @@ impl Chart {
             svg,
             r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif" font-size="12">"#
         )
-        .unwrap();
-        writeln!(svg, r#"<rect width="{w}" height="{h}" fill="white"/>"#).unwrap();
+        .expect("fmt write to String cannot fail");
+        writeln!(svg, r#"<rect width="{w}" height="{h}" fill="white"/>"#).expect("fmt write to String cannot fail");
         // Title and axis labels.
         writeln!(
             svg,
@@ -115,7 +115,7 @@ impl Chart {
             w / 2.0,
             escape(&self.title)
         )
-        .unwrap();
+        .expect("fmt write to String cannot fail");
         writeln!(
             svg,
             r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
@@ -123,7 +123,7 @@ impl Chart {
             h - 10.0,
             escape(&self.x_label)
         )
-        .unwrap();
+        .expect("fmt write to String cannot fail");
         writeln!(
             svg,
             r#"<text x="14" y="{}" text-anchor="middle" transform="rotate(-90 14 {})">{}</text>"#,
@@ -131,7 +131,7 @@ impl Chart {
             MARGIN_T + plot_h / 2.0,
             escape(&self.y_label)
         )
-        .unwrap();
+        .expect("fmt write to String cannot fail");
         // Axes.
         writeln!(
             svg,
@@ -141,7 +141,7 @@ impl Chart {
             MARGIN_L,
             MARGIN_T + plot_h
         )
-        .unwrap();
+        .expect("fmt write to String cannot fail");
         writeln!(
             svg,
             r#"<line x1="{}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
@@ -150,7 +150,7 @@ impl Chart {
             MARGIN_L + plot_w,
             MARGIN_T + plot_h
         )
-        .unwrap();
+        .expect("fmt write to String cannot fail");
         // Ticks: 5 per axis.
         for i in 0..=4 {
             let fx = x_min + (x_max - x_min) * i as f64 / 4.0;
@@ -162,7 +162,7 @@ impl Chart {
                 MARGIN_T + plot_h + 16.0,
                 tick(fx)
             )
-            .unwrap();
+            .expect("fmt write to String cannot fail");
             writeln!(
                 svg,
                 r#"<text x="{:.1}" y="{:.1}" text-anchor="end" font-size="10">{}</text>"#,
@@ -170,7 +170,7 @@ impl Chart {
                 sy(fy) + 4.0,
                 tick(fy)
             )
-            .unwrap();
+            .expect("fmt write to String cannot fail");
             writeln!(
                 svg,
                 r##"<line x1="{}" y1="{:.1}" x2="{}" y2="{:.1}" stroke="#ddd"/>"##,
@@ -179,7 +179,7 @@ impl Chart {
                 MARGIN_L + plot_w,
                 sy(fy)
             )
-            .unwrap();
+            .expect("fmt write to String cannot fail");
         }
         // Series.
         for (i, s) in self.series.iter().enumerate() {
@@ -192,7 +192,7 @@ impl Chart {
                     r#"<polyline points="{}" fill="none" stroke="{stroke}" stroke-width="1.5"/>"#,
                     pts.join(" ")
                 )
-                .unwrap();
+                .expect("fmt write to String cannot fail");
             } else if pts.len() == 1 {
                 let &(x, y) = &s.points[0];
                 writeln!(
@@ -201,7 +201,7 @@ impl Chart {
                     sx(x),
                     sy(y)
                 )
-                .unwrap();
+                .expect("fmt write to String cannot fail");
             }
             // Legend entry.
             let ly = MARGIN_T + 6.0 + i as f64 * 16.0;
@@ -211,7 +211,7 @@ impl Chart {
                 MARGIN_L + plot_w - 110.0,
                 MARGIN_L + plot_w - 90.0,
             )
-            .unwrap();
+            .expect("fmt write to String cannot fail");
             writeln!(
                 svg,
                 r#"<text x="{:.1}" y="{:.1}" font-size="11">{}</text>"#,
@@ -219,9 +219,9 @@ impl Chart {
                 ly + 4.0,
                 escape(&s.label)
             )
-            .unwrap();
+            .expect("fmt write to String cannot fail");
         }
-        writeln!(svg, "</svg>").unwrap();
+        writeln!(svg, "</svg>").expect("fmt write to String cannot fail");
         svg
     }
 }

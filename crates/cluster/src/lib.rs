@@ -12,6 +12,9 @@
 //! completions up to the current instant and [`Cloud::next_wake`] to learn
 //! when the next machine frees up.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod cloud;

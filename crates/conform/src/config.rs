@@ -1,0 +1,251 @@
+//! `conform.toml` — waivers and budgets, parsed in-tree.
+//!
+//! The file is a deliberately small TOML subset (no dependency on a TOML
+//! crate): `[[waiver]]` array-of-tables entries with `rule`, `path`, and a
+//! mandatory non-empty `justification`, plus a `[budgets.unwrap]` table
+//! mapping crate keys (directory names under `crates/`, or `root` for the
+//! meta-crate) to the number of `unwrap()` calls their library code may
+//! contain. Anything the parser does not recognize is an error — the file
+//! is an audited allowlist, not a config dumping ground.
+
+use std::fmt;
+
+/// One waiver: suppresses findings of `rule` in `path` (workspace-relative
+/// file), with a human justification that the report echoes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Waiver {
+    /// Rule id, e.g. `determinism/default-hasher`.
+    pub rule: String,
+    /// Workspace-relative file path the waiver applies to.
+    pub path: String,
+    /// Why the finding is acceptable — mandatory and non-empty.
+    pub justification: String,
+}
+
+/// Parsed configuration.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Config {
+    /// All waivers, in file order.
+    pub waivers: Vec<Waiver>,
+    /// Per-crate `unwrap()` budgets for library code (default 0).
+    pub unwrap_budgets: Vec<(String, usize)>,
+}
+
+impl Config {
+    /// The unwrap budget for a crate key (0 when unlisted).
+    pub fn unwrap_budget(&self, crate_key: &str) -> usize {
+        self.unwrap_budgets
+            .iter()
+            .find(|(k, _)| k == crate_key)
+            .map_or(0, |(_, n)| *n)
+    }
+}
+
+/// Errors from parsing `conform.toml`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A waiver is missing its justification (or it is empty).
+    MissingJustification {
+        /// Line the offending `[[waiver]]` starts on.
+        line: usize,
+    },
+    /// A waiver is missing `rule` or `path`.
+    IncompleteWaiver {
+        /// Line the offending `[[waiver]]` starts on.
+        line: usize,
+    },
+    /// Anything else the subset parser rejects.
+    Parse {
+        /// 1-based line of the offending text.
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::MissingJustification { line } => {
+                write!(f, "conform.toml:{line}: waiver has no justification — every waiver must say why")
+            }
+            ConfigError::IncompleteWaiver { line } => {
+                write!(f, "conform.toml:{line}: waiver needs both `rule` and `path`")
+            }
+            ConfigError::Parse { line, msg } => write!(f, "conform.toml:{line}: {msg}"),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Section {
+    Top,
+    Waiver,
+    UnwrapBudgets,
+}
+
+/// (start line, rule, path, justification) of a waiver being built.
+type PendingWaiver = (usize, Option<String>, Option<String>, Option<String>);
+
+/// Parses the `conform.toml` subset.
+pub fn parse(text: &str) -> Result<Config, ConfigError> {
+    let mut cfg = Config::default();
+    let mut section = Section::Top;
+    let mut pending: Option<PendingWaiver> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[waiver]]" {
+            finish_waiver(&mut cfg, pending.take())?;
+            pending = Some((lineno, None, None, None));
+            section = Section::Waiver;
+            continue;
+        }
+        if line == "[budgets.unwrap]" {
+            finish_waiver(&mut cfg, pending.take())?;
+            section = Section::UnwrapBudgets;
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(ConfigError::Parse {
+                line: lineno,
+                msg: format!("unknown section {line}"),
+            });
+        }
+        let (key, value) = split_kv(line, lineno)?;
+        match section {
+            Section::Top => {
+                return Err(ConfigError::Parse {
+                    line: lineno,
+                    msg: format!("key `{key}` outside any section"),
+                })
+            }
+            Section::Waiver => {
+                let (_, rule, path, justification) =
+                    pending.as_mut().expect("waiver section always has a pending entry");
+                let value = parse_string(&value, lineno)?;
+                match key.as_str() {
+                    "rule" => *rule = Some(value),
+                    "path" => *path = Some(value),
+                    "justification" => *justification = Some(value),
+                    _ => {
+                        return Err(ConfigError::Parse {
+                            line: lineno,
+                            msg: format!("unknown waiver key `{key}`"),
+                        })
+                    }
+                }
+            }
+            Section::UnwrapBudgets => {
+                let n: usize = value.parse().map_err(|_| ConfigError::Parse {
+                    line: lineno,
+                    msg: format!("budget for `{key}` must be a non-negative integer"),
+                })?;
+                if cfg.unwrap_budgets.iter().any(|(k, _)| *k == key) {
+                    return Err(ConfigError::Parse {
+                        line: lineno,
+                        msg: format!("duplicate budget for `{key}`"),
+                    });
+                }
+                cfg.unwrap_budgets.push((key, n));
+            }
+        }
+    }
+    finish_waiver(&mut cfg, pending.take())?;
+    Ok(cfg)
+}
+
+fn finish_waiver(cfg: &mut Config, pending: Option<PendingWaiver>) -> Result<(), ConfigError> {
+    let Some((line, rule, path, justification)) = pending else {
+        return Ok(());
+    };
+    let (Some(rule), Some(path)) = (rule, path) else {
+        return Err(ConfigError::IncompleteWaiver { line });
+    };
+    match justification {
+        Some(j) if !j.trim().is_empty() => {
+            cfg.waivers.push(Waiver { rule, path, justification: j });
+            Ok(())
+        }
+        _ => Err(ConfigError::MissingJustification { line }),
+    }
+}
+
+fn split_kv(line: &str, lineno: usize) -> Result<(String, String), ConfigError> {
+    let Some(eq) = line.find('=') else {
+        return Err(ConfigError::Parse { line: lineno, msg: format!("expected `key = value`, got {line}") });
+    };
+    let key = line[..eq].trim().trim_matches('"').to_owned();
+    let value = line[eq + 1..].trim().to_owned();
+    if key.is_empty() || value.is_empty() {
+        return Err(ConfigError::Parse { line: lineno, msg: "empty key or value".to_owned() });
+    }
+    Ok((key, value))
+}
+
+fn parse_string(value: &str, lineno: usize) -> Result<String, ConfigError> {
+    let v = value.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].to_owned())
+    } else {
+        Err(ConfigError::Parse {
+            line: lineno,
+            msg: format!("expected a double-quoted string, got {value}"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_waivers_and_budgets() {
+        let cfg = parse(
+            r#"
+# comment
+[[waiver]]
+rule = "hotpath/unsafe"
+path = "crates/qrsm/tests/alloc_free.rs"
+justification = "GlobalAlloc is an unsafe trait"
+
+[budgets.unwrap]
+net = 0
+qrsm = 2
+"#,
+        )
+        .expect("valid config parses");
+        assert_eq!(cfg.waivers.len(), 1);
+        assert_eq!(cfg.waivers[0].rule, "hotpath/unsafe");
+        assert_eq!(cfg.unwrap_budget("qrsm"), 2);
+        assert_eq!(cfg.unwrap_budget("net"), 0);
+        assert_eq!(cfg.unwrap_budget("unlisted"), 0);
+    }
+
+    #[test]
+    fn waiver_without_justification_is_rejected() {
+        let err = parse("[[waiver]]\nrule = \"hotpath/unsafe\"\npath = \"x.rs\"\n")
+            .expect_err("missing justification must be rejected");
+        assert_eq!(err, ConfigError::MissingJustification { line: 1 });
+    }
+
+    #[test]
+    fn empty_justification_is_rejected() {
+        let err = parse(
+            "[[waiver]]\nrule = \"r\"\npath = \"p\"\njustification = \"  \"\n",
+        )
+        .expect_err("blank justification must be rejected");
+        assert!(matches!(err, ConfigError::MissingJustification { .. }));
+    }
+
+    #[test]
+    fn unknown_keys_and_sections_are_rejected() {
+        assert!(parse("[surprise]\n").is_err());
+        assert!(parse("[[waiver]]\nfoo = \"bar\"\n").is_err());
+        assert!(parse("stray = 1\n").is_err());
+    }
+}

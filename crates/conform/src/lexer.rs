@@ -1,0 +1,378 @@
+//! A minimal Rust lexer — just enough structure for rule matching.
+//!
+//! The linter deliberately avoids `syn` (vendored-deps policy: no new
+//! dependencies), so this module provides the smallest token model the
+//! rules need: identifiers, punctuation (with `::` fused), and opaque
+//! literal/lifetime markers, each carrying a 1-based source line. Comments
+//! (line, nested block) and every literal form (string, raw string, byte
+//! string, char, numeric) are consumed so rules never match inside them.
+//!
+//! A post-pass marks tokens that belong to test-only items — an item
+//! introduced by `#[cfg(test)]` (without `not`) or `#[test]` — so rules can
+//! skip test code without understanding module structure.
+
+/// Token kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Punctuation; `::` is fused into one token.
+    Punct,
+    /// Any literal (string/char/number); the text is not retained.
+    Literal,
+    /// A lifetime such as `'a`.
+    Lifetime,
+}
+
+/// One token with its source position.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// Token text (empty for literals).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    /// True when the token is inside a `#[cfg(test)]`/`#[test]` item.
+    pub in_test: bool,
+}
+
+impl Tok {
+    fn new(kind: TokKind, text: String, line: u32) -> Tok {
+        Tok { kind, text, line, in_test: false }
+    }
+}
+
+/// Lexes `src` into a token stream with test items marked.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let c: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut out: Vec<Tok> = Vec::new();
+    while i < c.len() {
+        let ch = c[i];
+        if ch == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if ch.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if ch == '/' && i + 1 < c.len() {
+            if c[i + 1] == '/' {
+                while i < c.len() && c[i] != '\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if c[i + 1] == '*' {
+                let mut depth = 1usize;
+                i += 2;
+                while i < c.len() && depth > 0 {
+                    if c[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if c[i] == '/' && i + 1 < c.len() && c[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if c[i] == '*' && i + 1 < c.len() && c[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+        }
+        // Identifiers, keywords, and raw/byte string prefixes.
+        if ch == '_' || ch.is_alphabetic() {
+            let start = i;
+            while i < c.len() && (c[i] == '_' || c[i].is_alphanumeric()) {
+                i += 1;
+            }
+            let text: String = c[start..i].iter().collect();
+            if matches!(text.as_str(), "r" | "b" | "br" | "rb")
+                && i < c.len()
+                && (c[i] == '"' || c[i] == '#')
+            {
+                // Possible raw / byte string: optional `#`s then a quote.
+                let mut j = i;
+                let mut hashes = 0usize;
+                while j < c.len() && c[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < c.len() && c[j] == '"' {
+                    let lit_line = line;
+                    if text.contains('r') {
+                        // Raw string: runs to `"` followed by `hashes` `#`s.
+                        i = j + 1;
+                        while i < c.len() {
+                            if c[i] == '\n' {
+                                line += 1;
+                                i += 1;
+                                continue;
+                            }
+                            if c[i] == '"' {
+                                let mut k = i + 1;
+                                let mut h = 0usize;
+                                while k < c.len() && h < hashes && c[k] == '#' {
+                                    h += 1;
+                                    k += 1;
+                                }
+                                if h == hashes {
+                                    i = k;
+                                    break;
+                                }
+                            }
+                            i += 1;
+                        }
+                    } else {
+                        // Plain byte string with escapes.
+                        i = consume_quoted(&c, j, &mut line);
+                    }
+                    out.push(Tok::new(TokKind::Literal, String::new(), lit_line));
+                    continue;
+                }
+            }
+            out.push(Tok::new(TokKind::Ident, text, line));
+            continue;
+        }
+        // String literal.
+        if ch == '"' {
+            let lit_line = line;
+            i = consume_quoted(&c, i, &mut line);
+            out.push(Tok::new(TokKind::Literal, String::new(), lit_line));
+            continue;
+        }
+        // Lifetime or char literal.
+        if ch == '\'' {
+            let is_lifetime = i + 1 < c.len()
+                && (c[i + 1] == '_' || c[i + 1].is_alphabetic())
+                && !(i + 2 < c.len() && c[i + 2] == '\'');
+            if is_lifetime {
+                let start = i + 1;
+                i += 1;
+                while i < c.len() && (c[i] == '_' || c[i].is_alphanumeric()) {
+                    i += 1;
+                }
+                out.push(Tok::new(TokKind::Lifetime, c[start..i].iter().collect(), line));
+                continue;
+            }
+            i += 1;
+            while i < c.len() {
+                match c[i] {
+                    '\\' => i += 2,
+                    '\'' => {
+                        i += 1;
+                        break;
+                    }
+                    '\n' => {
+                        line += 1;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            out.push(Tok::new(TokKind::Literal, String::new(), line));
+            continue;
+        }
+        // Numeric literal (good enough: digits, `_`, type suffixes, and a
+        // fractional part — but never a `..` range or a method call dot).
+        if ch.is_ascii_digit() {
+            while i < c.len() && (c[i].is_alphanumeric() || c[i] == '_' || c[i] == '.') {
+                if c[i] == '.' && (i + 1 >= c.len() || !c[i + 1].is_ascii_digit()) {
+                    break;
+                }
+                i += 1;
+            }
+            out.push(Tok::new(TokKind::Literal, String::new(), line));
+            continue;
+        }
+        // Punctuation; fuse `::`.
+        if ch == ':' && i + 1 < c.len() && c[i + 1] == ':' {
+            out.push(Tok::new(TokKind::Punct, "::".to_owned(), line));
+            i += 2;
+            continue;
+        }
+        out.push(Tok::new(TokKind::Punct, ch.to_string(), line));
+        i += 1;
+    }
+    mark_test_items(&mut out);
+    out
+}
+
+/// Consumes a `"`-delimited string starting at `i` (the opening quote),
+/// honoring `\` escapes; returns the index past the closing quote.
+fn consume_quoted(c: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < c.len() {
+        match c[i] {
+            '\\' => i += 2,
+            '"' => {
+                i += 1;
+                break;
+            }
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Marks every token belonging to a `#[cfg(test)]` / `#[test]` item (the
+/// attribute, any following attributes, and the item through its `;` or
+/// balanced `{}` block) with `in_test = true`.
+fn mark_test_items(toks: &mut [Tok]) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(toks[i].text == "#" && i + 1 < toks.len() && toks[i + 1].text == "[") {
+            i += 1;
+            continue;
+        }
+        let (attr_end, is_test) = {
+            let (end, words) = attr_span(toks, i);
+            let is_cfg_test = words.first().map(String::as_str) == Some("cfg")
+                && words.iter().any(|w| w == "test")
+                && !words.iter().any(|w| w == "not");
+            let is_test_attr = words.len() == 1 && words[0] == "test";
+            (end, is_cfg_test || is_test_attr)
+        };
+        if !is_test {
+            i = attr_end;
+            continue;
+        }
+        // Skip any further attributes between the test attr and the item.
+        let mut k = attr_end;
+        while k + 1 < toks.len() && toks[k].text == "#" && toks[k + 1].text == "[" {
+            k = attr_span(toks, k).0;
+        }
+        // The item runs to a `;` at brace depth 0 or a balanced `{}` block.
+        let mut depth = 0i32;
+        let mut end = k;
+        while end < toks.len() {
+            match toks[end].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end += 1;
+                        break;
+                    }
+                }
+                ";" if depth == 0 => {
+                    end += 1;
+                    break;
+                }
+                _ => {}
+            }
+            end += 1;
+        }
+        for t in &mut toks[i..end] {
+            t.in_test = true;
+        }
+        i = end;
+    }
+}
+
+/// Given `i` at the `#` of an attribute, returns (index past the closing
+/// `]`, identifier words inside the attribute).
+fn attr_span(toks: &[Tok], i: usize) -> (usize, Vec<String>) {
+    let mut j = i + 2;
+    let mut depth = 1i32;
+    let mut words = Vec::new();
+    while j < toks.len() && depth > 0 {
+        match toks[j].text.as_str() {
+            "[" => depth += 1,
+            "]" => depth -= 1,
+            _ => {
+                if toks[j].kind == TokKind::Ident {
+                    words.push(toks[j].text.clone());
+                }
+            }
+        }
+        j += 1;
+    }
+    (j, words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_stripped() {
+        let src = r##"
+            // HashMap in a comment
+            /* Instant::now() /* nested */ still comment */
+            let s = "thread_rng()";
+            let r = r#"unsafe"#;
+            let c = 'x';
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|s| s == "HashMap" || s == "Instant" || s == "unsafe"));
+        assert!(ids.contains(&"let".to_owned()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(toks.iter().any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+        assert!(toks.iter().all(|t| t.kind != TokKind::Literal));
+    }
+
+    #[test]
+    fn lines_are_tracked_across_literals() {
+        let src = "let a = \"two\nlines\";\nlet b = 1;";
+        let toks = lex(src);
+        let b = toks.iter().find(|t| t.text == "b").expect("token b");
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn cfg_test_items_are_marked() {
+        let src = r#"
+            pub fn prod() { helper(); }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { x.unwrap(); }
+            }
+        "#;
+        let toks = lex(src);
+        let unwrap = toks.iter().find(|t| t.text == "unwrap").expect("unwrap tok");
+        assert!(unwrap.in_test);
+        let prod = toks.iter().find(|t| t.text == "prod").expect("prod tok");
+        assert!(!prod.in_test);
+    }
+
+    #[test]
+    fn cfg_not_test_is_production_code() {
+        let src = "#[cfg(not(test))]\nfn live() { q.unwrap(); }";
+        let toks = lex(src);
+        let unwrap = toks.iter().find(|t| t.text == "unwrap").expect("unwrap tok");
+        assert!(!unwrap.in_test);
+    }
+
+    #[test]
+    fn fused_path_separator() {
+        let toks = lex("std::thread::spawn(f)");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(&texts[..5], &["std", "::", "thread", "::", "spawn"]);
+    }
+}

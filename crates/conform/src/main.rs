@@ -1,0 +1,75 @@
+//! The `cloudburst-conform` binary: scan the workspace, print the
+//! deterministic report, exit nonzero on any unwaived finding.
+//!
+//! ```text
+//! cargo run -p cloudburst-conform [-- --root <dir>] [--config <file>]
+//! ```
+//!
+//! Exit codes: 0 clean (or fully waived), 1 unwaived findings, 2 config or
+//! I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut config_path: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a directory"),
+            },
+            "--config" => match args.next() {
+                Some(v) => config_path = Some(PathBuf::from(v)),
+                None => return usage("--config needs a file"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let root = match root.canonicalize() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cloudburst-conform: cannot resolve root {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let config_path = config_path.unwrap_or_else(|| root.join("conform.toml"));
+
+    let config_text = match std::fs::read_to_string(&config_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cloudburst-conform: cannot read {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let config = match cloudburst_conform::parse_config(&config_text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cloudburst-conform: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match cloudburst_conform::scan_workspace(&root, &config) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.unwaived() == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("cloudburst-conform: scan failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("cloudburst-conform: {msg}");
+    eprintln!("usage: cloudburst-conform [--root <dir>] [--config <file>]");
+    ExitCode::from(2)
+}

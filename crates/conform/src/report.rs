@@ -1,0 +1,83 @@
+//! Deterministic report rendering.
+//!
+//! Findings arrive sorted by `(rule, path, line, message)` and render one
+//! per line, so two runs over the same tree produce byte-identical output
+//! and CI diffs stay reviewable. Waived findings are printed (the waiver is
+//! an audited fact, not an invisibility cloak) but do not affect the exit
+//! status.
+
+use crate::rules::Finding;
+
+/// A finished conformance report.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// All findings, sorted by `(rule, path, line, message)`.
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Number of findings not covered by a waiver.
+    pub fn unwaived(&self) -> usize {
+        self.findings.iter().filter(|f| f.waived.is_none()).count()
+    }
+
+    /// Renders the report as stable, line-oriented text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(f.rule);
+            out.push(' ');
+            out.push_str(&f.path);
+            if f.line > 0 {
+                out.push_str(&format!(":{}", f.line));
+            }
+            out.push(' ');
+            out.push_str(&f.message);
+            if let Some(j) = &f.waived {
+                out.push_str(&format!(" [waived: {j}]"));
+            }
+            out.push('\n');
+        }
+        let waived = self.findings.len() - self.unwaived();
+        out.push_str(&format!(
+            "cloudburst-conform: {} finding(s), {} waived, {} unwaived\n",
+            self.findings.len(),
+            waived,
+            self.unwaived()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_stable_and_counts_waivers() {
+        let r = Report {
+            findings: vec![
+                Finding {
+                    rule: "determinism/wall-clock",
+                    path: "crates/x/src/lib.rs".to_owned(),
+                    line: 3,
+                    message: "wall-clock type: `Instant::now()`".to_owned(),
+                    waived: None,
+                },
+                Finding {
+                    rule: "hotpath/unsafe",
+                    path: "crates/y/tests/t.rs".to_owned(),
+                    line: 7,
+                    message: "`unsafe`: `unsafe impl X {}`".to_owned(),
+                    waived: Some("audited".to_owned()),
+                },
+            ],
+        };
+        let text = r.render();
+        assert!(text.contains("crates/x/src/lib.rs:3"));
+        assert!(text.contains("[waived: audited]"));
+        assert!(text.ends_with("2 finding(s), 1 waived, 1 unwaived\n"));
+        assert_eq!(r.unwaived(), 1);
+        assert_eq!(text, r.render(), "rendering must be deterministic");
+    }
+}

@@ -1,0 +1,240 @@
+//! Fixture-driven self-tests for the conformance linter.
+//!
+//! Three layers:
+//!
+//! 1. per-rule fixture pairs under `fixtures/rules/` — every rule has at
+//!    least one violating sample (the rule must fire) and one clean sample
+//!    (the rule must stay silent);
+//! 2. config fixtures under `fixtures/config/` — the waiver grammar,
+//!    including rejection of waivers without a justification;
+//! 3. the golden mini-workspace under `fixtures/golden_ws/` — a full
+//!    `scan_workspace` run whose rendered report must match
+//!    `fixtures/golden_expected.txt` byte for byte, locking in the
+//!    `(rule, path, line)` report ordering;
+//!
+//! plus the capstone: the *real* workspace, scanned with the real
+//! `conform.toml`, must have zero unwaived findings.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use cloudburst_conform::{
+    parse_config, scan_str, scan_workspace, Config, ConfigError, FileContext, Finding,
+};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn fixture(rel: &str) -> String {
+    let path = fixture_dir().join(rel);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Scans a `fixtures/rules/` sample as library code of the deterministic
+/// `sim` crate (the strictest context), with an empty config.
+fn scan_rule_fixture(name: &str) -> Vec<Finding> {
+    let src = fixture(&format!("rules/{name}"));
+    let is_root = name.starts_with("lint_header");
+    let rel = if is_root { "crates/sim/src/lib.rs" } else { "crates/sim/src/sample.rs" };
+    scan_str(&Config::default(), "sim", FileContext::Lib, rel, &src, is_root)
+}
+
+fn assert_fires(name: &str, rule: &str) {
+    let findings = scan_rule_fixture(name);
+    assert!(
+        findings.iter().any(|f| f.rule == rule),
+        "{name} must trigger {rule}, got {findings:?}"
+    );
+    assert!(
+        findings.iter().all(|f| f.rule == rule),
+        "{name} must trigger only {rule}, got {findings:?}"
+    );
+}
+
+fn assert_clean(name: &str) {
+    let findings = scan_rule_fixture(name);
+    assert!(findings.is_empty(), "{name} must scan clean, got {findings:?}");
+}
+
+#[test]
+fn wall_clock_fixture_pair() {
+    assert_fires("wall_clock_violation.rs", "determinism/wall-clock");
+    assert_clean("wall_clock_clean.rs");
+}
+
+#[test]
+fn default_hasher_fixture_pair() {
+    assert_fires("default_hasher_violation.rs", "determinism/default-hasher");
+    assert_clean("default_hasher_clean.rs");
+}
+
+#[test]
+fn ambient_rng_fixture_pair() {
+    assert_fires("ambient_rng_violation.rs", "determinism/ambient-rng");
+    assert_clean("ambient_rng_clean.rs");
+}
+
+#[test]
+fn thread_spawn_fixture_pair() {
+    assert_fires("thread_spawn_violation.rs", "determinism/thread-spawn");
+    assert_clean("thread_spawn_clean.rs");
+}
+
+#[test]
+fn unsafe_fixture_pair() {
+    assert_fires("unsafe_violation.rs", "hotpath/unsafe");
+    assert_clean("unsafe_clean.rs");
+}
+
+#[test]
+fn unwrap_budget_fixture_pair() {
+    assert_fires("unwrap_violation.rs", "hotpath/unwrap-budget");
+    // The same file passes once the crate's budget covers its one site.
+    let src = fixture("rules/unwrap_violation.rs");
+    let cfg = parse_config("[budgets.unwrap]\nsim = 1\n").expect("budget config parses");
+    let findings =
+        scan_str(&cfg, "sim", FileContext::Lib, "crates/sim/src/sample.rs", &src, false);
+    assert!(findings.is_empty(), "budget 1 must cover one unwrap, got {findings:?}");
+    assert_clean("unwrap_clean.rs");
+}
+
+#[test]
+fn print_fixture_pair() {
+    assert_fires("print_violation.rs", "hotpath/print");
+    assert_clean("print_clean.rs");
+}
+
+#[test]
+fn lint_header_fixture_pair() {
+    let findings = scan_rule_fixture("lint_header_violation.rs");
+    assert_eq!(
+        findings.len(),
+        3,
+        "a bare crate root misses all three attrs, got {findings:?}"
+    );
+    assert!(findings.iter().all(|f| f.rule == "conformance/lint-header"));
+    assert_clean("lint_header_clean.rs");
+}
+
+#[test]
+fn determinism_rules_do_not_bind_free_crates() {
+    // The same wall-clock sample is legal in a non-deterministic crate
+    // (bench owns the real WallClock).
+    let src = fixture("rules/wall_clock_violation.rs");
+    let findings =
+        scan_str(&Config::default(), "bench", FileContext::Lib, "crates/bench/src/clock.rs", &src, false);
+    assert!(findings.is_empty(), "bench may read the wall clock, got {findings:?}");
+}
+
+#[test]
+fn good_config_parses() {
+    let cfg = parse_config(&fixture("config/good.toml")).expect("good.toml parses");
+    assert_eq!(cfg.waivers.len(), 1);
+    assert_eq!(cfg.unwrap_budget("qrsm"), 2);
+    assert_eq!(cfg.unwrap_budget("net"), 0);
+}
+
+#[test]
+fn waiver_without_justification_is_rejected() {
+    let err = parse_config(&fixture("config/missing_justification.toml"))
+        .expect_err("a waiver with no justification must be rejected");
+    assert!(matches!(err, ConfigError::MissingJustification { .. }), "got {err:?}");
+}
+
+#[test]
+fn blank_justification_is_rejected() {
+    let err = parse_config(&fixture("config/blank_justification.toml"))
+        .expect_err("a whitespace justification must be rejected");
+    assert!(matches!(err, ConfigError::MissingJustification { .. }), "got {err:?}");
+}
+
+#[test]
+fn incomplete_waiver_is_rejected() {
+    let err = parse_config(&fixture("config/incomplete_waiver.toml"))
+        .expect_err("a waiver without a path must be rejected");
+    assert!(matches!(err, ConfigError::IncompleteWaiver { .. }), "got {err:?}");
+}
+
+#[test]
+fn unknown_waiver_key_is_rejected() {
+    let err = parse_config(&fixture("config/unknown_key.toml"))
+        .expect_err("unknown waiver keys must be rejected");
+    assert!(matches!(err, ConfigError::Parse { .. }), "got {err:?}");
+}
+
+/// The golden test: scanning the mini-workspace must reproduce
+/// `golden_expected.txt` byte for byte. This locks in the report ordering
+/// (rule, then path, then line, then message), waived-finding rendering,
+/// stale-waiver detection, and the summary line.
+#[test]
+fn golden_workspace_report_is_byte_stable() {
+    let root = fixture_dir().join("golden_ws");
+    let cfg = parse_config(&fixture("golden_ws/conform.toml")).expect("golden config parses");
+    let report = scan_workspace(&root, &cfg).expect("golden workspace scans");
+    let expected = fixture("golden_expected.txt");
+    assert_eq!(report.render(), expected, "golden report drifted");
+    // And twice in a row — determinism is the whole point.
+    let again = scan_workspace(&root, &cfg).expect("golden workspace scans again");
+    assert_eq!(again.render(), expected);
+}
+
+/// The binary contract: exit 1 (with the golden report on stdout) on a tree
+/// with unwaived findings, exit 0 on the real workspace, exit 2 on a config
+/// the parser rejects.
+#[test]
+fn binary_exit_codes_match_contract() {
+    let bin = env!("CARGO_BIN_EXE_cloudburst-conform");
+    let run = |root: &Path, config: &Path| {
+        std::process::Command::new(bin)
+            .arg("--root")
+            .arg(root)
+            .arg("--config")
+            .arg(config)
+            .output()
+            .expect("conform binary runs")
+    };
+
+    let golden = fixture_dir().join("golden_ws");
+    let dirty = run(&golden, &golden.join("conform.toml"));
+    assert_eq!(dirty.status.code(), Some(1), "unwaived findings must exit 1");
+    assert_eq!(
+        String::from_utf8_lossy(&dirty.stdout),
+        fixture("golden_expected.txt"),
+        "binary stdout must match the golden report"
+    );
+
+    let ws_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let clean = run(&ws_root, &ws_root.join("conform.toml"));
+    assert_eq!(
+        clean.status.code(),
+        Some(0),
+        "workspace must scan clean; stdout:\n{}",
+        String::from_utf8_lossy(&clean.stdout)
+    );
+
+    let bad_cfg = run(&golden, &fixture_dir().join("config/missing_justification.toml"));
+    assert_eq!(bad_cfg.status.code(), Some(2), "rejected config must exit 2");
+}
+
+/// The capstone: the real workspace, scanned with the real `conform.toml`,
+/// has zero unwaived findings. This is the same check ci.sh gates on.
+#[test]
+fn real_workspace_scans_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let toml = fs::read_to_string(root.join("conform.toml")).expect("conform.toml readable");
+    let cfg = parse_config(&toml).expect("conform.toml parses");
+    let report = scan_workspace(&root, &cfg).expect("workspace scans");
+    assert_eq!(
+        report.unwaived(),
+        0,
+        "workspace has unwaived findings:\n{}",
+        report.render()
+    );
+}

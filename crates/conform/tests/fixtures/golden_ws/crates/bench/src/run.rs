@@ -1,0 +1,4 @@
+pub fn run(xs: &[u64]) -> u64 {
+    println!("running");
+    *xs.first().unwrap()
+}

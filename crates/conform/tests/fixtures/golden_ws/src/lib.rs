@@ -1,0 +1,3 @@
+pub fn id(x: u64) -> u64 {
+    x
+}

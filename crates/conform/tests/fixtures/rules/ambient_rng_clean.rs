@@ -1,0 +1,7 @@
+// Clean: all randomness flows from an explicit experiment seed.
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+pub fn jitter(seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.gen_range(0.0..1.0)
+}

@@ -1,0 +1,7 @@
+// Violates determinism/ambient-rng: thread_rng and rand::random draw from
+// OS entropy, not from the experiment seed.
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    let _ = &mut rng;
+    rand::random()
+}

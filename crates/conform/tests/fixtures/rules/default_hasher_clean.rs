@@ -1,0 +1,8 @@
+// Clean: BTreeMap/BTreeSet iterate in key order, deterministically.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn index(keys: &[u64]) -> (BTreeMap<u64, usize>, BTreeSet<u64>) {
+    let m: BTreeMap<u64, usize> = keys.iter().enumerate().map(|(i, k)| (*k, i)).collect();
+    let s: BTreeSet<u64> = keys.iter().copied().collect();
+    (m, s)
+}

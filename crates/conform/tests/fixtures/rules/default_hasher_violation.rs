@@ -1,0 +1,9 @@
+// Violates determinism/default-hasher: std HashMap/HashSet default to a
+// randomized hasher, so iteration order varies run to run.
+use std::collections::{HashMap, HashSet};
+
+pub fn index(keys: &[u64]) -> (HashMap<u64, usize>, HashSet<u64>) {
+    let m: HashMap<u64, usize> = keys.iter().enumerate().map(|(i, k)| (*k, i)).collect();
+    let s: HashSet<u64> = keys.iter().copied().collect();
+    (m, s)
+}

@@ -1,0 +1,7 @@
+//! A crate root carrying the full required lint header.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![deny(missing_debug_implementations)]
+
+pub fn noop() {}

@@ -1,0 +1,4 @@
+//! A crate root missing all three required lint attributes
+//! (conformance/lint-header fires once per missing attribute).
+
+pub fn noop() {}

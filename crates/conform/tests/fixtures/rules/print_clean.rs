@@ -1,0 +1,9 @@
+// Clean: library code renders into a String and lets the binary decide
+// where the text goes.
+use std::fmt::Write as _;
+
+pub fn report(score: f64) -> String {
+    let mut out = String::new();
+    write!(out, "score = {score}").expect("fmt write to String cannot fail");
+    out
+}

@@ -1,0 +1,5 @@
+// Violates hotpath/print: library crates must stay silent on the console.
+pub fn report(score: f64) {
+    println!("score = {score}");
+    eprintln!("warning: provisional");
+}

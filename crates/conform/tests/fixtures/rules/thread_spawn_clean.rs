@@ -1,0 +1,5 @@
+// Clean: work is run inline on the caller's thread; any parallelism lives
+// in the orchestration layer, outside the deterministic crates.
+pub fn run_inline(work: impl FnOnce()) {
+    work();
+}

@@ -1,0 +1,5 @@
+// Violates determinism/thread-spawn: OS threads interleave
+// nondeterministically; deterministic crates must stay single-threaded.
+pub fn fire_and_forget(work: impl FnOnce() + Send + 'static) {
+    std::thread::spawn(work);
+}

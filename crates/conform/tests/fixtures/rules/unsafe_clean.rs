@@ -1,0 +1,4 @@
+// Clean: safe indexing expresses the same read.
+pub fn first_byte(bytes: &[u8]) -> u8 {
+    bytes[0]
+}

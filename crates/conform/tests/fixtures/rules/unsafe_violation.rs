@@ -1,0 +1,5 @@
+// Violates hotpath/unsafe: pointer arithmetic outside the audited
+// allowlist. The rule fires in test code too.
+pub fn first_byte(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.as_ptr() }
+}

@@ -1,0 +1,14 @@
+// Clean: the invariant is spelled out with expect(); unwraps inside
+// #[cfg(test)] never count against the budget either.
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().expect("caller guarantees a non-empty slice")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_unwrap_is_exempt() {
+        let xs = vec![1u32];
+        assert_eq!(*xs.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,5 @@
+// Violates hotpath/unwrap-budget (with the default budget of 0): a bare
+// unwrap in library code panics with no invariant on record.
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

@@ -1,0 +1,6 @@
+// Clean: durations are fine; only Instant/SystemTime reads are wall-clock.
+use std::time::Duration;
+
+pub fn pace(units: u64) -> Duration {
+    Duration::from_millis(units)
+}

@@ -1,0 +1,7 @@
+// Violates determinism/wall-clock: reads the wall clock in deterministic
+// library code.
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

@@ -175,6 +175,16 @@ pub struct EngineWorld {
     scratch_link: Vec<Completion>,
 }
 
+impl std::fmt::Debug for EngineWorld {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineWorld")
+            .field("jobs", &self.jobs.len())
+            .field("sites", &self.sites.len())
+            .field("completed", &self.completions.iter().filter(|c| c.is_some()).count())
+            .finish_non_exhaustive()
+    }
+}
+
 impl EngineWorld {
     fn new(cfg: ExperimentConfig) -> EngineWorld {
         let rngs = RngFactory::new(cfg.seed);
@@ -1209,7 +1219,7 @@ mod tests {
         let (r, world) = run_experiment_detailed(&cfg);
         assert_eq!(r.completion_times.len(), r.n_jobs);
         if r.burst_ratio > 0.2 {
-            let used_sites: std::collections::HashSet<usize> = world
+            let used_sites: std::collections::BTreeSet<usize> = world
                 .placements
                 .iter()
                 .zip(&world.site_of)

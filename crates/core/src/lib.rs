@@ -31,6 +31,9 @@
 //!   outside virtual time.
 //! * [`timeline`] — per-job stage timestamps for run auditing.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod autonomic;

@@ -11,14 +11,60 @@
 //! Used by the `live_pipeline` example and by integration tests that check
 //! the live pipeline and the DES agree on completion *order* for
 //! deterministic workloads.
+//!
+//! Pacing is injected through the [`Clock`] trait: the caller supplies the
+//! monotonic time source, so this crate never reads the wall clock itself
+//! (conform rule `determinism/wall-clock`). The real-time implementation
+//! lives in `cloudburst-bench` (`WallClock`), next to the other bin-side
+//! timing code; [`ManualClock`] gives tests a deterministic virtual clock.
 
-use std::time::{Duration, Instant};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 use crossbeam::channel;
 use parking_lot::Mutex;
 
 use cloudburst_sched::Placement;
 use cloudburst_workload::{Job, JobId};
+
+/// A monotonic time source with a blocking sleep, shared by every pipeline
+/// thread. `now` reports the offset since the clock's epoch; `sleep` blocks
+/// the calling worker for a real or virtual duration, implementation's
+/// choice.
+pub trait Clock: Sync {
+    /// Monotonic offset since the clock's epoch.
+    fn now(&self) -> Duration;
+    /// Blocks the calling thread for `d` (real or virtual time).
+    fn sleep(&self, d: Duration);
+}
+
+/// A deterministic virtual clock: `sleep` advances a shared atomic counter
+/// instead of blocking, so a run's timestamps are a pure function of the
+/// sleeps performed. With a single worker thread the completion offsets are
+/// exact prefix sums of the service times; with several workers the counter
+/// still advances by exactly the total slept time.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    nanos: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock at virtual time zero.
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::SeqCst))
+    }
+
+    fn sleep(&self, d: Duration) {
+        let add = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.nanos.fetch_add(add, Ordering::SeqCst);
+    }
+}
 
 /// Configuration for a live pipeline run.
 #[derive(Clone, Copy, Debug)]
@@ -67,21 +113,22 @@ impl LiveOutcome {
     }
 }
 
-fn sleep_virtual(cfg: &LiveConfig, virtual_secs: f64) {
+fn sleep_virtual(clock: &dyn Clock, cfg: &LiveConfig, virtual_secs: f64) {
     let real = virtual_secs.max(0.0) * cfg.time_scale;
     if real > 0.0 {
-        std::thread::sleep(Duration::from_secs_f64(real));
+        clock.sleep(Duration::from_secs_f64(real));
     }
 }
 
-/// Runs jobs with the given placements through the live pipeline:
+/// Runs jobs with the given placements through the live pipeline, paced by
+/// the caller's [`Clock`]:
 ///
 /// ```text
 /// ic_tx ─► [IC worker × n] ─────────────────────────► results
 /// up_tx ─► [uploader] ─► ec_tx ─► [EC worker × n] ─► [downloader] ─► results
 /// ```
-pub fn run_live(cfg: &LiveConfig, jobs: &[(Job, Placement)]) -> LiveOutcome {
-    let start = Instant::now();
+pub fn run_live(cfg: &LiveConfig, jobs: &[(Job, Placement)], clock: &dyn Clock) -> LiveOutcome {
+    let start = clock.now();
     let results: Mutex<Vec<LiveCompletion>> = Mutex::new(Vec::with_capacity(jobs.len()));
 
     let (ic_tx, ic_rx) = channel::unbounded::<Job>();
@@ -106,10 +153,10 @@ pub fn run_live(cfg: &LiveConfig, jobs: &[(Job, Placement)]) -> LiveOutcome {
             let results = &results;
             scope.spawn(move |_| {
                 for job in rx.iter() {
-                    sleep_virtual(cfg, job.true_service_secs);
+                    sleep_virtual(clock, cfg, job.true_service_secs);
                     results.lock().push(LiveCompletion {
                         id: job.id,
-                        at: start.elapsed(),
+                        at: clock.now().saturating_sub(start),
                         placement: Placement::Internal,
                     });
                 }
@@ -121,7 +168,7 @@ pub fn run_live(cfg: &LiveConfig, jobs: &[(Job, Placement)]) -> LiveOutcome {
             let tx = ec_tx.clone();
             scope.spawn(move |_| {
                 for job in rx.iter() {
-                    sleep_virtual(cfg, job.input_bytes() as f64 / cfg.bandwidth_bps);
+                    sleep_virtual(clock, cfg, job.input_bytes() as f64 / cfg.bandwidth_bps);
                     if tx.send(job).is_err() {
                         break;
                     }
@@ -135,7 +182,7 @@ pub fn run_live(cfg: &LiveConfig, jobs: &[(Job, Placement)]) -> LiveOutcome {
             let tx = down_tx.clone();
             scope.spawn(move |_| {
                 for job in rx.iter() {
-                    sleep_virtual(cfg, job.true_service_secs);
+                    sleep_virtual(clock, cfg, job.true_service_secs);
                     if tx.send(job).is_err() {
                         break;
                     }
@@ -149,10 +196,10 @@ pub fn run_live(cfg: &LiveConfig, jobs: &[(Job, Placement)]) -> LiveOutcome {
             let results = &results;
             scope.spawn(move |_| {
                 for job in rx.iter() {
-                    sleep_virtual(cfg, job.output_bytes as f64 / cfg.bandwidth_bps);
+                    sleep_virtual(clock, cfg, job.output_bytes as f64 / cfg.bandwidth_bps);
                     results.lock().push(LiveCompletion {
                         id: job.id,
-                        at: start.elapsed(),
+                        at: clock.now().saturating_sub(start),
                         placement: Placement::External,
                     });
                 }
@@ -161,7 +208,7 @@ pub fn run_live(cfg: &LiveConfig, jobs: &[(Job, Placement)]) -> LiveOutcome {
     })
     .expect("live pipeline threads");
 
-    LiveOutcome { completions: results.into_inner(), elapsed: start.elapsed() }
+    LiveOutcome { completions: results.into_inner(), elapsed: clock.now().saturating_sub(start) }
 }
 
 #[cfg(test)]
@@ -169,6 +216,29 @@ mod tests {
     use super::*;
     use cloudburst_sim::SimTime;
     use cloudburst_workload::{DocumentFeatures, JobType};
+
+    /// Test-local real clock. The production wall clock lives in
+    /// `cloudburst-bench` (bin-side code); depending on it here would cycle
+    /// the workspace graph, so the handful of real-pacing tests carry their
+    /// own copy.
+    #[allow(clippy::disallowed_methods)] // test-only wall clock
+    struct WallClock(std::time::Instant);
+
+    impl WallClock {
+        fn start() -> WallClock {
+            #[allow(clippy::disallowed_methods)]
+            WallClock(std::time::Instant::now())
+        }
+    }
+
+    impl Clock for WallClock {
+        fn now(&self) -> Duration {
+            self.0.elapsed()
+        }
+        fn sleep(&self, d: Duration) {
+            std::thread::sleep(d);
+        }
+    }
 
     fn job(id: u64, service_secs: f64, size_mb: u64) -> Job {
         Job {
@@ -203,7 +273,7 @@ mod tests {
                 (job(i, 100.0, 20), p)
             })
             .collect();
-        let out = run_live(&fast(), &jobs);
+        let out = run_live(&fast(), &jobs, &WallClock::start());
         assert_eq!(out.completions.len(), 6);
         let mut ids = out.order();
         ids.sort();
@@ -215,7 +285,7 @@ mod tests {
         let cfg = LiveConfig { n_ic: 1, ..fast() };
         let jobs: Vec<(Job, Placement)> =
             (0..5).map(|i| (job(i, 50.0, 5), Placement::Internal)).collect();
-        let out = run_live(&cfg, &jobs);
+        let out = run_live(&cfg, &jobs, &WallClock::start());
         assert_eq!(out.order(), (0..5).map(JobId).collect::<Vec<_>>());
     }
 
@@ -227,7 +297,7 @@ mod tests {
             (job(0, 200.0, 50), Placement::Internal),
             (job(1, 200.0, 50), Placement::External),
         ];
-        let out = run_live(&fast(), &jobs);
+        let out = run_live(&fast(), &jobs, &WallClock::start());
         let find = |id: u64| out.completions.iter().find(|c| c.id == JobId(id)).unwrap().at;
         assert!(find(1) > find(0));
     }
@@ -243,7 +313,7 @@ mod tests {
             (job(3, 400.0, 10), Placement::External),
         ];
         let cfg = LiveConfig { n_ic: 1, n_ec: 2, ..fast() };
-        let out = run_live(&cfg, &jobs);
+        let out = run_live(&cfg, &jobs, &WallClock::start());
         let sequential_virtual: f64 = jobs
             .iter()
             .map(|(j, _)| {
@@ -258,5 +328,29 @@ mod tests {
             out.elapsed,
             sequential_real
         );
+    }
+
+    #[test]
+    fn manual_clock_paces_deterministically() {
+        // One IC worker, IC-only jobs: every sleep happens on that worker,
+        // so completion offsets are exact prefix sums of the scaled service
+        // times — no wall clock, identical on every run.
+        let cfg = LiveConfig { n_ic: 1, ..fast() };
+        let services = [100.0_f64, 250.0, 75.0];
+        let jobs: Vec<(Job, Placement)> = services
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (job(i as u64, *s, 1), Placement::Internal))
+            .collect();
+        let run = || run_live(&cfg, &jobs, &ManualClock::new());
+        let (a, b) = (run(), run());
+        let mut expected = Duration::ZERO;
+        for (c, s) in a.completions.iter().zip(services) {
+            expected += Duration::from_secs_f64(s * cfg.time_scale);
+            assert_eq!(c.at, expected, "prefix-sum pacing for {:?}", c.id);
+        }
+        assert_eq!(a.elapsed, expected);
+        let at = |o: &LiveOutcome| o.completions.iter().map(|c| (c.id, c.at)).collect::<Vec<_>>();
+        assert_eq!(at(&a), at(&b), "virtual pacing must be reproducible");
     }
 }

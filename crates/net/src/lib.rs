@@ -22,6 +22,9 @@
 //! * [`queues`] — upload queues, including the three size-interval queues
 //!   and the bound computation of Algorithm 3 (SIBS).
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod estimator;

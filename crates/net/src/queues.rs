@@ -223,7 +223,8 @@ mod tests {
         // 9 candidates with distinct sizes, all qualifying easily.
         let batch: Vec<SibsCandidate> =
             (1..=9).map(|i| cand(i * 10, 10.0, 50.0)).collect();
-        let b = sibs_bounds(&batch, 10_000.0, 8, (0, 0, 0)).unwrap();
+        let b = sibs_bounds(&batch, 10_000.0, 8, (0, 0, 0))
+            .expect("every candidate qualifies under a 10000 s iload");
         assert_eq!(b.s_bound, 30 * 1_000_000);
         assert_eq!(b.m_bound, 60 * 1_000_000);
     }
@@ -235,8 +236,9 @@ mod tests {
         // Small queue stuffed: its leftover capacity shrinks, so its bound
         // drops relative to the balanced case.
         let stuffed = sibs_bounds(&batch, 10_000.0, 8, (80_000_000, 10_000_000, 10_000_000))
-            .unwrap();
-        let balanced = sibs_bounds(&batch, 10_000.0, 8, (0, 0, 0)).unwrap();
+            .expect("every candidate qualifies under a 10000 s iload");
+        let balanced = sibs_bounds(&batch, 10_000.0, 8, (0, 0, 0))
+            .expect("every candidate qualifies under a 10000 s iload");
         assert!(stuffed.s_bound < balanced.s_bound, "{stuffed:?} vs {balanced:?}");
     }
 
@@ -250,7 +252,8 @@ mod tests {
         // the same job qualifies only after rload grows — it never does.
         assert_eq!(sibs_bounds(&batch, 100.0, 1, (0, 0, 0)), None);
         // Larger iload: everything qualifies.
-        let b = sibs_bounds(&batch, 1_000.0, 1, (0, 0, 0)).unwrap();
+        let b = sibs_bounds(&batch, 1_000.0, 1, (0, 0, 0))
+            .expect("a 1000 s iload admits every candidate");
         assert_eq!(b.classify(50 * 1_000_000), SizeClass::Small); // all equal sizes
     }
 
@@ -269,13 +272,13 @@ mod tests {
         q.push(SizeClass::Small, "s1", 10);
         q.push(SizeClass::Large, "l1", 300);
         // A large slot prefers its own queue…
-        assert_eq!(q.pop_for(SizeClass::Large).unwrap().0, "l1");
+        assert_eq!(q.pop_for(SizeClass::Large).expect("large queue holds l1").0, "l1");
         // …then serves lower classes.
-        assert_eq!(q.pop_for(SizeClass::Large).unwrap().0, "s1");
+        assert_eq!(q.pop_for(SizeClass::Large).expect("small queue rides up to a large slot").0, "s1");
         // A small slot never serves medium/large work.
         q.push(SizeClass::Medium, "m1", 100);
         assert!(q.pop_for(SizeClass::Small).is_none());
-        assert_eq!(q.pop_for(SizeClass::Medium).unwrap().0, "m1");
+        assert_eq!(q.pop_for(SizeClass::Medium).expect("medium queue holds m1").0, "m1");
     }
 
     #[test]
@@ -295,7 +298,7 @@ mod tests {
     fn medium_slot_serves_small_before_nothing() {
         let mut q: SibsQueues<&str> = SibsQueues::new();
         q.push(SizeClass::Small, "s1", 10);
-        assert_eq!(q.pop_for(SizeClass::Medium).unwrap().0, "s1");
+        assert_eq!(q.pop_for(SizeClass::Medium).expect("small queue rides up to a medium slot").0, "s1");
         assert!(q.pop_for(SizeClass::Medium).is_none());
     }
 }

@@ -15,7 +15,7 @@
 //! allocation-free per observe and `O(terms²)`/`O(terms³)` per up-date/refit
 //! regardless of how many class specializations exist.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::fit::{FitError, Method};
 use crate::model::QrsModel;
@@ -27,7 +27,7 @@ pub type ClassedSample = (u64, Vec<f64>, f64);
 #[derive(Clone, Debug)]
 pub struct ClassedModel {
     pooled: QrsModel,
-    per_class: HashMap<u64, QrsModel>,
+    per_class: BTreeMap<u64, QrsModel>,
     min_samples: usize,
 }
 
@@ -50,13 +50,13 @@ impl ClassedModel {
         let floor = 2 * pooled.design().n_terms();
         let min_samples = min_samples.max(floor);
 
-        let mut by_class: HashMap<u64, (Vec<Vec<f64>>, Vec<f64>)> = HashMap::new();
+        let mut by_class: BTreeMap<u64, (Vec<Vec<f64>>, Vec<f64>)> = BTreeMap::new();
         for (c, x, y) in samples {
             let e = by_class.entry(*c).or_default();
             e.0.push(x.clone());
             e.1.push(*y);
         }
-        let mut per_class = HashMap::new();
+        let mut per_class = BTreeMap::new();
         for (c, (cx, cy)) in by_class {
             if cx.len() >= min_samples {
                 // A class fit can still be singular (degenerate feature
@@ -146,7 +146,8 @@ mod tests {
     #[test]
     fn per_class_models_separate_regimes() {
         let samples = two_regime_samples(40);
-        let m = ClassedModel::fit(&samples, Method::Ols, 8).unwrap();
+        let m = ClassedModel::fit(&samples, Method::Ols, 8)
+            .expect("two-regime corpus is full rank");
         assert_eq!(m.specialized_classes(), vec![0, 1]);
         let x = [7.0];
         assert!((m.predict(0, &x) - 17.0).abs() < 1e-6);
@@ -164,7 +165,8 @@ mod tests {
         samples.push((7, vec![1.0], 100.0));
         samples.push((7, vec![2.0], 110.0));
         samples.push((7, vec![3.0], 120.0));
-        let m = ClassedModel::fit(&samples, Method::Ols, 8).unwrap();
+        let m = ClassedModel::fit(&samples, Method::Ols, 8)
+            .expect("two-regime corpus is full rank");
         assert!(!m.specialized_classes().contains(&7));
         assert_eq!(m.predict(7, &[5.0]), m.pooled().predict(&[5.0]));
     }
@@ -172,7 +174,8 @@ mod tests {
     #[test]
     fn min_samples_is_floored_at_twice_basis() {
         let samples = two_regime_samples(40);
-        let m = ClassedModel::fit(&samples, Method::Ols, 0).unwrap();
+        let m = ClassedModel::fit(&samples, Method::Ols, 0)
+            .expect("two-regime corpus is full rank");
         // 1 raw feature → 3 basis terms → floor 6.
         assert_eq!(m.min_samples(), 6);
     }
@@ -180,7 +183,8 @@ mod tests {
     #[test]
     fn observe_routes_to_class_and_pooled() {
         let samples = two_regime_samples(40);
-        let mut m = ClassedModel::fit(&samples, Method::Ols, 8).unwrap();
+        let mut m = ClassedModel::fit(&samples, Method::Ols, 8)
+            .expect("two-regime corpus is full rank");
         let before = m.predict(0, &[7.0]);
         // Feed a shifted regime into class 0 until its window refits.
         for i in 0..120 {
@@ -201,7 +205,8 @@ mod tests {
     #[test]
     fn rmse_for_reports_the_serving_model() {
         let samples = two_regime_samples(40);
-        let m = ClassedModel::fit(&samples, Method::Ols, 8).unwrap();
+        let m = ClassedModel::fit(&samples, Method::Ols, 8)
+            .expect("two-regime corpus is full rank");
         // Exact per-class fits → tiny RMSE; pooled straddles both regimes.
         assert!(m.rmse_for(0) < 1e-6);
         assert!(m.rmse_for(99) > 1.0, "pooled rmse {}", m.rmse_for(99));

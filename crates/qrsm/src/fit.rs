@@ -168,7 +168,7 @@ mod tests {
     fn ols_recovers_exact_coefficients() {
         let truth = [2.0, -1.0, 0.5, 0.25, 1.5, -0.75];
         let (x, y) = quadratic_data(&truth, 60);
-        let beta = fit(&x, &y, Method::Ols).unwrap();
+        let beta = fit(&x, &y, Method::Ols).expect("full-rank OLS fit");
         approx(&beta, &truth, 1e-8);
     }
 
@@ -176,9 +176,9 @@ mod tests {
     fn ridge_shrinks_towards_zero() {
         let truth = [2.0, -1.0, 0.5, 0.25, 1.5, -0.75];
         let (x, y) = quadratic_data(&truth, 60);
-        let b0 = fit(&x, &y, Method::Ridge(0.0)).unwrap();
-        let b_small = fit(&x, &y, Method::Ridge(1.0)).unwrap();
-        let b_big = fit(&x, &y, Method::Ridge(1e6)).unwrap();
+        let b0 = fit(&x, &y, Method::Ridge(0.0)).expect("unpenalized ridge fit");
+        let b_small = fit(&x, &y, Method::Ridge(1.0)).expect("lightly penalized ridge fit");
+        let b_big = fit(&x, &y, Method::Ridge(1e6)).expect("heavily penalized ridge fit");
         approx(&b0, &truth, 1e-6);
         // Non-intercept coefficient magnitude decreases with lambda.
         let norm = |b: &[f64]| b[1..].iter().map(|v| v * v).sum::<f64>();
@@ -191,7 +191,7 @@ mod tests {
     fn lad_matches_ols_on_clean_data() {
         let truth = [2.0, -1.0, 0.5, 0.25, 1.5, -0.75];
         let (x, y) = quadratic_data(&truth, 60);
-        let beta = fit(&x, &y, Method::Lad).unwrap();
+        let beta = fit(&x, &y, Method::Lad).expect("LAD IRLS converges on a clean line");
         approx(&beta, &truth, 1e-4);
     }
 
@@ -203,8 +203,8 @@ mod tests {
         for i in [3usize, 17, 33, 51, 70] {
             y[i] += 1e4;
         }
-        let ols = fit(&x, &y, Method::Ols).unwrap();
-        let lad = fit(&x, &y, Method::Lad).unwrap();
+        let ols = fit(&x, &y, Method::Ols).expect("full-rank OLS fit");
+        let lad = fit(&x, &y, Method::Lad).expect("LAD IRLS converges on a clean line");
         let err = |b: &[f64]| {
             b.iter().zip(&truth).map(|(a, t)| (a - t).abs()).fold(0.0, f64::max)
         };

@@ -38,6 +38,9 @@
 //! assert_eq!(design.n_terms(), 3); // 1, x0, x0²
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod classed;

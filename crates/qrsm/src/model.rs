@@ -394,7 +394,7 @@ mod tests {
     #[test]
     fn fit_and_predict_exactly_on_clean_data() {
         let (xs, ys) = dataset(100);
-        let m = QrsModel::fit(&xs, &ys, Method::Ols).unwrap();
+        let m = QrsModel::fit(&xs, &ys, Method::Ols).expect("full-rank training corpus");
         for x in [[4.0, 7.0], [16.0, 10.0], [0.0, 0.0]] {
             assert!((m.predict(&x) - truth(&x)).abs() < 1e-6);
         }
@@ -407,7 +407,7 @@ mod tests {
         // A surface fitted to descend below zero still predicts ≥ 0.1 s.
         let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
         let ys: Vec<f64> = xs.iter().map(|x| 100.0 - 20.0 * x[0]).collect();
-        let m = QrsModel::fit(&xs, &ys, Method::Ols).unwrap();
+        let m = QrsModel::fit(&xs, &ys, Method::Ols).expect("full-rank training corpus");
         assert_eq!(m.predict(&[1000.0]), 0.1);
     }
 
@@ -417,7 +417,7 @@ mod tests {
         for (i, y) in ys.iter_mut().enumerate() {
             *y += if i % 2 == 0 { 5.0 } else { -5.0 };
         }
-        let m = QrsModel::fit(&xs, &ys, Method::Ols).unwrap();
+        let m = QrsModel::fit(&xs, &ys, Method::Ols).expect("full-rank training corpus");
         assert!(m.rmse() > 1.0);
         let x = [4.0, 7.0];
         assert!(m.predict_upper(&x, 1.0) > m.predict(&x));
@@ -430,7 +430,7 @@ mod tests {
         // observations + refit the prediction follows the new regime.
         let (xs, ys) = dataset(80);
         let mut m = QrsModel::fit(&xs, &ys, Method::Ols)
-            .unwrap()
+            .expect("full-rank training corpus")
             .with_window_capacity(80)
             .with_refit_every(20);
         let probe = [4.0, 7.0];
@@ -455,7 +455,7 @@ mod tests {
     #[test]
     fn refit_fails_gracefully_with_tiny_window() {
         let (xs, ys) = dataset(100);
-        let mut m = QrsModel::fit(&xs, &ys, Method::Ols).unwrap().with_window_capacity(1);
+        let mut m = QrsModel::fit(&xs, &ys, Method::Ols).expect("full-rank training corpus").with_window_capacity(1);
         // Window shrank below n_terms; refit reports the problem but keeps
         // the model usable.
         assert_eq!(m.window_len(), 7); // capacity floored at n_terms + 1
@@ -477,7 +477,7 @@ mod tests {
         // refit on exactly the surviving window.
         let (xs, ys) = dataset(60);
         let mut m = QrsModel::fit(&xs, &ys, Method::Ols)
-            .unwrap()
+            .expect("full-rank training corpus")
             .with_window_capacity(40)
             .with_refit_every(1);
         let mut window: Vec<(Vec<f64>, f64)> =
@@ -491,7 +491,7 @@ mod tests {
         let tail = &window[window.len() - 40..];
         let bxs: Vec<Vec<f64>> = tail.iter().map(|(x, _)| x.clone()).collect();
         let bys: Vec<f64> = tail.iter().map(|(_, y)| *y).collect();
-        let batch = QrsModel::fit(&bxs, &bys, Method::Ols).unwrap();
+        let batch = QrsModel::fit(&bxs, &bys, Method::Ols).expect("full-rank training corpus");
         for (a, b) in m.coeffs().iter().zip(batch.coeffs()) {
             assert!(
                 (a - b).abs() <= 1e-6 * (1.0 + b.abs()),

@@ -19,6 +19,9 @@
 //! * [`resched`] — pull-back / push-out rescheduling triggered on idle
 //!   events (the paper's Sec. IV-D mitigation for estimation errors).
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod api;

@@ -90,6 +90,16 @@ pub struct Sim<W> {
     fired: u64,
 }
 
+impl<W> std::fmt::Debug for Sim<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("pending", &self.live)
+            .field("fired", &self.fired)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<W> Default for Sim<W> {
     fn default() -> Self {
         Self::new()

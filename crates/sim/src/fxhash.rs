@@ -6,6 +6,12 @@
 //! mix used by rustc's FxHash: one rotate, one xor, one multiply per word.
 //! Not DoS-resistant — never use it on attacker-controlled keys.
 
+// This module is the sanctioned exception to the no-std-hash-maps rule: it
+// instantiates HashMap/HashSet with the explicit, deterministic
+// FxBuildHasher. Mirrors the determinism/default-hasher waiver in
+// conform.toml.
+#![allow(clippy::disallowed_types)]
+
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -13,7 +19,7 @@ use std::hash::{BuildHasherDefault, Hasher};
 const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 
 /// The hasher state: a single word folded once per input word.
-#[derive(Default, Clone)]
+#[derive(Default, Clone, Debug)]
 pub struct FxHasher {
     hash: u64,
 }

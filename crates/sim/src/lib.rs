@@ -29,6 +29,9 @@
 //! assert_eq!(sim.now(), SimTime::from_secs(5));
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod event;

@@ -13,7 +13,7 @@ use crate::time::{SimDuration, SimTime};
 /// Handle controlling a periodic process started by [`Ticker::start`].
 ///
 /// Dropping the handle does *not* stop the ticker; call [`TickerHandle::stop`].
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct TickerHandle {
     alive: Rc<Cell<bool>>,
 }
@@ -31,6 +31,7 @@ impl TickerHandle {
 }
 
 /// A periodic event source.
+#[derive(Debug)]
 pub struct Ticker;
 
 impl Ticker {

@@ -1,7 +1,7 @@
 //! Property tests for the DES kernel: ordering, cancellation, run_until
 //! semantics and RNG stream independence under arbitrary inputs.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use proptest::prelude::*;
 
@@ -111,7 +111,7 @@ proptest! {
         let mut live: Vec<(EventId, u64)> = Vec::new();
         let mut spent: Vec<EventId> = Vec::new();
         let mut cancelled: Vec<u64> = Vec::new();
-        let mut issued: HashSet<EventId> = HashSet::new();
+        let mut issued: BTreeSet<EventId> = BTreeSet::new();
         let mut token = 0u64;
         let mut log: Vec<u64> = Vec::new();
         for (op, delay, pick) in ops {
@@ -153,7 +153,7 @@ proptest! {
             }
         }
         sim.run(&mut log);
-        let fired: HashSet<u64> = log.iter().copied().collect();
+        let fired: BTreeSet<u64> = log.iter().copied().collect();
         prop_assert_eq!(fired.len(), log.len(), "an event fired twice");
         for tk in &cancelled {
             prop_assert!(!fired.contains(tk), "cancelled event fired");

@@ -14,6 +14,9 @@
 //! * [`ticket`] — completion tickets ("your job will finish by t") and the
 //!   empirical probabilistic-guarantee machinery of the paper's abstract.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod metrics;

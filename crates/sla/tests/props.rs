@@ -16,7 +16,7 @@ proptest! {
     fn infinite_tolerance_counts_everything(
         recs in prop::collection::vec((0u64..30, 1u64..2_000, 1u64..1_000), 1..30),
     ) {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         let recs: Vec<CompletionRecord> = recs
             .iter()
             .filter(|(id, _, _)| seen.insert(*id))

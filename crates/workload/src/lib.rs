@@ -22,6 +22,9 @@
 //! * [`stats`] — dependency-free samplers (normal, lognormal, Poisson,
 //!   exponential) and descriptive statistics (mean, CoV, percentiles).
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod arrival;

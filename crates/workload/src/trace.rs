@@ -49,7 +49,7 @@ impl WorkloadTrace {
             return Err(TraceError::Version(trace.version));
         }
         let mut last_arrival = None;
-        let mut ids = std::collections::HashSet::new();
+        let mut ids = std::collections::BTreeSet::new();
         for b in &trace.batches {
             if let Some(prev) = last_arrival {
                 if b.arrival < prev {

@@ -11,6 +11,7 @@
 //! order against the submission order to see the slack criterion doing its
 //! job: bursted jobs come back without stalling the local stream.
 
+use cloudburst_bench::WallClock;
 use cloudburst_repro::core::live::{run_live, LiveConfig};
 use cloudburst_repro::qrsm::{Method, QrsModel};
 use cloudburst_repro::sched::{BurstScheduler, EstimateProvider, LoadModel, OrderPreservingScheduler, Placement};
@@ -54,7 +55,7 @@ fn main() {
 
     // Run it live: 1 virtual second = 50 µs of wall clock.
     let cfg = LiveConfig { time_scale: 5e-5, n_ic: 4, n_ec: 2, bandwidth_bps: 250_000.0 };
-    let outcome = run_live(&cfg, &schedule.jobs);
+    let outcome = run_live(&cfg, &schedule.jobs, &WallClock::start());
 
     println!("result-queue arrivals (wall clock, scaled):");
     for c in &outcome.completions {

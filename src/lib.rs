@@ -5,6 +5,9 @@
 //! dependency. Library users should depend on the individual crates
 //! (`cloudburst-core`, `cloudburst-sched`, …) directly.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub use cloudburst_cluster as cluster;

@@ -2,6 +2,7 @@
 //! stack: placements computed by the real scheduler execute correctly on
 //! actual threads and channels.
 
+use cloudburst_bench::WallClock;
 use cloudburst_repro::core::live::{run_live, LiveConfig};
 use cloudburst_repro::qrsm::{Method, QrsModel};
 use cloudburst_repro::sched::{
@@ -50,12 +51,12 @@ fn scheduled_batch_runs_live_end_to_end() {
         .collect();
 
     let cfg = LiveConfig { time_scale: 1e-5, n_ic: 2, n_ec: 2, bandwidth_bps: 250_000.0 };
-    let outcome = run_live(&cfg, &indexed);
+    let outcome = run_live(&cfg, &indexed, &WallClock::start());
 
     assert_eq!(outcome.completions.len(), indexed.len());
     assert!(indexed.len() >= n, "chunking can only add jobs");
     // Each job completed exactly once, with the placement it was given.
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = std::collections::BTreeSet::new();
     for c in &outcome.completions {
         assert!(seen.insert(c.id), "{} completed twice", c.id);
         let (_, expected) = indexed
@@ -83,7 +84,7 @@ fn live_ic_only_preserves_submission_order_per_worker() {
         .map(|j| (j, Placement::Internal))
         .collect();
     let cfg = LiveConfig { time_scale: 1e-5, n_ic: 1, n_ec: 1, bandwidth_bps: 250_000.0 };
-    let out = run_live(&cfg, &jobs);
+    let out = run_live(&cfg, &jobs, &WallClock::start());
     let order: Vec<JobId> = out.order();
     let expected: Vec<JobId> = jobs.iter().map(|(j, _)| j.id).collect();
     assert_eq!(order, expected);

@@ -119,7 +119,7 @@ proptest! {
         completions in prop::collection::vec((0u64..40, 1u64..5_000, 1u64..1_000_000), 1..40),
     ) {
         // Dedup ids (each job completes once).
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         let recs: Vec<CompletionRecord> = completions
             .iter()
             .filter(|(id, _, _)| seen.insert(*id))

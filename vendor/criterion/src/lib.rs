@@ -15,6 +15,11 @@
 //! No statistics, plots, or baseline files — the numbers are indicative,
 //! and the `perfsmoke` binary is the recorded perf artifact.
 
+// Vendored stand-in for an external crate: policed by its upstream, not
+// by this repo's conformance rules (conform skips vendor/; clippy needs
+// the explicit opt-out).
+#![allow(clippy::all, clippy::disallowed_methods, clippy::disallowed_types)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

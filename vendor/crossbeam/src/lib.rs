@@ -12,6 +12,11 @@
 //! every spawned thread before it returns, so no borrow can outlive the
 //! caller's frame.
 
+// Vendored stand-in for an external crate: policed by its upstream, not
+// by this repo's conformance rules (conform skips vendor/; clippy needs
+// the explicit opt-out).
+#![allow(clippy::all, clippy::disallowed_methods, clippy::disallowed_types)]
+
 pub mod channel;
 mod scope_impl;
 
