@@ -16,8 +16,15 @@ cargo test -q --release --workspace
 echo "== benches compile: cargo bench --no-run"
 cargo bench --no-run
 
-echo "== perfsmoke probes"
-cargo run --release -p cloudburst-bench --bin perfsmoke
+echo "== perfsmoke probes + floor gate vs BENCH_PR2.json"
+PERF_TMP="$(mktemp -d)"
+trap 'rm -rf "$PERF_TMP"' EXIT
+cargo run --release -p cloudburst-bench --bin perfsmoke -- "$PERF_TMP/smoke.json"
+cargo run --release -p cloudburst-bench --bin perfgate -- "$PERF_TMP/smoke.json" BENCH_PR2.json
+
+echo "== perfscale reduced probe + floor gate vs BENCH_PR4.json"
+cargo run --release -p cloudburst-bench --bin perfscale -- --reduced "$PERF_TMP/scale.json"
+cargo run --release -p cloudburst-bench --bin perfgate -- "$PERF_TMP/scale.json" BENCH_PR4.json
 
 echo "== lint: cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

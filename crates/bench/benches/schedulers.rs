@@ -5,14 +5,14 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 
 use cloudburst_qrsm::{Method, QrsModel};
 use cloudburst_sched::{
-    BurstScheduler, EstimateProvider, GreedyScheduler, IcOnlyScheduler, LoadModel,
+    BurstScheduler, EstimateProvider, GreedyScheduler, IcOnlyScheduler, LoadModelBuf,
     OrderPreservingScheduler, SibsScheduler,
 };
 use cloudburst_sim::{RngFactory, SimTime};
 use cloudburst_workload::arrival::training_corpus;
 use cloudburst_workload::{ArrivalConfig, BatchArrivals, GroundTruth, Job, SizeBucket};
 
-fn fixture(batch_size: f64) -> (EstimateProvider, Vec<Job>, LoadModel) {
+fn fixture(batch_size: f64) -> (EstimateProvider, Vec<Job>, LoadModelBuf) {
     let rngs = RngFactory::new(77);
     let truth = GroundTruth::default();
     let corpus = training_corpus(&mut rngs.stream("train"), &truth, 300);
@@ -27,7 +27,7 @@ fn fixture(batch_size: f64) -> (EstimateProvider, Vec<Job>, LoadModel) {
         ..ArrivalConfig::default()
     });
     let jobs = gen.generate_flat(&rngs, &truth);
-    let mut load = LoadModel::idle(SimTime::ZERO, 8, 2);
+    let mut load = LoadModelBuf::idle(SimTime::ZERO, 8, 2);
     load.ic_free_secs = vec![2_000.0; 8];
     load.outstanding_est_completions = vec![SimTime::from_secs(2_000)];
     (est, jobs, load)
@@ -40,25 +40,25 @@ fn bench_schedulers(c: &mut Criterion) {
         group.bench_function(BenchmarkId::from_parameter("ic-only"), |b| {
             b.iter(|| {
                 let mut s = IcOnlyScheduler::new();
-                black_box(s.schedule_batch(jobs.clone(), &load, &est))
+                black_box(s.schedule_batch(jobs.clone(), &load.as_model(), &est))
             })
         });
         group.bench_function(BenchmarkId::from_parameter("greedy"), |b| {
             b.iter(|| {
                 let mut s = GreedyScheduler::new();
-                black_box(s.schedule_batch(jobs.clone(), &load, &est))
+                black_box(s.schedule_batch(jobs.clone(), &load.as_model(), &est))
             })
         });
         group.bench_function(BenchmarkId::from_parameter("op"), |b| {
             b.iter(|| {
                 let mut s = OrderPreservingScheduler::default_with_seed(1);
-                black_box(s.schedule_batch(jobs.clone(), &load, &est))
+                black_box(s.schedule_batch(jobs.clone(), &load.as_model(), &est))
             })
         });
         group.bench_function(BenchmarkId::from_parameter("op+sibs"), |b| {
             b.iter(|| {
                 let mut s = SibsScheduler::default_with_seed(1);
-                black_box(s.schedule_batch(jobs.clone(), &load, &est))
+                black_box(s.schedule_batch(jobs.clone(), &load.as_model(), &est))
             })
         });
         group.finish();

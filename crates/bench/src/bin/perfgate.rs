@@ -1,0 +1,75 @@
+//! `perfgate` — loose performance floors for CI.
+//!
+//! Compares a freshly measured probe line (from `perfsmoke` or
+//! `perfscale`) against a checked-in baseline (`BENCH_PR2.json`,
+//! `BENCH_PR4.json`): every throughput key — one ending in `_per_sec` —
+//! present in *both* files must be at least `baseline / headroom`. The
+//! default headroom of 5× makes the gate a regression tripwire (an
+//! accidental return to a linear or allocating path shows up as 10–100×),
+//! not a flakiness source on busy CI machines.
+//!
+//! ```text
+//! perfgate <fresh.json> <baseline.json> [headroom]
+//! ```
+//!
+//! Exits non-zero if any floor is broken, or if the two files share no
+//! throughput keys (a silently toothless gate is itself a failure).
+
+use std::process::ExitCode;
+
+fn load(path: &str) -> serde_json::Map {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("perfgate: cannot read {path}: {e}"));
+    match serde_json::from_str_value(text.trim()) {
+        Ok(serde_json::Value::Object(m)) => m,
+        _ => panic!("perfgate: {path} is not a one-line JSON object"),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (fresh_path, base_path) = match (args.first(), args.get(1)) {
+        (Some(f), Some(b)) => (f.as_str(), b.as_str()),
+        _ => {
+            eprintln!("usage: perfgate <fresh.json> <baseline.json> [headroom]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let headroom: f64 = args.get(2).map_or(5.0, |h| h.parse().expect("numeric headroom"));
+    assert!(headroom >= 1.0, "headroom must be >= 1");
+
+    let fresh = load(fresh_path);
+    let base = load(base_path);
+
+    let mut checked = 0usize;
+    let mut failed = 0usize;
+    let mut keys: Vec<&String> = base.keys().collect();
+    keys.sort();
+    for key in keys {
+        if !key.ends_with("_per_sec") {
+            continue;
+        }
+        let Some(b) = base[key].as_f64() else { continue };
+        let Some(f) = fresh.get(key).and_then(|v| v.as_f64()) else { continue };
+        checked += 1;
+        let floor = b / headroom;
+        let ok = f >= floor;
+        if !ok {
+            failed += 1;
+        }
+        println!(
+            "{} {key}: fresh {f:.3e} vs floor {floor:.3e} (baseline {b:.3e} / {headroom}x)",
+            if ok { "ok  " } else { "FAIL" },
+        );
+    }
+    if checked == 0 {
+        eprintln!("perfgate: no shared *_per_sec keys between {fresh_path} and {base_path}");
+        return ExitCode::FAILURE;
+    }
+    println!("perfgate: {checked} floors checked, {failed} broken");
+    if failed > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,208 @@
+//! `perfscale` — megascale decision-loop and end-to-end throughput probes.
+//!
+//! Two families of numbers, written as one line of JSON (the `BENCH_PR4`
+//! record; `perfgate` later enforces loose floors against it):
+//!
+//! * **Decision loop** — an [`EngineHarness`] is advanced to a mid-run
+//!   state with every batch admitted (tens of thousands of queued jobs),
+//!   then `load_snapshot` is timed in place. The pre-PR engine's
+//!   O(queue × machines) linear rescan is replayed over the same state via
+//!   the public probe accessors, giving an apples-to-apples `decisions/s`
+//!   pair and the speedup. The indexed drain is also spot-checked bitwise
+//!   against the rescan at full scale.
+//! * **End to end** — full `run_with_batches` runs of the megascale
+//!   workload (batches of ≈ 10 000 jobs, 64 + 64 machines) for the greedy,
+//!   order-preserving and SIBS schedulers, reported as jobs per second.
+//!
+//! ```text
+//! perfscale                  full probe (100k and 1M jobs), JSON to stdout
+//! perfscale <path>           additionally write the JSON line to <path>
+//! perfscale --reduced [path] CI mode: 20k jobs only, fewer timing iters
+//! ```
+//!
+//! Generic (unsuffixed) keys always describe the primary scale — 100k in
+//! full mode, 20k in reduced mode — so a reduced CI run produces the same
+//! key set that `perfgate` reads from the checked-in full-run baseline.
+
+// Timing wall-clock durations is this binary's whole purpose; the
+// disallowed-methods ban on Instant::now targets deterministic library
+// code, not the perf harness.
+#![allow(clippy::disallowed_methods)]
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use cloudburst_cluster::Cloud;
+use cloudburst_core::engine::run_with_batches;
+use cloudburst_core::{EngineHarness, ExperimentConfig, SchedulerKind};
+use cloudburst_sim::{RngFactory, SimTime};
+use cloudburst_workload::{BatchArrivals, JobId};
+use serde_json::json;
+
+/// Faithful replica of the pre-PR decision-loop inner step: rebuild the
+/// machine free-time array with a fresh allocation and drain the FCFS
+/// queue with a linear `min_by` rescan per queued job — O(queue × machines)
+/// per call, exactly what `EngineWorld::est_free_secs` did before the
+/// indexed fast path replaced it.
+fn legacy_est_free_secs(
+    est_exec: &[f64],
+    cloud: &Cloud<JobId>,
+    speed: f64,
+    now: SimTime,
+) -> Vec<f64> {
+    let mut free = vec![0.0; cloud.n_machines()];
+    for (key, machine, started) in cloud.running_detail() {
+        let est = est_exec.get(key.0 as usize).copied().unwrap_or(60.0);
+        let elapsed_std = (now - started).as_secs_f64() * speed;
+        free[machine.0] = (est - elapsed_std).max(0.0) / speed;
+    }
+    for key in cloud.queued_keys() {
+        let est = est_exec.get(key.0 as usize).copied().unwrap_or(60.0);
+        let (idx, _) = free
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+            .expect("machines exist");
+        free[idx] += est / speed;
+    }
+    free
+}
+
+/// Builds the megascale harness and advances it to the instant after the
+/// last batch arrival — the deepest queue state of the run.
+fn mid_run_harness(kind: SchedulerKind, total_jobs: u64, seed: u64) -> (EngineHarness, SimTime) {
+    let cfg = ExperimentConfig::megascale(kind, total_jobs, seed);
+    let rngs = RngFactory::new(cfg.seed);
+    let batches = BatchArrivals::new(cfg.arrivals.clone()).generate(&rngs, &cfg.truth);
+    let last_arrival = batches.last().expect("at least one batch").arrival;
+    let mut h = EngineHarness::new(&cfg, batches);
+    h.run_until(last_arrival + cloudburst_sim::SimDuration::from_secs(1));
+    let now = h.now();
+    (h, now)
+}
+
+/// Decision-loop probe at one scale: (indexed decisions/s, legacy
+/// decisions/s, queued jobs at the probed instant).
+fn decision_probe(total_jobs: u64, iters: usize) -> (f64, f64, usize) {
+    let (mut h, now) = mid_run_harness(SchedulerKind::OrderPreserving, total_jobs, 71);
+    let w = h.world_mut();
+    let queued = w.ic_cloud().queued();
+    assert!(queued > 0, "mid-run probe state must have a backlog");
+
+    // Spot-check: the indexed drain agrees bitwise with the linear rescan
+    // over the full megascale queue, IC and EC.
+    let speed = w.config().ic_speed;
+    let ec_speed = w.config().ec_speed;
+    let got_ic = w.load_snapshot(now).ic_free_secs.to_vec();
+    let got_ec = w.load_snapshot(now).ec_free_secs.to_vec();
+    let want_ic = legacy_est_free_secs(w.est_exec_estimates(), w.ic_cloud(), speed, now);
+    let want_ec = legacy_est_free_secs(w.est_exec_estimates(), w.ec_cloud(0), ec_speed, now);
+    assert_eq!(got_ic, want_ic, "indexed IC drain diverged from the rescan at scale");
+    assert_eq!(got_ec, want_ec, "indexed EC drain diverged from the rescan at scale");
+
+    // Warm, then time the indexed path.
+    w.decision_sweep(now);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let load = w.load_snapshot(now);
+        assert!(!load.ic_free_secs.is_empty());
+    }
+    let indexed = iters as f64 / t0.elapsed().as_secs_f64();
+
+    // The legacy rescan is orders of magnitude slower; a few iterations
+    // give a stable per-call time.
+    let legacy_iters = (iters / 8).clamp(2, 24);
+    let t0 = Instant::now();
+    let mut sink = 0.0;
+    for _ in 0..legacy_iters {
+        sink += legacy_est_free_secs(w.est_exec_estimates(), w.ic_cloud(), speed, now)[0];
+        sink += legacy_est_free_secs(w.est_exec_estimates(), w.ec_cloud(0), ec_speed, now)[0];
+    }
+    assert!(sink.is_finite());
+    let legacy = legacy_iters as f64 / t0.elapsed().as_secs_f64();
+    (indexed, legacy, queued)
+}
+
+/// End-to-end probe: a full megascale run, reported as jobs per second of
+/// wall clock (workload generation excluded, training included — it is
+/// part of every run).
+fn e2e_probe(kind: SchedulerKind, total_jobs: u64, seed: u64) -> (f64, usize) {
+    let cfg = ExperimentConfig::megascale(kind, total_jobs, seed);
+    let rngs = RngFactory::new(cfg.seed);
+    let batches = BatchArrivals::new(cfg.arrivals.clone()).generate(&rngs, &cfg.truth);
+    let t0 = Instant::now();
+    let (report, _world) = run_with_batches(&cfg, batches);
+    let secs = t0.elapsed().as_secs_f64();
+    assert_eq!(report.completion_times.len(), report.n_jobs, "megascale run must complete");
+    (report.n_jobs as f64 / secs, report.n_jobs)
+}
+
+const SCHEDULERS: [(SchedulerKind, &str); 3] = [
+    (SchedulerKind::Greedy, "greedy"),
+    (SchedulerKind::OrderPreserving, "op"),
+    (SchedulerKind::Sibs, "op_sibs"),
+];
+
+/// Stage progress on stderr (stdout carries only the JSON line).
+fn stage(t0: Instant, what: &str) {
+    eprintln!("[perfscale {:7.1}s] {what}", t0.elapsed().as_secs_f64());
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let reduced = args.iter().any(|a| a == "--reduced");
+    args.retain(|a| a != "--reduced");
+    let out_path = args.first().cloned();
+
+    let (primary, extra_scales, iters): (u64, &[(u64, &str)], usize) = if reduced {
+        (20_000, &[], 40)
+    } else {
+        (100_000, &[(1_000_000, "1m")], 200)
+    };
+
+    let t0 = Instant::now();
+    let mut doc = serde_json::Map::new();
+    doc.insert("bench".into(), json!("perfscale"));
+    doc.insert("reduced".into(), json!(reduced));
+    doc.insert("primary_scale_jobs".into(), json!(primary));
+
+    // Decision loop at the primary scale (generic keys: the perfgate set).
+    stage(t0, "decision probe (primary scale)");
+    let (indexed, legacy, queued) = decision_probe(primary, iters);
+    doc.insert("decision_queue_depth".into(), json!(queued));
+    doc.insert("decision_loop_decisions_per_sec".into(), json!(indexed));
+    doc.insert("decision_loop_legacy_decisions_per_sec".into(), json!(legacy));
+    doc.insert("decision_loop_speedup".into(), json!(indexed / legacy));
+
+    // End to end at the primary scale.
+    for (kind, label) in SCHEDULERS {
+        stage(t0, &format!("e2e {label} (primary scale)"));
+        let (jps, n) = e2e_probe(kind, primary, 73);
+        doc.insert(format!("e2e_{label}_jobs_per_sec"), json!(jps));
+        doc.insert(format!("e2e_{label}_jobs"), json!(n));
+    }
+
+    // Larger scales (full mode only): suffixed record keys.
+    for &(scale, suffix) in extra_scales {
+        stage(t0, &format!("decision probe ({suffix})"));
+        let (indexed, legacy, queued) = decision_probe(scale, iters / 4);
+        doc.insert(format!("decision_queue_depth_{suffix}"), json!(queued));
+        doc.insert(format!("decision_loop_decisions_per_sec_{suffix}"), json!(indexed));
+        doc.insert(format!("decision_loop_legacy_decisions_per_sec_{suffix}"), json!(legacy));
+        doc.insert(format!("decision_loop_speedup_{suffix}"), json!(indexed / legacy));
+        for (kind, label) in SCHEDULERS {
+            stage(t0, &format!("e2e {label} ({suffix})"));
+            let (jps, n) = e2e_probe(kind, scale, 73);
+            doc.insert(format!("e2e_{label}_jobs_per_sec_{suffix}"), json!(jps));
+            doc.insert(format!("e2e_{label}_jobs_{suffix}"), json!(n));
+        }
+    }
+    stage(t0, "done");
+
+    let line = serde_json::to_string(&serde_json::Value::Object(doc)).expect("serialize");
+    println!("{line}");
+    if let Some(path) = out_path {
+        let mut f = std::fs::File::create(&path).expect("create output file");
+        writeln!(f, "{line}").expect("write output file");
+    }
+}

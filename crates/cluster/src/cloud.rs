@@ -154,7 +154,11 @@ impl<K: Copy + PartialEq + std::fmt::Debug> Cloud<K> {
     }
 
     /// Advances to `to`, returning completions in chronological order.
-    /// Convenience wrapper over [`Cloud::advance_into`].
+    /// Test-only convenience wrapper over [`Cloud::advance_into`]: every
+    /// production caller uses the buffer-reusing form, so the allocating
+    /// wrapper is compiled out of non-test builds and listed under
+    /// `disallowed-methods` in `clippy.toml`.
+    #[cfg(test)]
     pub fn advance(&mut self, to: SimTime) -> Vec<ExecCompletion<K>> {
         let mut done = Vec::new();
         self.advance_into(to, &mut done);
@@ -231,6 +235,9 @@ impl<K: Copy + PartialEq + std::fmt::Debug> Cloud<K> {
 }
 
 #[cfg(test)]
+// Unit tests are the sanctioned consumer of the allocating `advance`
+// wrapper (it only exists under cfg(test)).
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
 

@@ -23,11 +23,11 @@ proptest! {
         let mut done = Vec::new();
         for (i, &svc) in services.iter().enumerate() {
             t += SimDuration::from_secs(submit_gaps[i]);
-            done.extend(cloud.advance(t));
+            cloud.advance_into(t, &mut done);
             cloud.submit(t, i, svc as f64);
         }
         while let Some(w) = cloud.next_wake() {
-            done.extend(cloud.advance(w));
+            cloud.advance_into(w, &mut done);
         }
         prop_assert_eq!(done.len(), services.len());
         let mut ids: Vec<usize> = done.iter().map(|c| c.key).collect();
@@ -63,7 +63,7 @@ proptest! {
         }
         let mut done = Vec::new();
         while let Some(w) = cloud.next_wake() {
-            done.extend(cloud.advance(w));
+            cloud.advance_into(w, &mut done);
         }
         let ids: Vec<usize> = done.iter().map(|c| c.key).collect();
         prop_assert_eq!(ids, (0..services.len()).collect::<Vec<_>>());
@@ -89,10 +89,11 @@ proptest! {
         }
         // Run half the work, then scale back up.
         let half = SimTime::from_secs(services.iter().sum::<u64>() / 2);
-        let mut done = cloud.advance(half);
+        let mut done = Vec::new();
+        cloud.advance_into(half, &mut done);
         cloud.set_active_limit(4);
         while let Some(w) = cloud.next_wake() {
-            done.extend(cloud.advance(w));
+            cloud.advance_into(w, &mut done);
         }
         prop_assert_eq!(done.len(), services.len());
         prop_assert_eq!(cloud.queued(), 0);

@@ -200,6 +200,25 @@ impl ExperimentConfig {
         }
     }
 
+    /// A megascale stress configuration: ≈ `total_jobs` jobs (batches of
+    /// ≈ 10 000) against a 256 + 64 machine estate — an estate sized for a
+    /// million-job backlog, not the paper's 8-host cluster. Used by the
+    /// `perfscale` probes to measure decision-loop and end-to-end
+    /// throughput far beyond the paper's ≈ 105-job runs. Autonomic probing
+    /// is off so the run measures the scheduler/engine path, not the probe
+    /// cadence.
+    pub fn megascale(scheduler: SchedulerKind, total_jobs: u64, seed: u64) -> ExperimentConfig {
+        ExperimentConfig {
+            seed,
+            scheduler,
+            arrivals: ArrivalConfig::megascale(total_jobs),
+            n_ic: 256,
+            n_ec: 64,
+            probe_interval: None,
+            ..ExperimentConfig::default()
+        }
+    }
+
     /// Same, under the Fig. 9 "high network variation" pipe.
     pub fn paper_high_variation(
         scheduler: SchedulerKind,
@@ -247,6 +266,19 @@ mod tests {
         assert_eq!(FitKind::Ols.to_method(), cloudburst_qrsm::Method::Ols);
         assert_eq!(FitKind::Ridge(0.5).to_method(), cloudburst_qrsm::Method::Ridge(0.5));
         assert_eq!(FitKind::Lad.to_method(), cloudburst_qrsm::Method::Lad);
+    }
+
+    #[test]
+    fn megascale_targets_the_requested_job_count() {
+        let c = ExperimentConfig::megascale(SchedulerKind::Greedy, 100_000, 1);
+        let expected: f64 = (0..c.arrivals.n_batches).map(|b| c.arrivals.rate_for_batch(b)).sum();
+        assert!((expected - 100_000.0).abs() < 1e-6);
+        assert_eq!(c.n_ic, 256);
+        assert_eq!(c.n_ec, 64);
+        assert!(c.probe_interval.is_none());
+        // One-job edge case still produces a single batch.
+        let tiny = ExperimentConfig::megascale(SchedulerKind::Greedy, 1, 1);
+        assert_eq!(tiny.arrivals.n_batches, 1);
     }
 
     #[test]

@@ -28,8 +28,8 @@ use cloudburst_sched::resched::{
     pull_back_candidate, push_out_candidate, PullBackCandidate, PushOutCandidate,
 };
 use cloudburst_sched::{
-    BurstScheduler, EstimateProvider, GreedyScheduler, IcOnlyScheduler, LoadModel,
-    OrderPreservingScheduler, Placement, ProcTimeModel, SibsScheduler,
+    BurstScheduler, EstimateProvider, FreeTimeIndex, GreedyScheduler, IcOnlyScheduler, LoadModel,
+    OrderPreservingScheduler, OutstandingSet, Placement, ProcTimeModel, SibsScheduler,
 };
 use cloudburst_sim::{EventId, FxHashMap, RngFactory, Sim, SimDuration, SimTime};
 use cloudburst_sla::{metrics, oo_series, CompletionRecord, RunReport};
@@ -41,6 +41,59 @@ use crate::config::{EcSiteConfig, ExperimentConfig, SchedulerKind};
 /// Size of the autonomic probe transfers (Sec. III-A-2: "periodic test
 /// uploads/downloads of size 1MB").
 const PROBE_BYTES: u64 = 1_000_000;
+
+/// Fallback execution estimate (standard seconds) for a job the QRSM has
+/// no recorded estimate for — only reachable for ids outside the admitted
+/// range, which the drain replays defensively rather than panicking on.
+const DEFAULT_EST_EXEC_SECS: f64 = 60.0;
+
+/// The recorded QRSM estimate for `id`, or the default fallback.
+fn est_exec_or_default(est_exec: &[f64], id: JobId) -> f64 {
+    est_exec.get(id.0 as usize).copied().unwrap_or(DEFAULT_EST_EXEC_SECS)
+}
+
+/// Fills `buf` with estimated seconds until each machine frees from its
+/// *running* job only (scheduler-side estimates, never ground truth).
+/// Reuses `buf`'s capacity; free function so callers can borrow disjoint
+/// `EngineWorld` fields.
+fn fill_running_free(
+    est_exec: &[f64],
+    buf: &mut Vec<f64>,
+    cloud: &Cloud<JobId>,
+    speed: f64,
+    now: SimTime,
+) {
+    buf.clear();
+    buf.resize(cloud.n_machines(), 0.0);
+    for (key, machine, started) in cloud.running_detail() {
+        let est = est_exec_or_default(est_exec, key);
+        let elapsed_std = (now - started).as_secs_f64() * speed;
+        buf[machine.0] = (est - elapsed_std).max(0.0) / speed;
+    }
+}
+
+/// Fills `buf` with estimated seconds until each machine frees, including
+/// the FCFS drain of the queue — the indexed replacement for the linear
+/// rescan: O(log m) per queued job via the tournament tree, with the same
+/// iteration order, tie-breaking, and f64 arithmetic, so the result is
+/// bitwise identical to `EngineWorld::est_free_secs`.
+fn fill_est_free(
+    est_exec: &[f64],
+    ft: &mut FreeTimeIndex,
+    buf: &mut Vec<f64>,
+    cloud: &Cloud<JobId>,
+    speed: f64,
+    now: SimTime,
+) {
+    fill_running_free(est_exec, buf, cloud, speed, now);
+    ft.reset_from(buf);
+    for key in cloud.queued_keys() {
+        let est = est_exec_or_default(est_exec, key);
+        ft.fcfs_commit(est / speed);
+    }
+    buf.clear();
+    buf.extend_from_slice(ft.values());
+}
 
 /// What an in-flight transfer carries.
 #[derive(Clone, Copy, Debug)]
@@ -147,7 +200,14 @@ pub struct EngineWorld {
     completions: Vec<Option<SimTime>>,
     /// Actual output bytes delivered per job.
     output_bytes: Vec<u64>,
-    /// The scheduler's own completion estimate per unfinished job.
+    /// The scheduler's own completion estimates for unfinished jobs,
+    /// maintained incrementally on admission/completion (the load model's
+    /// `T_i` pool, no longer rebuilt per decision).
+    outstanding: OutstandingSet,
+    /// Rebuild oracle for `outstanding`: the per-job completion-estimate
+    /// table the pool used to be re-collected from each decision. Kept in
+    /// test builds so every decision can assert pool equivalence.
+    #[cfg(test)]
     est_completion: Vec<Option<SimTime>>,
     /// Completion promise quoted at admission (estimate + margin).
     ticket_promise: Vec<SimTime>,
@@ -173,6 +233,22 @@ pub struct EngineWorld {
     /// of the components into these so the wake loop never allocates.
     scratch_exec: Vec<ExecCompletion<JobId>>,
     scratch_link: Vec<Completion>,
+    /// Tournament tree over machine free-times: replays FCFS drains in
+    /// O(log m) per queued job instead of the oracle's O(m) rescan.
+    ft_index: FreeTimeIndex,
+    /// Load-model backing storage, refreshed in place each decision so the
+    /// borrowed [`LoadModel`] snapshot allocates nothing.
+    ic_free_buf: Vec<f64>,
+    ec_free_buf: Vec<f64>,
+    /// Pull-back scratch: candidates and their (site, class, id) keys in
+    /// lock-step, so `pull_back_candidate` gets a slice directly instead of
+    /// a per-iteration double-collect.
+    pb_cands: Vec<PullBackCandidate>,
+    pb_meta: Vec<(usize, SizeClass, JobId)>,
+    /// Push-out scratch: the IC wait queue snapshot and its Eq. 1/2
+    /// candidate view.
+    po_waiting: Vec<JobId>,
+    po_queue: Vec<PushOutCandidate>,
 }
 
 impl std::fmt::Debug for EngineWorld {
@@ -275,6 +351,8 @@ impl EngineWorld {
             site_of: Vec::new(),
             completions: Vec::new(),
             output_bytes: Vec::new(),
+            outstanding: OutstandingSet::new(),
+            #[cfg(test)]
             est_completion: Vec::new(),
             ticket_promise: Vec::new(),
             timelines: Vec::new(),
@@ -292,6 +370,13 @@ impl EngineWorld {
             last_provision_accrual: SimTime::ZERO,
             scratch_exec: Vec::new(),
             scratch_link: Vec::new(),
+            ft_index: FreeTimeIndex::new(),
+            ic_free_buf: Vec::new(),
+            ec_free_buf: Vec::new(),
+            pb_cands: Vec::new(),
+            pb_meta: Vec::new(),
+            po_waiting: Vec::new(),
+            po_queue: Vec::new(),
         }
     }
 
@@ -321,6 +406,32 @@ impl EngineWorld {
         &self.timelines
     }
 
+    /// The internal-cloud pool (probe API — lets external probes replay
+    /// the decision loop's inputs through the public `Cloud` iterators).
+    pub fn ic_cloud(&self) -> &Cloud<JobId> {
+        &self.ic
+    }
+
+    /// An external-cloud pool (probe API; site 0 is the primary EC).
+    pub fn ec_cloud(&self, site: usize) -> &Cloud<JobId> {
+        &self.sites[site].cloud
+    }
+
+    /// The recorded QRSM estimate (standard seconds) per admitted job.
+    pub fn est_exec_estimates(&self) -> &[f64] {
+        &self.est_exec
+    }
+
+    /// Number of admitted jobs still outstanding (no result delivered).
+    pub fn outstanding_jobs(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// The experiment configuration this world was built from.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.cfg
+    }
+
     fn fresh_tid(&mut self) -> TransferId {
         self.next_tid += 1;
         TransferId(self.next_tid)
@@ -330,25 +441,28 @@ impl EngineWorld {
         self.batches_seen == self.batches_total && self.completions.iter().all(|c| c.is_some())
     }
 
-    /// Estimated seconds until each machine frees from its *running* job
-    /// only (scheduler-side estimates, never ground truth).
+    /// Rescan oracle for [`fill_running_free`]: estimated seconds until
+    /// each machine frees from its *running* job only.
+    #[cfg(test)]
     fn est_running_free_secs(&self, cloud: &Cloud<JobId>, speed: f64, now: SimTime) -> Vec<f64> {
         let mut free = vec![0.0; cloud.n_machines()];
         for (key, machine, started) in cloud.running_detail() {
-            let est = self.est_exec.get(key.0 as usize).copied().unwrap_or(60.0);
+            let est = est_exec_or_default(&self.est_exec, key);
             let elapsed_std = (now - started).as_secs_f64() * speed;
             free[machine.0] = (est - elapsed_std).max(0.0) / speed;
         }
         free
     }
 
-    /// Estimated seconds until each machine of a cloud frees, including the
-    /// FCFS drain of its queue.
+    /// Rescan oracle for [`fill_est_free`]: the original linear `min_by`
+    /// replay of the FCFS queue drain, O(queue × machines). Retained so
+    /// tests can pin the indexed path to it decision by decision.
+    #[cfg(test)]
     fn est_free_secs(&self, cloud: &Cloud<JobId>, speed: f64, now: SimTime) -> Vec<f64> {
         let mut free = self.est_running_free_secs(cloud, speed, now);
         // Queued jobs drain onto the earliest-free machines, FCFS.
         for key in cloud.queued_keys() {
-            let est = self.est_exec.get(key.0 as usize).copied().unwrap_or(60.0);
+            let est = est_exec_or_default(&self.est_exec, key);
             let (idx, _) = free
                 .iter()
                 .enumerate()
@@ -359,24 +473,80 @@ impl EngineWorld {
         free
     }
 
-    /// Builds the scheduler's state snapshot. The EC view reflects the
-    /// least-backlogged site (the broker's first choice).
-    fn load_model(&self, now: SimTime) -> LoadModel {
+    /// Refreshes the load-model backing buffers in place and returns the
+    /// broker's site choice. Allocation-free once the buffers are warm.
+    fn refresh_load_model(&mut self, now: SimTime) -> usize {
         let site = self.least_loaded_site();
+        fill_est_free(
+            &self.est_exec,
+            &mut self.ft_index,
+            &mut self.ic_free_buf,
+            &self.ic,
+            self.cfg.ic_speed,
+            now,
+        );
+        fill_est_free(
+            &self.est_exec,
+            &mut self.ft_index,
+            &mut self.ec_free_buf,
+            &self.sites[site].cloud,
+            self.cfg.ec_speed,
+            now,
+        );
+        #[cfg(test)]
+        self.assert_decision_state_matches_oracles(site, now);
+        site
+    }
+
+    /// The borrowed scheduler snapshot over the refreshed buffers. The EC
+    /// view reflects the least-backlogged site (the broker's first choice).
+    fn load_view(&self, site: usize, now: SimTime) -> LoadModel<'_> {
         let s = &self.sites[site];
         LoadModel {
             now,
-            ic_free_secs: self.est_free_secs(&self.ic, self.cfg.ic_speed, now),
-            ec_free_secs: self.est_free_secs(&s.cloud, self.cfg.ec_speed, now),
+            ic_free_secs: &self.ic_free_buf,
+            ec_free_secs: &self.ec_free_buf,
             upload_backlog_bytes: s.upload_backlog_bytes(),
             download_backlog_bytes: s.download_backlog_bytes(),
-            outstanding_est_completions: self
-                .est_completion
-                .iter()
-                .flatten()
-                .copied()
-                .collect(),
+            outstanding_est_completions: self.outstanding.values(),
         }
+    }
+
+    /// Probe API: refreshes and returns the scheduler's state snapshot as
+    /// of `now`, exactly as the controller would see it before a batch.
+    /// Read-only with respect to pipeline state; allocation-free once warm.
+    pub fn load_snapshot(&mut self, now: SimTime) -> LoadModel<'_> {
+        let site = self.refresh_load_model(now);
+        self.load_view(site, now)
+    }
+
+    /// Probe API: one steady-state decision sweep — refresh the load
+    /// model, then (when the rescheduling extension is on) evaluate
+    /// pull-back and push-out. This is the engine's per-event decision
+    /// cost without the event-queue machinery around it; live drivers
+    /// must still resync component wakes after any state change.
+    pub fn decision_sweep(&mut self, now: SimTime) {
+        let _ = self.load_snapshot(now);
+        if self.cfg.rescheduling {
+            try_pull_back(self, now);
+            try_push_out(self, now);
+        }
+    }
+
+    /// In test builds every decision cross-checks the indexed free-time
+    /// drain and the incremental outstanding pool against the retained
+    /// rescan oracles — bitwise for free-times, multiset for the pool.
+    #[cfg(test)]
+    fn assert_decision_state_matches_oracles(&self, site: usize, now: SimTime) {
+        let ic_oracle = self.est_free_secs(&self.ic, self.cfg.ic_speed, now);
+        assert_eq!(self.ic_free_buf, ic_oracle, "indexed IC drain diverged from rescan");
+        let ec_oracle = self.est_free_secs(&self.sites[site].cloud, self.cfg.ec_speed, now);
+        assert_eq!(self.ec_free_buf, ec_oracle, "indexed EC drain diverged from rescan");
+        let mut want: Vec<SimTime> = self.est_completion.iter().flatten().copied().collect();
+        let mut got: Vec<SimTime> = self.outstanding.values().to_vec();
+        want.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(got, want, "incremental outstanding pool diverged from rebuild");
     }
 
     /// The site a new burst would go to: least upload backlog, ties to the
@@ -613,9 +783,18 @@ fn on_batch(w: &mut W, sim: &mut Sim<W>, batch_jobs: Vec<Job>) {
     // Process anything that completed up to now first.
     on_wake(w, sim);
 
-    let load = w.load_model(now);
-    let site = w.least_loaded_site();
+    let site = w.refresh_load_model(now);
     w.scheduler.set_upload_queue_state(w.sites[site].up_queues.queued_bytes());
+    // Built from direct field borrows (not `load_view`) so the borrow
+    // checker sees the snapshot and `w.scheduler`/`w.est` as disjoint.
+    let load = LoadModel {
+        now,
+        ic_free_secs: &w.ic_free_buf,
+        ec_free_secs: &w.ec_free_buf,
+        upload_backlog_bytes: w.sites[site].upload_backlog_bytes(),
+        download_backlog_bytes: w.sites[site].download_backlog_bytes(),
+        outstanding_est_completions: w.outstanding.values(),
+    };
     let schedule = w.scheduler.schedule_batch(batch_jobs, &load, &w.est);
     if let Some(b) = schedule.sibs {
         w.sites[site].sibs_bounds = Some(b);
@@ -648,6 +827,8 @@ fn on_batch(w: &mut W, sim: &mut Sim<W>, batch_jobs: Vec<Job>) {
         w.site_of.push(site);
         w.completions.push(None);
         w.output_bytes.push(0);
+        w.outstanding.insert(id.0, est_ct);
+        #[cfg(test)]
         w.est_completion.push(Some(est_ct));
         // The ticket quote: estimate plus a k-RMSE confidence margin.
         w.ticket_promise.push(
@@ -806,7 +987,11 @@ fn record_completion(w: &mut W, id: JobId, at: SimTime) {
     debug_assert!(w.completions[idx].is_none(), "job completed twice: {id}");
     w.completions[idx] = Some(at);
     w.output_bytes[idx] = w.jobs[idx].output_bytes;
-    w.est_completion[idx] = None;
+    w.outstanding.remove(id.0);
+    #[cfg(test)]
+    {
+        w.est_completion[idx] = None;
+    }
     w.timelines[idx].completed = Some(at);
 }
 
@@ -815,7 +1000,11 @@ fn record_completion(w: &mut W, id: JobId, at: SimTime) {
 fn try_pull_back(w: &mut W, now: SimTime) {
     while w.ic.idle_machines() > 0 && w.ic.queued() == 0 {
         // Head candidates: the front of each class queue at each site.
-        let mut cands: Vec<(usize, SizeClass, JobId, PullBackCandidate)> = Vec::new();
+        // `pb_cands`/`pb_meta` are persistent world scratch kept in
+        // lock-step, so the decision slice feeds `pull_back_candidate`
+        // directly — no per-iteration Vecs.
+        w.pb_cands.clear();
+        w.pb_meta.clear();
         for (si, s) in w.sites.iter().enumerate() {
             for class in SizeClass::ALL {
                 if let Some((&id, bytes)) = s.up_queues.front(class) {
@@ -825,22 +1014,17 @@ fn try_pull_back(w: &mut W, now: SimTime) {
                     let job = &w.jobs[id.0 as usize];
                     let exec = w.est.exec_secs_ec(job);
                     let down = w.est.download_secs(now, w.est.output_bytes(job));
-                    cands.push((
-                        si,
-                        class,
-                        id,
-                        PullBackCandidate {
-                            est_remaining_ec_secs: wait + up + exec + down,
-                            est_ic_reexec_secs: w.est.exec_secs_ic(job),
-                            not_yet_running: true,
-                        },
-                    ));
+                    w.pb_cands.push(PullBackCandidate {
+                        est_remaining_ec_secs: wait + up + exec + down,
+                        est_ic_reexec_secs: w.est.exec_secs_ic(job),
+                        not_yet_running: true,
+                    });
+                    w.pb_meta.push((si, class, id));
                 }
             }
         }
-        let picked = pull_back_candidate(&cands.iter().map(|(_, _, _, c)| *c).collect::<Vec<_>>());
-        let Some(k) = picked else { break };
-        let (si, class, id, _) = cands[k];
+        let Some(k) = pull_back_candidate(&w.pb_cands) else { break };
+        let (si, class, id) = w.pb_meta[k];
         let (got, _) = w.sites[si]
             .up_queues
             .pop_front_class(class)
@@ -861,45 +1045,44 @@ fn try_push_out(w: &mut W, now: SimTime) {
     if !w.sites[site].up_queues.is_empty() || w.sites[site].up_link.in_flight() > 0 {
         return;
     }
-    let waiting: Vec<JobId> = w.ic.queued_keys().collect();
-    if waiting.is_empty() {
+    w.po_waiting.clear();
+    w.po_waiting.extend(w.ic.queued_keys());
+    if w.po_waiting.is_empty() {
         return;
     }
     // Fresh Eq. 1 anchors: replay the IC's FCFS drain with *current*
     // estimates. Using the completion estimates recorded at batch time
     // would bake in everything the system has since fallen behind on, and
-    // late in a run those instants are already in the past.
+    // late in a run those instants are already in the past. The drain
+    // commits through the tournament index — O(log m) per waiting job.
     let speed = w.cfg.ic_speed;
-    let mut free = w.est_running_free_secs(&w.ic, speed, now);
-    let mut ahead_max: f64 = free.iter().copied().fold(0.0, f64::max);
-    let queue: Vec<PushOutCandidate> = waiting
-        .iter()
-        .map(|id| {
-            let slack = if ahead_max > 0.0 {
-                Some(now + SimDuration::from_secs_f64(ahead_max))
-            } else {
-                None // queue head of an idle pool: no cushion
-            };
-            let job = &w.jobs[id.0 as usize];
-            let up = w.est.upload_secs(now, job.input_bytes());
-            let exec = w.est.exec_secs_ec(job);
-            let down = w.est.download_secs(now, w.est.output_bytes(job));
-            // Commit this job onto the planned drain for its successors.
-            let est = w.est_exec.get(id.0 as usize).copied().unwrap_or(60.0);
-            let (idx, _) = free
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
-                .expect("IC has machines");
-            free[idx] += est / speed;
-            ahead_max = ahead_max.max(free[idx]);
-            PushOutCandidate { slack, round_trip_secs: up + exec + down }
-        })
-        .collect();
-    let Some(k) = push_out_candidate(now, &queue) else {
+    fill_running_free(&w.est_exec, &mut w.ic_free_buf, &w.ic, speed, now);
+    w.ft_index.reset_from(&w.ic_free_buf);
+    let mut ahead_max: f64 = w.ic_free_buf.iter().copied().fold(0.0, f64::max);
+    w.po_queue.clear();
+    for i in 0..w.po_waiting.len() {
+        let id = w.po_waiting[i];
+        let slack = if ahead_max > 0.0 {
+            Some(now + SimDuration::from_secs_f64(ahead_max))
+        } else {
+            None // queue head of an idle pool: no cushion
+        };
+        let job = &w.jobs[id.0 as usize];
+        let up = w.est.upload_secs(now, job.input_bytes());
+        let exec = w.est.exec_secs_ec(job);
+        let down = w.est.download_secs(now, w.est.output_bytes(job));
+        // Commit this job onto the planned drain for its successors.
+        let est = est_exec_or_default(&w.est_exec, id);
+        let idx = w.ft_index.fcfs_commit(est / speed);
+        ahead_max = ahead_max.max(w.ft_index.value(idx));
+        w.po_queue.push(PushOutCandidate { slack, round_trip_secs: up + exec + down });
+    }
+    #[cfg(test)]
+    assert_push_out_queue_matches_oracle(w, now, speed);
+    let Some(k) = push_out_candidate(now, &w.po_queue) else {
         return;
     };
-    let id = waiting[k];
+    let id = w.po_waiting[k];
     if w.ic.cancel_queued(id).is_none() {
         return;
     }
@@ -911,6 +1094,42 @@ fn try_push_out(w: &mut W, now: SimTime) {
     w.sites[site].up_queues.push(class, id, bytes);
     w.n_push_outs += 1;
     pump_uploads(w, site, now);
+}
+
+/// Rescan oracle for the indexed push-out drain: rebuilds the candidate
+/// queue with the original per-job linear min-scan and asserts the indexed
+/// path produced bitwise-identical slacks, round trips, and drain state.
+#[cfg(test)]
+fn assert_push_out_queue_matches_oracle(w: &W, now: SimTime, speed: f64) {
+    let mut free = w.est_running_free_secs(&w.ic, speed, now);
+    let mut ahead_max: f64 = free.iter().copied().fold(0.0, f64::max);
+    for (i, id) in w.po_waiting.iter().enumerate() {
+        let slack = if ahead_max > 0.0 {
+            Some(now + SimDuration::from_secs_f64(ahead_max))
+        } else {
+            None
+        };
+        let job = &w.jobs[id.0 as usize];
+        let up = w.est.upload_secs(now, job.input_bytes());
+        let exec = w.est.exec_secs_ec(job);
+        let down = w.est.download_secs(now, w.est.output_bytes(job));
+        let est = est_exec_or_default(&w.est_exec, *id);
+        let (idx, _) = free
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+            .expect("IC has machines");
+        free[idx] += est / speed;
+        ahead_max = ahead_max.max(free[idx]);
+        let got = &w.po_queue[i];
+        assert_eq!(got.slack, slack, "push-out slack diverged at queue pos {i}");
+        assert_eq!(
+            got.round_trip_secs.to_bits(),
+            (up + exec + down).to_bits(),
+            "push-out round trip diverged at queue pos {i}"
+        );
+    }
+    assert_eq!(w.ft_index.values(), &free[..], "indexed push-out drain diverged from rescan");
 }
 
 /// Autonomic probe: a 1 MB transfer each way, then self-reschedule.
@@ -981,28 +1200,95 @@ pub fn run_with_batches(
     cfg: &ExperimentConfig,
     batches: Vec<cloudburst_workload::Batch>,
 ) -> (RunReport, EngineWorld) {
-    let mut world = EngineWorld::new(cfg.clone());
-    world.batches_total = batches.len() as u32;
-    let mut sim: Sim<EngineWorld> = Sim::new();
-    for b in batches {
-        sim.schedule_at(b.arrival, move |w, sim| on_batch(w, sim, b.jobs));
+    let mut harness = EngineHarness::new(cfg, batches);
+    harness.run();
+    harness.finish()
+}
+
+/// A steppable engine driver: the event queue plus the world, exposed so
+/// probes, benchmarks, and tests can advance a run to a mid-flight state
+/// and exercise the decision path ([`EngineWorld::load_snapshot`],
+/// [`EngineWorld::decision_sweep`]) directly. [`run_with_batches`] is
+/// `new` → `run` → `finish`.
+pub struct EngineHarness {
+    world: EngineWorld,
+    sim: Sim<EngineWorld>,
+}
+
+impl std::fmt::Debug for EngineHarness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineHarness")
+            .field("now", &self.sim.now())
+            .field("pending", &self.sim.pending())
+            .field("world", &self.world)
+            .finish()
     }
-    if let Some(interval) = cfg.probe_interval {
-        sim.schedule_in(interval, move |w, sim| on_probe(w, sim, interval));
+}
+
+impl EngineHarness {
+    /// Builds the world and schedules the arrival/probe/scaling events.
+    pub fn new(cfg: &ExperimentConfig, batches: Vec<cloudburst_workload::Batch>) -> EngineHarness {
+        let mut world = EngineWorld::new(cfg.clone());
+        world.batches_total = batches.len() as u32;
+        let mut sim: Sim<EngineWorld> = Sim::new();
+        for b in batches {
+            sim.schedule_at(b.arrival, move |w, sim| on_batch(w, sim, b.jobs));
+        }
+        if let Some(interval) = cfg.probe_interval {
+            sim.schedule_in(interval, move |w, sim| on_probe(w, sim, interval));
+        }
+        if let Some(policy) = cfg.scaling {
+            sim.schedule_in(policy.period, move |w, sim| on_scaling_tick(w, sim, policy.period));
+        }
+        EngineHarness { world, sim }
     }
-    if let Some(policy) = cfg.scaling {
-        sim.schedule_in(policy.period, move |w, sim| on_scaling_tick(w, sim, policy.period));
+
+    /// Fires the next event; `false` once the queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.sim.step(&mut self.world)
     }
-    sim.run(&mut world);
-    assert!(
-        world.all_done(),
-        "engine deadlock: {} of {} jobs incomplete",
-        world.completions.iter().filter(|c| c.is_none()).count(),
-        world.jobs.len()
-    );
-    let end = sim.now();
-    world.accrue_provisioning(end);
-    (world.report(end), world)
+
+    /// Fires every event scheduled up to `until`.
+    pub fn run_until(&mut self, until: SimTime) {
+        self.sim.run_until(&mut self.world, until);
+    }
+
+    /// Drains the event queue completely.
+    pub fn run(&mut self) {
+        self.sim.run(&mut self.world);
+    }
+
+    /// Current simulation clock.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// The simulated world, for inspection.
+    pub fn world(&self) -> &EngineWorld {
+        &self.world
+    }
+
+    /// Mutable world access for probe APIs. Callers that mutate pipeline
+    /// state must drive the run to completion through events they schedule
+    /// themselves — the harness only resyncs on its own event handlers.
+    pub fn world_mut(&mut self) -> &mut EngineWorld {
+        &mut self.world
+    }
+
+    /// Asserts the run completed, accrues provisioning, and produces the
+    /// SLA report.
+    pub fn finish(mut self) -> (RunReport, EngineWorld) {
+        assert!(
+            self.world.all_done(),
+            "engine deadlock: {} of {} jobs incomplete",
+            self.world.completions.iter().filter(|c| c.is_none()).count(),
+            self.world.jobs.len()
+        );
+        let end = self.sim.now();
+        self.world.accrue_provisioning(end);
+        let report = self.world.report(end);
+        (report, self.world)
+    }
 }
 
 #[cfg(test)]
@@ -1227,6 +1513,65 @@ mod tests {
                 .map(|(_, s)| *s)
                 .collect();
             assert!(used_sites.len() >= 2, "broker should spread across sites");
+        }
+    }
+
+    // Equivalence property: a full run in test builds cross-checks the
+    // indexed free-time drain, the incremental outstanding pool and the
+    // push-out queue scan against the retained rescan oracles on *every*
+    // decision (`assert_decision_state_matches_oracles`,
+    // `assert_push_out_queue_matches_oracle`). Driving randomized
+    // configurations through `run_experiment` therefore pins the fast
+    // paths to the originals across scheduler kinds, pool shapes, the
+    // rescheduling extension and the multi-EC broker.
+    mod equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+
+            #[test]
+            fn fast_paths_match_rescan_oracles_on_every_decision(
+                seed in 0u64..10_000,
+                kind_idx in 0usize..3,
+                n_ic in 1usize..6,
+                n_ec in 1usize..4,
+                jobs_per_batch in 4.0f64..14.0,
+                bucket_idx in 0usize..3,
+                rescheduling in any::<bool>(),
+                extra_site in any::<bool>(),
+            ) {
+                let kind = [
+                    SchedulerKind::Greedy,
+                    SchedulerKind::OrderPreserving,
+                    SchedulerKind::Sibs,
+                ][kind_idx];
+                let mut cfg = small_cfg(kind, seed);
+                cfg.n_ic = n_ic;
+                cfg.n_ec = n_ec;
+                cfg.arrivals.jobs_per_batch = jobs_per_batch;
+                cfg.arrivals.bucket = SizeBucket::ALL[bucket_idx];
+                cfg.rescheduling = rescheduling;
+                if extra_site {
+                    cfg.extra_ec_sites = vec![EcSiteConfig {
+                        n_machines: 2,
+                        speed: 1.5,
+                        upload_model: cfg.upload_model.clone(),
+                        download_model: cfg.download_model.clone(),
+                    }];
+                }
+                // The run itself is the assertion: every decision re-checks
+                // the indexed state against the O(queue × machines) rescan.
+                let (a, _) = run_experiment_detailed(&cfg);
+                prop_assert_eq!(a.completion_times.len(), a.n_jobs);
+                // And the fast paths stay deterministic: an identical run
+                // reproduces the report exactly.
+                let (b, _) = run_experiment_detailed(&cfg);
+                prop_assert_eq!(a.completion_times, b.completion_times);
+                prop_assert_eq!(a.makespan_secs, b.makespan_secs);
+                prop_assert_eq!(a.burst_ratio, b.burst_ratio);
+            }
         }
     }
 }

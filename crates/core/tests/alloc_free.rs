@@ -1,0 +1,64 @@
+//! Verifies the tentpole acceptance criterion of the sub-linear decision
+//! loop: once warm, a steady-state decision sweep — load-model refresh via
+//! the indexed free-time drain, plus pull-back and push-out evaluation —
+//! performs zero heap allocations.
+//!
+//! This is an integration test on purpose: the library is compiled without
+//! `cfg(test)`, so the in-crate rescan oracles (which allocate) are not in
+//! the measured path — exactly the production configuration.
+
+use cloudburst_core::{EngineHarness, ExperimentConfig, SchedulerKind};
+use cloudburst_sim::RngFactory;
+use cloudburst_testsupport::{allocations, CountingAlloc};
+use cloudburst_workload::{BatchArrivals, SizeBucket};
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+// One test function: the counter is process-global, so concurrent tests in
+// this binary would pollute each other's deltas.
+#[test]
+fn steady_state_decision_sweep_is_allocation_free() {
+    // The paper estate under a heavy large-biased workload with the
+    // rescheduling extension on: deep IC queues so pull-back and push-out
+    // have real candidate sets to evaluate every sweep.
+    let mut cfg =
+        ExperimentConfig::paper(SchedulerKind::OrderPreserving, SizeBucket::LargeBiased, 9);
+    cfg.arrivals.jobs_per_batch = 60.0;
+    cfg.rescheduling = true;
+
+    let rngs = RngFactory::new(cfg.seed);
+    let batches = BatchArrivals::new(cfg.arrivals.clone()).generate(&rngs, &cfg.truth);
+    let mut h = EngineHarness::new(&cfg, batches);
+
+    // Advance to a mid-flight state: several batches admitted, queues and
+    // links busy.
+    h.run_until(cloudburst_sim::SimTime::from_secs(9 * 60));
+    let now = h.now();
+    let w = h.world_mut();
+    assert!(w.outstanding_jobs() > 0, "mid-run state must have work in flight");
+
+    // Warm-up: let the sweep reach its fixed point (no further pull-backs
+    // or push-outs fire at this instant) and size every scratch buffer.
+    let mut moves = (w.pull_backs(), w.push_outs());
+    for _ in 0..32 {
+        w.decision_sweep(now);
+        let after = (w.pull_backs(), w.push_outs());
+        if after == moves {
+            break;
+        }
+        moves = after;
+    }
+
+    let (n, _) = allocations(|| {
+        for _ in 0..100 {
+            w.decision_sweep(now);
+        }
+    });
+    assert_eq!(n, 0, "steady-state decision sweep must not allocate");
+
+    // The run still completes correctly after being probed.
+    h.run();
+    let (report, _world) = h.finish();
+    assert!(report.makespan_secs > 0.0);
+}

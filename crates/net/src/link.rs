@@ -191,9 +191,13 @@ impl Link {
     }
 
     /// Integrates all transfers forward to `to`, returning completions in
-    /// chronological order. Convenience wrapper over
-    /// [`Link::advance_into`]; the engine's per-wake hot path uses the
-    /// buffer-reusing form directly.
+    /// chronological order. Test-only convenience wrapper over
+    /// [`Link::advance_into`]: every production caller uses the
+    /// buffer-reusing form (a fresh `Vec` per wake is exactly the per-event
+    /// allocation the hot path forbids), so the allocating wrapper is
+    /// compiled out of non-test builds and listed under
+    /// `disallowed-methods` in `clippy.toml`.
+    #[cfg(test)]
     pub fn advance(&mut self, to: SimTime) -> Vec<Completion> {
         let mut done = Vec::new();
         self.advance_into(to, &mut done);
@@ -346,6 +350,9 @@ impl Link {
 }
 
 #[cfg(test)]
+// Unit tests are the sanctioned consumer of the allocating `advance`
+// wrapper (it only exists under cfg(test)).
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
 

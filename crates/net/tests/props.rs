@@ -32,12 +32,12 @@ proptest! {
         let mut done = Vec::new();
         for &i in &order {
             let at = SimTime::from_secs(starts[i]);
-            done.extend(link.advance(at));
+            link.advance_into(at, &mut done);
             link.start(at, TransferId(i as u64), sizes[i], threads[i]);
         }
         let mut guard = 0;
         while let Some(w) = link.next_wake() {
-            done.extend(link.advance(w));
+            link.advance_into(w, &mut done);
             guard += 1;
             prop_assert!(guard < 200_000, "no convergence");
         }

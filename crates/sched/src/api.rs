@@ -20,29 +20,63 @@ pub enum Placement {
 /// Snapshot of system state the engine hands to a scheduler at a decision
 /// point. All quantities are *estimates or observables* — never ground
 /// truth.
-#[derive(Clone, Debug)]
-pub struct LoadModel {
+///
+/// The slice fields *borrow* engine-owned (or [`LoadModelBuf`]-owned)
+/// storage: building a snapshot per decision is allocation-free on the
+/// engine's steady-state path.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadModel<'a> {
     /// Decision instant.
     pub now: SimTime,
     /// Estimated seconds until each IC machine is free, including its
     /// queued share (0 = idle). One entry per machine.
-    pub ic_free_secs: Vec<f64>,
+    pub ic_free_secs: &'a [f64],
     /// Same for the EC machines.
-    pub ec_free_secs: Vec<f64>,
+    pub ec_free_secs: &'a [f64],
     /// Bytes queued ahead in the upload direction.
     pub upload_backlog_bytes: u64,
     /// Bytes queued ahead in the download direction.
     pub download_backlog_bytes: u64,
     /// Estimated completion instants of every previously scheduled,
     /// not-yet-finished job (the scheduler's own past estimates) — the
-    /// `T_i` pool for slack computation across batch boundaries.
+    /// `T_i` pool for slack computation across batch boundaries. Unordered.
+    pub outstanding_est_completions: &'a [SimTime],
+}
+
+impl LoadModel<'_> {
+    /// `iload` of Algorithm 3: the average estimated seconds of compute
+    /// already committed per IC machine.
+    pub fn ic_initial_load_secs(&self) -> f64 {
+        if self.ic_free_secs.is_empty() {
+            return 0.0;
+        }
+        self.ic_free_secs.iter().sum::<f64>() / self.ic_free_secs.len() as f64
+    }
+}
+
+/// Owned backing storage for a [`LoadModel`]. The engine keeps one of
+/// these and refreshes it in place each decision; tests build one, tweak
+/// the fields, and call [`LoadModelBuf::as_model`].
+#[derive(Clone, Debug, Default)]
+pub struct LoadModelBuf {
+    /// Decision instant.
+    pub now: SimTime,
+    /// Per-IC-machine estimated seconds until free.
+    pub ic_free_secs: Vec<f64>,
+    /// Per-EC-machine estimated seconds until free.
+    pub ec_free_secs: Vec<f64>,
+    /// Bytes queued ahead in the upload direction.
+    pub upload_backlog_bytes: u64,
+    /// Bytes queued ahead in the download direction.
+    pub download_backlog_bytes: u64,
+    /// Outstanding estimated completion instants, unordered.
     pub outstanding_est_completions: Vec<SimTime>,
 }
 
-impl LoadModel {
+impl LoadModelBuf {
     /// An idle system with the given pool sizes (convenient for tests).
-    pub fn idle(now: SimTime, n_ic: usize, n_ec: usize) -> LoadModel {
-        LoadModel {
+    pub fn idle(now: SimTime, n_ic: usize, n_ec: usize) -> LoadModelBuf {
+        LoadModelBuf {
             now,
             ic_free_secs: vec![0.0; n_ic],
             ec_free_secs: vec![0.0; n_ec],
@@ -52,13 +86,16 @@ impl LoadModel {
         }
     }
 
-    /// `iload` of Algorithm 3: the average estimated seconds of compute
-    /// already committed per IC machine.
-    pub fn ic_initial_load_secs(&self) -> f64 {
-        if self.ic_free_secs.is_empty() {
-            return 0.0;
+    /// The borrowed snapshot view over this storage.
+    pub fn as_model(&self) -> LoadModel<'_> {
+        LoadModel {
+            now: self.now,
+            ic_free_secs: &self.ic_free_secs,
+            ec_free_secs: &self.ec_free_secs,
+            upload_backlog_bytes: self.upload_backlog_bytes,
+            download_backlog_bytes: self.download_backlog_bytes,
+            outstanding_est_completions: &self.outstanding_est_completions,
         }
-        self.ic_free_secs.iter().sum::<f64>() / self.ic_free_secs.len() as f64
     }
 }
 
@@ -90,7 +127,7 @@ pub trait BurstScheduler {
     fn schedule_batch(
         &mut self,
         batch: Vec<Job>,
-        load: &LoadModel,
+        load: &LoadModel<'_>,
         est: &EstimateProvider,
     ) -> BatchSchedule;
 
@@ -112,14 +149,21 @@ pub struct Planner<'a> {
     ic_free: Vec<f64>,
     ec_free: Vec<f64>,
     upload_backlog_secs: f64,
-    /// Estimated completions of everything scheduled and unfinished,
-    /// including commitments made through this planner.
-    est_completions: Vec<SimTime>,
+    /// Eq. 1's slack anchor: `max` estimated completion over everything
+    /// scheduled and unfinished, including commitments made through this
+    /// planner. Maintained as a running max — `max` is order-independent,
+    /// so folding on construction and on each commit is exactly the old
+    /// full-pool rescan, without holding (or re-scanning) the pool itself:
+    /// the per-job `slack()` call in Algorithm 2's batch loop was the last
+    /// `O(outstanding)` step on the decision path at megascale.
+    slack_anchor: Option<SimTime>,
 }
 
 impl<'a> Planner<'a> {
-    /// Builds a planner over the current load snapshot.
-    pub fn new(load: &LoadModel, est: &'a EstimateProvider) -> Planner<'a> {
+    /// Builds a planner over the current load snapshot. The planner owns
+    /// its working copies — it runs once per *batch*, not per decision, so
+    /// these clones are off the steady-state hot path.
+    pub fn new(load: &LoadModel<'_>, est: &'a EstimateProvider) -> Planner<'a> {
         let upload_backlog_secs = if load.upload_backlog_bytes > 0 {
             est.upload_secs(load.now, load.upload_backlog_bytes)
         } else {
@@ -128,10 +172,10 @@ impl<'a> Planner<'a> {
         Planner {
             est,
             now: load.now,
-            ic_free: load.ic_free_secs.clone(),
-            ec_free: load.ec_free_secs.clone(),
+            ic_free: load.ic_free_secs.to_vec(),
+            ec_free: load.ec_free_secs.to_vec(),
             upload_backlog_secs,
-            est_completions: load.outstanding_est_completions.clone(),
+            slack_anchor: load.outstanding_est_completions.iter().copied().max(),
         }
     }
 
@@ -163,7 +207,7 @@ impl<'a> Planner<'a> {
     /// Eq. 1: the slack anchor — max estimated completion of all work ahead
     /// of the next job. `None` when nothing is ahead.
     pub fn slack(&self) -> Option<SimTime> {
-        self.est_completions.iter().copied().max()
+        self.slack_anchor
     }
 
     /// Commits `job` to the given placement, updating the planned load and
@@ -198,7 +242,7 @@ impl<'a> Planner<'a> {
                 ft
             }
         };
-        self.est_completions.push(ft);
+        self.slack_anchor = Some(self.slack_anchor.map_or(ft, |a| a.max(ft)));
         ft
     }
 
@@ -226,9 +270,9 @@ mod tests {
     #[test]
     fn ft_ic_uses_earliest_free_machine() {
         let (est, jobs) = provider_and_jobs(&[50, 50]);
-        let mut load = LoadModel::idle(SimTime::ZERO, 2, 1);
-        load.ic_free_secs = vec![100.0, 10.0];
-        let planner = Planner::new(&load, &est);
+        let mut buf = LoadModelBuf::idle(SimTime::ZERO, 2, 1);
+        buf.ic_free_secs = vec![100.0, 10.0];
+        let planner = Planner::new(&buf.as_model(), &est);
         let ft = planner.ft_ic(&jobs[0]);
         let exec = est.exec_secs(&jobs[0]);
         assert!((ft.as_secs_f64() - (10.0 + exec)).abs() < 1e-6);
@@ -237,8 +281,8 @@ mod tests {
     #[test]
     fn commit_internal_loads_the_machine() {
         let (est, jobs) = provider_and_jobs(&[50, 50]);
-        let load = LoadModel::idle(SimTime::ZERO, 1, 1);
-        let mut planner = Planner::new(&load, &est);
+        let buf = LoadModelBuf::idle(SimTime::ZERO, 1, 1);
+        let mut planner = Planner::new(&buf.as_model(), &est);
         let ft1 = planner.commit(&jobs[0], Placement::Internal);
         let ft2 = planner.ft_ic(&jobs[1]);
         assert!(ft2 > ft1, "second job queues behind the first");
@@ -247,8 +291,8 @@ mod tests {
     #[test]
     fn ft_ec_includes_all_four_legs() {
         let (est, jobs) = provider_and_jobs(&[100]);
-        let load = LoadModel::idle(SimTime::ZERO, 1, 1);
-        let planner = Planner::new(&load, &est);
+        let buf = LoadModelBuf::idle(SimTime::ZERO, 1, 1);
+        let planner = Planner::new(&buf.as_model(), &est);
         let (wait, up, exec, down) = planner.round_trip_parts(&jobs[0]);
         assert_eq!(wait, 0.0);
         let ft = planner.ft_ec(&jobs[0]);
@@ -258,14 +302,14 @@ mod tests {
     #[test]
     fn commit_external_grows_upload_backlog() {
         let (est, jobs) = provider_and_jobs(&[100, 100]);
-        let load = LoadModel::idle(SimTime::ZERO, 1, 2);
-        let mut planner = Planner::new(&load, &est);
+        let buf = LoadModelBuf::idle(SimTime::ZERO, 1, 2);
+        let mut planner = Planner::new(&buf.as_model(), &est);
         assert_eq!(planner.upload_backlog_secs(), 0.0);
         planner.commit(&jobs[0], Placement::External);
         assert!(planner.upload_backlog_secs() > 0.0);
         // Second burst sees the first upload ahead of it.
         let ft2 = planner.ft_ec(&jobs[1]);
-        let mut fresh = Planner::new(&load, &est);
+        let mut fresh = Planner::new(&buf.as_model(), &est);
         let ft2_fresh = fresh.ft_ec(&jobs[1]);
         assert!(ft2 > ft2_fresh);
         let _ = &mut fresh;
@@ -274,10 +318,10 @@ mod tests {
     #[test]
     fn slack_tracks_commitments_and_outstanding_work() {
         let (est, jobs) = provider_and_jobs(&[50, 50]);
-        let mut load = LoadModel::idle(SimTime::ZERO, 4, 1);
-        assert!(Planner::new(&load, &est).slack().is_none());
-        load.outstanding_est_completions = vec![SimTime::from_secs(500)];
-        let mut planner = Planner::new(&load, &est);
+        let mut buf = LoadModelBuf::idle(SimTime::ZERO, 4, 1);
+        assert!(Planner::new(&buf.as_model(), &est).slack().is_none());
+        buf.outstanding_est_completions = vec![SimTime::from_secs(500)];
+        let mut planner = Planner::new(&buf.as_model(), &est);
         assert_eq!(planner.slack(), Some(SimTime::from_secs(500)));
         let ft = planner.commit(&jobs[0], Placement::Internal);
         assert_eq!(planner.slack(), Some(ft.max(SimTime::from_secs(500))));
@@ -286,13 +330,14 @@ mod tests {
 
     #[test]
     fn idle_load_model_helpers() {
-        let load = LoadModel::idle(SimTime::from_secs(5), 8, 2);
+        let buf = LoadModelBuf::idle(SimTime::from_secs(5), 8, 2);
+        let load = buf.as_model();
         assert_eq!(load.ic_free_secs.len(), 8);
         assert_eq!(load.ic_initial_load_secs(), 0.0);
-        let loaded = LoadModel {
+        let loaded = LoadModelBuf {
             ic_free_secs: vec![10.0, 30.0],
-            ..LoadModel::idle(SimTime::ZERO, 2, 1)
+            ..LoadModelBuf::idle(SimTime::ZERO, 2, 1)
         };
-        assert_eq!(loaded.ic_initial_load_secs(), 20.0);
+        assert_eq!(loaded.as_model().ic_initial_load_secs(), 20.0);
     }
 }

@@ -30,7 +30,7 @@ impl BurstScheduler for GreedyScheduler {
     fn schedule_batch(
         &mut self,
         batch: Vec<Job>,
-        load: &LoadModel,
+        load: &LoadModel<'_>,
         est: &EstimateProvider,
     ) -> BatchSchedule {
         let mut planner = Planner::new(load, est);
@@ -50,6 +50,7 @@ impl BurstScheduler for GreedyScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::LoadModelBuf;
     use crate::estimates::tests_support::{job_with_id, provider};
     use cloudburst_sim::SimTime;
 
@@ -59,8 +60,8 @@ mod tests {
         // nothing bursts.
         let est = provider();
         let batch: Vec<_> = (0..4).map(|i| job_with_id(i, 60)).collect();
-        let load = LoadModel::idle(SimTime::ZERO, 8, 2);
-        let s = GreedyScheduler::new().schedule_batch(batch, &load, &est);
+        let buf = LoadModelBuf::idle(SimTime::ZERO, 8, 2);
+        let s = GreedyScheduler::new().schedule_batch(batch, &buf.as_model(), &est);
         assert_eq!(s.n_bursted(), 0);
         assert_eq!(s.jobs.len(), 4);
     }
@@ -71,9 +72,9 @@ mod tests {
         // the EC round trip.
         let est = provider();
         let batch: Vec<_> = (0..6).map(|i| job_with_id(i, 40)).collect();
-        let mut load = LoadModel::idle(SimTime::ZERO, 1, 2);
-        load.ic_free_secs = vec![20_000.0];
-        let s = GreedyScheduler::new().schedule_batch(batch, &load, &est);
+        let mut buf = LoadModelBuf::idle(SimTime::ZERO, 1, 2);
+        buf.ic_free_secs = vec![20_000.0];
+        let s = GreedyScheduler::new().schedule_batch(batch, &buf.as_model(), &est);
         assert_eq!(s.n_bursted(), 6, "everything beats a 20k-second backlog");
     }
 
@@ -84,9 +85,9 @@ mod tests {
         // decisions differ from earlier ones.
         let est = provider();
         let batch: Vec<_> = (0..10).map(|i| job_with_id(i, 80)).collect();
-        let mut load = LoadModel::idle(SimTime::ZERO, 2, 1);
-        load.ic_free_secs = vec![1_500.0, 1_500.0];
-        let s = GreedyScheduler::new().schedule_batch(batch, &load, &est);
+        let mut buf = LoadModelBuf::idle(SimTime::ZERO, 2, 1);
+        buf.ic_free_secs = vec![1_500.0, 1_500.0];
+        let s = GreedyScheduler::new().schedule_batch(batch, &buf.as_model(), &est);
         let placements: Vec<_> = s.jobs.iter().map(|(_, p)| *p).collect();
         let n_ec = s.n_bursted();
         assert!(n_ec > 0, "some jobs should burst: {placements:?}");
@@ -98,8 +99,8 @@ mod tests {
         let est = provider();
         let batch: Vec<_> = (0..5).map(|i| job_with_id(i, 30 + i * 10)).collect();
         let ids: Vec<_> = batch.iter().map(|j| j.id).collect();
-        let load = LoadModel::idle(SimTime::ZERO, 2, 1);
-        let s = GreedyScheduler::new().schedule_batch(batch, &load, &est);
+        let buf = LoadModelBuf::idle(SimTime::ZERO, 2, 1);
+        let s = GreedyScheduler::new().schedule_batch(batch, &buf.as_model(), &est);
         let out_ids: Vec<_> = s.jobs.iter().map(|(j, _)| j.id).collect();
         assert_eq!(ids, out_ids);
     }

@@ -25,7 +25,7 @@ impl BurstScheduler for IcOnlyScheduler {
     fn schedule_batch(
         &mut self,
         batch: Vec<Job>,
-        _load: &LoadModel,
+        _load: &LoadModel<'_>,
         _est: &EstimateProvider,
     ) -> BatchSchedule {
         BatchSchedule {
@@ -38,6 +38,7 @@ impl BurstScheduler for IcOnlyScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::LoadModelBuf;
     use crate::estimates::tests_support::{job_with_id, provider};
     use cloudburst_sim::SimTime;
 
@@ -45,9 +46,9 @@ mod tests {
     fn never_bursts_even_under_extreme_load() {
         let est = provider();
         let batch: Vec<_> = (0..10).map(|i| job_with_id(i, 200)).collect();
-        let mut load = LoadModel::idle(SimTime::ZERO, 1, 8);
-        load.ic_free_secs = vec![1e9];
-        let s = IcOnlyScheduler::new().schedule_batch(batch, &load, &est);
+        let mut buf = LoadModelBuf::idle(SimTime::ZERO, 1, 8);
+        buf.ic_free_secs = vec![1e9];
+        let s = IcOnlyScheduler::new().schedule_batch(batch, &buf.as_model(), &est);
         assert_eq!(s.n_bursted(), 0);
         assert_eq!(s.jobs.len(), 10);
         assert!(s.sibs.is_none());

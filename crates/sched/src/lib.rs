@@ -11,6 +11,9 @@
 //!   [`LoadModel`] snapshot the engine hands to schedulers.
 //! * [`estimates`] — the [`EstimateProvider`] bundling the QRSM and the
 //!   bandwidth predictors into per-job estimates.
+//! * [`freetime`] — the indexed free-time tracker and incremental
+//!   outstanding-completions pool backing the engine's sub-linear
+//!   decision loop.
 //! * [`greedy`] — Algorithm 1: place each job where it finishes earliest.
 //! * [`order_preserving`] — Algorithm 2: chunk for variance reduction, then
 //!   burst only jobs whose EC round trip fits their slack (Eq. 2).
@@ -26,13 +29,15 @@
 
 pub mod api;
 pub mod estimates;
+pub mod freetime;
 pub mod greedy;
 pub mod ic_only;
 pub mod order_preserving;
 pub mod resched;
 pub mod sibs;
 
-pub use api::{BatchSchedule, BurstScheduler, LoadModel, Placement};
+pub use api::{BatchSchedule, BurstScheduler, LoadModel, LoadModelBuf, Placement};
+pub use freetime::{FreeTimeIndex, OutstandingSet};
 pub use estimates::{EstimateProvider, ProcTimeModel};
 pub use greedy::GreedyScheduler;
 pub use ic_only::IcOnlyScheduler;

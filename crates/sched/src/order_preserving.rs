@@ -100,7 +100,7 @@ impl BurstScheduler for OrderPreservingScheduler {
     fn schedule_batch(
         &mut self,
         batch: Vec<Job>,
-        load: &LoadModel,
+        load: &LoadModel<'_>,
         est: &EstimateProvider,
     ) -> BatchSchedule {
         let expanded = self.chunk_phase(batch);
@@ -132,6 +132,7 @@ impl BurstScheduler for OrderPreservingScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::LoadModelBuf;
     use crate::estimates::tests_support::{job_with_id, provider};
     use cloudburst_sim::SimTime;
 
@@ -145,8 +146,8 @@ mod tests {
         // equal to a short IC drain that an EC round trip cannot beat.
         let est = provider();
         let batch: Vec<_> = (0..4).map(|i| job_with_id(i, 40)).collect();
-        let load = LoadModel::idle(SimTime::ZERO, 8, 2);
-        let s = op().schedule_batch(batch, &load, &est);
+        let buf = LoadModelBuf::idle(SimTime::ZERO, 8, 2);
+        let s = op().schedule_batch(batch, &buf.as_model(), &est);
         assert_eq!(s.n_bursted(), 0);
     }
 
@@ -156,10 +157,10 @@ mod tests {
         // trips fit, so they burst.
         let est = provider();
         let batch: Vec<_> = (0..8).map(|i| job_with_id(i, 60)).collect();
-        let mut load = LoadModel::idle(SimTime::ZERO, 2, 2);
-        load.ic_free_secs = vec![4_000.0, 4_000.0];
-        load.outstanding_est_completions = vec![SimTime::from_secs(4_000)];
-        let s = op().schedule_batch(batch, &load, &est);
+        let mut buf = LoadModelBuf::idle(SimTime::ZERO, 2, 2);
+        buf.ic_free_secs = vec![4_000.0, 4_000.0];
+        buf.outstanding_est_completions = vec![SimTime::from_secs(4_000)];
+        let s = op().schedule_batch(batch, &buf.as_model(), &est);
         assert!(s.n_bursted() > 0, "deep backlog should trigger bursting");
     }
 
@@ -169,13 +170,13 @@ mod tests {
         // t_ec ≤ slack at decision time.
         let est = provider();
         let batch: Vec<_> = (0..10).map(|i| job_with_id(i, 30 + (i % 5) * 50)).collect();
-        let mut load = LoadModel::idle(SimTime::ZERO, 2, 2);
-        load.ic_free_secs = vec![3_000.0, 3_500.0];
-        load.outstanding_est_completions = vec![SimTime::from_secs(3_500)];
-        let s = op().schedule_batch(batch.clone(), &load, &est);
+        let mut buf = LoadModelBuf::idle(SimTime::ZERO, 2, 2);
+        buf.ic_free_secs = vec![3_000.0, 3_500.0];
+        buf.outstanding_est_completions = vec![SimTime::from_secs(3_500)];
+        let s = op().schedule_batch(batch.clone(), &buf.as_model(), &est);
 
         // Replay with an identical planner.
-        let mut planner = Planner::new(&load, &est);
+        let mut planner = Planner::new(&buf.as_model(), &est);
         for (job, placement) in &s.jobs {
             if *placement == Placement::External {
                 let slack = planner.slack().expect("bursted job must have predecessors");
@@ -192,8 +193,8 @@ mod tests {
         // Small jobs around a 290 MB monster: high window σ.
         let batch =
             vec![job_with_id(0, 5), job_with_id(1, 290), job_with_id(2, 8), job_with_id(3, 6)];
-        let load = LoadModel::idle(SimTime::ZERO, 8, 2);
-        let s = op().schedule_batch(batch, &load, &est);
+        let buf = LoadModelBuf::idle(SimTime::ZERO, 8, 2);
+        let s = op().schedule_batch(batch, &buf.as_model(), &est);
         assert!(s.jobs.len() > 4, "the 290 MB job should be chunked");
         let n_chunks = s.jobs.iter().filter(|(j, _)| j.is_chunk()).count();
         assert_eq!(n_chunks, 4, "ceil(290/80) = 4 chunks");
@@ -203,10 +204,10 @@ mod tests {
     fn without_chunking_passes_jobs_through() {
         let est = provider();
         let batch = vec![job_with_id(0, 5), job_with_id(1, 290), job_with_id(2, 8)];
-        let load = LoadModel::idle(SimTime::ZERO, 8, 2);
+        let buf = LoadModelBuf::idle(SimTime::ZERO, 8, 2);
         let mut sched = op().without_chunking();
         assert_eq!(sched.name(), "op-nochunk");
-        let s = sched.schedule_batch(batch, &load, &est);
+        let s = sched.schedule_batch(batch, &buf.as_model(), &est);
         assert_eq!(s.jobs.len(), 3);
     }
 
@@ -214,14 +215,14 @@ mod tests {
     fn tau_margin_suppresses_marginal_bursts() {
         let est = provider();
         let batch: Vec<_> = (0..8).map(|i| job_with_id(i, 60)).collect();
-        let mut load = LoadModel::idle(SimTime::ZERO, 2, 2);
-        load.ic_free_secs = vec![2_000.0, 2_000.0];
-        load.outstanding_est_completions = vec![SimTime::from_secs(2_000)];
+        let mut buf = LoadModelBuf::idle(SimTime::ZERO, 2, 2);
+        buf.ic_free_secs = vec![2_000.0, 2_000.0];
+        buf.outstanding_est_completions = vec![SimTime::from_secs(2_000)];
         let mut relaxed = op();
-        let burst_relaxed = relaxed.schedule_batch(batch.clone(), &load, &est).n_bursted();
+        let burst_relaxed = relaxed.schedule_batch(batch.clone(), &buf.as_model(), &est).n_bursted();
         let mut strict = op();
         strict.tau_secs = 1e9;
-        let burst_strict = strict.schedule_batch(batch, &load, &est).n_bursted();
+        let burst_strict = strict.schedule_batch(batch, &buf.as_model(), &est).n_bursted();
         assert_eq!(burst_strict, 0, "infinite τ forbids bursting");
         assert!(burst_relaxed >= burst_strict);
     }

@@ -56,7 +56,7 @@ impl BurstScheduler for SibsScheduler {
     fn schedule_batch(
         &mut self,
         batch: Vec<Job>,
-        load: &LoadModel,
+        load: &LoadModel<'_>,
         est: &EstimateProvider,
     ) -> BatchSchedule {
         let mut schedule = self.inner.schedule_batch(batch, load, est);
@@ -90,16 +90,16 @@ impl BurstScheduler for SibsScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::api::Placement;
+    use crate::api::{LoadModelBuf, Placement};
     use crate::estimates::tests_support::{job_with_id, provider};
     use cloudburst_net::SizeClass;
     use cloudburst_sim::SimTime;
 
-    fn loaded_model() -> LoadModel {
-        let mut load = LoadModel::idle(SimTime::ZERO, 4, 2);
-        load.ic_free_secs = vec![4_000.0; 4];
-        load.outstanding_est_completions = vec![SimTime::from_secs(4_000)];
-        load
+    fn loaded_model() -> LoadModelBuf {
+        let mut buf = LoadModelBuf::idle(SimTime::ZERO, 4, 2);
+        buf.ic_free_secs = vec![4_000.0; 4];
+        buf.outstanding_est_completions = vec![SimTime::from_secs(4_000)];
+        buf
     }
 
     #[test]
@@ -109,8 +109,8 @@ mod tests {
         let load = loaded_model();
         let mut sibs = SibsScheduler::default_with_seed(3);
         let mut op = crate::order_preserving::OrderPreservingScheduler::default_with_seed(3);
-        let a = sibs.schedule_batch(batch.clone(), &load, &est);
-        let b = op.schedule_batch(batch, &load, &est);
+        let a = sibs.schedule_batch(batch.clone(), &load.as_model(), &est);
+        let b = op.schedule_batch(batch, &load.as_model(), &est);
         let pa: Vec<Placement> = a.jobs.iter().map(|(_, p)| *p).collect();
         let pb: Vec<Placement> = b.jobs.iter().map(|(_, p)| *p).collect();
         assert_eq!(pa, pb, "SIBS must not change placements, only routing");
@@ -122,7 +122,7 @@ mod tests {
         let batch: Vec<_> = (0..9).map(|i| job_with_id(i, 10 + i * 30)).collect();
         let load = loaded_model();
         let mut sibs = SibsScheduler::default_with_seed(3);
-        let s = sibs.schedule_batch(batch, &load, &est);
+        let s = sibs.schedule_batch(batch, &load.as_model(), &est);
         let bounds = s.sibs.expect("deep backlog yields burst candidates");
         assert!(bounds.s_bound <= bounds.m_bound);
         // The bounds classify the batch into non-empty small class at least.
@@ -139,9 +139,9 @@ mod tests {
         let est = provider();
         let batch: Vec<_> = (0..3).map(|i| job_with_id(i, 30)).collect();
         // Idle system: EC completion never beats an empty IC → no candidates.
-        let load = LoadModel::idle(SimTime::ZERO, 8, 2);
+        let load = LoadModelBuf::idle(SimTime::ZERO, 8, 2);
         let mut sibs = SibsScheduler::default_with_seed(3);
-        let s = sibs.schedule_batch(batch, &load, &est);
+        let s = sibs.schedule_batch(batch, &load.as_model(), &est);
         assert!(s.sibs.is_none(), "defaults to a single interval");
         assert_eq!(sibs.name(), "op+sibs");
     }
@@ -152,10 +152,10 @@ mod tests {
         let batch: Vec<_> = (0..9).map(|i| job_with_id(i, 10 + i * 30)).collect();
         let load = loaded_model();
         let mut balanced = SibsScheduler::default_with_seed(3);
-        let b1 = balanced.schedule_batch(batch.clone(), &load, &est).sibs.unwrap();
+        let b1 = balanced.schedule_batch(batch.clone(), &load.as_model(), &est).sibs.unwrap();
         let mut stuffed = SibsScheduler::default_with_seed(3);
         stuffed.set_queued_bytes((500_000_000, 0, 0));
-        let b2 = stuffed.schedule_batch(batch, &load, &est).sibs.unwrap();
+        let b2 = stuffed.schedule_batch(batch, &load.as_model(), &est).sibs.unwrap();
         assert!(b2.s_bound <= b1.s_bound, "a full small queue shrinks its share");
     }
 }

@@ -7,8 +7,8 @@ use proptest::prelude::*;
 use cloudburst_qrsm::{Method, QrsModel};
 use cloudburst_sched::api::Planner;
 use cloudburst_sched::{
-    BurstScheduler, EstimateProvider, GreedyScheduler, IcOnlyScheduler, LoadModel,
-    OrderPreservingScheduler, Placement, SibsScheduler,
+    BurstScheduler, EstimateProvider, FreeTimeIndex, GreedyScheduler, IcOnlyScheduler,
+    LoadModelBuf, OrderPreservingScheduler, OutstandingSet, Placement, SibsScheduler,
 };
 use cloudburst_sim::{RngFactory, SimTime};
 use cloudburst_workload::arrival::training_corpus;
@@ -34,8 +34,8 @@ fn batch_for(seed: u64, n: f64, bucket: SizeBucket) -> Vec<Job> {
     gen.generate_flat(&RngFactory::new(seed), &GroundTruth::default())
 }
 
-fn load_for(now_secs: u64, ic_backlog: f64, n_ic: usize, n_ec: usize) -> LoadModel {
-    let mut load = LoadModel::idle(SimTime::from_secs(now_secs), n_ic, n_ec);
+fn load_for(now_secs: u64, ic_backlog: f64, n_ic: usize, n_ec: usize) -> LoadModelBuf {
+    let mut load = LoadModelBuf::idle(SimTime::from_secs(now_secs), n_ic, n_ec);
     load.ic_free_secs = vec![ic_backlog; n_ic];
     if ic_backlog > 0.0 {
         load.outstanding_est_completions =
@@ -70,7 +70,7 @@ proptest! {
             Box::new(SibsScheduler::default_with_seed(1)),
         ];
         for s in &mut scheds {
-            let out = s.schedule_batch(batch.clone(), &load, &est);
+            let out = s.schedule_batch(batch.clone(), &load.as_model(), &est);
             let got: u64 = out.jobs.iter().map(|(j, _)| j.input_bytes()).sum();
             prop_assert_eq!(got, total, "{} lost bytes", s.name());
             // Original (unchunked) jobs appear in input order.
@@ -92,10 +92,10 @@ proptest! {
         let est = provider();
         let batch = batch_for(seed, 6.0, SizeBucket::Uniform);
         let load = load_for(0, backlog, 4, 2);
-        let out = GreedyScheduler::new().schedule_batch(batch, &load, &est);
+        let out = GreedyScheduler::new().schedule_batch(batch, &load.as_model(), &est);
         // Replay the planner; at each step the chosen side's finish time
         // must be ≤ the other side's.
-        let mut planner = Planner::new(&load, &est);
+        let mut planner = Planner::new(&load.as_model(), &est);
         for (job, placement) in &out.jobs {
             let t_ic = planner.ft_ic(job);
             let t_ec = planner.ft_ec(job);
@@ -115,14 +115,75 @@ proptest! {
         let batch = batch_for(seed, 8.0, SizeBucket::LargeBiased);
         let load = load_for(0, backlog, 4, 2);
         let out = OrderPreservingScheduler::default_with_seed(2)
-            .schedule_batch(batch, &load, &est);
-        let mut planner = Planner::new(&load, &est);
+            .schedule_batch(batch, &load.as_model(), &est);
+        let mut planner = Planner::new(&load.as_model(), &est);
         for (job, placement) in &out.jobs {
             if *placement == Placement::External {
                 let slack = planner.slack().expect("burst requires predecessors");
                 prop_assert!(planner.ft_ec(job) <= slack, "Eq. 2 violated");
             }
             planner.commit(job, *placement);
+        }
+    }
+
+    /// The tournament-tree free-time index replays an FCFS drain exactly
+    /// like the linear `min_by` rescan it replaced: same machine choices,
+    /// bitwise-identical free-time arrays.
+    #[test]
+    fn freetime_index_matches_linear_rescan(
+        initial in proptest::collection::vec(0.0f64..10_000.0, 1..40),
+        costs in proptest::collection::vec(0.0f64..500.0, 0..200),
+        dupe_every in 1usize..6,
+    ) {
+        // Inject exact duplicates so the tie-break path is exercised.
+        let mut free: Vec<f64> = initial;
+        for i in (0..free.len()).step_by(dupe_every) {
+            free[i] = free[0];
+        }
+        let mut ix = FreeTimeIndex::new();
+        ix.reset_from(&free);
+        for cost in costs {
+            let (want_idx, _) = free
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+                .expect("machines exist");
+            free[want_idx] += cost;
+            let got_idx = ix.fcfs_commit(cost);
+            prop_assert_eq!(got_idx, want_idx);
+            prop_assert_eq!(ix.values(), &free[..]);
+        }
+    }
+
+    /// The incremental outstanding-completions pool holds exactly the same
+    /// multiset as a from-scratch rebuild of the engine's Option table,
+    /// under arbitrary admit/complete interleavings.
+    #[test]
+    fn outstanding_set_matches_table_rebuild(
+        ops in proptest::collection::vec((any::<u32>(), 1u64..100_000), 1..300),
+    ) {
+        let mut table: Vec<Option<SimTime>> = Vec::new();
+        let mut set = OutstandingSet::new();
+        for (pick, est_secs) in ops {
+            let est = SimTime::from_secs(est_secs);
+            table.push(Some(est));
+            set.insert((table.len() - 1) as u64, est);
+            // Complete a pseudo-random (possibly already-done) job.
+            let victim = pick as usize % table.len();
+            if pick % 3 != 0 {
+                table[victim] = None;
+                set.remove(victim as u64);
+            }
+            let mut want: Vec<SimTime> = table.iter().flatten().copied().collect();
+            let mut got: Vec<SimTime> = set.values().to_vec();
+            want.sort_unstable();
+            got.sort_unstable();
+            prop_assert_eq!(got, want);
+            // The slack anchor — the one consumer — agrees too.
+            prop_assert_eq!(
+                set.values().iter().copied().max(),
+                table.iter().flatten().copied().max()
+            );
         }
     }
 
@@ -133,9 +194,9 @@ proptest! {
         let est = provider();
         let batch = batch_for(seed, 8.0, SizeBucket::Uniform);
         let load = load_for(0, backlog, 4, 2);
-        let a = SibsScheduler::default_with_seed(3).schedule_batch(batch.clone(), &load, &est);
+        let a = SibsScheduler::default_with_seed(3).schedule_batch(batch.clone(), &load.as_model(), &est);
         let b = OrderPreservingScheduler::default_with_seed(3)
-            .schedule_batch(batch, &load, &est);
+            .schedule_batch(batch, &load.as_model(), &est);
         let pa: Vec<Placement> = a.jobs.iter().map(|(_, p)| *p).collect();
         let pb: Vec<Placement> = b.jobs.iter().map(|(_, p)| *p).collect();
         prop_assert_eq!(pa, pb);

@@ -100,8 +100,10 @@ pub fn completion_delay_series(completion_times: &[SimTime], arrival: SimTime) -
 /// aggregate the paper eyeballs in Figs. 7–8 ("more the number of high
 /// peaks, more is the wait period").
 pub fn peak_stats(deltas: &[f64], threshold_secs: f64) -> (usize, f64) {
-    let peaks: Vec<f64> = deltas.iter().copied().filter(|&d| d > threshold_secs).collect();
-    (peaks.len(), peaks.iter().sum())
+    deltas
+        .iter()
+        .filter(|&&d| d > threshold_secs)
+        .fold((0, 0.0), |(n, sum), &d| (n + 1, sum + d))
 }
 
 #[cfg(test)]

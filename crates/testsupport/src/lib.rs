@@ -1,0 +1,63 @@
+//! `cloudburst-testsupport` — shared dev-only helpers for the workspace's
+//! test binaries. Currently: the counting global allocator behind every
+//! zero-allocation acceptance test (`crates/qrsm/tests/alloc_free.rs`,
+//! `crates/core/tests/alloc_free.rs`).
+//!
+//! This crate appears only in `[dev-dependencies]`; nothing here ships in
+//! the library build of any deterministic crate.
+
+// No `#![forbid(unsafe_code)]`: [`CountingAlloc`] implements the unsafe
+// `GlobalAlloc` trait (it only delegates to `System` and bumps a counter).
+// Both the `unsafe` blocks and the missing lint header are waived in
+// `conform.toml` for this file.
+#![deny(rust_2018_idioms)]
+#![deny(missing_debug_implementations)]
+#![warn(missing_docs)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A [`System`]-delegating allocator that counts every `alloc`/`realloc`
+/// call. Install it as the test binary's global allocator, then measure
+/// code regions with [`allocations`]:
+///
+/// ```ignore
+/// use cloudburst_testsupport::CountingAlloc;
+///
+/// #[global_allocator]
+/// static COUNTER: CountingAlloc = CountingAlloc;
+/// ```
+///
+/// The counter is process-global, so a binary using it should confine
+/// measurement to a single `#[test]` function — concurrent tests would
+/// pollute each other's deltas.
+#[derive(Debug)]
+pub struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Runs `f` and returns how many heap allocations it performed along with
+/// its result. Counts are only meaningful when [`CountingAlloc`] is
+/// installed as the binary's `#[global_allocator]`; otherwise the delta is
+/// always zero.
+pub fn allocations<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let out = f();
+    (ALLOCATIONS.load(Ordering::Relaxed) - before, out)
+}

@@ -65,6 +65,23 @@ impl ArrivalConfig {
         self
     }
 
+    /// A megascale arrival process: ≈ `total_jobs` jobs delivered in
+    /// batches of ≈ 10 000 (Poisson per batch, so the realized total
+    /// varies by `O(√total)`). Exercises the schedulers and the engine's
+    /// decision loop far beyond the paper's ≈ 105-job runs; the large
+    /// per-batch rate rides the Poisson sampler's normal-approximation
+    /// branch.
+    pub fn megascale(total_jobs: u64) -> ArrivalConfig {
+        assert!(total_jobs > 0, "megascale needs at least one job");
+        const TARGET_BATCH: u64 = 10_000;
+        let n_batches = total_jobs.div_ceil(TARGET_BATCH).max(1) as u32;
+        ArrivalConfig {
+            n_batches,
+            jobs_per_batch: total_jobs as f64 / n_batches as f64,
+            ..ArrivalConfig::default()
+        }
+    }
+
     /// The effective Poisson mean for batch index `b`.
     pub fn rate_for_batch(&self, b: u32) -> f64 {
         match &self.rate_profile {

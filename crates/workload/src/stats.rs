@@ -31,14 +31,29 @@ pub fn noise_factor<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> f64 {
     lognormal(rng, 0.0, sigma)
 }
 
-/// Samples `Poisson(lambda)` by Knuth's product-of-uniforms method.
+/// Rates above this use the normal approximation in [`poisson`]. Knuth's
+/// method computes `exp(-λ)`, which underflows to 0 near λ ≈ 745 and turns
+/// the sampler into an infinite loop; well before that its cost is Θ(λ)
+/// uniforms per draw. The paper's rates (λ ≤ 50) stay on the exact branch,
+/// keeping every historical stream byte-identical.
+const POISSON_NORMAL_APPROX_MIN_LAMBDA: f64 = 256.0;
+
+/// Samples `Poisson(lambda)`.
 ///
-/// Suitable for the moderate rates used here (λ ≲ 50); for λ = 15 the
-/// expected number of uniforms drawn is 16.
+/// Moderate rates (λ ≲ 256, everything the paper configurations use) go
+/// through Knuth's product-of-uniforms method exactly as before; for λ = 15
+/// the expected number of uniforms drawn is 16. Larger rates — the
+/// megascale benchmark drives batches of tens of thousands of jobs —
+/// switch to the normal approximation `round(N(λ, λ))`, whose relative
+/// error is `O(λ^-1/2)` and already below 1 % at the cut-over.
 pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
     assert!(lambda >= 0.0, "poisson rate must be non-negative");
     if lambda == 0.0 {
         return 0;
+    }
+    if lambda >= POISSON_NORMAL_APPROX_MIN_LAMBDA {
+        let x = normal(rng, lambda, lambda.sqrt());
+        return x.round().max(0.0) as u64;
     }
     let l = (-lambda).exp();
     let mut k: u64 = 0;
@@ -159,6 +174,29 @@ mod tests {
     fn poisson_zero_rate() {
         let mut r = rng();
         assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn poisson_large_rate_moments() {
+        // The normal-approximation branch: mean and variance still match
+        // Poisson's, and it terminates where Knuth's method would loop
+        // forever (exp(-λ) underflows near λ = 745).
+        let mut r = rng();
+        let lambda = 50_000.0;
+        let xs: Vec<f64> = (0..20_000).map(|_| poisson(&mut r, lambda) as f64).collect();
+        let s = Summary::of(&xs);
+        assert!((s.mean - lambda).abs() < 0.01 * lambda, "mean={}", s.mean);
+        assert!((s.sd * s.sd - lambda).abs() < 0.05 * lambda, "var={}", s.sd * s.sd);
+        assert!(s.min >= 0.0);
+    }
+
+    #[test]
+    fn poisson_branch_cutover_is_above_paper_rates() {
+        // Every paper configuration (λ ≤ 50) must stay on the exact Knuth
+        // branch so historical streams remain byte-identical.
+        const { assert!(POISSON_NORMAL_APPROX_MIN_LAMBDA > 50.0) };
+        // And the cut-over must sit safely below the exp(-λ) underflow.
+        assert!((-POISSON_NORMAL_APPROX_MIN_LAMBDA).exp() > 0.0);
     }
 
     #[test]

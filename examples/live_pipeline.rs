@@ -14,7 +14,7 @@
 use cloudburst_bench::WallClock;
 use cloudburst_repro::core::live::{run_live, LiveConfig};
 use cloudburst_repro::qrsm::{Method, QrsModel};
-use cloudburst_repro::sched::{BurstScheduler, EstimateProvider, LoadModel, OrderPreservingScheduler, Placement};
+use cloudburst_repro::sched::{BurstScheduler, EstimateProvider, LoadModelBuf, OrderPreservingScheduler, Placement};
 use cloudburst_repro::sim::{RngFactory, SimTime};
 use cloudburst_repro::workload::arrival::training_corpus;
 use cloudburst_repro::workload::{ArrivalConfig, BatchArrivals, GroundTruth, SizeBucket};
@@ -39,11 +39,11 @@ fn main() {
         ..ArrivalConfig::default()
     });
     let jobs = gen.generate_flat(&rngs, &truth);
-    let mut load = LoadModel::idle(SimTime::ZERO, 4, 2);
+    let mut load = LoadModelBuf::idle(SimTime::ZERO, 4, 2);
     load.ic_free_secs = vec![1_800.0; 4]; // half an hour of backlog each
     load.outstanding_est_completions = vec![SimTime::from_secs(1_800)];
     let mut scheduler = OrderPreservingScheduler::default_with_seed(5);
-    let schedule = scheduler.schedule_batch(jobs, &load, &est);
+    let schedule = scheduler.schedule_batch(jobs, &load.as_model(), &est);
 
     let n_burst = schedule.n_bursted();
     println!(

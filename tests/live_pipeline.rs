@@ -6,7 +6,7 @@ use cloudburst_bench::WallClock;
 use cloudburst_repro::core::live::{run_live, LiveConfig};
 use cloudburst_repro::qrsm::{Method, QrsModel};
 use cloudburst_repro::sched::{
-    BurstScheduler, EstimateProvider, LoadModel, OrderPreservingScheduler, Placement,
+    BurstScheduler, EstimateProvider, LoadModelBuf, OrderPreservingScheduler, Placement,
 };
 use cloudburst_repro::sim::{RngFactory, SimTime};
 use cloudburst_repro::workload::arrival::training_corpus;
@@ -36,11 +36,11 @@ fn scheduled_batch_runs_live_end_to_end() {
     let n = jobs.len();
 
     let est = trained_estimates(77);
-    let mut load = LoadModel::idle(SimTime::ZERO, 2, 2);
+    let mut load = LoadModelBuf::idle(SimTime::ZERO, 2, 2);
     load.ic_free_secs = vec![2_000.0; 2];
     load.outstanding_est_completions = vec![SimTime::from_secs(2_000)];
     let mut sched = OrderPreservingScheduler::default_with_seed(3);
-    let schedule = sched.schedule_batch(jobs, &load, &est);
+    let schedule = sched.schedule_batch(jobs, &load.as_model(), &est);
     // Re-index into the final FCFS id space, as the engine does on enqueue
     // (chunks carry their parent's provisional id until this point).
     let indexed: Vec<_> = schedule

@@ -97,8 +97,10 @@ proptest! {
         let mut n = 0;
         let mut guard = 0;
         let mut last = SimTime::ZERO;
+        let mut done = Vec::new();
         while let Some(w) = link.next_wake() {
-            let done = link.advance(w);
+            done.clear();
+            link.advance_into(w, &mut done);
             for c in &done {
                 prop_assert!(c.at >= last);
                 last = c.at;
