@@ -16,11 +16,15 @@ cargo test -q --release --workspace
 echo "== benches compile: cargo bench --no-run"
 cargo bench --no-run
 
-echo "== perfsmoke probes + floor gate vs BENCH_PR2.json"
+echo "== chaos determinism: golden fault-injection scenario (crash + blackout + retries)"
+cargo test -q --release --test chaos_golden
+
+echo "== perfsmoke probes + floor gates vs BENCH_PR2.json / BENCH_PR5.json"
 PERF_TMP="$(mktemp -d)"
 trap 'rm -rf "$PERF_TMP"' EXIT
 cargo run --release -p cloudburst-bench --bin perfsmoke -- "$PERF_TMP/smoke.json"
 cargo run --release -p cloudburst-bench --bin perfgate -- "$PERF_TMP/smoke.json" BENCH_PR2.json
+cargo run --release -p cloudburst-bench --bin perfgate -- "$PERF_TMP/smoke.json" BENCH_PR5.json
 
 echo "== perfscale reduced probe + floor gate vs BENCH_PR4.json"
 cargo run --release -p cloudburst-bench --bin perfscale -- --reduced "$PERF_TMP/scale.json"

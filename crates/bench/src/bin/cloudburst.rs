@@ -5,6 +5,7 @@
 //! cloudburst run --config cfg.json            run one experiment, report to stdout
 //! cloudburst run --config cfg.json --out r.json --timelines t.json
 //! cloudburst run --config cfg.json --workload trace.json   replay a saved trace
+//! cloudburst run --config cfg.json --fault-profile faults.json   inject faults
 //! cloudburst sweep --config cfg.json --seeds 1,2,3 --out dir/
 //! cloudburst trace --config cfg.json --out trace.json      export the workload
 //! ```
@@ -12,6 +13,12 @@
 //! Everything an experiment needs lives in one `ExperimentConfig` JSON
 //! value (workload, pools, pipe models, scheduler, extensions), so runs
 //! are shareable, diffable artifacts.
+//!
+//! `--fault-profile` (on `run` and `sweep`) loads a
+//! `cloudburst_chaos::FaultProfile` JSON file and overrides the config's
+//! `faults` field: the same config can be exercised clean and under chaos
+//! without editing it. Faulty runs stay fully deterministic — the profile
+//! is compiled against the experiment seed.
 
 use std::fs;
 use std::process::exit;
@@ -20,7 +27,7 @@ use cloudburst_core::{run_experiment_detailed, ExperimentConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  cloudburst template\n  cloudburst run --config <cfg.json> [--workload <trace.json>] [--out <report.json>] [--timelines <t.json>]\n  cloudburst sweep --config <cfg.json> --seeds <a,b,c> --out <dir>\n  cloudburst trace --config <cfg.json> [--out <trace.json>]"
+        "usage:\n  cloudburst template\n  cloudburst run --config <cfg.json> [--workload <trace.json>] [--fault-profile <faults.json>] [--out <report.json>] [--timelines <t.json>]\n  cloudburst sweep --config <cfg.json> --seeds <a,b,c> [--fault-profile <faults.json>] --out <dir>\n  cloudburst trace --config <cfg.json> [--out <trace.json>]"
     );
     exit(2);
 }
@@ -39,6 +46,21 @@ fn load_config(args: &[String]) -> ExperimentConfig {
         eprintln!("invalid config {path}: {e}");
         exit(1);
     })
+}
+
+/// Overrides `cfg.faults` from `--fault-profile <path>` when present.
+fn apply_fault_profile(cfg: &mut ExperimentConfig, args: &[String]) {
+    let Some(path) = arg_value(args, "--fault-profile") else { return };
+    let text = fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read fault profile {path}: {e}");
+        exit(1);
+    });
+    let profile: cloudburst_chaos::FaultProfile =
+        serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("invalid fault profile {path}: {e}");
+            exit(1);
+        });
+    cfg.faults = Some(profile);
 }
 
 fn main() {
@@ -71,7 +93,8 @@ fn main() {
             }
         }
         Some("run") => {
-            let cfg = load_config(&args);
+            let mut cfg = load_config(&args);
+            apply_fault_profile(&mut cfg, &args);
             let (report, world) = match arg_value(&args, "--workload") {
                 Some(path) => {
                     let trace =
@@ -106,7 +129,8 @@ fn main() {
             }
         }
         Some("sweep") => {
-            let cfg = load_config(&args);
+            let mut cfg = load_config(&args);
+            apply_fault_profile(&mut cfg, &args);
             let seeds: Vec<u64> = arg_value(&args, "--seeds")
                 .unwrap_or_else(|| usage())
                 .split(',')

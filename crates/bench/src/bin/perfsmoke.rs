@@ -4,9 +4,11 @@
 //! churn, reported as events per second), the autonomic-model fast paths
 //! (sliding-window RLS refit vs the legacy batch refit; streaming OO
 //! series vs the legacy per-sample rescan, both reported with speedups),
-//! plus a representative subset of the `repro` experiments, and prints a
-//! single line of JSON so successive runs can be collected as
-//! `BENCH_<n>.json` files and diffed:
+//! plus a representative subset of the `repro` experiments, a dormant-chaos
+//! probe (full engine runs with a zero-probability fault profile armed — the
+//! recovery plumbing must cost nothing when dormant), and prints a single
+//! line of JSON so successive runs can be collected as `BENCH_<n>.json`
+//! files and diffed:
 //!
 //! ```text
 //! perfsmoke            print the JSON line to stdout
@@ -22,6 +24,8 @@ use std::io::Write as _;
 use std::time::Instant;
 
 use cloudburst_bench::run_experiment_by_id;
+use cloudburst_chaos::FaultProfile;
+use cloudburst_core::{run_experiment, ExperimentConfig, SchedulerKind};
 use cloudburst_qrsm::{design::QuadraticDesign, fit, Method, QrsModel};
 use cloudburst_sim::{RngFactory, Sim, SimDuration, SimTime};
 use cloudburst_sla::{oo_series, CompletionRecord, OoConfig, OoSample};
@@ -187,6 +191,45 @@ fn oo_series_rescan(
     samples
 }
 
+/// Dormant-chaos overhead: full (small) engine runs with `faults: None` vs
+/// a zero-probability profile armed. A dormant profile compiles to an empty
+/// plan, so both configurations must take the same code path; the gated
+/// throughput key catches any accidental cost creeping into the hot loop
+/// when no faults are scheduled. Returns `(dormant_runs_per_sec,
+/// dormant_over_clean_ratio)`.
+fn chaos_dormant_probe(reps: usize) -> (f64, f64) {
+    let mk = |faults: Option<FaultProfile>| {
+        let mut cfg = ExperimentConfig::paper(
+            SchedulerKind::OrderPreserving,
+            cloudburst_workload::SizeBucket::Uniform,
+            7,
+        );
+        cfg.arrivals.n_batches = 3;
+        cfg.arrivals.jobs_per_batch = 8.0;
+        cfg.n_ic = 2;
+        cfg.training_docs = 150;
+        cfg.faults = faults;
+        cfg
+    };
+    let clean = mk(None);
+    let dormant = mk(Some(FaultProfile::dormant()));
+    run_experiment(&clean); // warm-up
+    run_experiment(&dormant);
+
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        run_experiment(&clean);
+    }
+    let clean_secs = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        run_experiment(&dormant);
+    }
+    let dormant_secs = t0.elapsed().as_secs_f64();
+    (reps as f64 / dormant_secs, dormant_secs / clean_secs)
+}
+
 fn main() {
     let out_path = std::env::args().nth(1);
 
@@ -198,6 +241,7 @@ fn main() {
     qrsm_refit_probe(400, 50); // warm-up
     let (refit_batch, refit_rls) = qrsm_refit_probe(400, 2_000);
     let (oo_rescan, oo_stream) = oo_series_probe(2_000, 30);
+    let (chaos_dormant_rps, chaos_dormant_ratio) = chaos_dormant_probe(20);
 
     let mut repro = serde_json::Map::new();
     let t_all = Instant::now();
@@ -218,6 +262,8 @@ fn main() {
     doc.insert("oo_series_rescan_secs".into(), json!(oo_rescan));
     doc.insert("oo_series_streaming_secs".into(), json!(oo_stream));
     doc.insert("oo_series_speedup".into(), json!(oo_rescan / oo_stream));
+    doc.insert("chaos_dormant_runs_per_sec".into(), json!(chaos_dormant_rps));
+    doc.insert("chaos_dormant_overhead_ratio".into(), json!(chaos_dormant_ratio));
     doc.insert("repro_subset_secs".into(), json!(repro_total));
     doc.insert(
         "threads".into(),

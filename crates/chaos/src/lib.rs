@@ -1,0 +1,675 @@
+//! `cloudburst-chaos` — deterministic fault injection for the burst pipeline.
+//!
+//! The paper's premise (Sec. III-A) is an EC behind a thin, *time-varying*
+//! Internet pipe; a production burst scheduler must additionally survive the
+//! pipe and the machines actively failing. This crate turns a seeded
+//! [`FaultProfile`] — crash/recover laws for IC and EC machines, EC link
+//! blackout and degradation windows, per-transfer stall/loss and per-job
+//! execution-failure probabilities — into a concrete [`FaultPlan`]: an
+//! explicit, serializable schedule of every fault the run will suffer.
+//!
+//! Two properties make the plans safe to regress against:
+//!
+//! * **Determinism.** Compilation draws only from [`RngFactory`] streams
+//!   derived from the experiment seed plus stable labels, so the same
+//!   `(profile, seed, estate shape)` always yields the identical plan, and
+//!   adding new fault classes never perturbs existing streams. Per-transfer
+//!   and per-job decisions are *hashed*, not drawn: whether attempt `k` of
+//!   job `j` fails is a pure function of the plan, independent of event
+//!   interleaving.
+//! * **Replayability.** A plan serializes to JSON with exact float
+//!   round-tripping; a run driven from a deserialized plan is byte-identical
+//!   to the run that compiled it (see the engine's chaos golden tests).
+//!
+//! The crate deliberately knows nothing about the engine: a plan is plain
+//! data. The engine realizes machine faults as ordinary DES events, applies
+//! link windows to the fluid-flow pipes, and consults the hashed deciders at
+//! dispatch/completion points.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![deny(missing_debug_implementations)]
+#![warn(missing_docs)]
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use cloudburst_sim::RngFactory;
+
+/// Crash/recover law for one machine pool: alternating exponential up-time
+/// and down-time spans, truncated per machine.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CrashLaw {
+    /// Mean seconds a machine stays up before crashing.
+    pub mean_uptime_secs: f64,
+    /// Mean seconds a crashed machine stays down before recovering.
+    pub mean_downtime_secs: f64,
+    /// Hard cap on crash/recover cycles per machine (keeps plans finite).
+    pub max_faults_per_machine: u32,
+}
+
+/// Total-outage windows on an EC site's links (both directions at once).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BlackoutLaw {
+    /// Mean seconds between the end of one blackout and the next.
+    pub mean_interval_secs: f64,
+    /// Mean blackout duration, seconds.
+    pub mean_duration_secs: f64,
+    /// Hard cap on windows per site.
+    pub max_windows: u32,
+}
+
+/// Severe-degradation windows: capacity multiplied by `factor` (< 1).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DegradationLaw {
+    /// Mean seconds between the end of one window and the next.
+    pub mean_interval_secs: f64,
+    /// Mean window duration, seconds.
+    pub mean_duration_secs: f64,
+    /// Capacity multiplier inside the window (`0 < factor < 1`).
+    pub factor: f64,
+    /// Hard cap on windows per site.
+    pub max_windows: u32,
+}
+
+/// A deterministic, explicitly placed outage window (applied to every EC
+/// site) — the authoring tool for scripted scenarios such as "blackout from
+/// t = 300 s to t = 900 s, mid-batch".
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Window {
+    /// Window start, seconds.
+    pub from_secs: f64,
+    /// Window end, seconds.
+    pub until_secs: f64,
+}
+
+/// Recovery knobs: transfer timeouts and capped exponential backoff.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// First backoff span, seconds; attempt `k` waits `base · 2^k`.
+    pub base_backoff_secs: f64,
+    /// Ceiling on any single backoff span, seconds.
+    pub backoff_cap_secs: f64,
+    /// Transfer attempts beyond the first before the job is re-dispatched
+    /// away from the faulty path.
+    pub max_transfer_retries: u32,
+    /// Execution retries per job before the failure decider stops firing
+    /// (guarantees every job eventually completes).
+    pub max_exec_retries: u32,
+    /// A transfer's timeout is `timeout_factor ×` its estimated duration…
+    pub timeout_factor: f64,
+    /// …but never below this floor, seconds.
+    pub min_timeout_secs: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            base_backoff_secs: 5.0,
+            backoff_cap_secs: 120.0,
+            max_transfer_retries: 3,
+            max_exec_retries: 4,
+            timeout_factor: 4.0,
+            min_timeout_secs: 30.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry attempt `attempt` (0-based): capped exponential.
+    pub fn backoff_secs(&self, attempt: u32) -> f64 {
+        let factor = 2.0_f64.powi(attempt.min(30) as i32);
+        (self.base_backoff_secs * factor).min(self.backoff_cap_secs)
+    }
+
+    /// Timeout armed for a transfer whose estimated duration is `est_secs`.
+    pub fn timeout_secs(&self, est_secs: f64) -> f64 {
+        (self.timeout_factor * est_secs.max(0.0)).max(self.min_timeout_secs)
+    }
+}
+
+/// The seeded description of what may go wrong in a run. Compiling it
+/// against an estate shape yields the concrete [`FaultPlan`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultProfile {
+    /// Crash/recover law for the internal pool.
+    pub ic_crash: Option<CrashLaw>,
+    /// Crash/recover law for every external pool.
+    pub ec_crash: Option<CrashLaw>,
+    /// Sampled total-outage windows on EC links.
+    pub link_blackouts: Option<BlackoutLaw>,
+    /// Sampled severe-degradation windows on EC links.
+    pub link_degradation: Option<DegradationLaw>,
+    /// Scripted outage windows applied to every EC site verbatim.
+    pub fixed_blackouts: Vec<Window>,
+    /// Probability an individual transfer attempt hangs (connection stall:
+    /// the slot is held, no bytes ever flow, only the timeout frees it).
+    pub transfer_stall_prob: f64,
+    /// Probability a completed transfer's payload is lost/corrupt.
+    pub transfer_loss_prob: f64,
+    /// Probability one execution attempt of a job fails at completion.
+    pub exec_failure_prob: f64,
+    /// Timeout/backoff/retry-budget policy for the recovery side.
+    pub retry: RetryPolicy,
+    /// Sampling horizon, seconds: no sampled fault *starts* after this.
+    pub horizon_secs: f64,
+}
+
+impl Default for FaultProfile {
+    fn default() -> FaultProfile {
+        FaultProfile::dormant()
+    }
+}
+
+impl FaultProfile {
+    /// A profile that injects nothing: compiling it yields an empty plan
+    /// and the engine's recovery plumbing stays fully dormant.
+    pub fn dormant() -> FaultProfile {
+        FaultProfile {
+            ic_crash: None,
+            ec_crash: None,
+            link_blackouts: None,
+            link_degradation: None,
+            fixed_blackouts: Vec::new(),
+            transfer_stall_prob: 0.0,
+            transfer_loss_prob: 0.0,
+            exec_failure_prob: 0.0,
+            retry: RetryPolicy::default(),
+            horizon_secs: 86_400.0,
+        }
+    }
+
+    /// True when the profile can produce no fault whatsoever.
+    pub fn is_dormant(&self) -> bool {
+        self.ic_crash.is_none()
+            && self.ec_crash.is_none()
+            && self.link_blackouts.is_none()
+            && self.link_degradation.is_none()
+            && self.fixed_blackouts.is_empty()
+            && self.transfer_stall_prob <= 0.0
+            && self.transfer_loss_prob <= 0.0
+            && self.exec_failure_prob <= 0.0
+    }
+
+    /// A scripted scenario: every EC link fully dark over `[from, until)`.
+    pub fn with_blackout(mut self, from_secs: f64, until_secs: f64) -> FaultProfile {
+        self.fixed_blackouts.push(Window { from_secs, until_secs });
+        self
+    }
+
+    /// Compiles the profile into the concrete fault schedule for one run.
+    /// Every stochastic draw comes from `RngFactory` streams labelled
+    /// `chaos/…`, so the plan is a pure function of `(self, seed, shape)`.
+    pub fn compile(&self, seed: u64, shape: &EstateShape) -> FaultPlan {
+        let rngs = RngFactory::new(seed);
+        let horizon = self.horizon_secs.max(0.0);
+
+        let mut machine_faults = Vec::new();
+        if let Some(law) = &self.ic_crash {
+            for m in 0..shape.n_ic {
+                let mut rng = rngs.stream_indexed("chaos/crash/ic", m as u64);
+                sample_crashes(&mut rng, law, horizon, Pool::Ic, m, &mut machine_faults);
+            }
+        }
+        if let Some(law) = &self.ec_crash {
+            for (s, &n) in shape.ec_machines.iter().enumerate() {
+                for m in 0..n {
+                    let mut rng = rngs
+                        .stream_indexed("chaos/crash/ec", ((s as u64) << 32) | m as u64);
+                    sample_crashes(&mut rng, law, horizon, Pool::Ec(s as u32), m, &mut machine_faults);
+                }
+            }
+        }
+
+        let n_sites = shape.ec_machines.len();
+        let mut site_windows: Vec<Vec<FaultWindow>> = vec![Vec::new(); n_sites];
+        for (s, windows) in site_windows.iter_mut().enumerate() {
+            for w in &self.fixed_blackouts {
+                if w.until_secs > w.from_secs {
+                    windows.push(FaultWindow {
+                        from_secs: w.from_secs,
+                        until_secs: w.until_secs,
+                        factor: 0.0,
+                    });
+                }
+            }
+            if let Some(law) = &self.link_blackouts {
+                let mut rng = rngs.stream_indexed("chaos/blackout", s as u64);
+                sample_windows(
+                    &mut rng,
+                    law.mean_interval_secs,
+                    law.mean_duration_secs,
+                    0.0,
+                    law.max_windows,
+                    horizon,
+                    windows,
+                );
+            }
+            if let Some(law) = &self.link_degradation {
+                let mut rng = rngs.stream_indexed("chaos/degrade", s as u64);
+                sample_windows(
+                    &mut rng,
+                    law.mean_interval_secs,
+                    law.mean_duration_secs,
+                    law.factor.clamp(0.0, 1.0),
+                    law.max_windows,
+                    horizon,
+                    windows,
+                );
+            }
+            windows.sort_by(|a, b| {
+                a.from_secs.partial_cmp(&b.from_secs).expect("window starts are finite")
+            });
+        }
+
+        let mut salt_rng = rngs.stream("chaos/salt");
+        FaultPlan {
+            seed,
+            machine_faults,
+            site_windows,
+            exec_failure: ProbLaw { prob: self.exec_failure_prob, salt: salt_rng.gen() },
+            transfer_stall: ProbLaw { prob: self.transfer_stall_prob, salt: salt_rng.gen() },
+            transfer_loss: ProbLaw { prob: self.transfer_loss_prob, salt: salt_rng.gen() },
+            retry: self.retry,
+        }
+    }
+}
+
+/// Which pool a machine fault strikes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pool {
+    /// The internal cloud.
+    Ic,
+    /// External site by index (0 is the primary EC).
+    Ec(u32),
+}
+
+/// One crash/recover cycle of one machine.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MachineFault {
+    /// Pool the machine belongs to.
+    pub pool: Pool,
+    /// Machine index within its pool.
+    pub machine: u32,
+    /// Crash instant, seconds.
+    pub down_at_secs: f64,
+    /// Recovery instant, seconds (strictly after the crash).
+    pub up_at_secs: f64,
+}
+
+/// One capacity-fault window on a site's links: the pipe's rate is
+/// multiplied by `factor` while `from_secs <= t < until_secs`
+/// (0 = blackout). Overlapping windows multiply.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultWindow {
+    /// Window start, seconds.
+    pub from_secs: f64,
+    /// Window end, seconds.
+    pub until_secs: f64,
+    /// Capacity multiplier inside the window.
+    pub factor: f64,
+}
+
+/// A hashed per-event probabilistic decider. Whether event `key` fires is
+/// `hash(salt, key) < prob` — a pure function, so decisions are stable under
+/// event reordering and replay.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProbLaw {
+    /// Firing probability in `[0, 1]`.
+    pub prob: f64,
+    /// Plan-specific salt (drawn once at compile time).
+    pub salt: u64,
+}
+
+impl ProbLaw {
+    /// Deterministic decision for `key`.
+    pub fn fires(&self, key: u64) -> bool {
+        if self.prob <= 0.0 {
+            return false;
+        }
+        let h = splitmix64(self.salt ^ splitmix64(key));
+        // 53 high bits → uniform fraction in [0, 1).
+        let frac = (h >> 11) as f64 / (1u64 << 53) as f64;
+        frac < self.prob
+    }
+}
+
+/// The estate a profile is compiled against: machine counts per pool.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EstateShape {
+    /// Internal-pool machine count.
+    pub n_ic: u32,
+    /// Machines per external site, primary first.
+    pub ec_machines: Vec<u32>,
+}
+
+/// The concrete fault schedule of one run: plain serializable data the
+/// engine realizes as DES events, link windows and hashed deciders.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed the plan was compiled under (bookkeeping only).
+    pub seed: u64,
+    /// Every machine crash/recover cycle, unordered.
+    pub machine_faults: Vec<MachineFault>,
+    /// Capacity-fault windows per EC site (sorted by start), applied to the
+    /// site's upload *and* download links.
+    pub site_windows: Vec<Vec<FaultWindow>>,
+    /// Per-execution-attempt failure decider (keyed on job, attempt).
+    pub exec_failure: ProbLaw,
+    /// Per-transfer-attempt stall decider (keyed on job, direction, attempt).
+    pub transfer_stall: ProbLaw,
+    /// Per-transfer-attempt payload-loss decider (same keying).
+    pub transfer_loss: ProbLaw,
+    /// The recovery policy the engine must apply.
+    pub retry: RetryPolicy,
+}
+
+impl FaultPlan {
+    /// True when the plan injects nothing: the engine may skip the entire
+    /// recovery path and behave byte-identically to a fault-free build.
+    pub fn is_empty(&self) -> bool {
+        self.machine_faults.is_empty()
+            && self.site_windows.iter().all(|w| w.is_empty())
+            && self.exec_failure.prob <= 0.0
+            && self.transfer_stall.prob <= 0.0
+            && self.transfer_loss.prob <= 0.0
+    }
+
+    /// Does execution attempt `attempt` (0-based) of job `job` fail?
+    /// Clamped by the retry budget so every job eventually completes.
+    pub fn exec_fails(&self, job: u64, attempt: u32) -> bool {
+        if attempt >= self.retry.max_exec_retries {
+            return false;
+        }
+        self.exec_failure.fires(event_key(job, attempt, 0))
+    }
+
+    /// Does transfer attempt `attempt` of job `job` stall (never flow)?
+    pub fn transfer_stalls(&self, job: u64, upload: bool, attempt: u32) -> bool {
+        self.transfer_stall.fires(event_key(job, attempt, if upload { 1 } else { 2 }))
+    }
+
+    /// Is the payload of a *completed* transfer attempt lost?
+    pub fn transfer_lost(&self, job: u64, upload: bool, attempt: u32) -> bool {
+        self.transfer_loss.fires(event_key(job, attempt, if upload { 3 } else { 4 }))
+    }
+
+    /// Fault windows for one site's links (empty slice when out of range).
+    pub fn windows_for_site(&self, site: usize) -> &[FaultWindow] {
+        self.site_windows.get(site).map_or(&[], |w| w.as_slice())
+    }
+
+    /// Total scheduled blackout seconds (factor-0 windows) across sites —
+    /// a static severity summary for fault-attributed SLA reporting.
+    pub fn blackout_secs(&self) -> f64 {
+        self.site_windows
+            .iter()
+            .flatten()
+            .filter(|w| w.factor <= 0.0)
+            .map(|w| (w.until_secs - w.from_secs).max(0.0))
+            .sum()
+    }
+
+    /// Serializes the plan to JSON (floats round-trip exactly).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("FaultPlan serializes")
+    }
+
+    /// Restores a plan from [`FaultPlan::to_json`] output.
+    pub fn from_json(text: &str) -> Result<FaultPlan, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+/// Stable key for one (job, attempt, kind) event. The multipliers spread
+/// the fields across the 64-bit space before the splitmix finalizer.
+fn event_key(job: u64, attempt: u32, kind: u64) -> u64 {
+    job.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ (attempt as u64).wrapping_mul(0xc2b2_ae3d_27d4_eb4f)
+        ^ kind.wrapping_mul(0x1656_67b1_9e37_79f9)
+}
+
+/// One round of splitmix64 — the same stable finalizer the sim's
+/// `RngFactory` uses for stream derivation.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Exponential span with the given mean; non-positive means never fire.
+fn exp_span(rng: &mut rand::rngs::StdRng, mean: f64) -> f64 {
+    if mean <= 0.0 {
+        return f64::INFINITY;
+    }
+    let u: f64 = rng.gen();
+    // 1 - u is in (0, 1], so ln is finite and the span non-negative.
+    -mean * (1.0 - u).ln()
+}
+
+/// Alternating up/down spans for one machine, truncated at the horizon and
+/// the per-machine cycle cap. Downtime is floored at one second so a crash
+/// and its recovery are never the same instant.
+fn sample_crashes(
+    rng: &mut rand::rngs::StdRng,
+    law: &CrashLaw,
+    horizon: f64,
+    pool: Pool,
+    machine: u32,
+    out: &mut Vec<MachineFault>,
+) {
+    let mut t = exp_span(rng, law.mean_uptime_secs);
+    let mut cycles = 0;
+    while t < horizon && cycles < law.max_faults_per_machine {
+        let down = exp_span(rng, law.mean_downtime_secs).max(1.0);
+        if !down.is_finite() {
+            break;
+        }
+        out.push(MachineFault { pool, machine, down_at_secs: t, up_at_secs: t + down });
+        t += down + exp_span(rng, law.mean_uptime_secs);
+        cycles += 1;
+    }
+}
+
+/// Interval/duration-sampled fault windows, truncated like crash cycles.
+fn sample_windows(
+    rng: &mut rand::rngs::StdRng,
+    mean_interval: f64,
+    mean_duration: f64,
+    factor: f64,
+    max_windows: u32,
+    horizon: f64,
+    out: &mut Vec<FaultWindow>,
+) {
+    let mut t = exp_span(rng, mean_interval);
+    let mut count = 0;
+    while t < horizon && count < max_windows {
+        let dur = exp_span(rng, mean_duration).max(1.0);
+        if !dur.is_finite() {
+            break;
+        }
+        out.push(FaultWindow { from_secs: t, until_secs: t + dur, factor });
+        t += dur + exp_span(rng, mean_interval);
+        count += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> EstateShape {
+        EstateShape { n_ic: 4, ec_machines: vec![2, 3] }
+    }
+
+    fn stormy() -> FaultProfile {
+        FaultProfile {
+            ic_crash: Some(CrashLaw {
+                mean_uptime_secs: 600.0,
+                mean_downtime_secs: 120.0,
+                max_faults_per_machine: 4,
+            }),
+            ec_crash: Some(CrashLaw {
+                mean_uptime_secs: 300.0,
+                mean_downtime_secs: 200.0,
+                max_faults_per_machine: 4,
+            }),
+            link_blackouts: Some(BlackoutLaw {
+                mean_interval_secs: 1200.0,
+                mean_duration_secs: 180.0,
+                max_windows: 3,
+            }),
+            link_degradation: Some(DegradationLaw {
+                mean_interval_secs: 900.0,
+                mean_duration_secs: 300.0,
+                factor: 0.25,
+                max_windows: 3,
+            }),
+            fixed_blackouts: vec![Window { from_secs: 100.0, until_secs: 160.0 }],
+            transfer_stall_prob: 0.1,
+            transfer_loss_prob: 0.05,
+            exec_failure_prob: 0.08,
+            retry: RetryPolicy::default(),
+            horizon_secs: 7200.0,
+        }
+    }
+
+    #[test]
+    fn dormant_profile_compiles_to_empty_plan() {
+        let p = FaultProfile::dormant();
+        assert!(p.is_dormant());
+        let plan = p.compile(7, &shape());
+        assert!(plan.is_empty());
+        assert_eq!(plan.blackout_secs(), 0.0);
+        assert!(!plan.exec_fails(0, 0));
+        assert!(!plan.transfer_stalls(0, true, 0));
+        assert!(!plan.transfer_lost(0, false, 0));
+    }
+
+    #[test]
+    fn compile_is_deterministic_and_seed_sensitive() {
+        let p = stormy();
+        let a = p.compile(42, &shape());
+        let b = p.compile(42, &shape());
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+        let c = p.compile(43, &shape());
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn plan_round_trips_through_json_exactly() {
+        let plan = stormy().compile(42, &shape());
+        assert!(!plan.is_empty());
+        let js = plan.to_json();
+        let back = FaultPlan::from_json(&js).expect("round trip parses");
+        assert_eq!(plan, back);
+        assert_eq!(js, back.to_json(), "serialization is a fixed point");
+    }
+
+    #[test]
+    fn crash_cycles_are_well_formed() {
+        let plan = stormy().compile(9, &shape());
+        assert!(!plan.machine_faults.is_empty());
+        for f in &plan.machine_faults {
+            assert!(f.down_at_secs >= 0.0);
+            assert!(f.up_at_secs > f.down_at_secs, "recovery strictly follows crash");
+            assert!(f.down_at_secs < 7200.0, "no fault starts past the horizon");
+            match f.pool {
+                Pool::Ic => assert!(f.machine < 4),
+                Pool::Ec(s) => assert!(f.machine < shape().ec_machines[s as usize]),
+            }
+        }
+        // Per-machine cycles never overlap: each up precedes the next down.
+        for pool_sel in [Pool::Ic, Pool::Ec(0), Pool::Ec(1)] {
+            for m in 0..4u32 {
+                let mut cycles: Vec<_> = plan
+                    .machine_faults
+                    .iter()
+                    .filter(|f| f.pool == pool_sel && f.machine == m)
+                    .collect();
+                cycles.sort_by(|a, b| {
+                    a.down_at_secs.partial_cmp(&b.down_at_secs).expect("finite")
+                });
+                for pair in cycles.windows(2) {
+                    assert!(pair[0].up_at_secs <= pair[1].down_at_secs);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn windows_are_sorted_and_fixed_blackouts_present() {
+        let plan = stormy().compile(11, &shape());
+        assert_eq!(plan.site_windows.len(), 2);
+        for site in 0..2 {
+            let ws = plan.windows_for_site(site);
+            assert!(ws
+                .iter()
+                .any(|w| w.factor == 0.0 && w.from_secs == 100.0 && w.until_secs == 160.0));
+            for pair in ws.windows(2) {
+                assert!(pair[0].from_secs <= pair[1].from_secs, "sorted by start");
+            }
+            for w in ws {
+                assert!(w.until_secs > w.from_secs);
+                assert!((0.0..1.0).contains(&w.factor) || w.factor == 0.0);
+            }
+        }
+        assert!(plan.blackout_secs() >= 120.0, "two sites × 60 s fixed window");
+        assert_eq!(plan.windows_for_site(99), &[] as &[FaultWindow]);
+    }
+
+    #[test]
+    fn deciders_are_stable_and_respect_probabilities() {
+        let plan = stormy().compile(5, &shape());
+        for job in 0..50u64 {
+            for attempt in 0..3u32 {
+                assert_eq!(
+                    plan.exec_fails(job, attempt),
+                    plan.exec_fails(job, attempt),
+                    "pure function of (job, attempt)"
+                );
+            }
+        }
+        // Certain failure fires on every attempt below the budget and never at it.
+        let mut certain = stormy();
+        certain.exec_failure_prob = 1.0;
+        let plan = certain.compile(5, &shape());
+        let cap = plan.retry.max_exec_retries;
+        for a in 0..cap {
+            assert!(plan.exec_fails(3, a));
+        }
+        assert!(!plan.exec_fails(3, cap), "budget exhausts the decider");
+        // Upload and download decisions are independent keys.
+        let mut lossy = stormy();
+        lossy.transfer_loss_prob = 0.5;
+        let plan = lossy.compile(6, &shape());
+        let ups: Vec<bool> = (0..64).map(|j| plan.transfer_lost(j, true, 0)).collect();
+        let downs: Vec<bool> = (0..64).map(|j| plan.transfer_lost(j, false, 0)).collect();
+        assert_ne!(ups, downs, "directions draw from distinct keys");
+        let hits = ups.iter().filter(|&&b| b).count();
+        assert!((10..=54).contains(&hits), "≈ half should fire, got {hits}");
+    }
+
+    #[test]
+    fn backoff_caps_and_timeout_floors() {
+        let r = RetryPolicy::default();
+        assert_eq!(r.backoff_secs(0), 5.0);
+        assert_eq!(r.backoff_secs(1), 10.0);
+        assert_eq!(r.backoff_secs(20), 120.0, "capped");
+        assert_eq!(r.backoff_secs(u32::MAX), 120.0, "shift-safe at huge attempts");
+        assert_eq!(r.timeout_secs(100.0), 400.0);
+        assert_eq!(r.timeout_secs(0.0), 30.0, "floored");
+        assert_eq!(r.timeout_secs(-5.0), 30.0, "negative estimates clamp");
+    }
+
+    #[test]
+    fn profile_round_trips_through_json() {
+        let p = stormy();
+        let js = serde_json::to_string(&p).expect("serialize");
+        let back: FaultProfile = serde_json::from_str(&js).expect("parse");
+        assert_eq!(p, back);
+        assert!(!back.is_dormant());
+    }
+}

@@ -42,6 +42,11 @@ pub struct Cloud<K> {
     /// Only machines `[0, active_limit)` accept new work — the elastic-EC
     /// scaling extension shrinks/grows this without disturbing running jobs.
     active_limit: usize,
+    /// Chaos-crashed machines: excluded from dispatch until recovery.
+    /// All-false on the fault-free path (`n_failed` gates every check).
+    failed: Vec<bool>,
+    /// Count of `true` entries in `failed`.
+    n_failed: usize,
 }
 
 impl<K: Copy + PartialEq + std::fmt::Debug> Cloud<K> {
@@ -56,6 +61,8 @@ impl<K: Copy + PartialEq + std::fmt::Debug> Cloud<K> {
             clock: SimTime::ZERO,
             completed: 0,
             active_limit: n,
+            failed: vec![false; n],
+            n_failed: 0,
         }
     }
 
@@ -70,6 +77,8 @@ impl<K: Copy + PartialEq + std::fmt::Debug> Cloud<K> {
             clock: SimTime::ZERO,
             completed: 0,
             active_limit: speeds.len(),
+            failed: vec![false; speeds.len()],
+            n_failed: 0,
         }
     }
 
@@ -95,9 +104,61 @@ impl<K: Copy + PartialEq + std::fmt::Debug> Cloud<K> {
         self.machines.len()
     }
 
-    /// Machines currently idle.
+    /// Machines currently idle (crashed machines are not idle capacity).
     pub fn idle_machines(&self) -> usize {
-        self.machines.iter().filter(|m| !m.is_busy()).count()
+        if self.n_failed == 0 {
+            return self.machines.iter().filter(|m| !m.is_busy()).count();
+        }
+        self.machines
+            .iter()
+            .zip(&self.failed)
+            .filter(|(m, &f)| !m.is_busy() && !f)
+            .count()
+    }
+
+    /// Machines currently crashed.
+    pub fn failed_machines(&self) -> usize {
+        self.n_failed
+    }
+
+    /// True iff the machine is currently crashed.
+    pub fn is_failed(&self, machine: MachineId) -> bool {
+        self.failed[machine.0]
+    }
+
+    /// Crashes a machine (chaos injection): it stops accepting work until
+    /// [`Cloud::recover_machine`]. If a job was running there it is aborted
+    /// — busy time up to `now` still accrues, the job does *not* complete —
+    /// and its key plus the wasted execution span are returned so the
+    /// engine can re-dispatch it and attribute the loss. No-op (returning
+    /// `None`) if the machine is already down.
+    pub fn fail_machine(&mut self, now: SimTime, machine: MachineId) -> Option<(K, SimDuration)> {
+        assert!(now >= self.clock, "cloud must be advanced before fail_machine");
+        self.clock = now;
+        let idx = machine.0;
+        if self.failed[idx] {
+            return None;
+        }
+        self.failed[idx] = true;
+        self.n_failed += 1;
+        let pos = self.running.iter().position(|r| r.machine == machine)?;
+        let r = self.running.remove(pos);
+        let span = self.machines[idx].abort(now);
+        Some((r.key, span))
+    }
+
+    /// Recovers a crashed machine: it rejoins the dispatchable pool and
+    /// immediately pulls queued work. No-op if the machine was up.
+    pub fn recover_machine(&mut self, now: SimTime, machine: MachineId) {
+        assert!(now >= self.clock, "cloud must be advanced before recover_machine");
+        self.clock = now;
+        let idx = machine.0;
+        if !self.failed[idx] {
+            return;
+        }
+        self.failed[idx] = false;
+        self.n_failed -= 1;
+        self.dispatch();
     }
 
     /// Jobs waiting in the FCFS queue (not yet on a machine).
@@ -197,8 +258,11 @@ impl<K: Copy + PartialEq + std::fmt::Debug> Cloud<K> {
     /// Assigns queued jobs to idle machines (FCFS; lowest machine id first).
     fn dispatch(&mut self) {
         while !self.queue.is_empty() {
-            let Some(m_idx) =
-                self.machines[..self.active_limit].iter().position(|m| !m.is_busy())
+            let failed = &self.failed;
+            let Some(m_idx) = self.machines[..self.active_limit]
+                .iter()
+                .enumerate()
+                .position(|(i, m)| !m.is_busy() && !failed[i])
             else {
                 break;
             };
@@ -331,6 +395,60 @@ mod tests {
         c.submit(SimTime::ZERO, 2, 10.0);
         c.submit(SimTime::ZERO, 3, 10.0);
         assert_eq!(c.queued_keys().collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn failed_machine_aborts_job_and_leaves_pool() {
+        let mut c: Cloud<u32> = Cloud::homogeneous("ic", 2, 1.0);
+        c.submit(SimTime::ZERO, 1, 100.0);
+        c.submit(SimTime::ZERO, 2, 100.0);
+        c.submit(SimTime::ZERO, 3, 100.0);
+        assert_eq!(c.idle_machines(), 0);
+        // Crash machine 0 mid-job: job 1 comes back for re-dispatch, the
+        // waiting job 3 must NOT land on the dead machine.
+        c.advance(SimTime::from_secs(40));
+        let aborted = c.fail_machine(SimTime::from_secs(40), MachineId(0));
+        assert_eq!(aborted, Some((1, SimDuration::from_secs(40))));
+        assert_eq!(c.failed_machines(), 1);
+        assert!(c.is_failed(MachineId(0)));
+        assert_eq!(c.running(), 1, "only machine 1's job survives");
+        assert_eq!(c.idle_machines(), 0, "dead machine is not idle capacity");
+        // Busy time accrued up to the crash, but no completion counted.
+        assert_eq!(c.machines()[0].busy_time(SimTime::from_secs(40)), SimDuration::from_secs(40));
+        assert_eq!(c.machines()[0].completed(), 0);
+        // Job 2 finishes at t=100; job 3 then starts on machine 1 (not 0).
+        let done = c.advance(SimTime::from_secs(100));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].key, 2);
+        assert_eq!(c.running_detail().next().map(|(k, m, _)| (k, m)), Some((3, MachineId(1))));
+        // Double-fail is a no-op.
+        assert_eq!(c.fail_machine(SimTime::from_secs(100), MachineId(0)), None);
+    }
+
+    #[test]
+    fn recovered_machine_pulls_queued_work() {
+        let mut c: Cloud<u32> = Cloud::homogeneous("ic", 1, 1.0);
+        c.fail_machine(SimTime::ZERO, MachineId(0));
+        c.submit(SimTime::ZERO, 1, 10.0);
+        assert_eq!(c.queued(), 1, "dead pool queues instead of running");
+        assert_eq!(c.next_wake(), None);
+        c.recover_machine(SimTime::from_secs(5), MachineId(0));
+        assert_eq!(c.queued(), 0);
+        assert_eq!(c.running(), 1);
+        let done = c.advance(SimTime::from_secs(20));
+        assert_eq!(done[0].at, SimTime::from_secs(15), "started at recovery");
+        // Recovering an up machine is a no-op.
+        c.recover_machine(SimTime::from_secs(20), MachineId(0));
+        assert_eq!(c.failed_machines(), 0);
+    }
+
+    #[test]
+    fn fail_idle_machine_returns_no_job() {
+        let mut c: Cloud<u32> = Cloud::homogeneous("ic", 2, 1.0);
+        assert_eq!(c.fail_machine(SimTime::ZERO, MachineId(1)), None);
+        c.submit(SimTime::ZERO, 1, 10.0);
+        assert_eq!(c.running_detail().next().map(|(_, m, _)| m), Some(MachineId(0)));
+        assert_eq!(c.idle_machines(), 0);
     }
 
     #[test]

@@ -71,6 +71,17 @@ impl Machine {
         span
     }
 
+    /// Aborts the running job at `now` (machine crash): busy time up to
+    /// `now` still counts, but the job is *not* completed — the caller owns
+    /// re-dispatching it. Returns the aborted span. Panics if idle.
+    pub fn abort(&mut self, now: SimTime) -> SimDuration {
+        let until = self.busy_until.take().expect("abort on idle machine");
+        let started = self.started.take().expect("busy machine has a start time");
+        let span = now.min(until) - started;
+        self.busy_total += span;
+        span
+    }
+
     /// Cumulative busy time, including the in-progress job up to `now`.
     pub fn busy_time(&self, now: SimTime) -> SimDuration {
         match (self.started, self.busy_until) {
@@ -137,6 +148,25 @@ mod tests {
         m.finish();
         assert!((m.utilization(SimTime::from_secs(100)) - 0.5).abs() < 1e-12);
         assert_eq!(Machine::new(MachineId(1), 1.0).utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn abort_accrues_partial_busy_without_completion() {
+        let mut m = Machine::new(MachineId(0), 2.0);
+        m.start(SimTime::ZERO, 100.0); // would finish at t=50
+        let span = m.abort(SimTime::from_secs(30));
+        assert_eq!(span, SimDuration::from_secs(30));
+        assert!(!m.is_busy());
+        assert_eq!(m.completed(), 0, "aborted job is not a completion");
+        assert_eq!(m.busy_time(SimTime::from_secs(100)), SimDuration::from_secs(30));
+        // Machine is reusable after an abort.
+        assert_eq!(m.start(SimTime::from_secs(60), 100.0), SimTime::from_secs(110));
+    }
+
+    #[test]
+    #[should_panic(expected = "abort on idle machine")]
+    fn abort_idle_panics() {
+        Machine::new(MachineId(0), 1.0).abort(SimTime::ZERO);
     }
 
     #[test]

@@ -26,7 +26,7 @@ use crate::lexer::{Tok, TokKind};
 /// Crates (directory names under `crates/`) whose library code must stay
 /// deterministic: everything that runs inside the simulation clock.
 pub const DETERMINISTIC_CRATES: &[&str] =
-    &["cluster", "core", "net", "qrsm", "sched", "sim", "sla", "workload"];
+    &["chaos", "cluster", "core", "net", "qrsm", "sched", "sim", "sla", "workload"];
 
 /// How a file participates in the build.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

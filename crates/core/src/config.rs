@@ -154,6 +154,10 @@ pub struct ExperimentConfig {
     /// broker picks the site with the earliest estimated round trip per
     /// bursted job.
     pub extra_ec_sites: Vec<EcSiteConfig>,
+    /// Fault-injection profile (chaos extension). `None` — and a profile
+    /// that [`cloudburst_chaos::FaultProfile::is_dormant`] — leave the run
+    /// byte-identical to a fault-free one.
+    pub faults: Option<cloudburst_chaos::FaultProfile>,
 }
 
 impl Default for ExperimentConfig {
@@ -185,6 +189,7 @@ impl Default for ExperimentConfig {
             rescheduling: false,
             scaling: None,
             extra_ec_sites: Vec::new(),
+            faults: None,
         }
     }
 }

@@ -18,8 +18,9 @@
 //! simulation itself; the scheduler sees estimates. This split is what lets
 //! the experiments reproduce the paper's robustness comparisons.
 
-use cloudburst_cluster::{Cloud, ExecCompletion};
-use cloudburst_net::link::Completion;
+use cloudburst_chaos::{EstateShape, FaultPlan, Pool};
+use cloudburst_cluster::{Cloud, ExecCompletion, MachineId};
+use cloudburst_net::link::{CapacityFault, Completion};
 use cloudburst_net::queues::{SibsQueues, SizeClass};
 use cloudburst_net::{Link, SibsBounds, TransferId};
 use cloudburst_qrsm::QrsModel;
@@ -32,7 +33,7 @@ use cloudburst_sched::{
     OrderPreservingScheduler, OutstandingSet, Placement, ProcTimeModel, SibsScheduler,
 };
 use cloudburst_sim::{EventId, FxHashMap, RngFactory, Sim, SimDuration, SimTime};
-use cloudburst_sla::{metrics, oo_series, CompletionRecord, RunReport};
+use cloudburst_sla::{metrics, oo_series, CompletionRecord, FaultMetrics, RunReport};
 use cloudburst_workload::arrival::training_corpus;
 use cloudburst_workload::{BatchArrivals, Job, JobId};
 
@@ -52,6 +53,18 @@ fn est_exec_or_default(est_exec: &[f64], id: JobId) -> f64 {
     est_exec.get(id.0 as usize).copied().unwrap_or(DEFAULT_EST_EXEC_SECS)
 }
 
+/// Free-time sentinel for a crashed machine: "never frees" while staying
+/// finite, because `SimDuration::from_secs_f64` saturates non-finite input
+/// to zero — an `INFINITY` sentinel would wrap to "free now" the moment a
+/// drain converts it back into a duration.
+const DEAD_FREE_SECS: f64 = 1_000_000_000.0;
+
+/// Max over machine free-times that still count as live (crashed machines
+/// must not donate their sentinel as Eq. 1 cushion).
+fn live_max(free: &[f64]) -> f64 {
+    free.iter().copied().filter(|v| *v < DEAD_FREE_SECS).fold(0.0, f64::max)
+}
+
 /// Fills `buf` with estimated seconds until each machine frees from its
 /// *running* job only (scheduler-side estimates, never ground truth).
 /// Reuses `buf`'s capacity; free function so callers can borrow disjoint
@@ -69,6 +82,13 @@ fn fill_running_free(
         let est = est_exec_or_default(est_exec, key);
         let elapsed_std = (now - started).as_secs_f64() * speed;
         buf[machine.0] = (est - elapsed_std).max(0.0) / speed;
+    }
+    if cloud.failed_machines() > 0 {
+        for (i, v) in buf.iter_mut().enumerate() {
+            if cloud.is_failed(MachineId(i)) {
+                *v = DEAD_FREE_SECS;
+            }
+        }
     }
 }
 
@@ -181,6 +201,61 @@ impl EcSite {
     }
 }
 
+/// A pending chaos-recovery timer, fired by `process_chaos_timers` in
+/// (deadline, seq) order at the first wake that reaches the deadline.
+#[derive(Clone, Copy, Debug)]
+enum ChaosTimer {
+    /// An in-flight upload's recovery deadline.
+    UpTimeout { site: usize, tid: TransferId, started: SimTime },
+    /// An in-flight download's recovery deadline.
+    DownTimeout { site: usize, tid: TransferId, started: SimTime },
+    /// Backoff expiry: re-queue the job's upload at the head of its class.
+    UpRetry { site: usize, id: JobId },
+    /// Backoff expiry: re-queue the job's result download at the head.
+    DownRetry { site: usize, id: JobId },
+}
+
+/// Live chaos bookkeeping. `EngineWorld::chaos` is `None` whenever the
+/// compiled plan is empty, so a dormant profile leaves every code path —
+/// and therefore every byte of the run — identical to a fault-free one.
+struct ChaosState {
+    plan: FaultPlan,
+    /// Failed attempts so far per job id (grown on admission); the current
+    /// attempt index keys the plan's hashed per-attempt deciders.
+    exec_attempts: Vec<u32>,
+    up_attempts: Vec<u32>,
+    down_attempts: Vec<u32>,
+    /// Pending recovery timers, unordered; scanned for the matured minimum
+    /// — the set stays tiny (≤ transfer slots plus live backoffs).
+    timers: Vec<(SimTime, u64, ChaosTimer)>,
+    /// Tie-break sequence for timers sharing a deadline.
+    seq: u64,
+    metrics: FaultMetrics,
+}
+
+impl ChaosState {
+    fn arm(&mut self, at: SimTime, timer: ChaosTimer) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.timers.push((at, seq, timer));
+    }
+
+    /// Index of the earliest matured timer, in (deadline, seq) order.
+    fn matured(&self, now: SimTime) -> Option<usize> {
+        self.timers
+            .iter()
+            .enumerate()
+            .filter(|(_, (t, _, _))| *t <= now)
+            .min_by_key(|(_, (t, s, _))| (*t, *s))
+            .map(|(i, _)| i)
+    }
+
+    /// Earliest timer deadline, for arming the chaos wake event.
+    fn next_deadline(&self) -> Option<SimTime> {
+        self.timers.iter().map(|&(t, s, _)| (t, s)).min().map(|(t, _)| t)
+    }
+}
+
 /// The whole simulated system.
 pub struct EngineWorld {
     cfg: ExperimentConfig,
@@ -249,6 +324,9 @@ pub struct EngineWorld {
     /// candidate view.
     po_waiting: Vec<JobId>,
     po_queue: Vec<PushOutCandidate>,
+    /// Fault-injection bookkeeping; `None` ⇔ no fault can ever realize.
+    chaos: Option<ChaosState>,
+    chaos_wake: Option<EventId>,
 }
 
 impl std::fmt::Debug for EngineWorld {
@@ -262,7 +340,7 @@ impl std::fmt::Debug for EngineWorld {
 }
 
 impl EngineWorld {
-    fn new(cfg: ExperimentConfig) -> EngineWorld {
+    fn new(cfg: ExperimentConfig, plan: Option<FaultPlan>) -> EngineWorld {
         let rngs = RngFactory::new(cfg.seed);
         // Initial QRSM: trained on the standard production corpus.
         let mut train_rng = rngs.stream("qrsm/training");
@@ -332,11 +410,54 @@ impl EngineWorld {
             download_model: cfg.download_model.clone(),
         }];
         site_cfgs.extend(cfg.extra_ec_sites.iter().cloned());
-        let sites = site_cfgs
+        let mut sites: Vec<EcSite> = site_cfgs
             .iter()
             .enumerate()
             .map(|(i, sc)| EcSite::new(&cfg, sc, sibs, format!("ec{i}")))
             .collect();
+
+        // Chaos: an explicit plan (replay path) wins; otherwise compile the
+        // config's profile against this estate. An empty plan arms nothing,
+        // keeping the run byte-identical to a fault-free one.
+        let plan = plan.or_else(|| {
+            cfg.faults.as_ref().map(|p| {
+                let shape = EstateShape {
+                    n_ic: cfg.n_ic as u32,
+                    ec_machines: site_cfgs.iter().map(|s| s.n_machines.max(1) as u32).collect(),
+                };
+                p.compile(cfg.seed, &shape)
+            })
+        });
+        let chaos = plan.filter(|p| !p.is_empty()).map(|plan| ChaosState {
+            metrics: FaultMetrics {
+                blackout_secs: plan.blackout_secs(),
+                ..FaultMetrics::default()
+            },
+            exec_attempts: Vec::new(),
+            up_attempts: Vec::new(),
+            down_attempts: Vec::new(),
+            timers: Vec::new(),
+            seq: 0,
+            plan,
+        });
+        if let Some(ch) = &chaos {
+            for (i, site) in sites.iter_mut().enumerate() {
+                let windows: Vec<CapacityFault> = ch
+                    .plan
+                    .windows_for_site(i)
+                    .iter()
+                    .map(|f| CapacityFault {
+                        from: SimTime::from_secs_f64(f.from_secs),
+                        until: SimTime::from_secs_f64(f.until_secs),
+                        factor: f.factor,
+                    })
+                    .collect();
+                if !windows.is_empty() {
+                    site.up_link.set_faults(windows.clone());
+                    site.down_link.set_faults(windows);
+                }
+            }
+        }
 
         let rng_probe = rngs.stream("probe");
         let rng_chunk_truth = rngs.stream("chunk-truth");
@@ -377,6 +498,8 @@ impl EngineWorld {
             pb_meta: Vec::new(),
             po_waiting: Vec::new(),
             po_queue: Vec::new(),
+            chaos,
+            chaos_wake: None,
         }
     }
 
@@ -450,6 +573,13 @@ impl EngineWorld {
             let est = est_exec_or_default(&self.est_exec, key);
             let elapsed_std = (now - started).as_secs_f64() * speed;
             free[machine.0] = (est - elapsed_std).max(0.0) / speed;
+        }
+        if cloud.failed_machines() > 0 {
+            for (i, v) in free.iter_mut().enumerate() {
+                if cloud.is_failed(MachineId(i)) {
+                    *v = DEAD_FREE_SECS;
+                }
+            }
         }
         free
     }
@@ -645,7 +775,20 @@ impl EngineWorld {
             uploaded_bytes: self.sites.iter().map(|s| s.uploaded_bytes).sum(),
             downloaded_bytes: self.sites.iter().map(|s| s.downloaded_bytes).sum(),
             tickets,
+            faults: self.chaos.as_ref().map(|c| c.metrics.clone()).unwrap_or_default(),
         }
+    }
+
+    /// Realized fault/recovery counters (`None` on fault-free runs, where
+    /// no chaos state is armed at all).
+    pub fn fault_metrics(&self) -> Option<&FaultMetrics> {
+        self.chaos.as_ref().map(|c| &c.metrics)
+    }
+
+    /// The compiled fault plan driving this run, if any — serialize it with
+    /// [`FaultPlan::to_json`] for a byte-identical replay.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.chaos.as_ref().map(|c| &c.plan)
     }
 
     /// Number of pull-back rescheduling actions taken (diagnostics).
@@ -705,6 +848,15 @@ fn resync(w: &mut W, sim: &mut Sim<W>) {
             }));
         }
     }
+    if let Some(id) = w.chaos_wake.take() {
+        sim.cancel(id);
+    }
+    if let Some(t) = w.chaos.as_ref().and_then(|c| c.next_deadline()) {
+        w.chaos_wake = Some(sim.schedule_at(t, |w, sim| {
+            w.chaos_wake = None;
+            on_wake(w, sim);
+        }));
+    }
 }
 
 /// Advances every component to `now` and handles all completions, looping
@@ -722,6 +874,9 @@ fn on_wake(w: &mut W, sim: &mut Sim<W>) {
         execs.clear();
         w.ic.advance_into(now, &mut execs);
         for c in &execs {
+            if chaos_exec_failed(w, c, now, None) {
+                continue;
+            }
             finish_exec(w, c.key, c.at, c.started, true);
             // IC result goes straight to the result queue.
             record_completion(w, c.key, c.at);
@@ -746,6 +901,9 @@ fn on_wake(w: &mut W, sim: &mut Sim<W>) {
             w.sites[i].cloud.advance_into(now, &mut execs);
             for &c in &execs {
                 any = true;
+                if chaos_exec_failed(w, &c, now, Some(i)) {
+                    continue;
+                }
                 finish_exec(w, c.key, c.at, c.started, false);
                 let out = w.jobs[c.key.0 as usize].output_bytes;
                 w.sites[i].down_queue.push_back((c.key, out));
@@ -766,6 +924,9 @@ fn on_wake(w: &mut W, sim: &mut Sim<W>) {
     transfers.clear();
     w.scratch_exec = execs;
     w.scratch_link = transfers;
+    if w.chaos.is_some() {
+        process_chaos_timers(w, now);
+    }
     // Refill transfer slots.
     for i in 0..w.sites.len() {
         pump_uploads(w, i, now);
@@ -856,6 +1017,11 @@ fn on_batch(w: &mut W, sim: &mut Sim<W>, batch_jobs: Vec<Job>) {
         }
         w.jobs.push(job);
     }
+    if let Some(ch) = &mut w.chaos {
+        ch.exec_attempts.resize(w.jobs.len(), 0);
+        ch.up_attempts.resize(w.jobs.len(), 0);
+        ch.down_attempts.resize(w.jobs.len(), 0);
+    }
     w.batch_decisions.push(decisions);
     w.batches_seen += 1;
 
@@ -878,8 +1044,21 @@ fn pump_uploads(w: &mut W, site: usize, now: SimTime) {
         let threads = w.est.up_tuner.threads_for(now);
         let tid = w.fresh_tid();
         w.timelines[id.0 as usize].upload_started = Some(now);
+        // Chaos: arm the recovery timeout; a stalled transfer occupies its
+        // slot but never reaches the link — only the timeout frees it.
+        let mut stalled = false;
+        if let Some(ch) = &mut w.chaos {
+            stalled = ch.plan.transfer_stalls(id.0, true, ch.up_attempts[id.0 as usize]);
+            let timeout = ch.plan.retry.timeout_secs(w.est.upload_secs(now, bytes));
+            ch.arm(
+                now + SimDuration::from_secs_f64(timeout),
+                ChaosTimer::UpTimeout { site, tid, started: now },
+            );
+        }
         let s = &mut w.sites[site];
-        s.up_link.start(now, tid, bytes, threads);
+        if !stalled {
+            s.up_link.start(now, tid, bytes, threads);
+        }
         s.up_slots[slot].1 = Some(tid);
         s.up_map.insert(tid, (Payload::Job(id), threads));
     }
@@ -895,8 +1074,19 @@ fn pump_downloads(w: &mut W, site: usize, now: SimTime) {
     };
     let threads = w.est.down_tuner.threads_for(now);
     let tid = w.fresh_tid();
+    let mut stalled = false;
+    if let Some(ch) = &mut w.chaos {
+        stalled = ch.plan.transfer_stalls(id.0, false, ch.down_attempts[id.0 as usize]);
+        let timeout = ch.plan.retry.timeout_secs(w.est.download_secs(now, bytes));
+        ch.arm(
+            now + SimDuration::from_secs_f64(timeout),
+            ChaosTimer::DownTimeout { site, tid, started: now },
+        );
+    }
     let s = &mut w.sites[site];
-    s.down_link.start(now, tid, bytes, threads);
+    if !stalled {
+        s.down_link.start(now, tid, bytes, threads);
+    }
     s.down_active = Some(tid);
     s.down_map.insert(tid, (Payload::Job(id), threads));
 }
@@ -915,6 +1105,9 @@ fn on_upload_done(w: &mut W, site: usize, c: Completion) {
     match payload {
         Payload::Job(id) => {
             w.sites[site].uploaded_bytes += c.bytes;
+            if chaos_transfer_lost(w, site, id, &c, true) {
+                return;
+            }
             w.timelines[id.0 as usize].upload_done = Some(c.at);
             let svc = w.jobs[id.0 as usize].true_service_secs;
             w.sites[site].cloud.submit(c.at, id, svc);
@@ -936,6 +1129,9 @@ fn on_download_done(w: &mut W, site: usize, c: Completion) {
     match payload {
         Payload::Job(id) => {
             w.sites[site].downloaded_bytes += c.bytes;
+            if chaos_transfer_lost(w, site, id, &c, false) {
+                return;
+            }
             w.timelines[id.0 as usize].download_done = Some(c.at);
             record_completion(w, id, c.at);
         }
@@ -993,6 +1189,237 @@ fn record_completion(w: &mut W, id: JobId, at: SimTime) {
         w.est_completion[idx] = None;
     }
     w.timelines[idx].completed = Some(at);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos recovery (fault injection — see DESIGN.md §9)
+// ---------------------------------------------------------------------------
+
+/// Chaos: the plan declares this completed execution attempt failed. The
+/// work is wasted (the QRSM learns nothing from it) and the job re-runs on
+/// the same pool; the hashed per-attempt decider plus the retry cap bound
+/// the number of re-runs, so every job still terminates.
+fn chaos_exec_failed(
+    w: &mut W,
+    c: &ExecCompletion<JobId>,
+    now: SimTime,
+    site: Option<usize>,
+) -> bool {
+    let Some(ch) = &mut w.chaos else { return false };
+    let idx = c.key.0 as usize;
+    if !ch.plan.exec_fails(c.key.0, ch.exec_attempts[idx]) {
+        return false;
+    }
+    ch.exec_attempts[idx] += 1;
+    ch.metrics.exec_failures += 1;
+    ch.metrics.fault_delay_secs += (c.at - c.started).as_secs_f64();
+    let svc = w.jobs[idx].true_service_secs;
+    match site {
+        None => w.ic.submit(now, c.key, svc),
+        Some(s) => w.sites[s].cloud.submit(now, c.key, svc),
+    }
+    true
+}
+
+/// Chaos: a completed transfer whose payload the plan declares lost. The
+/// bytes physically moved (and taught the estimator), but the job must go
+/// again — retry with backoff while the budget lasts, then re-dispatch to
+/// the IC.
+fn chaos_transfer_lost(w: &mut W, site: usize, id: JobId, c: &Completion, upload: bool) -> bool {
+    let Some(ch) = &mut w.chaos else { return false };
+    let idx = id.0 as usize;
+    let attempts = if upload { &mut ch.up_attempts } else { &mut ch.down_attempts };
+    if !ch.plan.transfer_lost(id.0, upload, attempts[idx]) {
+        return false;
+    }
+    attempts[idx] += 1;
+    let attempt = attempts[idx];
+    ch.metrics.transfer_losses += 1;
+    if attempt <= ch.plan.retry.max_transfer_retries {
+        let backoff = ch.plan.retry.backoff_secs(attempt - 1);
+        ch.metrics.transfer_retries += 1;
+        ch.metrics.fault_delay_secs += backoff;
+        let timer = if upload {
+            ChaosTimer::UpRetry { site, id }
+        } else {
+            ChaosTimer::DownRetry { site, id }
+        };
+        ch.arm(c.at + SimDuration::from_secs_f64(backoff), timer);
+    } else {
+        redispatch_to_ic(w, id, c.at);
+    }
+    true
+}
+
+/// Chaos recovery of last resort: hand the job back to the IC wait queue,
+/// where the ordinary FCFS/pull-back machinery owns it again — recovery
+/// re-enters the normal scheduling path rather than a special case. The
+/// outstanding estimate is revised so Eq. 1 slack keeps governing.
+fn redispatch_to_ic(w: &mut W, id: JobId, now: SimTime) {
+    let idx = id.0 as usize;
+    w.placements[idx] = Placement::Internal;
+    w.timelines[idx].placement = Placement::Internal;
+    let svc = w.jobs[idx].true_service_secs;
+    w.ic.submit(now, id, svc);
+    reinstate_estimate(w, id, now, w.cfg.ic_speed);
+    let ch = w.chaos.as_mut().expect("re-dispatch implies chaos state");
+    ch.metrics.redispatches += 1;
+}
+
+/// Revises the outstanding completion estimate of a re-dispatched job (and
+/// its test-build rebuild oracle, in lock step).
+fn reinstate_estimate(w: &mut W, id: JobId, now: SimTime, speed: f64) {
+    let est = est_exec_or_default(&w.est_exec, id);
+    let est_ct = now + SimDuration::from_secs_f64(est / speed);
+    w.outstanding.reinstate(id.0, est_ct);
+    #[cfg(test)]
+    {
+        w.est_completion[id.0 as usize] = Some(est_ct);
+    }
+}
+
+/// Fires every matured chaos timer in (deadline, seq) order. Runs after
+/// the completion loop, so a transfer that physically finished by `now`
+/// has already vacated its map entry and its stale timer no-ops.
+fn process_chaos_timers(w: &mut W, now: SimTime) {
+    loop {
+        let Some(ch) = &mut w.chaos else { return };
+        let Some(i) = ch.matured(now) else { return };
+        let (_, _, timer) = ch.timers.swap_remove(i);
+        match timer {
+            ChaosTimer::UpTimeout { site, tid, started } => {
+                on_transfer_timeout(w, site, tid, started, now, true);
+            }
+            ChaosTimer::DownTimeout { site, tid, started } => {
+                on_transfer_timeout(w, site, tid, started, now, false);
+            }
+            ChaosTimer::UpRetry { site, id } => {
+                let bytes = w.jobs[id.0 as usize].input_bytes();
+                let class = w.classify(site, bytes);
+                w.sites[site].up_queues.push_front(class, id, bytes);
+            }
+            ChaosTimer::DownRetry { site, id } => {
+                let bytes = w.jobs[id.0 as usize].output_bytes;
+                w.sites[site].down_queue.push_front((id, bytes));
+            }
+        }
+    }
+}
+
+/// A transfer blew its recovery deadline: abort it (a stalled one never
+/// reached the link), free its slot, and retry with backoff — or, once the
+/// budget is exhausted, re-dispatch the job to the IC.
+fn on_transfer_timeout(
+    w: &mut W,
+    site: usize,
+    tid: TransferId,
+    started: SimTime,
+    now: SimTime,
+    upload: bool,
+) {
+    let s = &mut w.sites[site];
+    let removed = if upload { s.up_map.remove(&tid) } else { s.down_map.remove(&tid) };
+    let Some((Payload::Job(id), _threads)) = removed else {
+        return; // completed in the meantime — stale timer
+    };
+    if upload {
+        let _ = s.up_link.abort(now, tid);
+        if let Some(slot) = s.up_slots.iter_mut().find(|(_, t)| *t == Some(tid)) {
+            slot.1 = None;
+        }
+    } else {
+        let _ = s.down_link.abort(now, tid);
+        if s.down_active == Some(tid) {
+            s.down_active = None;
+        }
+    }
+    let ch = w.chaos.as_mut().expect("chaos timers imply chaos state");
+    let idx = id.0 as usize;
+    ch.metrics.transfer_timeouts += 1;
+    ch.metrics.fault_delay_secs += (now - started).as_secs_f64();
+    let attempts = if upload { &mut ch.up_attempts } else { &mut ch.down_attempts };
+    attempts[idx] += 1;
+    let attempt = attempts[idx];
+    if attempt <= ch.plan.retry.max_transfer_retries {
+        let backoff = ch.plan.retry.backoff_secs(attempt - 1);
+        ch.metrics.transfer_retries += 1;
+        ch.metrics.fault_delay_secs += backoff;
+        let timer = if upload {
+            ChaosTimer::UpRetry { site, id }
+        } else {
+            ChaosTimer::DownRetry { site, id }
+        };
+        ch.arm(now + SimDuration::from_secs_f64(backoff), timer);
+    } else {
+        redispatch_to_ic(w, id, now);
+    }
+}
+
+/// Chaos: a machine crashes. Any running job is aborted and re-submitted
+/// through its pool's ordinary wait queue; the crashed machine leaves the
+/// dispatch rotation (and the free-time index sees it as never freeing)
+/// until recovery.
+fn on_machine_down(w: &mut W, sim: &mut Sim<W>, pool: Pool, machine: u32) {
+    if w.all_done() {
+        return;
+    }
+    let now = sim.now();
+    on_wake(w, sim);
+    let m = MachineId(machine as usize);
+    let aborted = match pool {
+        Pool::Ic if m.0 < w.ic.n_machines() => w.ic.fail_machine(now, m),
+        Pool::Ec(s)
+            if (s as usize) < w.sites.len() && m.0 < w.sites[s as usize].cloud.n_machines() =>
+        {
+            w.sites[s as usize].cloud.fail_machine(now, m)
+        }
+        _ => return, // plan compiled against a wider estate — ignore
+    };
+    {
+        let ch = w.chaos.as_mut().expect("machine events imply chaos state");
+        ch.metrics.machine_crashes += 1;
+        if let Some((_, span)) = aborted {
+            ch.metrics.fault_delay_secs += span.as_secs_f64();
+        }
+    }
+    if let Some((id, _)) = aborted {
+        let svc = w.jobs[id.0 as usize].true_service_secs;
+        match pool {
+            Pool::Ic => {
+                w.ic.submit(now, id, svc);
+                reinstate_estimate(w, id, now, w.cfg.ic_speed);
+            }
+            Pool::Ec(s) => {
+                w.sites[s as usize].cloud.submit(now, id, svc);
+                reinstate_estimate(w, id, now, w.cfg.ec_speed);
+            }
+        }
+        let ch = w.chaos.as_mut().expect("chaos state");
+        ch.metrics.redispatches += 1;
+    }
+    resync(w, sim);
+}
+
+/// Chaos: a crashed machine comes back and immediately pulls queued work.
+fn on_machine_up(w: &mut W, sim: &mut Sim<W>, pool: Pool, machine: u32) {
+    if w.all_done() {
+        return;
+    }
+    let now = sim.now();
+    on_wake(w, sim);
+    let m = MachineId(machine as usize);
+    match pool {
+        Pool::Ic if m.0 < w.ic.n_machines() => w.ic.recover_machine(now, m),
+        Pool::Ec(s)
+            if (s as usize) < w.sites.len() && m.0 < w.sites[s as usize].cloud.n_machines() =>
+        {
+            w.sites[s as usize].cloud.recover_machine(now, m)
+        }
+        _ => return,
+    }
+    let ch = w.chaos.as_mut().expect("machine events imply chaos state");
+    ch.metrics.machine_recoveries += 1;
+    resync(w, sim);
 }
 
 /// Sec. IV-D pull-back: a freed IC machine reclaims the head of an EC
@@ -1058,7 +1485,7 @@ fn try_push_out(w: &mut W, now: SimTime) {
     let speed = w.cfg.ic_speed;
     fill_running_free(&w.est_exec, &mut w.ic_free_buf, &w.ic, speed, now);
     w.ft_index.reset_from(&w.ic_free_buf);
-    let mut ahead_max: f64 = w.ic_free_buf.iter().copied().fold(0.0, f64::max);
+    let mut ahead_max: f64 = live_max(&w.ic_free_buf);
     w.po_queue.clear();
     for i in 0..w.po_waiting.len() {
         let id = w.po_waiting[i];
@@ -1074,7 +1501,10 @@ fn try_push_out(w: &mut W, now: SimTime) {
         // Commit this job onto the planned drain for its successors.
         let est = est_exec_or_default(&w.est_exec, id);
         let idx = w.ft_index.fcfs_commit(est / speed);
-        ahead_max = ahead_max.max(w.ft_index.value(idx));
+        let committed = w.ft_index.value(idx);
+        if committed < DEAD_FREE_SECS {
+            ahead_max = ahead_max.max(committed);
+        }
         w.po_queue.push(PushOutCandidate { slack, round_trip_secs: up + exec + down });
     }
     #[cfg(test)]
@@ -1102,7 +1532,7 @@ fn try_push_out(w: &mut W, now: SimTime) {
 #[cfg(test)]
 fn assert_push_out_queue_matches_oracle(w: &W, now: SimTime, speed: f64) {
     let mut free = w.est_running_free_secs(&w.ic, speed, now);
-    let mut ahead_max: f64 = free.iter().copied().fold(0.0, f64::max);
+    let mut ahead_max: f64 = live_max(&free);
     for (i, id) in w.po_waiting.iter().enumerate() {
         let slack = if ahead_max > 0.0 {
             Some(now + SimDuration::from_secs_f64(ahead_max))
@@ -1120,7 +1550,9 @@ fn assert_push_out_queue_matches_oracle(w: &W, now: SimTime, speed: f64) {
             .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
             .expect("IC has machines");
         free[idx] += est / speed;
-        ahead_max = ahead_max.max(free[idx]);
+        if free[idx] < DEAD_FREE_SECS {
+            ahead_max = ahead_max.max(free[idx]);
+        }
         let got = &w.po_queue[i];
         assert_eq!(got.slack, slack, "push-out slack diverged at queue pos {i}");
         assert_eq!(
@@ -1205,6 +1637,20 @@ pub fn run_with_batches(
     harness.finish()
 }
 
+/// As [`run_with_batches`], with an explicit pre-compiled fault plan — the
+/// serialize → replay path of the chaos layer. Replaying a plan produced
+/// by a prior run (same config, same batches) is byte-identical to that
+/// run. `None` falls back to compiling `cfg.faults`.
+pub fn run_with_plan(
+    cfg: &ExperimentConfig,
+    batches: Vec<cloudburst_workload::Batch>,
+    plan: Option<FaultPlan>,
+) -> (RunReport, EngineWorld) {
+    let mut harness = EngineHarness::new_with_plan(cfg, batches, plan);
+    harness.run();
+    harness.finish()
+}
+
 /// A steppable engine driver: the event queue plus the world, exposed so
 /// probes, benchmarks, and tests can advance a run to a mid-flight state
 /// and exercise the decision path ([`EngineWorld::load_snapshot`],
@@ -1228,11 +1674,33 @@ impl std::fmt::Debug for EngineHarness {
 impl EngineHarness {
     /// Builds the world and schedules the arrival/probe/scaling events.
     pub fn new(cfg: &ExperimentConfig, batches: Vec<cloudburst_workload::Batch>) -> EngineHarness {
-        let mut world = EngineWorld::new(cfg.clone());
+        EngineHarness::new_with_plan(cfg, batches, None)
+    }
+
+    /// As [`EngineHarness::new`], with an explicit pre-compiled fault plan
+    /// (the replay path); `None` compiles `cfg.faults` instead. The plan's
+    /// machine crash/recover cycles become ordinary DES events here.
+    pub fn new_with_plan(
+        cfg: &ExperimentConfig,
+        batches: Vec<cloudburst_workload::Batch>,
+        plan: Option<FaultPlan>,
+    ) -> EngineHarness {
+        let mut world = EngineWorld::new(cfg.clone(), plan);
         world.batches_total = batches.len() as u32;
         let mut sim: Sim<EngineWorld> = Sim::new();
         for b in batches {
             sim.schedule_at(b.arrival, move |w, sim| on_batch(w, sim, b.jobs));
+        }
+        if let Some(ch) = &world.chaos {
+            for f in ch.plan.machine_faults.clone() {
+                let (pool, machine) = (f.pool, f.machine);
+                sim.schedule_at(SimTime::from_secs_f64(f.down_at_secs), move |w, sim| {
+                    on_machine_down(w, sim, pool, machine)
+                });
+                sim.schedule_at(SimTime::from_secs_f64(f.up_at_secs), move |w, sim| {
+                    on_machine_up(w, sim, pool, machine)
+                });
+            }
         }
         if let Some(interval) = cfg.probe_interval {
             sim.schedule_in(interval, move |w, sim| on_probe(w, sim, interval));

@@ -46,6 +46,8 @@ pub mod scaling;
 pub mod timeline;
 
 pub use config::{ExperimentConfig, SchedulerKind};
-pub use engine::{run_experiment, run_experiment_detailed, run_with_batches, EngineHarness};
+pub use engine::{
+    run_experiment, run_experiment_detailed, run_with_batches, run_with_plan, EngineHarness,
+};
 pub use timeline::JobTimeline;
 pub use runner::{run_all_buckets, run_replications};

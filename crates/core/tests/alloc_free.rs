@@ -6,7 +6,12 @@
 //! This is an integration test on purpose: the library is compiled without
 //! `cfg(test)`, so the in-crate rescan oracles (which allocate) are not in
 //! the measured path — exactly the production configuration.
+//!
+//! The run carries a dormant chaos profile (`cfg.faults =
+//! Some(FaultProfile::dormant())`): the fault-injection plumbing must not
+//! cost the steady state a single allocation when no faults are armed.
 
+use cloudburst_chaos::FaultProfile;
 use cloudburst_core::{EngineHarness, ExperimentConfig, SchedulerKind};
 use cloudburst_sim::RngFactory;
 use cloudburst_testsupport::{allocations, CountingAlloc};
@@ -26,6 +31,7 @@ fn steady_state_decision_sweep_is_allocation_free() {
         ExperimentConfig::paper(SchedulerKind::OrderPreserving, SizeBucket::LargeBiased, 9);
     cfg.arrivals.jobs_per_batch = 60.0;
     cfg.rescheduling = true;
+    cfg.faults = Some(FaultProfile::dormant());
 
     let rngs = RngFactory::new(cfg.seed);
     let batches = BatchArrivals::new(cfg.arrivals.clone()).generate(&rngs, &cfg.truth);

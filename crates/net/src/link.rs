@@ -43,6 +43,19 @@ struct Active {
     total: u64,
 }
 
+/// A capacity-fault window injected by the chaos layer: while
+/// `from <= t < until` the link's instantaneous capacity is multiplied by
+/// `factor` (0 = blackout). Overlapping windows multiply.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CapacityFault {
+    /// Window start.
+    pub from: SimTime,
+    /// Window end.
+    pub until: SimTime,
+    /// Capacity multiplier inside the window, in `[0, 1]`.
+    pub factor: f64,
+}
+
 /// A completed transfer, reported by [`Link::advance`].
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Completion {
@@ -82,6 +95,9 @@ pub struct Link {
     clock: SimTime,
     bytes_done: u64,
     busy: SimDuration,
+    /// Chaos-injected capacity faults, sorted by start. Empty (the default
+    /// and the fault-free fast path) leaves behaviour bit-identical.
+    faults: Vec<CapacityFault>,
 }
 
 impl Link {
@@ -99,6 +115,7 @@ impl Link {
             clock: SimTime::ZERO,
             bytes_done: 0,
             busy: SimDuration::ZERO,
+            faults: Vec::new(),
         }
     }
 
@@ -117,6 +134,31 @@ impl Link {
     /// The configured last-hop latency.
     pub fn latency(&self) -> SimDuration {
         self.latency
+    }
+
+    /// Installs the chaos-injected capacity-fault schedule. Windows whose
+    /// `factor` is 0 black the link out entirely; overlapping windows
+    /// multiply. Must be called before the first `advance` (windows are
+    /// part of the run's ground truth, not a mid-run control).
+    pub fn set_faults(&mut self, mut faults: Vec<CapacityFault>) {
+        assert!(self.clock == SimTime::ZERO, "install faults before advancing");
+        faults.retain(|f| f.until > f.from);
+        self.faults = faults;
+    }
+
+    /// Capacity multiplier in effect at `t`: the product of every fault
+    /// window containing `t`. 1.0 on the fault-free fast path.
+    fn fault_factor(&self, t: SimTime) -> f64 {
+        if self.faults.is_empty() {
+            return 1.0;
+        }
+        let mut f = 1.0;
+        for w in &self.faults {
+            if w.from <= t && t < w.until {
+                f *= w.factor.clamp(0.0, 1.0);
+            }
+        }
+        f
     }
 
     /// The ground-truth capacity model.
@@ -292,7 +334,7 @@ impl Link {
         if w == 0.0 {
             return 0.0;
         }
-        self.model.rate_bps(self.clock) / (w + self.kappa)
+        self.model.rate_bps(self.clock) * self.fault_factor(self.clock) / (w + self.kappa)
     }
 
     /// Effective aggregate throughput at time `t` if `threads` total threads
@@ -311,6 +353,16 @@ impl Link {
         for tr in &self.active {
             if tr.flows_from > self.clock {
                 b = b.min(tr.flows_from);
+            }
+        }
+        // Fault-window edges are rate discontinuities too: a piece must
+        // never straddle one, so the constant-rate ETA stays exact.
+        for w in &self.faults {
+            if w.from > self.clock {
+                b = b.min(w.from);
+            }
+            if w.until > self.clock {
+                b = b.min(w.until);
             }
         }
         b
@@ -549,6 +601,78 @@ mod tests {
             at.as_secs_f64() / (bytes as f64 / 1000.0) // slowdown factor
         };
         assert!(run(1_000) > run(100_000), "small transfers pay proportionally more");
+    }
+
+    #[test]
+    fn blackout_window_freezes_progress() {
+        let mut l = constant_link(1000.0);
+        l.set_faults(vec![CapacityFault {
+            from: SimTime::from_secs(5),
+            until: SimTime::from_secs(25),
+            factor: 0.0,
+        }]);
+        l.start(SimTime::ZERO, TransferId(1), 10_000, 1);
+        // 5 s at 1000 B/s, 20 s dark, then 5 s to finish → t = 30.
+        let mut done = Vec::new();
+        let mut guard = 0;
+        while done.is_empty() {
+            let w = l.next_wake().expect("still active");
+            done = l.advance(w);
+            guard += 1;
+            assert!(guard < 100, "must converge");
+        }
+        assert_eq!(done[0].at, SimTime::from_secs(30));
+    }
+
+    #[test]
+    fn degradation_window_scales_rate() {
+        let mut l = constant_link(1000.0);
+        l.set_faults(vec![CapacityFault {
+            from: SimTime::ZERO,
+            until: SimTime::from_secs(100),
+            factor: 0.25,
+        }]);
+        l.start(SimTime::ZERO, TransferId(1), 10_000, 1);
+        // 250 B/s inside the window → 40 s.
+        let mut done = Vec::new();
+        while let Some(w) = l.next_wake() {
+            done.extend(l.advance(w));
+        }
+        assert_eq!(done[0].at, SimTime::from_secs(40));
+    }
+
+    #[test]
+    fn overlapping_windows_multiply_and_empty_faults_change_nothing() {
+        let mut faulty = constant_link(1000.0);
+        faulty.set_faults(vec![
+            CapacityFault { from: SimTime::ZERO, until: SimTime::from_secs(1000), factor: 0.5 },
+            CapacityFault { from: SimTime::ZERO, until: SimTime::from_secs(1000), factor: 0.5 },
+        ]);
+        faulty.start(SimTime::ZERO, TransferId(1), 10_000, 1);
+        // 0.5 · 0.5 = 0.25 → 250 B/s → 40 s.
+        assert_eq!(faulty.next_wake().unwrap(), SimTime::from_secs(40));
+
+        let mut plain = constant_link(1000.0);
+        let mut with_empty = constant_link(1000.0);
+        with_empty.set_faults(Vec::new());
+        plain.start(SimTime::ZERO, TransferId(1), 10_000, 1);
+        with_empty.start(SimTime::ZERO, TransferId(1), 10_000, 1);
+        assert_eq!(plain.next_wake(), with_empty.next_wake());
+        assert_eq!(plain.advance(SimTime::from_secs(10)), with_empty.advance(SimTime::from_secs(10)));
+    }
+
+    #[test]
+    fn abort_during_blackout_reports_frozen_remaining() {
+        let mut l = constant_link(1000.0);
+        l.set_faults(vec![CapacityFault {
+            from: SimTime::from_secs(2),
+            until: SimTime::from_secs(1000),
+            factor: 0.0,
+        }]);
+        l.start(SimTime::ZERO, TransferId(1), 10_000, 1);
+        // 2 s of flow then darkness: remaining frozen at 8000 bytes.
+        let rem = l.abort(SimTime::from_secs(50), TransferId(1)).unwrap();
+        assert_eq!(rem, 8_000);
     }
 
     #[test]

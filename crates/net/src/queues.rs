@@ -166,6 +166,14 @@ impl<T> SibsQueues<T> {
         None
     }
 
+    /// Re-enqueues an item at the *head* of its class queue — used by the
+    /// chaos-recovery path to retry a timed-out transfer without losing its
+    /// FIFO position ahead of younger work.
+    pub fn push_front(&mut self, class: SizeClass, item: T, bytes: u64) {
+        self.queues[class.index()].push_front((item, bytes));
+        self.bytes[class.index()] += bytes;
+    }
+
     /// Peeks the head of one class queue without removing it.
     pub fn front(&self, class: SizeClass) -> Option<(&T, u64)> {
         self.queues[class.index()].front().map(|(t, b)| (t, *b))

@@ -179,6 +179,22 @@ impl OutstandingSet {
         self.job_at.push(id);
     }
 
+    /// Re-registers (or revises) job `id`'s estimate after a fault
+    /// re-dispatch: a job stranded on a crashed machine or dead link
+    /// re-enters the outstanding pool with a fresh `T_i` anchor — its old
+    /// estimate was rescinded the moment the fault made it unmeetable.
+    /// Updates in place when the job is still outstanding.
+    pub fn reinstate(&mut self, id: u64, est_completion: SimTime) {
+        let slot = self.pos[id as usize];
+        if slot != GONE {
+            self.vals[slot] = est_completion;
+            return;
+        }
+        self.pos[id as usize] = self.vals.len();
+        self.vals.push(est_completion);
+        self.job_at.push(id);
+    }
+
     /// Removes job `id` when its result lands. No-op if already removed.
     pub fn remove(&mut self, id: u64) {
         let slot = self.pos[id as usize];
@@ -274,6 +290,27 @@ mod tests {
         assert!(s.is_empty());
         s.insert(3, t(99));
         assert_eq!(s.values(), &[t(99)]);
+    }
+
+    #[test]
+    fn reinstate_revises_or_reinserts() {
+        let t = SimTime::from_secs;
+        let mut s = OutstandingSet::new();
+        s.insert(0, t(10));
+        s.insert(1, t(20));
+        // Still outstanding: estimate revised in place.
+        s.reinstate(0, t(50));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.values().iter().copied().max(), Some(t(50)));
+        // Completed then re-dispatched: re-enters the pool.
+        s.remove(1);
+        assert_eq!(s.len(), 1);
+        s.reinstate(1, t(70));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.values().iter().copied().max(), Some(t(70)));
+        // Normal completion still removes it.
+        s.remove(1);
+        assert_eq!(s.values(), &[t(50)]);
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Fault-attributed SLA accounting.
+//!
+//! When the chaos layer injects crashes, blackouts and lost transfers, the
+//! SLA story changes from "how fast" to "how fast, despite": the report
+//! must separate delay the *workload* caused from delay the *faults*
+//! caused. [`FaultMetrics`] counts every recovery action the engine took;
+//! [`fault_attribution`] compares a faulty run against its fault-free twin
+//! (same seed, same profile-less config) and expresses the damage as
+//! makespan inflation and OO-metric degradation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::report::RunReport;
+
+/// Per-run fault and recovery counters, embedded in [`RunReport`].
+/// All-zero on fault-free runs (the `Default`).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultMetrics {
+    /// Machine crash events realized (IC + EC).
+    pub machine_crashes: u64,
+    /// Machine recovery events realized.
+    pub machine_recoveries: u64,
+    /// Execution attempts that failed at completion and were re-run.
+    pub exec_failures: u64,
+    /// Transfers aborted by the recovery timeout (stalls and blackout
+    /// victims alike).
+    pub transfer_timeouts: u64,
+    /// Completed transfers whose payload was lost and had to be redone.
+    pub transfer_losses: u64,
+    /// Transfer attempts re-queued with backoff (timeouts + losses that
+    /// stayed within the retry budget).
+    pub transfer_retries: u64,
+    /// Jobs pulled off a dead path and re-dispatched through the normal
+    /// scheduling machinery (crashed machine or exhausted retry budget).
+    pub redispatches: u64,
+    /// Total scheduled link-blackout seconds across EC sites (static plan
+    /// severity, independent of whether transfers were in flight).
+    pub blackout_secs: f64,
+    /// Simulated seconds of work provably wasted by faults: aborted
+    /// execution spans, timed-out transfer waits and retry backoffs.
+    pub fault_delay_secs: f64,
+}
+
+impl FaultMetrics {
+    /// True when no fault was realized and no recovery action taken —
+    /// the invariant a dormant chaos layer must preserve.
+    pub fn is_clean(&self) -> bool {
+        *self == FaultMetrics::default()
+    }
+
+    /// Total recovery actions (retries + re-dispatches + exec re-runs) —
+    /// a scalar "how hard did the engine fight" severity summary.
+    pub fn recovery_actions(&self) -> u64 {
+        self.transfer_retries + self.redispatches + self.exec_failures
+    }
+}
+
+/// Damage a fault plan did to a run, relative to its fault-free twin.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultAttribution {
+    /// `faulty.makespan / baseline.makespan - 1` — fraction of extra
+    /// wall-clock attributable to the faults (0 = unharmed).
+    pub makespan_inflation: f64,
+    /// `1 - faulty.mean_ordered / baseline.mean_ordered` — fraction of
+    /// in-order output availability lost to the faults (0 = unharmed).
+    pub oo_mean_degradation: f64,
+}
+
+/// Attributes delay to faults by comparing a faulty run's report against
+/// the fault-free run of the identical config and seed. Guards division:
+/// a degenerate baseline (zero makespan / no ordered output) attributes
+/// nothing rather than infinity.
+pub fn fault_attribution(faulty: &RunReport, baseline: &RunReport) -> FaultAttribution {
+    let makespan_inflation = if baseline.makespan_secs > 0.0 {
+        faulty.makespan_secs / baseline.makespan_secs - 1.0
+    } else {
+        0.0
+    };
+    let base_oo = baseline.mean_ordered_bytes();
+    let oo_mean_degradation = if base_oo > 0.0 {
+        1.0 - faulty.mean_ordered_bytes() / base_oo
+    } else {
+        0.0
+    };
+    FaultAttribution { makespan_inflation, oo_mean_degradation }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(makespan: f64, oo: &[(u64, u64)]) -> RunReport {
+        use crate::ooo::OoSample;
+        use cloudburst_sim::SimTime;
+        RunReport {
+            scheduler: "test".into(),
+            bucket: "small".into(),
+            seed: 1,
+            n_jobs: 1,
+            makespan_secs: makespan,
+            speedup: 1.0,
+            sequential_secs: makespan,
+            ic_utilization: 0.5,
+            ec_utilization: 0.5,
+            burst_ratio: 0.0,
+            burst_ratio_per_batch: Vec::new(),
+            batch_turnaround_secs: Vec::new(),
+            completion_times: Vec::new(),
+            completion_delays: Vec::new(),
+            oo_series: oo
+                .iter()
+                .map(|&(at_secs, o_t)| OoSample {
+                    at: SimTime::from_secs(at_secs),
+                    m_t: None,
+                    o_t,
+                    completed: 0,
+                })
+                .collect(),
+            uploaded_bytes: 0,
+            downloaded_bytes: 0,
+            tickets: Vec::new(),
+            faults: FaultMetrics::default(),
+        }
+    }
+
+    #[test]
+    fn default_metrics_are_clean() {
+        let m = FaultMetrics::default();
+        assert!(m.is_clean());
+        assert_eq!(m.recovery_actions(), 0);
+        let busy = FaultMetrics { transfer_retries: 2, redispatches: 1, ..Default::default() };
+        assert!(!busy.is_clean());
+        assert_eq!(busy.recovery_actions(), 3);
+    }
+
+    #[test]
+    fn attribution_measures_inflation_and_degradation() {
+        let base = report(100.0, &[(10, 1000), (20, 2000)]);
+        let faulty = report(150.0, &[(10, 500), (20, 1000)]);
+        let a = fault_attribution(&faulty, &base);
+        assert!((a.makespan_inflation - 0.5).abs() < 1e-12);
+        assert!((a.oo_mean_degradation - 0.5).abs() < 1e-12);
+        // Identical runs attribute nothing.
+        let zero = fault_attribution(&base, &base);
+        assert_eq!(zero.makespan_inflation, 0.0);
+        assert_eq!(zero.oo_mean_degradation, 0.0);
+    }
+
+    #[test]
+    fn degenerate_baseline_attributes_nothing() {
+        let empty = report(0.0, &[]);
+        let faulty = report(10.0, &[(5, 100)]);
+        let a = fault_attribution(&faulty, &empty);
+        assert_eq!(a.makespan_inflation, 0.0);
+        assert_eq!(a.oo_mean_degradation, 0.0);
+    }
+
+    #[test]
+    fn metrics_round_trip_through_json() {
+        let m = FaultMetrics {
+            machine_crashes: 3,
+            machine_recoveries: 2,
+            exec_failures: 1,
+            transfer_timeouts: 4,
+            transfer_losses: 1,
+            transfer_retries: 5,
+            redispatches: 2,
+            blackout_secs: 120.5,
+            fault_delay_secs: 98.25,
+        };
+        let js = serde_json::to_string(&m).expect("serialize");
+        let back: FaultMetrics = serde_json::from_str(&js).expect("parse");
+        assert_eq!(m, back);
+    }
+}

@@ -13,18 +13,23 @@
 //!   above, plus the completion-delay series used by Figs. 7 and 8.
 //! * [`ticket`] — completion tickets ("your job will finish by t") and the
 //!   empirical probabilistic-guarantee machinery of the paper's abstract.
+//! * [`faults`] — fault-attributed accounting for chaos-injected runs:
+//!   retry/re-dispatch counters and makespan/OO degradation versus the
+//!   fault-free twin run.
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 #![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod metrics;
 pub mod ooo;
 pub mod report;
 pub mod slack;
 pub mod ticket;
 
+pub use faults::{fault_attribution, FaultAttribution, FaultMetrics};
 pub use metrics::{burst_ratio, makespan, speedup};
 pub use ooo::{oo_series, CompletionRecord, OoConfig, OoSample};
 pub use report::RunReport;

@@ -47,6 +47,8 @@ pub struct RunReport {
     pub downloaded_bytes: u64,
     /// Completion tickets issued at admission and how each fared.
     pub tickets: Vec<crate::ticket::TicketOutcome>,
+    /// Fault and recovery accounting (all-zero on fault-free runs).
+    pub faults: crate::faults::FaultMetrics,
 }
 
 impl RunReport {
@@ -139,6 +141,7 @@ mod tests {
             uploaded_bytes: 0,
             downloaded_bytes: 0,
             tickets: vec![],
+            faults: crate::faults::FaultMetrics::default(),
         }
     }
 

@@ -10,6 +10,7 @@
 #![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
+pub use cloudburst_chaos as chaos;
 pub use cloudburst_cluster as cluster;
 pub use cloudburst_core as core;
 pub use cloudburst_net as net;
