@@ -26,9 +26,13 @@ cargo run --release -p cloudburst-bench --bin perfsmoke -- "$PERF_TMP/smoke.json
 cargo run --release -p cloudburst-bench --bin perfgate -- "$PERF_TMP/smoke.json" BENCH_PR2.json
 cargo run --release -p cloudburst-bench --bin perfgate -- "$PERF_TMP/smoke.json" BENCH_PR5.json
 
-echo "== perfscale reduced probe + floor gate vs BENCH_PR4.json"
+echo "== perfscale reduced probe + floor gates vs BENCH_PR4.json / BENCH_PR6.json"
 cargo run --release -p cloudburst-bench --bin perfscale -- --reduced "$PERF_TMP/scale.json"
 cargo run --release -p cloudburst-bench --bin perfgate -- "$PERF_TMP/scale.json" BENCH_PR4.json
+cargo run --release -p cloudburst-bench --bin perfgate -- "$PERF_TMP/scale.json" BENCH_PR6.json
+
+echo "== depth-curve record self-gate: BENCH_PR6.json curve must be flat (<= 2x)"
+cargo run --release -p cloudburst-bench --bin perfgate -- BENCH_PR6.json BENCH_PR6.json 1.0 2.0
 
 echo "== lint: cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -9,11 +9,19 @@
 //! not a flakiness source on busy CI machines.
 //!
 //! ```text
-//! perfgate <fresh.json> <baseline.json> [headroom]
+//! perfgate <fresh.json> <baseline.json> [headroom] [curve_bound]
 //! ```
 //!
-//! Exits non-zero if any floor is broken, or if the two files share no
-//! throughput keys (a silently toothless gate is itself a failure).
+//! Besides the floors, the gate holds the decisions/s-vs-depth curve
+//! flat: when the fresh line carries two or more
+//! `decision_curve_*_decisions_per_sec` keys, their max/min ratio must
+//! not exceed `curve_bound` (default 3×). A decision loop that regressed
+//! to O(queue) shows up as a 10–40× spread across the probed depths long
+//! before any absolute floor trips.
+//!
+//! Exits non-zero if any floor is broken, the curve ratio is exceeded, or
+//! the two files share no throughput keys (a silently toothless gate is
+//! itself a failure).
 
 use std::process::ExitCode;
 
@@ -31,12 +39,14 @@ fn main() -> ExitCode {
     let (fresh_path, base_path) = match (args.first(), args.get(1)) {
         (Some(f), Some(b)) => (f.as_str(), b.as_str()),
         _ => {
-            eprintln!("usage: perfgate <fresh.json> <baseline.json> [headroom]");
+            eprintln!("usage: perfgate <fresh.json> <baseline.json> [headroom] [curve_bound]");
             return ExitCode::FAILURE;
         }
     };
     let headroom: f64 = args.get(2).map_or(5.0, |h| h.parse().expect("numeric headroom"));
     assert!(headroom >= 1.0, "headroom must be >= 1");
+    let curve_bound: f64 = args.get(3).map_or(3.0, |b| b.parse().expect("numeric curve bound"));
+    assert!(curve_bound >= 1.0, "curve bound must be >= 1");
 
     let fresh = load(fresh_path);
     let base = load(base_path);
@@ -66,6 +76,35 @@ fn main() -> ExitCode {
         eprintln!("perfgate: no shared *_per_sec keys between {fresh_path} and {base_path}");
         return ExitCode::FAILURE;
     }
+
+    // Depth-flatness: the fresh curve's spread across queue depths.
+    let mut curve: Vec<(&String, f64)> = fresh
+        .iter()
+        .filter(|(k, _)| {
+            k.starts_with("decision_curve_") && k.ends_with("_decisions_per_sec")
+        })
+        .filter_map(|(k, v)| v.as_f64().map(|f| (k, f)))
+        .collect();
+    curve.sort_by(|a, b| a.0.cmp(b.0));
+    if curve.len() >= 2 {
+        let max = curve.iter().map(|(_, f)| *f).fold(f64::MIN, f64::max);
+        let min = curve.iter().map(|(_, f)| *f).fold(f64::MAX, f64::min);
+        assert!(min > 0.0, "curve rates must be positive");
+        let ratio = max / min;
+        let ok = ratio <= curve_bound;
+        if !ok {
+            failed += 1;
+        }
+        for (k, f) in &curve {
+            println!("     {k}: {f:.3e}");
+        }
+        println!(
+            "{} decision curve: max/min ratio {ratio:.2} (bound {curve_bound}) over {} depths",
+            if ok { "ok  " } else { "FAIL" },
+            curve.len(),
+        );
+    }
+
     println!("perfgate: {checked} floors checked, {failed} broken");
     if failed > 0 {
         ExitCode::FAILURE

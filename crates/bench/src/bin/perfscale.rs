@@ -8,16 +8,22 @@
 //!   then `load_snapshot` is timed in place. The pre-PR engine's
 //!   O(queue × machines) linear rescan is replayed over the same state via
 //!   the public probe accessors, giving an apples-to-apples `decisions/s`
-//!   pair and the speedup. The indexed drain is also spot-checked bitwise
-//!   against the rescan at full scale.
+//!   pair and the speedup. The hybrid drain is also spot-checked bitwise
+//!   against an independent full-rescan replica of its semantics at every
+//!   probed scale.
+//! * **Depth curve** — `decision_curve_<depth>_*`: full decision sweeps
+//!   (load-model refresh + rescheduling evaluation) timed at queue depths
+//!   from ≈ 50k to ≈ 2M. The hybrid drain makes one decision independent
+//!   of backlog, so `perfgate` holds this curve flat (bounded max/min
+//!   ratio across depths).
 //! * **End to end** — full `run_with_batches` runs of the megascale
 //!   workload (batches of ≈ 10 000 jobs, 64 + 64 machines) for the greedy,
 //!   order-preserving and SIBS schedulers, reported as jobs per second.
 //!
 //! ```text
-//! perfscale                  full probe (100k and 1M jobs), JSON to stdout
+//! perfscale                  full probe (100k and 1M jobs + 4-depth curve)
 //! perfscale <path>           additionally write the JSON line to <path>
-//! perfscale --reduced [path] CI mode: 20k jobs only, fewer timing iters
+//! perfscale --reduced [path] CI mode: 20k jobs, 2-depth curve, fewer iters
 //! ```
 //!
 //! Generic (unsuffixed) keys always describe the primary scale — 100k in
@@ -35,9 +41,15 @@ use std::time::Instant;
 use cloudburst_cluster::Cloud;
 use cloudburst_core::engine::run_with_batches;
 use cloudburst_core::{EngineHarness, ExperimentConfig, SchedulerKind};
-use cloudburst_sim::{RngFactory, SimTime};
+use cloudburst_sched::{fluid_fill_level, DRAIN_WINDOW};
+use cloudburst_sim::{RngFactory, SimDuration, SimTime};
 use cloudburst_workload::{BatchArrivals, JobId};
 use serde_json::json;
+
+/// Mirror of the engine's dead-machine free-time sentinel. The probes run
+/// fault-free, so no entry ever reaches it — the filter below is kept only
+/// so the replica states the full production semantics.
+const DEAD_FREE_SECS: f64 = 1_000_000_000.0;
 
 /// Faithful replica of the pre-PR decision-loop inner step: rebuild the
 /// machine free-time array with a fresh allocation and drain the FCFS
@@ -68,10 +80,59 @@ fn legacy_est_free_secs(
     free
 }
 
+/// Independent full-rescan replica of the engine's *hybrid* drain
+/// semantics: fluid water-fill of the first `queue − DRAIN_WINDOW` jobs'
+/// maintained tick cost onto the live bases, then a linear `min_by`
+/// replay of the exact tail window. Release-mode counterpart of the
+/// engine's `#[cfg(test)]` oracle, so every probed scale re-proves the
+/// production drain bitwise before it is timed.
+fn hybrid_est_free_secs(
+    est_exec: &[f64],
+    cloud: &Cloud<JobId>,
+    speed: f64,
+    now: SimTime,
+) -> Vec<f64> {
+    let mut free = vec![0.0; cloud.n_machines()];
+    for (key, machine, started) in cloud.running_detail() {
+        let est = est_exec.get(key.0 as usize).copied().unwrap_or(60.0);
+        let elapsed_std = (now - started).as_secs_f64() * speed;
+        free[machine.0] = (est - elapsed_std).max(0.0) / speed;
+    }
+    let q = cloud.queued();
+    let mut tail_start = 0;
+    if q > DRAIN_WINDOW && free.iter().any(|v| *v < DEAD_FREE_SECS) {
+        tail_start = q - DRAIN_WINDOW;
+        let prefix_ticks: u64 = cloud.queued_detail().take(tail_start).map(|(_, t)| t).sum();
+        let prefix_secs = SimDuration::from_micros(prefix_ticks).as_secs_f64();
+        let mut bases: Vec<f64> = free.iter().copied().filter(|v| *v < DEAD_FREE_SECS).collect();
+        bases.sort_unstable_by(f64::total_cmp);
+        let level = fluid_fill_level(&bases, prefix_secs);
+        for v in free.iter_mut() {
+            if *v < DEAD_FREE_SECS && *v < level {
+                *v = level;
+            }
+        }
+    }
+    for (key, _) in cloud.queued_detail().skip(tail_start) {
+        let est = est_exec.get(key.0 as usize).copied().unwrap_or(60.0);
+        let (idx, _) = free
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+            .expect("machines exist");
+        free[idx] += est / speed;
+    }
+    free
+}
+
 /// Builds the megascale harness and advances it to the instant after the
 /// last batch arrival — the deepest queue state of the run.
 fn mid_run_harness(kind: SchedulerKind, total_jobs: u64, seed: u64) -> (EngineHarness, SimTime) {
-    let cfg = ExperimentConfig::megascale(kind, total_jobs, seed);
+    mid_run_harness_cfg(ExperimentConfig::megascale(kind, total_jobs, seed))
+}
+
+/// As [`mid_run_harness`], from an explicit (possibly customized) config.
+fn mid_run_harness_cfg(cfg: ExperimentConfig) -> (EngineHarness, SimTime) {
     let rngs = RngFactory::new(cfg.seed);
     let batches = BatchArrivals::new(cfg.arrivals.clone()).generate(&rngs, &cfg.truth);
     let last_arrival = batches.last().expect("at least one batch").arrival;
@@ -89,16 +150,17 @@ fn decision_probe(total_jobs: u64, iters: usize) -> (f64, f64, usize) {
     let queued = w.ic_cloud().queued();
     assert!(queued > 0, "mid-run probe state must have a backlog");
 
-    // Spot-check: the indexed drain agrees bitwise with the linear rescan
-    // over the full megascale queue, IC and EC.
+    // Spot-check: the hybrid drain agrees bitwise with the independent
+    // full-rescan replica of its semantics over the megascale queue, IC
+    // and EC.
     let speed = w.config().ic_speed;
     let ec_speed = w.config().ec_speed;
     let got_ic = w.load_snapshot(now).ic_free_secs.to_vec();
     let got_ec = w.load_snapshot(now).ec_free_secs.to_vec();
-    let want_ic = legacy_est_free_secs(w.est_exec_estimates(), w.ic_cloud(), speed, now);
-    let want_ec = legacy_est_free_secs(w.est_exec_estimates(), w.ec_cloud(0), ec_speed, now);
-    assert_eq!(got_ic, want_ic, "indexed IC drain diverged from the rescan at scale");
-    assert_eq!(got_ec, want_ec, "indexed EC drain diverged from the rescan at scale");
+    let want_ic = hybrid_est_free_secs(w.est_exec_estimates(), w.ic_cloud(), speed, now);
+    let want_ec = hybrid_est_free_secs(w.est_exec_estimates(), w.ec_cloud(0), ec_speed, now);
+    assert_eq!(got_ic, want_ic, "hybrid IC drain diverged from the rescan replica at scale");
+    assert_eq!(got_ec, want_ec, "hybrid EC drain diverged from the rescan replica at scale");
 
     // Warm, then time the indexed path.
     w.decision_sweep(now);
@@ -121,6 +183,42 @@ fn decision_probe(total_jobs: u64, iters: usize) -> (f64, f64, usize) {
     assert!(sink.is_finite());
     let legacy = legacy_iters as f64 / t0.elapsed().as_secs_f64();
     (indexed, legacy, queued)
+}
+
+/// Depth-curve probe: full decision sweeps (load-model refresh plus
+/// pull-back/push-out evaluation, rescheduling on) timed at one queue
+/// depth. Returns (decisions/s, queued jobs at the probed instant). Each
+/// depth first re-proves the hybrid drain bitwise against the rescan
+/// replica, so the curve only ever times verified decisions.
+fn curve_probe(total_jobs: u64, iters: usize) -> (f64, usize) {
+    let mut cfg = ExperimentConfig::megascale(SchedulerKind::OrderPreserving, total_jobs, 71);
+    cfg.rescheduling = true;
+    let (mut h, now) = mid_run_harness_cfg(cfg);
+    let w = h.world_mut();
+    let queued = w.ic_cloud().queued();
+    assert!(queued > 0, "curve probe state must have a backlog");
+
+    let speed = w.config().ic_speed;
+    let got_ic = w.load_snapshot(now).ic_free_secs.to_vec();
+    let want_ic = hybrid_est_free_secs(w.est_exec_estimates(), w.ic_cloud(), speed, now);
+    assert_eq!(got_ic, want_ic, "hybrid IC drain diverged from the rescan replica on the curve");
+
+    // Warm to the sweep's fixed point (the first sweeps may move a job
+    // via push-out; the backlog dwarfs any handful of moves).
+    let mut moves = (w.pull_backs(), w.push_outs());
+    for _ in 0..32 {
+        w.decision_sweep(now);
+        let after = (w.pull_backs(), w.push_outs());
+        if after == moves {
+            break;
+        }
+        moves = after;
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        w.decision_sweep(now);
+    }
+    (iters as f64 / t0.elapsed().as_secs_f64(), queued)
 }
 
 /// End-to-end probe: a full megascale run, reported as jobs per second of
@@ -159,6 +257,15 @@ fn main() {
     } else {
         (100_000, &[(1_000_000, "1m")], 200)
     };
+    // Depth curve: total jobs chosen so OP chunking (≈ 2× ids) lands the
+    // probed queue near the labeled depth. Reduced CI mode runs the two
+    // cheapest depths; the checked-in baseline carries all four.
+    let curve: &[(u64, &str)] = if reduced {
+        &[(25_000, "d50k"), (100_000, "d200k")]
+    } else {
+        &[(25_000, "d50k"), (100_000, "d200k"), (400_000, "d800k"), (1_000_000, "d2m")]
+    };
+    let curve_iters = if reduced { 40 } else { 100 };
 
     let t0 = Instant::now();
     let mut doc = serde_json::Map::new();
@@ -173,6 +280,15 @@ fn main() {
     doc.insert("decision_loop_decisions_per_sec".into(), json!(indexed));
     doc.insert("decision_loop_legacy_decisions_per_sec".into(), json!(legacy));
     doc.insert("decision_loop_speedup".into(), json!(indexed / legacy));
+
+    // Decisions/s-vs-depth curve (the depth-flatness record perfgate
+    // holds: max/min ratio across these keys stays bounded).
+    for &(scale, label) in curve {
+        stage(t0, &format!("decision curve {label}"));
+        let (rate, queued) = curve_probe(scale, curve_iters);
+        doc.insert(format!("decision_curve_{label}_decisions_per_sec"), json!(rate));
+        doc.insert(format!("decision_curve_{label}_queue_depth"), json!(queued));
+    }
 
     // End to end at the primary scale.
     for (kind, label) in SCHEDULERS {

@@ -27,6 +27,20 @@ struct Running<K> {
     finish: SimTime,
 }
 
+/// One FCFS queue entry: the caller's key, the ground-truth standard
+/// seconds the simulation will charge, and the caller-declared *drain
+/// cost* in integer microsecond ticks (typically the scheduler's estimate
+/// of `exec / speed` — never ground truth). The cost rides inside the
+/// queue because dispatch consumes entries internally; integer ticks make
+/// the maintained total exactly invertible under mid-queue removals and
+/// independent of insertion order, which f64 sums are not.
+#[derive(Clone, Copy, Debug)]
+struct Queued<K> {
+    key: K,
+    standard_secs: f64,
+    cost_ticks: u64,
+}
+
 /// A simulated cloud: `n` machines, FCFS queue, deterministic service.
 ///
 /// Passive API in the style of `cloudburst_net::Link`: the engine submits
@@ -35,7 +49,11 @@ struct Running<K> {
 pub struct Cloud<K> {
     name: String,
     machines: Vec<Machine>,
-    queue: VecDeque<(K, f64)>,
+    queue: VecDeque<Queued<K>>,
+    /// Sum of `cost_ticks` over the queue, maintained on every queue
+    /// mutation — the O(1) aggregate the engine's depth-flat fluid drain
+    /// reads instead of rescanning the queue.
+    queued_cost_ticks: u64,
     running: Vec<Running<K>>,
     clock: SimTime,
     completed: u64,
@@ -57,6 +75,7 @@ impl<K: Copy + PartialEq + std::fmt::Debug> Cloud<K> {
             name: name.into(),
             machines: (0..n).map(|i| Machine::new(MachineId(i), speed)).collect(),
             queue: VecDeque::new(),
+            queued_cost_ticks: 0,
             running: Vec::new(),
             clock: SimTime::ZERO,
             completed: 0,
@@ -73,6 +92,7 @@ impl<K: Copy + PartialEq + std::fmt::Debug> Cloud<K> {
             name: name.into(),
             machines: speeds.iter().enumerate().map(|(i, &s)| Machine::new(MachineId(i), s)).collect(),
             queue: VecDeque::new(),
+            queued_cost_ticks: 0,
             running: Vec::new(),
             clock: SimTime::ZERO,
             completed: 0,
@@ -168,7 +188,28 @@ impl<K: Copy + PartialEq + std::fmt::Debug> Cloud<K> {
 
     /// Keys of queued jobs in FCFS order (scheduler-observable state).
     pub fn queued_keys(&self) -> impl Iterator<Item = K> + '_ {
-        self.queue.iter().map(|(k, _)| *k)
+        self.queue.iter().map(|q| q.key)
+    }
+
+    /// Total declared drain cost of the queue, in integer microsecond
+    /// ticks — O(1), maintained across submit/dispatch/cancel. Feeds the
+    /// engine's fluid-prefix drain (DESIGN.md §7).
+    pub fn queued_cost_ticks(&self) -> u64 {
+        self.queued_cost_ticks
+    }
+
+    /// `(key, cost_ticks)` of every queued job in FCFS order — the rescan
+    /// form of [`Cloud::queued_cost_ticks`], for oracles and probes.
+    pub fn queued_detail(&self) -> impl Iterator<Item = (K, u64)> + '_ {
+        self.queue.iter().map(|q| (q.key, q.cost_ticks))
+    }
+
+    /// `(key, cost_ticks)` of the last `n` queued jobs in FCFS order (the
+    /// whole queue when `n` covers it). O(1) to construct: the exact tail
+    /// window of the depth-flat drain.
+    pub fn queued_tail(&self, n: usize) -> impl Iterator<Item = (K, u64)> + '_ {
+        let start = self.queue.len().saturating_sub(n);
+        self.queue.range(start..).map(|q| (q.key, q.cost_ticks))
     }
 
     /// Number of jobs currently executing.
@@ -193,25 +234,42 @@ impl<K: Copy + PartialEq + std::fmt::Debug> Cloud<K> {
     }
 
     /// Submits a job requiring `standard_secs` of standard-machine work.
-    /// The caller must have advanced the cloud to `now`.
+    /// The caller must have advanced the cloud to `now`. The job carries a
+    /// zero drain cost; callers that feed the depth-flat drain use
+    /// [`Cloud::submit_weighted`] instead.
     pub fn submit(&mut self, now: SimTime, key: K, standard_secs: f64) {
+        self.submit_weighted(now, key, standard_secs, 0);
+    }
+
+    /// As [`Cloud::submit`], declaring the job's estimated drain cost in
+    /// integer microsecond ticks. The cost is the *caller's estimate* of
+    /// the job's seconds-to-drain on this pool (the engine uses
+    /// `est_exec / speed`); the cloud only aggregates it.
+    pub fn submit_weighted(&mut self, now: SimTime, key: K, standard_secs: f64, cost_ticks: u64) {
         assert!(now >= self.clock, "cloud must be advanced before submit");
         self.clock = now;
-        self.queue.push_back((key, standard_secs));
+        self.queue.push_back(Queued { key, standard_secs, cost_ticks });
+        self.queued_cost_ticks += cost_ticks;
         self.dispatch();
     }
 
     /// Removes a queued (not yet running) job; used by rescheduling
     /// extensions. Returns the remaining standard seconds if found.
     pub fn cancel_queued(&mut self, key: K) -> Option<f64> {
-        let idx = self.queue.iter().position(|(k, _)| *k == key)?;
-        self.queue.remove(idx).map(|(_, s)| s)
+        let idx = self.queue.iter().position(|q| q.key == key)?;
+        self.queue.remove(idx).map(|q| {
+            self.queued_cost_ticks -= q.cost_ticks;
+            q.standard_secs
+        })
     }
 
     /// Pops the *last* queued job (tail scan helper for the push-out
     /// rescheduling strategy of Sec. IV-D).
     pub fn pop_back_queued(&mut self) -> Option<(K, f64)> {
-        self.queue.pop_back()
+        self.queue.pop_back().map(|q| {
+            self.queued_cost_ticks -= q.cost_ticks;
+            (q.key, q.standard_secs)
+        })
     }
 
     /// Advances to `to`, returning completions in chronological order.
@@ -266,7 +324,9 @@ impl<K: Copy + PartialEq + std::fmt::Debug> Cloud<K> {
             else {
                 break;
             };
-            let (key, secs) = self.queue.pop_front().expect("non-empty queue");
+            let q = self.queue.pop_front().expect("non-empty queue");
+            self.queued_cost_ticks -= q.cost_ticks;
+            let (key, secs) = (q.key, q.standard_secs);
             let finish = self.machines[m_idx].start(self.clock, secs);
             self.running.push(Running {
                 key,
@@ -386,6 +446,45 @@ mod tests {
         assert_eq!(c.cancel_queued(1), None, "running job cannot be cancelled");
         assert_eq!(c.pop_back_queued(), Some((3, 30.0)));
         assert_eq!(c.queued(), 0);
+    }
+
+    #[test]
+    fn queued_cost_ticks_track_every_queue_mutation() {
+        let mut c: Cloud<u32> = Cloud::homogeneous("ic", 1, 1.0);
+        let rescan = |c: &Cloud<u32>| c.queued_detail().map(|(_, t)| t).sum::<u64>();
+        c.submit_weighted(SimTime::ZERO, 1, 10.0, 7); // runs immediately
+        assert_eq!(c.queued_cost_ticks(), 0, "running jobs carry no queue cost");
+        c.submit_weighted(SimTime::ZERO, 2, 20.0, 100);
+        c.submit_weighted(SimTime::ZERO, 3, 30.0, 200);
+        c.submit_weighted(SimTime::ZERO, 4, 40.0, 400);
+        assert_eq!(c.queued_cost_ticks(), 700);
+        assert_eq!(c.queued_cost_ticks(), rescan(&c));
+        // Mid-queue removal subtracts exactly (integer ticks invert).
+        assert_eq!(c.cancel_queued(3), Some(30.0));
+        assert_eq!(c.queued_cost_ticks(), 500);
+        assert_eq!(c.pop_back_queued(), Some((4, 40.0)));
+        assert_eq!(c.queued_cost_ticks(), 100);
+        // Dispatch pops the front and subtracts.
+        c.advance(SimTime::from_secs(10));
+        assert_eq!(c.queued_cost_ticks(), 0);
+        assert_eq!(c.queued_cost_ticks(), rescan(&c));
+        // Plain submit declares zero cost.
+        c.submit(SimTime::from_secs(10), 5, 10.0);
+        c.submit(SimTime::from_secs(10), 6, 10.0);
+        assert_eq!(c.queued_cost_ticks(), 0);
+    }
+
+    #[test]
+    fn queued_tail_returns_last_n_in_fcfs_order() {
+        let mut c: Cloud<u32> = Cloud::homogeneous("ic", 1, 1.0);
+        for (i, w) in [(1, 10), (2, 20), (3, 30), (4, 40)] {
+            c.submit_weighted(SimTime::ZERO, i, 5.0, w);
+        }
+        // Job 1 is running; 2, 3, 4 queued.
+        assert_eq!(c.queued_tail(2).collect::<Vec<_>>(), vec![(3, 30), (4, 40)]);
+        assert_eq!(c.queued_tail(99).collect::<Vec<_>>(), vec![(2, 20), (3, 30), (4, 40)]);
+        assert_eq!(c.queued_tail(0).count(), 0);
+        assert_eq!(c.queued_detail().collect::<Vec<_>>(), vec![(2, 20), (3, 30), (4, 40)]);
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!   code above the per-crate budget from `conform.toml`.
 //! * `hotpath/print` — `println!`/`eprintln!`/`print!`/`eprint!`/`dbg!` in
 //!   library code; library crates must stay silent.
+//! * `hotpath/linear-scan` — `.min_by`/`.max_by`(`_key`) in hot-path
+//!   library code outside `#[cfg(test)]`: a full-collection scan in the
+//!   decision loop is exactly the O(queue) pattern the slack indexes
+//!   retired. Survivors need a waiver justifying their boundedness.
 //! * `conformance/lint-header` — every crate root must carry
 //!   `#![forbid(unsafe_code)]`, `#![deny(rust_2018_idioms)]` and
 //!   `#![deny(missing_debug_implementations)]`.
@@ -27,6 +31,14 @@ use crate::lexer::{Tok, TokKind};
 /// deterministic: everything that runs inside the simulation clock.
 pub const DETERMINISTIC_CRATES: &[&str] =
     &["chaos", "cluster", "core", "net", "qrsm", "sched", "sim", "sla", "workload"];
+
+/// Crates on the per-decision hot path, where a linear `min_by`/`max_by`
+/// rescan of an unbounded collection re-introduces the O(queue) cost the
+/// slack indexes retired.
+pub const HOT_PATH_CRATES: &[&str] = &["cluster", "core", "net", "sched", "sim"];
+
+/// Full-scan comparator methods flagged on the hot path.
+const LINEAR_SCAN_METHODS: &[&str] = &["max_by", "max_by_key", "min_by", "min_by_key"];
 
 /// How a file participates in the build.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -177,6 +189,17 @@ pub fn scan_tokens(info: &FileInfo, toks: &[Tok], lines: &[&str]) -> FileScan {
             if t.text == "unwrap" && prev(1) == "." && next(1) == "(" {
                 unwrap_sites.push((info.rel_path.clone(), t.line, snippet(t.line)));
             }
+            if HOT_PATH_CRATES.contains(&info.crate_key.as_str())
+                && LINEAR_SCAN_METHODS.contains(&t.text.as_str())
+                && prev(1) == "."
+            {
+                push(
+                    "hotpath/linear-scan",
+                    t.line,
+                    "full-collection min_by/max_by scan on the hot path (waive with a boundedness justification)",
+                );
+                continue;
+            }
         }
     }
 
@@ -299,6 +322,23 @@ mod tests {
         let mut bin = lib_info(false);
         bin.context = FileContext::Bin;
         assert!(scan(&bin, src).findings.is_empty());
+    }
+
+    #[test]
+    fn linear_scans_flagged_on_hot_path_lib_code_only() {
+        let src = "fn f(v: &[f64]) { v.iter().min_by(|a, b| a.total_cmp(b)); }\n\
+                   #[cfg(test)]\nmod t { fn g(v: &[u8]) { v.iter().max_by_key(|x| **x); } }";
+        let mut hot = lib_info(true); // crate_key "sim" is hot-path
+        let s = scan(&hot, src);
+        assert_eq!(s.findings.len(), 1, "{:?}", s.findings);
+        assert_eq!(s.findings[0].rule, "hotpath/linear-scan");
+        // Test code, non-hot-path crates and bins are exempt.
+        assert!(scan(&lib_info(false), src).findings.is_empty(), "bench is not hot-path");
+        hot.context = FileContext::Bin;
+        assert!(scan(&hot, src).findings.is_empty());
+        // A bare ident `min_by` (no method dot) is not a scan.
+        let free = "fn min_by() {}";
+        assert!(scan(&lib_info(true), free).findings.is_empty());
     }
 
     #[test]

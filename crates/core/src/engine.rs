@@ -25,8 +25,11 @@ use cloudburst_net::queues::{SibsQueues, SizeClass};
 use cloudburst_net::{Link, SibsBounds, TransferId};
 use cloudburst_qrsm::QrsModel;
 use cloudburst_sched::api::Planner;
+#[cfg(test)]
+use cloudburst_sched::drain::fluid_fill_level;
+use cloudburst_sched::drain::{FluidScratch, DRAIN_WINDOW};
 use cloudburst_sched::resched::{
-    pull_back_candidate, push_out_candidate, PullBackCandidate, PushOutCandidate,
+    eq1_slack, pull_back_candidate, push_out_candidate, PullBackCandidate, PushOutCandidate,
 };
 use cloudburst_sched::{
     BurstScheduler, EstimateProvider, FreeTimeIndex, GreedyScheduler, IcOnlyScheduler, LoadModel,
@@ -51,6 +54,14 @@ const DEFAULT_EST_EXEC_SECS: f64 = 60.0;
 /// The recorded QRSM estimate for `id`, or the default fallback.
 fn est_exec_or_default(est_exec: &[f64], id: JobId) -> f64 {
     est_exec.get(id.0 as usize).copied().unwrap_or(DEFAULT_EST_EXEC_SECS)
+}
+
+/// Integer-tick drain weight a queued job contributes to its pool: its
+/// estimated wall seconds on that pool, rounded to microsecond ticks.
+/// Integer ticks make the Cloud's maintained queue total exactly
+/// invertible under push/pop/cancel in any order — f64 sums are not.
+fn drain_cost_ticks(est_exec: &[f64], id: JobId, speed: f64) -> u64 {
+    SimDuration::from_secs_f64(est_exec_or_default(est_exec, id) / speed).as_micros()
 }
 
 /// Free-time sentinel for a crashed machine: "never frees" while staying
@@ -93,19 +104,45 @@ fn fill_running_free(
 }
 
 /// Fills `buf` with estimated seconds until each machine frees, including
-/// the FCFS drain of the queue — the indexed replacement for the linear
-/// rescan: O(log m) per queued job via the tournament tree, with the same
-/// iteration order, tie-breaking, and f64 arithmetic, so the result is
-/// bitwise identical to `EngineWorld::est_free_secs`.
+/// the FCFS drain of the queue — the depth-flat hybrid drain:
+///
+/// * queue ≤ [`DRAIN_WINDOW`]: the full indexed replay — O(log m) per
+///   queued job via the tournament tree, with the same iteration order,
+///   tie-breaking, and f64 arithmetic as the pre-index linear rescan, so
+///   the result is bitwise identical to `EngineWorld::est_free_secs`;
+/// * queue > [`DRAIN_WINDOW`] with at least one live machine: the first
+///   `queue − DRAIN_WINDOW` jobs drain as a fluid (their maintained
+///   integer-tick cost total water-fills the live bases to a common
+///   level), then the last `DRAIN_WINDOW` jobs replay exactly on top —
+///   O(m log m + DRAIN_WINDOW log m), independent of queue depth;
+/// * all machines dead: exact full replay (depth-flatness is moot — the
+///   estate is down and chaos recovery is the bottleneck, not decisions).
 fn fill_est_free(
     est_exec: &[f64],
     ft: &mut FreeTimeIndex,
+    fluid: &mut FluidScratch,
     buf: &mut Vec<f64>,
     cloud: &Cloud<JobId>,
     speed: f64,
     now: SimTime,
 ) {
     fill_running_free(est_exec, buf, cloud, speed, now);
+    let q = cloud.queued();
+    if q > DRAIN_WINDOW {
+        let tail_ticks: u64 = cloud.queued_tail(DRAIN_WINDOW).map(|(_, t)| t).sum();
+        let prefix_secs =
+            SimDuration::from_micros(cloud.queued_cost_ticks() - tail_ticks).as_secs_f64();
+        if fluid.fill(buf, prefix_secs, DEAD_FREE_SECS).is_some() {
+            ft.reset_from(buf);
+            for (key, _) in cloud.queued_tail(DRAIN_WINDOW) {
+                let est = est_exec_or_default(est_exec, key);
+                ft.fcfs_commit(est / speed);
+            }
+            buf.clear();
+            buf.extend_from_slice(ft.values());
+            return;
+        }
+    }
     ft.reset_from(buf);
     for key in cloud.queued_keys() {
         let est = est_exec_or_default(est_exec, key);
@@ -137,6 +174,9 @@ struct EcSite {
     up_slots: Vec<(SizeClass, Option<TransferId>)>,
     /// FIFO download queue of finished EC jobs awaiting result transfer.
     down_queue: std::collections::VecDeque<(JobId, u64)>,
+    /// Maintained byte total of `down_queue` — O(1) backlog reads for the
+    /// load model instead of an O(queue) sum (oracle-checked in tests).
+    down_queue_bytes: u64,
     down_active: Option<TransferId>,
     /// Transfer bookkeeping: id → payload and thread count. Ids are dense
     /// trusted integers, so the maps use the fast in-tree Fx hasher.
@@ -166,6 +206,7 @@ impl EcSite {
             up_queues: SibsQueues::new(),
             up_slots,
             down_queue: std::collections::VecDeque::new(),
+            down_queue_bytes: 0,
             down_active: None,
             up_map: FxHashMap::default(),
             down_map: FxHashMap::default(),
@@ -186,7 +227,7 @@ impl EcSite {
 
     /// Bytes awaiting or undergoing download.
     fn download_backlog_bytes(&self) -> u64 {
-        self.down_queue.iter().map(|(_, b)| *b).sum::<u64>() + self.down_link.remaining_bytes()
+        self.down_queue_bytes + self.down_link.remaining_bytes()
     }
 
     /// Jobs anywhere in this site's pipeline (upload queue/flight, EC
@@ -311,6 +352,8 @@ pub struct EngineWorld {
     /// Tournament tree over machine free-times: replays FCFS drains in
     /// O(log m) per queued job instead of the oracle's O(m) rescan.
     ft_index: FreeTimeIndex,
+    /// Water-fill scratch for the hybrid drain's fluid prefix.
+    fluid: FluidScratch,
     /// Load-model backing storage, refreshed in place each decision so the
     /// borrowed [`LoadModel`] snapshot allocates nothing.
     ic_free_buf: Vec<f64>,
@@ -492,6 +535,7 @@ impl EngineWorld {
             scratch_exec: Vec::new(),
             scratch_link: Vec::new(),
             ft_index: FreeTimeIndex::new(),
+            fluid: FluidScratch::new(),
             ic_free_buf: Vec::new(),
             ec_free_buf: Vec::new(),
             pb_cands: Vec::new(),
@@ -584,14 +628,37 @@ impl EngineWorld {
         free
     }
 
-    /// Rescan oracle for [`fill_est_free`]: the original linear `min_by`
-    /// replay of the FCFS queue drain, O(queue × machines). Retained so
-    /// tests can pin the indexed path to it decision by decision.
+    /// Rescan oracle for [`fill_est_free`]: re-derives the hybrid drain
+    /// semantics by full O(queue × machines) rescan — the original linear
+    /// `min_by` replay at or below [`DRAIN_WINDOW`], and an independently
+    /// recomputed fluid-prefix + exact-tail drain above it (prefix ticks
+    /// re-summed from `queued_detail`, bases independently sorted, level
+    /// via the shared [`fluid_fill_level`] fold). Retained so tests can
+    /// pin the indexed path to it decision by decision, bitwise.
     #[cfg(test)]
     fn est_free_secs(&self, cloud: &Cloud<JobId>, speed: f64, now: SimTime) -> Vec<f64> {
         let mut free = self.est_running_free_secs(cloud, speed, now);
-        // Queued jobs drain onto the earliest-free machines, FCFS.
-        for key in cloud.queued_keys() {
+        let q = cloud.queued();
+        let mut tail_start = 0;
+        if q > DRAIN_WINDOW && free.iter().any(|v| *v < DEAD_FREE_SECS) {
+            tail_start = q - DRAIN_WINDOW;
+            // Prefix ticks re-summed job by job, independent of the
+            // Cloud's maintained total.
+            let prefix_ticks: u64 =
+                cloud.queued_detail().take(tail_start).map(|(_, t)| t).sum();
+            let prefix_secs = SimDuration::from_micros(prefix_ticks).as_secs_f64();
+            let mut bases: Vec<f64> =
+                free.iter().copied().filter(|v| *v < DEAD_FREE_SECS).collect();
+            bases.sort_unstable_by(f64::total_cmp);
+            let level = fluid_fill_level(&bases, prefix_secs);
+            for v in free.iter_mut() {
+                if *v < DEAD_FREE_SECS && *v < level {
+                    *v = level;
+                }
+            }
+        }
+        // Tail jobs drain onto the earliest-free machines, FCFS.
+        for (key, _) in cloud.queued_detail().skip(tail_start) {
             let est = est_exec_or_default(&self.est_exec, key);
             let (idx, _) = free
                 .iter()
@@ -610,6 +677,7 @@ impl EngineWorld {
         fill_est_free(
             &self.est_exec,
             &mut self.ft_index,
+            &mut self.fluid,
             &mut self.ic_free_buf,
             &self.ic,
             self.cfg.ic_speed,
@@ -618,6 +686,7 @@ impl EngineWorld {
         fill_est_free(
             &self.est_exec,
             &mut self.ft_index,
+            &mut self.fluid,
             &mut self.ec_free_buf,
             &self.sites[site].cloud,
             self.cfg.ec_speed,
@@ -677,6 +746,31 @@ impl EngineWorld {
         want.sort_unstable();
         got.sort_unstable();
         assert_eq!(got, want, "incremental outstanding pool diverged from rebuild");
+        // The maintained queue-cost tick totals the fluid prefix relies on
+        // must equal a per-job recompute from the estimate table.
+        let tick_rescan = |cloud: &Cloud<JobId>, speed: f64| -> u64 {
+            cloud
+                .queued_detail()
+                .map(|(key, _)| drain_cost_ticks(&self.est_exec, key, speed))
+                .sum()
+        };
+        assert_eq!(
+            self.ic.queued_cost_ticks(),
+            tick_rescan(&self.ic, self.cfg.ic_speed),
+            "maintained IC queue-cost ticks diverged from rescan"
+        );
+        for (i, s) in self.sites.iter().enumerate() {
+            assert_eq!(
+                s.cloud.queued_cost_ticks(),
+                tick_rescan(&s.cloud, self.cfg.ec_speed),
+                "maintained EC queue-cost ticks diverged from rescan (site {i})"
+            );
+            assert_eq!(
+                s.down_queue_bytes,
+                s.down_queue.iter().map(|(_, b)| *b).sum::<u64>(),
+                "maintained download-queue bytes diverged from rescan (site {i})"
+            );
+        }
     }
 
     /// The site a new burst would go to: least upload backlog, ties to the
@@ -907,6 +1001,7 @@ fn on_wake(w: &mut W, sim: &mut Sim<W>) {
                 finish_exec(w, c.key, c.at, c.started, false);
                 let out = w.jobs[c.key.0 as usize].output_bytes;
                 w.sites[i].down_queue.push_back((c.key, out));
+                w.sites[i].down_queue_bytes += out;
             }
             // Download completions.
             transfers.clear();
@@ -1008,7 +1103,8 @@ fn on_batch(w: &mut W, sim: &mut Sim<W>, batch_jobs: Vec<Job>) {
         ));
         match placement {
             Placement::Internal => {
-                w.ic.submit(now, id, job.true_service_secs);
+                let ticks = drain_cost_ticks(&w.est_exec, id, w.cfg.ic_speed);
+                w.ic.submit_weighted(now, id, job.true_service_secs, ticks);
             }
             Placement::External => {
                 let class = w.classify(site, job.input_bytes());
@@ -1072,6 +1168,7 @@ fn pump_downloads(w: &mut W, site: usize, now: SimTime) {
     let Some((id, bytes)) = w.sites[site].down_queue.pop_front() else {
         return;
     };
+    w.sites[site].down_queue_bytes -= bytes;
     let threads = w.est.down_tuner.threads_for(now);
     let tid = w.fresh_tid();
     let mut stalled = false;
@@ -1110,7 +1207,8 @@ fn on_upload_done(w: &mut W, site: usize, c: Completion) {
             }
             w.timelines[id.0 as usize].upload_done = Some(c.at);
             let svc = w.jobs[id.0 as usize].true_service_secs;
-            w.sites[site].cloud.submit(c.at, id, svc);
+            let ticks = drain_cost_ticks(&w.est_exec, id, w.cfg.ec_speed);
+            w.sites[site].cloud.submit_weighted(c.at, id, svc, ticks);
         }
         Payload::Probe => {}
     }
@@ -1215,8 +1313,14 @@ fn chaos_exec_failed(
     ch.metrics.fault_delay_secs += (c.at - c.started).as_secs_f64();
     let svc = w.jobs[idx].true_service_secs;
     match site {
-        None => w.ic.submit(now, c.key, svc),
-        Some(s) => w.sites[s].cloud.submit(now, c.key, svc),
+        None => {
+            let ticks = drain_cost_ticks(&w.est_exec, c.key, w.cfg.ic_speed);
+            w.ic.submit_weighted(now, c.key, svc, ticks);
+        }
+        Some(s) => {
+            let ticks = drain_cost_ticks(&w.est_exec, c.key, w.cfg.ec_speed);
+            w.sites[s].cloud.submit_weighted(now, c.key, svc, ticks);
+        }
     }
     true
 }
@@ -1260,7 +1364,8 @@ fn redispatch_to_ic(w: &mut W, id: JobId, now: SimTime) {
     w.placements[idx] = Placement::Internal;
     w.timelines[idx].placement = Placement::Internal;
     let svc = w.jobs[idx].true_service_secs;
-    w.ic.submit(now, id, svc);
+    let ticks = drain_cost_ticks(&w.est_exec, id, w.cfg.ic_speed);
+    w.ic.submit_weighted(now, id, svc, ticks);
     reinstate_estimate(w, id, now, w.cfg.ic_speed);
     let ch = w.chaos.as_mut().expect("re-dispatch implies chaos state");
     ch.metrics.redispatches += 1;
@@ -1301,6 +1406,7 @@ fn process_chaos_timers(w: &mut W, now: SimTime) {
             ChaosTimer::DownRetry { site, id } => {
                 let bytes = w.jobs[id.0 as usize].output_bytes;
                 w.sites[site].down_queue.push_front((id, bytes));
+                w.sites[site].down_queue_bytes += bytes;
             }
         }
     }
@@ -1386,11 +1492,13 @@ fn on_machine_down(w: &mut W, sim: &mut Sim<W>, pool: Pool, machine: u32) {
         let svc = w.jobs[id.0 as usize].true_service_secs;
         match pool {
             Pool::Ic => {
-                w.ic.submit(now, id, svc);
+                let ticks = drain_cost_ticks(&w.est_exec, id, w.cfg.ic_speed);
+                w.ic.submit_weighted(now, id, svc, ticks);
                 reinstate_estimate(w, id, now, w.cfg.ic_speed);
             }
             Pool::Ec(s) => {
-                w.sites[s as usize].cloud.submit(now, id, svc);
+                let ticks = drain_cost_ticks(&w.est_exec, id, w.cfg.ec_speed);
+                w.sites[s as usize].cloud.submit_weighted(now, id, svc, ticks);
                 reinstate_estimate(w, id, now, w.cfg.ec_speed);
             }
         }
@@ -1460,7 +1568,8 @@ fn try_pull_back(w: &mut W, now: SimTime) {
         w.placements[id.0 as usize] = Placement::Internal;
         w.timelines[id.0 as usize].placement = Placement::Internal;
         let svc = w.jobs[id.0 as usize].true_service_secs;
-        w.ic.submit(now, id, svc);
+        let ticks = drain_cost_ticks(&w.est_exec, id, w.cfg.ic_speed);
+        w.ic.submit_weighted(now, id, svc, ticks);
         w.n_pull_backs += 1;
     }
 }
@@ -1472,9 +1581,8 @@ fn try_push_out(w: &mut W, now: SimTime) {
     if !w.sites[site].up_queues.is_empty() || w.sites[site].up_link.in_flight() > 0 {
         return;
     }
-    w.po_waiting.clear();
-    w.po_waiting.extend(w.ic.queued_keys());
-    if w.po_waiting.is_empty() {
+    let q = w.ic.queued();
+    if q == 0 {
         return;
     }
     // Fresh Eq. 1 anchors: replay the IC's FCFS drain with *current*
@@ -1482,18 +1590,33 @@ fn try_push_out(w: &mut W, now: SimTime) {
     // would bake in everything the system has since fallen behind on, and
     // late in a run those instants are already in the past. The drain
     // commits through the tournament index — O(log m) per waiting job.
+    //
+    // Beyond DRAIN_WINDOW the candidate pool is the queue's last
+    // DRAIN_WINDOW jobs on top of the fluid prefix (the paper's scan
+    // starts from the tail anyway, and the prefix collapses into the λ
+    // anchor re-base), keeping one sweep depth-flat.
     let speed = w.cfg.ic_speed;
     fill_running_free(&w.est_exec, &mut w.ic_free_buf, &w.ic, speed, now);
+    w.po_waiting.clear();
+    if q > DRAIN_WINDOW {
+        let tail_ticks: u64 = w.ic.queued_tail(DRAIN_WINDOW).map(|(_, t)| t).sum();
+        let prefix_secs =
+            SimDuration::from_micros(w.ic.queued_cost_ticks() - tail_ticks).as_secs_f64();
+        if w.fluid.fill(&mut w.ic_free_buf, prefix_secs, DEAD_FREE_SECS).is_some() {
+            w.po_waiting.extend(w.ic.queued_tail(DRAIN_WINDOW).map(|(key, _)| key));
+        }
+    }
+    if w.po_waiting.is_empty() {
+        // At or below the window — or every machine dead (fall back to
+        // the exact full-queue scan; depth-flatness is moot then).
+        w.po_waiting.extend(w.ic.queued_keys());
+    }
     w.ft_index.reset_from(&w.ic_free_buf);
     let mut ahead_max: f64 = live_max(&w.ic_free_buf);
     w.po_queue.clear();
     for i in 0..w.po_waiting.len() {
         let id = w.po_waiting[i];
-        let slack = if ahead_max > 0.0 {
-            Some(now + SimDuration::from_secs_f64(ahead_max))
-        } else {
-            None // queue head of an idle pool: no cushion
-        };
+        let slack = eq1_slack(now, ahead_max);
         let job = &w.jobs[id.0 as usize];
         let up = w.est.upload_secs(now, job.input_bytes());
         let exec = w.est.exec_secs_ec(job);
@@ -1526,19 +1649,37 @@ fn try_push_out(w: &mut W, now: SimTime) {
     pump_uploads(w, site, now);
 }
 
-/// Rescan oracle for the indexed push-out drain: rebuilds the candidate
-/// queue with the original per-job linear min-scan and asserts the indexed
-/// path produced bitwise-identical slacks, round trips, and drain state.
+/// Rescan oracle for the indexed push-out drain: re-derives the hybrid
+/// candidate pool (full queue at or below [`DRAIN_WINDOW`] or with a dead
+/// estate, tail window over an independently recomputed fluid prefix
+/// above it) and the per-job linear min-scan, then asserts the indexed
+/// path produced the identical pool and bitwise-identical slacks, round
+/// trips, and drain state.
 #[cfg(test)]
 fn assert_push_out_queue_matches_oracle(w: &W, now: SimTime, speed: f64) {
     let mut free = w.est_running_free_secs(&w.ic, speed, now);
+    let q = w.ic.queued();
+    let mut expected: Vec<JobId> = Vec::new();
+    if q > DRAIN_WINDOW && free.iter().any(|v| *v < DEAD_FREE_SECS) {
+        let prefix_ticks: u64 =
+            w.ic.queued_detail().take(q - DRAIN_WINDOW).map(|(_, t)| t).sum();
+        let prefix_secs = SimDuration::from_micros(prefix_ticks).as_secs_f64();
+        let mut bases: Vec<f64> = free.iter().copied().filter(|v| *v < DEAD_FREE_SECS).collect();
+        bases.sort_unstable_by(f64::total_cmp);
+        let level = fluid_fill_level(&bases, prefix_secs);
+        for v in free.iter_mut() {
+            if *v < DEAD_FREE_SECS && *v < level {
+                *v = level;
+            }
+        }
+        expected.extend(w.ic.queued_detail().skip(q - DRAIN_WINDOW).map(|(key, _)| key));
+    } else {
+        expected.extend(w.ic.queued_keys());
+    }
+    assert_eq!(w.po_waiting, expected, "push-out candidate pool diverged from rescan");
     let mut ahead_max: f64 = live_max(&free);
     for (i, id) in w.po_waiting.iter().enumerate() {
-        let slack = if ahead_max > 0.0 {
-            Some(now + SimDuration::from_secs_f64(ahead_max))
-        } else {
-            None
-        };
+        let slack = eq1_slack(now, ahead_max);
         let job = &w.jobs[id.0 as usize];
         let up = w.est.upload_secs(now, job.input_bytes());
         let exec = w.est.exec_secs_ec(job);
@@ -1984,6 +2125,33 @@ mod tests {
         }
     }
 
+    #[test]
+    fn deep_queue_hybrid_drain_is_oracle_checked() {
+        // Push the IC queue far past DRAIN_WINDOW so every in-loop oracle
+        // (`est_free_secs`, `assert_push_out_queue_matches_oracle`, the
+        // maintained tick totals) exercises the fluid-prefix + exact-tail
+        // hybrid rather than the at-or-below-window exact replay.
+        let mut cfg = small_cfg(SchedulerKind::OrderPreserving, 77);
+        cfg.n_ic = 4;
+        cfg.n_ec = 2;
+        cfg.rescheduling = true;
+        cfg.arrivals.n_batches = 2;
+        cfg.arrivals.jobs_per_batch = 700.0;
+        let rngs = RngFactory::new(cfg.seed);
+        let batches = BatchArrivals::new(cfg.arrivals.clone()).generate(&rngs, &cfg.truth);
+        let total: usize = batches.iter().map(|b| b.jobs.len()).sum();
+        assert!(total > 2 * DRAIN_WINDOW, "workload too small to exceed the window");
+        let mut h = EngineHarness::new(&cfg, batches);
+        // Right after the first batch lands, the IC backlog dwarfs the
+        // exact-tail window — the hybrid branch is live from here on.
+        h.run_until(SimTime::from_secs(1));
+        let queued = h.world().ic_cloud().queued();
+        assert!(queued > DRAIN_WINDOW, "queue depth {queued} never exceeded the window");
+        h.run();
+        let (r, _) = h.finish();
+        assert_eq!(r.completion_times.len(), r.n_jobs);
+    }
+
     // Equivalence property: a full run in test builds cross-checks the
     // indexed free-time drain, the incremental outstanding pool and the
     // push-out queue scan against the retained rescan oracles on *every*
@@ -2009,6 +2177,7 @@ mod tests {
                 bucket_idx in 0usize..3,
                 rescheduling in any::<bool>(),
                 extra_site in any::<bool>(),
+                faulty in any::<bool>(),
             ) {
                 let kind = [
                     SchedulerKind::Greedy,
@@ -2028,6 +2197,31 @@ mod tests {
                         upload_model: cfg.upload_model.clone(),
                         download_model: cfg.download_model.clone(),
                     }];
+                }
+                if faulty {
+                    // An armed (non-dormant) plan: crashes, a scripted
+                    // blackout, lossy transfers and exec failures, so the
+                    // oracles also pin the fast paths through recovery
+                    // paths and DEAD_FREE_SECS poisoning.
+                    cfg.faults = Some(cloudburst_chaos::FaultProfile {
+                        ic_crash: Some(cloudburst_chaos::CrashLaw {
+                            mean_uptime_secs: 500.0,
+                            mean_downtime_secs: 90.0,
+                            max_faults_per_machine: 2,
+                        }),
+                        ec_crash: Some(cloudburst_chaos::CrashLaw {
+                            mean_uptime_secs: 400.0,
+                            mean_downtime_secs: 120.0,
+                            max_faults_per_machine: 2,
+                        }),
+                        fixed_blackouts: vec![cloudburst_chaos::Window {
+                            from_secs: 120.0,
+                            until_secs: 170.0,
+                        }],
+                        transfer_loss_prob: 0.05,
+                        exec_failure_prob: 0.05,
+                        ..cloudburst_chaos::FaultProfile::dormant()
+                    });
                 }
                 // The run itself is the assertion: every decision re-checks
                 // the indexed state against the O(queue × machines) rescan.

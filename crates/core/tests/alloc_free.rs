@@ -10,6 +10,12 @@
 //! The run carries a dormant chaos profile (`cfg.faults =
 //! Some(FaultProfile::dormant())`): the fault-injection plumbing must not
 //! cost the steady state a single allocation when no faults are armed.
+//!
+//! The paper-scale estate here stays at or below `DRAIN_WINDOW`, pinning
+//! the exact-replay branch; `alloc_free_deep.rs` (its own binary, own
+//! process-global counter) repeats the sweep with the queue thousands of
+//! jobs past the window so the hybrid drain's fluid prefix, λ re-base and
+//! tail-window push-out pool are covered too.
 
 use cloudburst_chaos::FaultProfile;
 use cloudburst_core::{EngineHarness, ExperimentConfig, SchedulerKind};

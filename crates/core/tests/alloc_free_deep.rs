@@ -1,0 +1,61 @@
+//! Deep-queue companion to `alloc_free.rs`: once warm, a steady-state
+//! decision sweep stays allocation-free **with the hybrid drain's fluid
+//! prefix live** — queue depth far beyond `DRAIN_WINDOW`, so every sweep
+//! runs the water-fill (sort + level fold), the λ anchor re-base, and the
+//! tail-window push-out pool on top of the indexed replay.
+//!
+//! Separate integration binary on purpose: the counting allocator is
+//! process-global, and the library compiles without `cfg(test)` so the
+//! (allocating) rescan oracles sit outside the measured path.
+
+use cloudburst_core::{EngineHarness, ExperimentConfig, SchedulerKind};
+use cloudburst_sched::DRAIN_WINDOW;
+use cloudburst_sim::RngFactory;
+use cloudburst_testsupport::{allocations, CountingAlloc};
+use cloudburst_workload::BatchArrivals;
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+// One test function: the counter is process-global, so concurrent tests in
+// this binary would pollute each other's deltas.
+#[test]
+fn deep_queue_decision_sweep_is_allocation_free() {
+    // A megascale burst (≈ 12k jobs in two batches against the 256 + 64
+    // estate) piles the IC queue thousands of jobs past DRAIN_WINDOW.
+    let mut cfg = ExperimentConfig::megascale(SchedulerKind::OrderPreserving, 12_000, 5);
+    cfg.rescheduling = true;
+
+    let rngs = RngFactory::new(cfg.seed);
+    let batches = BatchArrivals::new(cfg.arrivals.clone()).generate(&rngs, &cfg.truth);
+    let mut h = EngineHarness::new(&cfg, batches);
+
+    // Let both batches land so the backlog is at its deepest.
+    h.run_until(cloudburst_sim::SimTime::from_secs(4 * 60));
+    let now = h.now();
+    let w = h.world_mut();
+    let queued = w.ic_cloud().queued();
+    assert!(
+        queued > 2 * DRAIN_WINDOW,
+        "queue depth {queued} must dwarf the exact-tail window"
+    );
+
+    // Warm-up: reach the sweep's fixed point and size every scratch
+    // buffer (fluid bases, tail-window candidate pool included).
+    let mut moves = (w.pull_backs(), w.push_outs());
+    for _ in 0..32 {
+        w.decision_sweep(now);
+        let after = (w.pull_backs(), w.push_outs());
+        if after == moves {
+            break;
+        }
+        moves = after;
+    }
+
+    let (n, _) = allocations(|| {
+        for _ in 0..100 {
+            w.decision_sweep(now);
+        }
+    });
+    assert_eq!(n, 0, "deep-queue steady-state decision sweep must not allocate");
+}

@@ -14,6 +14,8 @@
 //! * [`freetime`] — the indexed free-time tracker and incremental
 //!   outstanding-completions pool backing the engine's sub-linear
 //!   decision loop.
+//! * [`drain`] — the depth-flat hybrid FCFS drain: fluid water-fill of
+//!   the deep queue prefix, exact tail-window replay on top.
 //! * [`greedy`] — Algorithm 1: place each job where it finishes earliest.
 //! * [`order_preserving`] — Algorithm 2: chunk for variance reduction, then
 //!   burst only jobs whose EC round trip fits their slack (Eq. 2).
@@ -28,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod drain;
 pub mod estimates;
 pub mod freetime;
 pub mod greedy;
@@ -37,7 +40,9 @@ pub mod resched;
 pub mod sibs;
 
 pub use api::{BatchSchedule, BurstScheduler, LoadModel, LoadModelBuf, Placement};
+pub use drain::{fluid_fill_level, FluidScratch, DRAIN_WINDOW};
 pub use freetime::{FreeTimeIndex, OutstandingSet};
+pub use resched::eq1_slack;
 pub use estimates::{EstimateProvider, ProcTimeModel};
 pub use greedy::GreedyScheduler;
 pub use ic_only::IcOnlyScheduler;

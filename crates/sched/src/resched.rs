@@ -13,7 +13,21 @@
 //!   waiting to execute, then we scan the IC wait queue from the last and
 //!   check if there is any job that satisfies the slack criteria."
 
-use cloudburst_sim::SimTime;
+use cloudburst_sim::{SimDuration, SimTime};
+
+/// The Eq. 1 slack deadline a queued job inherits from the work ahead of
+/// it: `now + ahead_max` when there is a cushion, `None` for the head of
+/// an idle pool (no work ahead — pushing it out can only delay it). One
+/// shared `#[inline]` helper so the engine's production push-out path and
+/// its `#[cfg(test)]` rescan oracle cannot drift apart.
+#[inline]
+pub fn eq1_slack(now: SimTime, ahead_max_secs: f64) -> Option<SimTime> {
+    if ahead_max_secs > 0.0 {
+        Some(now + SimDuration::from_secs_f64(ahead_max_secs))
+    } else {
+        None
+    }
+}
 
 /// One not-yet-finished EC-assigned job, as the pull-back check sees it.
 #[derive(Clone, Copy, Debug)]
