@@ -19,9 +19,16 @@
 //! to O(queue) shows up as a 10–40× spread across the probed depths long
 //! before any absolute floor trips.
 //!
-//! Exits non-zero if any floor is broken, the curve ratio is exceeded, or
-//! the two files share no throughput keys (a silently toothless gate is
-//! itself a failure).
+//! When the fresh line carries the sharded-engine threads curve
+//! (`threads_curve_w<N>_jobs_per_sec`), the gate also requires the
+//! 4-worker end-to-end run to reach ≥ 2× the pinned-serial one — skipped
+//! (with a notice) when the fresh record's `host_cores` is below 4, since
+//! a single-core host measuring a flat curve is physics, not a
+//! regression.
+//!
+//! Exits non-zero if any floor is broken, the curve ratio is exceeded,
+//! the threads-curve speedup is gated and missed, or the two files share
+//! no throughput keys (a silently toothless gate is itself a failure).
 
 use std::process::ExitCode;
 
@@ -103,6 +110,33 @@ fn main() -> ExitCode {
             if ok { "ok  " } else { "FAIL" },
             curve.len(),
         );
+    }
+
+    // Sharded-engine scaling gate: when the fresh record carries the
+    // threads curve, the 4-worker end-to-end run must be at least 2× the
+    // pinned-serial one — but only on a host that can actually scale
+    // (`host_cores >= 4`, read from the fresh record itself: a 1-core CI
+    // box measuring a flat curve is physics, not a regression).
+    let w1 = fresh.get("threads_curve_w1_jobs_per_sec").and_then(|v| v.as_f64());
+    let w4 = fresh.get("threads_curve_w4_jobs_per_sec").and_then(|v| v.as_f64());
+    if let (Some(w1), Some(w4)) = (w1, w4) {
+        let host_cores = fresh.get("host_cores").and_then(|v| v.as_f64()).unwrap_or(1.0);
+        assert!(w1 > 0.0, "threads curve rates must be positive");
+        let speedup = w4 / w1;
+        if host_cores >= 4.0 {
+            let ok = speedup >= 2.0;
+            if !ok {
+                failed += 1;
+            }
+            println!(
+                "{} threads curve: 4 workers = {speedup:.2}x serial (need >= 2x; host has {host_cores} cores)",
+                if ok { "ok  " } else { "FAIL" },
+            );
+        } else {
+            println!(
+                "skip threads curve: host has {host_cores} core(s), 4-worker speedup {speedup:.2}x not gated"
+            );
+        }
     }
 
     println!("perfgate: {checked} floors checked, {failed} broken");

@@ -19,6 +19,11 @@
 //! * **End to end** — full `run_with_batches` runs of the megascale
 //!   workload (batches of ≈ 10 000 jobs, 64 + 64 machines) for the greedy,
 //!   order-preserving and SIBS schedulers, reported as jobs per second.
+//! * **Threads curve** — `threads_curve_w<N>_jobs_per_sec`: the same
+//!   end-to-end run pinned to 1/2/4/8 shard workers (the `BENCH_PR7`
+//!   record). Output bytes are worker-count invariant by construction;
+//!   `perfgate` requires the 4-worker run to be ≥ 2× the serial one when
+//!   the recorded `host_cores` shows the machine can actually scale.
 //!
 //! ```text
 //! perfscale                  full probe (100k and 1M jobs + 4-depth curve)
@@ -223,9 +228,17 @@ fn curve_probe(total_jobs: u64, iters: usize) -> (f64, usize) {
 
 /// End-to-end probe: a full megascale run, reported as jobs per second of
 /// wall clock (workload generation excluded, training included — it is
-/// part of every run).
-fn e2e_probe(kind: SchedulerKind, total_jobs: u64, seed: u64) -> (f64, usize) {
-    let cfg = ExperimentConfig::megascale(kind, total_jobs, seed);
+/// part of every run). `workers` pins the engine's shard-worker count;
+/// `None` leaves the config default (auto). The output is byte-identical
+/// either way — only the wall clock moves.
+fn e2e_probe(
+    kind: SchedulerKind,
+    total_jobs: u64,
+    seed: u64,
+    workers: Option<usize>,
+) -> (f64, usize) {
+    let mut cfg = ExperimentConfig::megascale(kind, total_jobs, seed);
+    cfg.shard_workers = workers;
     let rngs = RngFactory::new(cfg.seed);
     let batches = BatchArrivals::new(cfg.arrivals.clone()).generate(&rngs, &cfg.truth);
     let t0 = Instant::now();
@@ -248,6 +261,36 @@ fn stage(t0: Instant, what: &str) {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+
+    // One-shot mode: `perfscale --e2e <jobs> [workers]` runs a single
+    // order-preserving end-to-end probe at an arbitrary scale and prints
+    // one JSON line — how the EXPERIMENTS.md 10M-job sharded run is
+    // reproduced (`perfscale --e2e 10000000 4`). Omitting `workers`
+    // leaves the engine on auto (one worker per host core).
+    if let Some(pos) = args.iter().position(|a| a == "--e2e") {
+        let jobs: u64 = args
+            .get(pos + 1)
+            .and_then(|s| s.parse().ok())
+            .expect("usage: perfscale --e2e <jobs> [workers]");
+        let workers: Option<usize> = args.get(pos + 2).and_then(|s| s.parse().ok());
+        let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let t0 = Instant::now();
+        stage(t0, &format!("one-shot e2e op: {jobs} jobs, workers {workers:?}"));
+        let (jps, n) = e2e_probe(SchedulerKind::OrderPreserving, jobs, 73, workers);
+        stage(t0, "done");
+        let doc = json!({
+            "bench": "perfscale-e2e",
+            "total_jobs": jobs,
+            "shard_workers": workers,
+            "host_cores": host_cores,
+            "e2e_op_jobs_per_sec": jps,
+            "e2e_op_jobs": n,
+            "wall_secs": t0.elapsed().as_secs_f64(),
+        });
+        println!("{doc}");
+        return;
+    }
+
     let reduced = args.iter().any(|a| a == "--reduced");
     args.retain(|a| a != "--reduced");
     let out_path = args.first().cloned();
@@ -272,6 +315,13 @@ fn main() {
     doc.insert("bench".into(), json!("perfscale"));
     doc.insert("reduced".into(), json!(reduced));
     doc.insert("primary_scale_jobs".into(), json!(primary));
+    // Host metadata: every record names the machine's core count and the
+    // worker count the unpinned probes resolve to (`shard_workers: None`
+    // = auto = host cores), so BENCH_*.json numbers — the threads curve
+    // especially — stay interpretable across machines.
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    doc.insert("host_cores".into(), json!(host_cores));
+    doc.insert("default_shard_workers".into(), json!(host_cores));
 
     // Decision loop at the primary scale (generic keys: the perfgate set).
     stage(t0, "decision probe (primary scale)");
@@ -293,9 +343,22 @@ fn main() {
     // End to end at the primary scale.
     for (kind, label) in SCHEDULERS {
         stage(t0, &format!("e2e {label} (primary scale)"));
-        let (jps, n) = e2e_probe(kind, primary, 73);
+        let (jps, n) = e2e_probe(kind, primary, 73, None);
         doc.insert(format!("e2e_{label}_jobs_per_sec"), json!(jps));
         doc.insert(format!("e2e_{label}_jobs"), json!(n));
+    }
+
+    // Threads-vs-throughput curve (sharded-engine record): the same
+    // order-preserving megascale run pinned to 1/2/4/8 shard workers.
+    // The byte-identical merge is enforced by the test suite; here only
+    // the wall clock may move. `perfgate` requires ≥ 2× at 4 workers
+    // when — per the `host_cores` field above — the measuring host
+    // actually has 4 cores to scale onto.
+    for workers in [1usize, 2, 4, 8] {
+        stage(t0, &format!("threads curve: {workers} worker(s)"));
+        let (jps, n) = e2e_probe(SchedulerKind::OrderPreserving, primary, 73, Some(workers));
+        doc.insert(format!("threads_curve_w{workers}_jobs_per_sec"), json!(jps));
+        doc.insert(format!("threads_curve_w{workers}_jobs"), json!(n));
     }
 
     // Larger scales (full mode only): suffixed record keys.
@@ -308,7 +371,7 @@ fn main() {
         doc.insert(format!("decision_loop_speedup_{suffix}"), json!(indexed / legacy));
         for (kind, label) in SCHEDULERS {
             stage(t0, &format!("e2e {label} ({suffix})"));
-            let (jps, n) = e2e_probe(kind, scale, 73);
+            let (jps, n) = e2e_probe(kind, scale, 73, None);
             doc.insert(format!("e2e_{label}_jobs_per_sec_{suffix}"), json!(jps));
             doc.insert(format!("e2e_{label}_jobs_{suffix}"), json!(n));
         }

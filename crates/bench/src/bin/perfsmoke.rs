@@ -265,10 +265,13 @@ fn main() {
     doc.insert("chaos_dormant_runs_per_sec".into(), json!(chaos_dormant_rps));
     doc.insert("chaos_dormant_overhead_ratio".into(), json!(chaos_dormant_ratio));
     doc.insert("repro_subset_secs".into(), json!(repro_total));
-    doc.insert(
-        "threads".into(),
-        json!(std::thread::available_parallelism().map_or(1, |n| n.get())),
-    );
+    // Host metadata, uniform across every BENCH_*.json record: core count
+    // and the shard-worker count unpinned engine runs resolve to (auto =
+    // host cores), so numbers stay interpretable across machines.
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    doc.insert("threads".into(), json!(host_cores));
+    doc.insert("host_cores".into(), json!(host_cores));
+    doc.insert("default_shard_workers".into(), json!(host_cores));
     for (k, v) in repro {
         doc.insert(k, v);
     }

@@ -6,6 +6,24 @@ use cloudburst_sim::{SimDuration, SimTime};
 
 use crate::machine::{Machine, MachineId};
 
+/// The pool state a shard exchanges at an epoch barrier: everything the
+/// engine's decision layer is allowed to read about one machine pool,
+/// frozen at the barrier instant. Plain `Copy` data — no borrows into the
+/// cloud — so boundary snapshots can cross shard workers freely while the
+/// pool itself stays owned by its site.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolBoundary {
+    /// Jobs waiting in the FCFS queue (not yet on a machine).
+    pub queued: usize,
+    /// Jobs currently executing.
+    pub running: usize,
+    /// Machines currently idle (crashed machines are not idle capacity).
+    pub idle: usize,
+    /// Total declared drain cost of the queue, in integer microsecond
+    /// ticks (the depth-flat drain's O(1) load signal).
+    pub queued_cost_ticks: u64,
+}
+
 /// A job execution that finished, reported by [`Cloud::advance`].
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ExecCompletion<K> {
@@ -231,6 +249,18 @@ impl<K: Copy + PartialEq + std::fmt::Debug> Cloud<K> {
     /// Jobs completed so far.
     pub fn completed(&self) -> u64 {
         self.completed
+    }
+
+    /// The epoch-barrier snapshot of this pool: the decision layer reads
+    /// clouds only through this (one coherent freeze instead of piecemeal
+    /// accessor calls interleaved with mutation).
+    pub fn boundary(&self) -> PoolBoundary {
+        PoolBoundary {
+            queued: self.queue.len(),
+            running: self.running.len(),
+            idle: self.idle_machines(),
+            queued_cost_ticks: self.queued_cost_ticks,
+        }
     }
 
     /// Submits a job requiring `standard_secs` of standard-machine work.

@@ -20,5 +20,5 @@
 pub mod cloud;
 pub mod machine;
 
-pub use cloud::{Cloud, ExecCompletion};
+pub use cloud::{Cloud, ExecCompletion, PoolBoundary};
 pub use machine::{Machine, MachineId};

@@ -9,8 +9,12 @@
 //!   (randomized) hasher; use `FxHashMap`/`FxHashSet` or a `BTreeMap`.
 //! * `determinism/ambient-rng` — `thread_rng`, `rand::random`, `OsRng`,
 //!   `from_entropy`: randomness not derived from the experiment seed.
-//! * `determinism/thread-spawn` — `thread::spawn` in deterministic crates;
-//!   real threads belong to the orchestration layer (`runner`) and bins.
+//! * `determinism/thread-spawn` — `thread::spawn` or `crossbeam::scope`
+//!   worker orchestration in deterministic crates; real threads belong to
+//!   the orchestration layer and bins. The shard/runner coordinators that
+//!   do fan work out live behind per-file waivers whose justifications
+//!   state the determinism argument (order-invariant merge) — a waiver is
+//!   mandatory per file, never a blanket relaxation of the rule.
 //! * `hotpath/unsafe` — `unsafe` anywhere (library, bins, tests) outside
 //!   an explicit waiver.
 //! * `hotpath/unwrap-budget` — `.unwrap()` in library (non-bin, non-test)
@@ -167,6 +171,14 @@ pub fn scan_tokens(info: &FileInfo, toks: &[Tok], lines: &[&str]) -> FileScan {
                         "determinism/thread-spawn",
                         t.line,
                         "thread::spawn outside the orchestration layer",
+                    );
+                    continue;
+                }
+                "scope" if prev(1) == "::" && prev(2) == "crossbeam" => {
+                    push(
+                        "determinism/thread-spawn",
+                        t.line,
+                        "crossbeam scoped workers in deterministic code (waive the coordinator with a determinism justification)",
                     );
                     continue;
                 }

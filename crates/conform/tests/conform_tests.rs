@@ -82,6 +82,15 @@ fn thread_spawn_fixture_pair() {
 }
 
 #[test]
+fn crossbeam_scope_fixture_pair() {
+    // An unwaived fan-out coordinator in a deterministic crate must fail
+    // the scan exactly like a bare `thread::spawn` — the shard pool's
+    // legitimacy comes from its per-file waiver, not a rule relaxation.
+    assert_fires("crossbeam_scope_violation.rs", "determinism/thread-spawn");
+    assert_clean("crossbeam_scope_clean.rs");
+}
+
+#[test]
 fn unsafe_fixture_pair() {
     assert_fires("unsafe_violation.rs", "hotpath/unsafe");
     assert_clean("unsafe_clean.rs");

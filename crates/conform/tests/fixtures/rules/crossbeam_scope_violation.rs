@@ -1,0 +1,11 @@
+// Violates determinism/thread-spawn: crossbeam scoped workers are still OS
+// threads — a fan-out coordinator in a deterministic crate needs a per-file
+// waiver whose justification states the order-invariant merge argument.
+pub fn fan_out(items: &[u64], f: impl Fn(u64) + Sync) {
+    crossbeam::scope(|scope| {
+        for &it in items {
+            scope.spawn(|_| f(it));
+        }
+    })
+    .expect("worker panicked");
+}

@@ -158,6 +158,15 @@ pub struct ExperimentConfig {
     /// that [`cloudburst_chaos::FaultProfile::is_dormant`] — leave the run
     /// byte-identical to a fault-free one.
     pub faults: Option<cloudburst_chaos::FaultProfile>,
+    /// Worker threads for intra-run shard fan-outs (admission estimate
+    /// precompute, report sections). `None` or `Some(0)` means auto (the
+    /// machine's available parallelism); `Some(1)` pins the inline serial
+    /// path. `Option` so configs serialized before the knob existed still
+    /// deserialize (missing fields decode as null). Results are
+    /// byte-identical for every value — the epoch-barrier merge makes the
+    /// run a pure function of (config minus this knob, seed) — so the
+    /// knob only trades wall-clock time, never reproducibility.
+    pub shard_workers: Option<usize>,
 }
 
 impl Default for ExperimentConfig {
@@ -190,6 +199,7 @@ impl Default for ExperimentConfig {
             scaling: None,
             extra_ec_sites: Vec::new(),
             faults: None,
+            shard_workers: None,
         }
     }
 }
@@ -264,6 +274,18 @@ mod tests {
         let back: ExperimentConfig = serde_json::from_str(&js).unwrap();
         assert_eq!(back.scheduler, SchedulerKind::Greedy);
         assert_eq!(back.seed, 7);
+    }
+
+    #[test]
+    fn shard_workers_defaults_for_legacy_configs() {
+        // Configs serialized before the sharding knob existed must still
+        // deserialize (auto worker count).
+        let c = ExperimentConfig::default();
+        let mut js = serde_json::to_string(&c).unwrap();
+        js = js.replace(",\"shard_workers\":null", "");
+        assert!(!js.contains("shard_workers"), "field should be stripped for the test");
+        let back: ExperimentConfig = serde_json::from_str(&js).unwrap();
+        assert_eq!(back.shard_workers, None);
     }
 
     #[test]

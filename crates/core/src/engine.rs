@@ -35,7 +35,7 @@ use cloudburst_sched::{
     BurstScheduler, EstimateProvider, FreeTimeIndex, GreedyScheduler, IcOnlyScheduler, LoadModel,
     OrderPreservingScheduler, OutstandingSet, Placement, ProcTimeModel, SibsScheduler,
 };
-use cloudburst_sim::{EventId, FxHashMap, RngFactory, Sim, SimDuration, SimTime};
+use cloudburst_sim::{EventId, FxHashMap, RngFactory, ShardPool, Sim, SimDuration, SimTime};
 use cloudburst_sla::{metrics, oo_series, CompletionRecord, FaultMetrics, RunReport};
 use cloudburst_workload::arrival::training_corpus;
 use cloudburst_workload::{BatchArrivals, Job, JobId};
@@ -220,23 +220,25 @@ impl EcSite {
     }
 
     /// Estimated upload backlog in bytes: queued plus in-flight remainder.
+    /// Reads the pipe through its epoch-boundary snapshot.
     fn upload_backlog_bytes(&self) -> u64 {
         let (s, m, l) = self.up_queues.queued_bytes();
-        s + m + l + self.up_link.remaining_bytes()
+        s + m + l + self.up_link.boundary().remaining_bytes
     }
 
     /// Bytes awaiting or undergoing download.
     fn download_backlog_bytes(&self) -> u64 {
-        self.down_queue_bytes + self.down_link.remaining_bytes()
+        self.down_queue_bytes + self.down_link.boundary().remaining_bytes
     }
 
     /// Jobs anywhere in this site's pipeline (upload queue/flight, EC
     /// queue/exec, download queue/flight).
     fn pipeline_jobs(&self) -> usize {
+        let pool = self.cloud.boundary();
         self.up_queues.len()
             + self.up_map.values().filter(|(p, _)| matches!(p, Payload::Job(_))).count()
-            + self.cloud.queued()
-            + self.cloud.running()
+            + pool.queued
+            + pool.running
             + self.down_queue.len()
             + self.down_map.values().filter(|(p, _)| matches!(p, Payload::Job(_))).count()
     }
@@ -370,6 +372,14 @@ pub struct EngineWorld {
     /// Fault-injection bookkeeping; `None` ⇔ no fault can ever realize.
     chaos: Option<ChaosState>,
     chaos_wake: Option<EventId>,
+    /// Worker policy for intra-run shard fan-outs (admission estimate
+    /// precompute, report sections). Results are byte-identical for any
+    /// worker count; `cfg.shard_workers` only trades wall-clock time.
+    pool: ShardPool,
+    /// Reusable buffer for the sharded admission precompute: per-job
+    /// `(QRSM exec estimate, serving-model RMSE)` read against the frozen
+    /// post-flush estimator, merged back in job-id order.
+    admit_scratch: Vec<(f64, f64)>,
 }
 
 impl std::fmt::Debug for EngineWorld {
@@ -504,6 +514,7 @@ impl EngineWorld {
 
         let rng_probe = rngs.stream("probe");
         let rng_chunk_truth = rngs.stream("chunk-truth");
+        let pool = ShardPool::new(cfg.shard_workers.unwrap_or(0));
         EngineWorld {
             ic: Cloud::homogeneous("ic", cfg.n_ic, cfg.ic_speed),
             sites,
@@ -544,6 +555,8 @@ impl EngineWorld {
             po_queue: Vec::new(),
             chaos,
             chaos_wake: None,
+            pool,
+            admit_scratch: Vec::new(),
         }
     }
 
@@ -779,7 +792,7 @@ impl EngineWorld {
         self.sites
             .iter()
             .enumerate()
-            .min_by_key(|(i, s)| (s.upload_backlog_bytes() + s.cloud.queued() as u64, *i))
+            .min_by_key(|(i, s)| (s.upload_backlog_bytes() + s.cloud.boundary().queued as u64, *i))
             .map(|(i, _)| i)
             .expect("at least one EC site")
     }
@@ -791,51 +804,71 @@ impl EngineWorld {
         }
     }
 
-    /// Sum of true standard-machine seconds over all jobs — the speed-up
-    /// numerator (`t_seq`).
-    fn sequential_secs(&self) -> f64 {
-        self.jobs.iter().map(|j| j.true_service_secs).sum()
-    }
-
     fn report(&self, end: SimTime) -> RunReport {
         let completion_times: Vec<SimTime> =
             self.completions.iter().map(|c| c.expect("run finished")).collect();
         let arrival = SimTime::ZERO;
         let makespan_secs = metrics::makespan(&completion_times, arrival);
-        let records: Vec<CompletionRecord> = completion_times
-            .iter()
-            .enumerate()
-            .map(|(i, &at)| CompletionRecord { id: i as u64, at, bytes: self.output_bytes[i] })
-            .collect();
-        let horizon = SimTime::from_secs_f64(makespan_secs) + self.cfg.oo.sample_interval;
-        let oo = oo_series(&records, self.jobs.len().max(1), horizon, self.cfg.oo);
         // Eq. 11/12 use the *decision-time* placements per batch; the flat
         // `self.placements` can differ after rescheduling moves jobs.
         let (per_batch, overall) = metrics::burst_ratio_batched(&self.batch_decisions);
-        let batch_of: Vec<u32> = self.jobs.iter().map(|j| j.batch).collect();
-        let n_batches = batch_of.iter().map(|&b| b as usize + 1).max().unwrap_or(0);
-        let batch_arrivals: Vec<SimTime> = (0..n_batches)
-            .map(|b| {
-                self.jobs
-                    .iter()
-                    .find(|j| j.batch as usize == b)
-                    .map(|j| j.arrival)
-                    .unwrap_or(SimTime::ZERO)
-            })
-            .collect();
-        let batch_turnaround_secs =
-            metrics::batch_turnarounds(&completion_times, &batch_of, &batch_arrivals);
-        let sequential = self.sequential_secs();
-        let tickets: Vec<cloudburst_sla::TicketOutcome> = completion_times
-            .iter()
-            .enumerate()
-            .map(|(i, &completed)| cloudburst_sla::TicketOutcome {
-                id: i as u64,
-                issued: self.jobs[i].arrival,
-                promised: self.ticket_promise[i],
-                completed,
-            })
-            .collect();
+        // The two heavy report sections are disjoint pure reads of the
+        // finished run, so they go through the shard pool's join — inline
+        // (same order) at one worker, concurrent otherwise. The closures
+        // capture bound field refs rather than `&self` because the
+        // scheduler box is not `Sync`.
+        let jobs = &self.jobs;
+        let output_bytes = &self.output_bytes;
+        let ticket_promise = &self.ticket_promise;
+        let ct = &completion_times;
+        let oo_cfg = self.cfg.oo;
+        let horizon = SimTime::from_secs_f64(makespan_secs) + oo_cfg.sample_interval;
+        let (oo, (batch_turnaround_secs, sequential, tickets, completion_delays)) =
+            self.pool.join(
+                move || {
+                    let records: Vec<CompletionRecord> = ct
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &at)| CompletionRecord {
+                            id: i as u64,
+                            at,
+                            bytes: output_bytes[i],
+                        })
+                        .collect();
+                    oo_series(&records, jobs.len().max(1), horizon, oo_cfg)
+                },
+                move || {
+                    let batch_of: Vec<u32> = jobs.iter().map(|j| j.batch).collect();
+                    let n_batches =
+                        batch_of.iter().map(|&b| b as usize + 1).max().unwrap_or(0);
+                    // First-arrival per batch in a single pass over the
+                    // jobs (the old per-batch `find` scan was O(batches·n)).
+                    let mut batch_arrivals = vec![SimTime::ZERO; n_batches];
+                    let mut seen = vec![false; n_batches];
+                    for j in jobs.iter() {
+                        let b = j.batch as usize;
+                        if !seen[b] {
+                            seen[b] = true;
+                            batch_arrivals[b] = j.arrival;
+                        }
+                    }
+                    let batch_turnaround_secs =
+                        metrics::batch_turnarounds(ct, &batch_of, &batch_arrivals);
+                    let sequential: f64 = jobs.iter().map(|j| j.true_service_secs).sum();
+                    let tickets: Vec<cloudburst_sla::TicketOutcome> = ct
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &completed)| cloudburst_sla::TicketOutcome {
+                            id: i as u64,
+                            issued: jobs[i].arrival,
+                            promised: ticket_promise[i],
+                            completed,
+                        })
+                        .collect();
+                    let completion_delays = metrics::completion_delay_series(ct, arrival);
+                    (batch_turnaround_secs, sequential, tickets, completion_delays)
+                },
+            );
         RunReport {
             scheduler: self.scheduler.name().to_string(),
             bucket: self.cfg.arrivals.bucket.label().to_string(),
@@ -863,7 +896,7 @@ impl EngineWorld {
             burst_ratio: overall,
             burst_ratio_per_batch: per_batch,
             batch_turnaround_secs,
-            completion_delays: metrics::completion_delay_series(&completion_times, arrival),
+            completion_delays,
             completion_times,
             oo_series: oo,
             uploaded_bytes: self.sites.iter().map(|s| s.uploaded_bytes).sum(),
@@ -1034,10 +1067,21 @@ fn on_wake(w: &mut W, sim: &mut Sim<W>) {
 }
 
 /// Applies one batch arrival: snapshot → schedule → re-index → dispatch.
+///
+/// A batch arrival is an epoch barrier of the sharded engine: every
+/// component has been advanced to `now` (completed transfers and
+/// executions exchanged), the QRSM observations queued during the epoch
+/// are refit in exactly once, and the pure per-job estimate reads fan out
+/// over the shard pool against that frozen model before the sequential
+/// decision spine (planner commits, queue pushes) replays them in job-id
+/// order — byte-identical for any worker count.
 fn on_batch(w: &mut W, sim: &mut Sim<W>, batch_jobs: Vec<Job>) {
     let now = sim.now();
     // Process anything that completed up to now first.
     on_wake(w, sim);
+    // Epoch barrier: the scheduler, planner, and ticket quotes below all
+    // read the QRSM; queued observations become current here, once.
+    w.est.flush_refits();
 
     let site = w.refresh_load_model(now);
     w.scheduler.set_upload_queue_state(w.sites[site].up_queues.queued_bytes());
@@ -1057,25 +1101,52 @@ fn on_batch(w: &mut W, sim: &mut Sim<W>, batch_jobs: Vec<Job>) {
     }
 
     // Re-index into the global FCFS id space and record estimates by
-    // replaying the scheduler's own planner commitments.
-    let mut planner = Planner::new(&load, &w.est);
-    let mut decisions = Vec::with_capacity(schedule.jobs.len());
-    for (job, placement) in schedule.jobs {
-        let id = JobId(w.jobs.len() as u64);
-        let mut job = job.with_id(id);
-        // The scheduler fabricates a pro-rata service time when it splits a
-        // job; the engine is the authority on ground truth, so chunk times
-        // are re-sampled from the truth law on the chunk's own features
-        // (documents are embarrassingly parallel) plus the split/merge
-        // overhead. Without this, chunks would secretly carry their
-        // parent's superlinear cost and every QRSM estimate of a chunk
-        // would be biased low.
+    // replaying the scheduler's own planner commitments. The admission is
+    // split into three phases so the per-job estimate reads can fan out
+    // over the shard pool without perturbing a single sequential byte:
+    //
+    // Phase 1 (sequential): materialize the admitted jobs — global ids in
+    // admission order, plus chunk ground-truth resampling on the one
+    // shared RNG stream (call order preserved exactly). The scheduler
+    // fabricates a pro-rata service time when it splits a job; the engine
+    // is the authority on ground truth, so chunk times are re-sampled
+    // from the truth law on the chunk's own features (documents are
+    // embarrassingly parallel) plus the split/merge overhead. Without
+    // this, chunks would secretly carry their parent's superlinear cost
+    // and every QRSM estimate of a chunk would be biased low.
+    let mut admitted = schedule.jobs;
+    let base = w.jobs.len() as u64;
+    for (k, (job, _)) in admitted.iter_mut().enumerate() {
+        job.id = JobId(base + k as u64);
         if job.is_chunk() {
             job.true_service_secs = w.cfg.truth.sample_secs(&mut w.rng_chunk_truth, &job.features)
                 + w.cfg.chunk_policy.per_chunk_overhead_secs;
         }
+    }
+
+    // Phase 2 (shard fan-out): each job's execution estimate and RMSE
+    // quote is a pure read of the frozen post-barrier model, so the pool
+    // computes them in parallel and merges results back in id order —
+    // byte-identical for any worker count.
+    let mut planner_inputs = std::mem::take(&mut w.admit_scratch);
+    let pool = w.pool;
+    {
+        let est = &w.est;
+        pool.map_ordered_into(&admitted, &mut planner_inputs, |_, (job, _)| {
+            (
+                est.exec_secs(job),
+                est.qrsm.rmse_for(job.features.job_type.code() as u64),
+            )
+        });
+    }
+
+    // Phase 3 (sequential spine): planner commitments, dispatch pushes,
+    // and ticket quotes replay in id order exactly as the serial engine.
+    let mut planner = Planner::new(&load, &w.est);
+    let mut decisions = Vec::with_capacity(admitted.len());
+    for ((job, placement), &(est_secs, rmse_secs)) in admitted.into_iter().zip(&planner_inputs) {
+        let id = job.id;
         let est_ct = planner.commit(&job, placement);
-        let est_secs = w.est.exec_secs(&job);
         decisions.push(placement == Placement::External);
 
         w.est_exec.push(est_secs);
@@ -1090,8 +1161,7 @@ fn on_batch(w: &mut W, sim: &mut Sim<W>, batch_jobs: Vec<Job>) {
         w.ticket_promise.push(
             est_ct
                 + cloudburst_sim::SimDuration::from_secs_f64(
-                    w.cfg.ticket_margin_k.max(0.0)
-                        * w.est.qrsm.rmse_for(job.features.job_type.code() as u64),
+                    w.cfg.ticket_margin_k.max(0.0) * rmse_secs,
                 ),
         );
 
@@ -1113,6 +1183,8 @@ fn on_batch(w: &mut W, sim: &mut Sim<W>, batch_jobs: Vec<Job>) {
         }
         w.jobs.push(job);
     }
+    // Hand the warm precompute buffer back for the next batch.
+    w.admit_scratch = planner_inputs;
     if let Some(ch) = &mut w.chaos {
         ch.exec_attempts.resize(w.jobs.len(), 0);
         ch.up_attempts.resize(w.jobs.len(), 0);
@@ -1264,6 +1336,13 @@ fn observe_transfer(
 }
 
 /// Execution finished anywhere: tune the QRSM with the observed time.
+/// The observation is *queued* — the sliding-window rank-1 update lands
+/// now, but the `O(terms³)` coefficient refit is deferred to the next
+/// epoch barrier where predictions are actually read (`on_batch`,
+/// `try_pull_back`, `try_push_out`, or run end). That keeps a completion
+/// burst O(completions × terms²) instead of O(completions × terms³), and
+/// the flushed coefficients are bitwise what eager per-completion refits
+/// would have produced at each read point.
 fn finish_exec(w: &mut W, id: JobId, at: SimTime, started: SimTime, ic: bool) {
     let speed = if ic { w.cfg.ic_speed } else { w.cfg.ec_speed };
     w.timelines[id.0 as usize].exec_started = Some(started);
@@ -1272,7 +1351,7 @@ fn finish_exec(w: &mut W, id: JobId, at: SimTime, started: SimTime, ic: bool) {
     let job = &w.jobs[id.0 as usize];
     let class = job.features.job_type.code() as u64;
     let regress = job.features.regressors_arr();
-    w.est.qrsm.observe(class, &regress, standard_secs);
+    w.est.qrsm.observe_queued(class, &regress, standard_secs);
 }
 
 /// A job's result entered the result queue.
@@ -1533,7 +1612,12 @@ fn on_machine_up(w: &mut W, sim: &mut Sim<W>, pool: Pool, machine: u32) {
 /// Sec. IV-D pull-back: a freed IC machine reclaims the head of an EC
 /// upload queue when local re-execution beats the estimated EC remainder.
 fn try_pull_back(w: &mut W, now: SimTime) {
-    while w.ic.idle_machines() > 0 && w.ic.queued() == 0 {
+    // Epoch barrier: queued QRSM observations become current before any
+    // estimate read below (no-op branch when nothing is pending).
+    w.est.flush_refits();
+    // The IC pool is read through its boundary snapshot, re-frozen per
+    // reclaimed job (each pull-back mutates the pool).
+    while matches!(w.ic.boundary(), b if b.idle > 0 && b.queued == 0) {
         // Head candidates: the front of each class queue at each site.
         // `pb_cands`/`pb_meta` are persistent world scratch kept in
         // lock-step, so the decision slice feeds `pull_back_candidate`
@@ -1578,13 +1662,17 @@ fn try_pull_back(w: &mut W, now: SimTime) {
 /// from the tail of the IC wait queue.
 fn try_push_out(w: &mut W, now: SimTime) {
     let site = w.least_loaded_site();
-    if !w.sites[site].up_queues.is_empty() || w.sites[site].up_link.in_flight() > 0 {
+    if !w.sites[site].up_queues.is_empty() || w.sites[site].up_link.boundary().in_flight > 0 {
         return;
     }
     let q = w.ic.queued();
     if q == 0 {
         return;
     }
+    // Epoch barrier: the candidate scan below reads QRSM predictions, so
+    // queued observations must be refit in first (after the early returns
+    // — a wake that evaluates no candidate reads no estimate).
+    w.est.flush_refits();
     // Fresh Eq. 1 anchors: replay the IC's FCFS drain with *current*
     // estimates. Using the completion estimates recorded at batch time
     // would bake in everything the system has since fallen behind on, and
@@ -1895,6 +1983,10 @@ impl EngineHarness {
         );
         let end = self.sim.now();
         self.world.accrue_provisioning(end);
+        // Final epoch barrier: observations queued after the last decision
+        // point still refit in, so the handed-back world's QRSM state is
+        // identical to the eager-refit engine's.
+        self.world.est.flush_refits();
         let report = self.world.report(end);
         (report, self.world)
     }
@@ -2164,6 +2256,31 @@ mod tests {
         use super::*;
         use proptest::prelude::*;
 
+        /// An armed (non-dormant) fault plan: crashes, a scripted
+        /// blackout, lossy transfers and exec failures — every recovery
+        /// path a run can take.
+        fn armed_fault_profile() -> cloudburst_chaos::FaultProfile {
+            cloudburst_chaos::FaultProfile {
+                ic_crash: Some(cloudburst_chaos::CrashLaw {
+                    mean_uptime_secs: 500.0,
+                    mean_downtime_secs: 90.0,
+                    max_faults_per_machine: 2,
+                }),
+                ec_crash: Some(cloudburst_chaos::CrashLaw {
+                    mean_uptime_secs: 400.0,
+                    mean_downtime_secs: 120.0,
+                    max_faults_per_machine: 2,
+                }),
+                fixed_blackouts: vec![cloudburst_chaos::Window {
+                    from_secs: 120.0,
+                    until_secs: 170.0,
+                }],
+                transfer_loss_prob: 0.05,
+                exec_failure_prob: 0.05,
+                ..cloudburst_chaos::FaultProfile::dormant()
+            }
+        }
+
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -2199,29 +2316,10 @@ mod tests {
                     }];
                 }
                 if faulty {
-                    // An armed (non-dormant) plan: crashes, a scripted
-                    // blackout, lossy transfers and exec failures, so the
-                    // oracles also pin the fast paths through recovery
-                    // paths and DEAD_FREE_SECS poisoning.
-                    cfg.faults = Some(cloudburst_chaos::FaultProfile {
-                        ic_crash: Some(cloudburst_chaos::CrashLaw {
-                            mean_uptime_secs: 500.0,
-                            mean_downtime_secs: 90.0,
-                            max_faults_per_machine: 2,
-                        }),
-                        ec_crash: Some(cloudburst_chaos::CrashLaw {
-                            mean_uptime_secs: 400.0,
-                            mean_downtime_secs: 120.0,
-                            max_faults_per_machine: 2,
-                        }),
-                        fixed_blackouts: vec![cloudburst_chaos::Window {
-                            from_secs: 120.0,
-                            until_secs: 170.0,
-                        }],
-                        transfer_loss_prob: 0.05,
-                        exec_failure_prob: 0.05,
-                        ..cloudburst_chaos::FaultProfile::dormant()
-                    });
+                    // An armed (non-dormant) plan, so the oracles also pin
+                    // the fast paths through recovery paths and
+                    // DEAD_FREE_SECS poisoning.
+                    cfg.faults = Some(armed_fault_profile());
                 }
                 // The run itself is the assertion: every decision re-checks
                 // the indexed state against the O(queue × machines) rescan.
@@ -2233,6 +2331,48 @@ mod tests {
                 prop_assert_eq!(a.completion_times, b.completion_times);
                 prop_assert_eq!(a.makespan_secs, b.makespan_secs);
                 prop_assert_eq!(a.burst_ratio, b.burst_ratio);
+            }
+
+            /// The tentpole's composition guarantee: the sharded engine's
+            /// report is a pure function of (config, seed) — the
+            /// shard-worker count never reaches a byte of output. Checked
+            /// over every scheduler, with and without an armed chaos
+            /// plan, by comparing the full serialized `RunReport` of the
+            /// pinned serial path against 2/4/8-worker runs.
+            #[test]
+            fn shard_composition_is_byte_identical_across_worker_counts(
+                seed in 0u64..10_000,
+                kind_idx in 0usize..3,
+                jobs_per_batch in 4.0f64..14.0,
+                rescheduling in any::<bool>(),
+                faulty in any::<bool>(),
+            ) {
+                let kind = [
+                    SchedulerKind::Greedy,
+                    SchedulerKind::OrderPreserving,
+                    SchedulerKind::Sibs,
+                ][kind_idx];
+                let mut cfg = small_cfg(kind, seed);
+                cfg.n_ic = 2; // load the IC so bursts (and EC paths) happen
+                cfg.arrivals.jobs_per_batch = jobs_per_batch;
+                cfg.rescheduling = rescheduling;
+                if faulty {
+                    cfg.faults = Some(armed_fault_profile());
+                }
+                cfg.shard_workers = Some(1);
+                let (serial, _) = run_experiment_detailed(&cfg);
+                let reference = serde_json::to_string(&serial).expect("report serializes");
+                for workers in [2usize, 4, 8] {
+                    cfg.shard_workers = Some(workers);
+                    let (sharded, _) = run_experiment_detailed(&cfg);
+                    let got = serde_json::to_string(&sharded).expect("report serializes");
+                    prop_assert_eq!(
+                        &got,
+                        &reference,
+                        "worker count {} leaked into the report bytes",
+                        workers
+                    );
+                }
             }
         }
     }

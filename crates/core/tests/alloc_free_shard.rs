@@ -1,0 +1,96 @@
+//! Per-worker steady-state allocation discipline for the sharded engine
+//! (own binary, own process-global counter, mirroring `alloc_free.rs`):
+//!
+//! * the `ShardPool` inline path is allocation-free once its output
+//!   buffer has warmed up;
+//! * the parallel path's allocations are per *fan-out call* — `O(chunks +
+//!   workers)`, measured identical for a 1 000-item and a 10 000-item
+//!   map — never per item;
+//! * a multi-worker engine's steady-state decision sweep stays at zero
+//!   allocations: shard fan-outs happen only at batch/report boundaries,
+//!   and the epoch-barrier refit flush is a no-op branch when nothing is
+//!   queued.
+
+use cloudburst_chaos::FaultProfile;
+use cloudburst_core::{EngineHarness, ExperimentConfig, SchedulerKind};
+use cloudburst_sim::{RngFactory, ShardPool};
+use cloudburst_testsupport::{allocations, CountingAlloc};
+use cloudburst_workload::{BatchArrivals, SizeBucket};
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+// One test function: the counter is process-global, so concurrent tests in
+// this binary would pollute each other's deltas.
+#[test]
+fn shard_worker_steady_state_is_allocation_disciplined() {
+    // --- ShardPool inline path: allocation-free once warm. ---
+    let items: Vec<u64> = (0..10_000).collect();
+    let inline = ShardPool::new(1);
+    let mut out: Vec<u64> = Vec::new();
+    inline.map_ordered_into(&items, &mut out, |_, &x| x.wrapping_mul(2_654_435_761));
+    let (n, _) = allocations(|| {
+        for _ in 0..50 {
+            inline.map_ordered_into(&items, &mut out, |_, &x| x.wrapping_mul(2_654_435_761));
+        }
+    });
+    assert_eq!(n, 0, "warm inline fan-out must not allocate");
+
+    // --- Parallel path: per-call overhead, independent of item count. ---
+    // Chunk count is capped by workers × CHUNKS_PER_WORKER, so a 10× larger
+    // input must cost exactly the same number of allocations per call.
+    let pool = ShardPool::new(4);
+    let small = &items[..1_000];
+    let warm = |items: &[u64], out: &mut Vec<u64>| {
+        pool.map_ordered_into(items, out, |_, &x| x.wrapping_mul(2_654_435_761));
+    };
+    let mut out_small: Vec<u64> = Vec::new();
+    let mut out_large: Vec<u64> = Vec::new();
+    warm(small, &mut out_small);
+    warm(&items, &mut out_large);
+    let (n_small, _) = allocations(|| warm(small, &mut out_small));
+    let (n_large, _) = allocations(|| warm(&items, &mut out_large));
+    assert_eq!(
+        n_small, n_large,
+        "parallel fan-out allocations must not scale with item count"
+    );
+
+    // --- Multi-worker engine: the decision sweep is still zero-alloc. ---
+    let mut cfg =
+        ExperimentConfig::paper(SchedulerKind::OrderPreserving, SizeBucket::LargeBiased, 9);
+    cfg.arrivals.jobs_per_batch = 60.0;
+    cfg.rescheduling = true;
+    cfg.faults = Some(FaultProfile::dormant());
+    cfg.shard_workers = Some(4);
+
+    let rngs = RngFactory::new(cfg.seed);
+    let batches = BatchArrivals::new(cfg.arrivals.clone()).generate(&rngs, &cfg.truth);
+    let mut h = EngineHarness::new(&cfg, batches);
+    h.run_until(cloudburst_sim::SimTime::from_secs(9 * 60));
+    let now = h.now();
+    let w = h.world_mut();
+    assert!(w.outstanding_jobs() > 0, "mid-run state must have work in flight");
+
+    // Warm-up: let the sweep reach its fixed point and size every scratch
+    // buffer (identical protocol to `alloc_free.rs`).
+    let mut moves = (w.pull_backs(), w.push_outs());
+    for _ in 0..32 {
+        w.decision_sweep(now);
+        let after = (w.pull_backs(), w.push_outs());
+        if after == moves {
+            break;
+        }
+        moves = after;
+    }
+
+    let (n, _) = allocations(|| {
+        for _ in 0..100 {
+            w.decision_sweep(now);
+        }
+    });
+    assert_eq!(n, 0, "multi-worker steady-state decision sweep must not allocate");
+
+    h.run();
+    let (report, _world) = h.finish();
+    assert!(report.makespan_secs > 0.0);
+}

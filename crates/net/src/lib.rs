@@ -34,7 +34,7 @@ pub mod queues;
 pub mod threads;
 
 pub use estimator::BandwidthEstimator;
-pub use link::{CapacityFault, Link, TransferId};
+pub use link::{CapacityFault, Link, PipeBoundary, TransferId};
 pub use profile::BandwidthModel;
 pub use queues::{sibs_bounds, SibsBounds, SizeClass};
 pub use threads::ThreadTuner;

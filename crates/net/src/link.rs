@@ -56,6 +56,21 @@ pub struct CapacityFault {
     pub factor: f64,
 }
 
+/// The link state a shard exchanges at an epoch barrier: everything the
+/// engine's decision layer is allowed to read about one pipe direction,
+/// frozen at the barrier instant. Plain `Copy` data — no borrows into the
+/// link — so boundary snapshots can cross shard workers freely while the
+/// link itself stays owned by its site.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PipeBoundary {
+    /// Bytes still to be moved by in-flight transfers (as of the snapshot).
+    pub remaining_bytes: u64,
+    /// Number of in-flight transfers.
+    pub in_flight: usize,
+    /// Total threads currently contending on the link.
+    pub active_threads: u32,
+}
+
 /// A completed transfer, reported by [`Link::advance`].
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Completion {
@@ -200,6 +215,23 @@ impl Link {
     /// Internal clock (last `advance` target).
     pub fn now(&self) -> SimTime {
         self.clock
+    }
+
+    /// The epoch-barrier snapshot of this pipe direction: the decision
+    /// layer reads links only through this (one coherent freeze instead of
+    /// piecemeal accessor calls interleaved with mutation).
+    pub fn boundary(&self) -> PipeBoundary {
+        let (remaining_bytes, active_threads) = self
+            .active
+            .iter()
+            .fold((0u64, 0u32), |(b, th), t| {
+                (b + t.remaining.ceil() as u64, th + t.threads)
+            });
+        PipeBoundary {
+            remaining_bytes,
+            in_flight: self.active.len(),
+            active_threads,
+        }
     }
 
     /// Starts a transfer of `bytes` with `threads` parallel streams. The

@@ -105,6 +105,30 @@ impl ClassedModel {
         self.pooled.observe(x, y);
     }
 
+    /// Routes an observation like [`ClassedModel::observe`] but defers the
+    /// refits to the next [`ClassedModel::flush_refits`] — the rank-1
+    /// window updates land now, the coefficient solves run once at the
+    /// barrier where predictions are next read (see
+    /// [`QrsModel::observe_queued`] for why the result is bitwise
+    /// identical to eager per-observation refits at that point).
+    pub fn observe_queued(&mut self, class: u64, x: &[f64], y: f64) {
+        if let Some(m) = self.per_class.get_mut(&class) {
+            m.observe_queued(x, y);
+        }
+        self.pooled.observe_queued(x, y);
+    }
+
+    /// Flushes pending refits on the pooled model and every class
+    /// specialization. Cheap when nothing is pending (one branch per
+    /// model). Returns `true` if any refit ran.
+    pub fn flush_refits(&mut self) -> bool {
+        let mut any = false;
+        for m in self.per_class.values_mut() {
+            any |= m.flush_refit();
+        }
+        any | self.pooled.flush_refit()
+    }
+
     /// The classes with specialized models.
     pub fn specialized_classes(&self) -> Vec<u64> {
         let mut c: Vec<u64> = self.per_class.keys().copied().collect();
@@ -200,6 +224,40 @@ mod tests {
     #[test]
     fn empty_fit_is_rejected() {
         assert!(ClassedModel::fit(&[], Method::Ols, 8).is_err());
+    }
+
+    #[test]
+    fn queued_flush_matches_eager_routing_bitwise() {
+        let samples = two_regime_samples(40);
+        let fresh = || {
+            ClassedModel::fit(&samples, Method::Ols, 8)
+                .expect("two-regime corpus is full rank")
+                .with_refit_every(1)
+        };
+        let mut eager = fresh();
+        let mut deferred = fresh();
+        for round in 0..20u64 {
+            for i in 0..(1 + round % 5) {
+                let class = (round + i) % 3; // classes 0, 1 specialized; 2 pooled-only
+                let x = [((round * 3 + i) % 23) as f64];
+                let y = (class + 1) as f64 * (10.0 + x[0]) + (i % 2) as f64;
+                eager.observe(class, &x, y);
+                deferred.observe_queued(class, &x, y);
+            }
+            assert!(deferred.flush_refits());
+            assert!(!deferred.flush_refits(), "second flush must be a no-op");
+            for class in [0u64, 1, 2, 99] {
+                assert_eq!(
+                    deferred.predict(class, &[7.0]).to_bits(),
+                    eager.predict(class, &[7.0]).to_bits(),
+                    "class {class} prediction bytes diverged at round {round}"
+                );
+                assert_eq!(
+                    deferred.rmse_for(class).to_bits(),
+                    eager.rmse_for(class).to_bits(),
+                );
+            }
+        }
     }
 
     #[test]

@@ -191,6 +191,35 @@ impl QrsModel {
         false
     }
 
+    /// Records an observation without refitting: the rank-1 window update
+    /// (`O(terms²)`, allocation-free) happens now, the `O(terms³ +
+    /// window × terms)` coefficient refit is deferred to the next
+    /// [`QrsModel::flush_refit`]. Because [`QrsModel::refit`] is a pure
+    /// function of the maintained `(XᵀX, Xᵀy, window)` state — the current
+    /// coefficients never feed back into it — queueing any number of
+    /// observations and flushing once yields bitwise the same coefficients,
+    /// RMSE and MAPE as calling [`QrsModel::observe`] with
+    /// `refit_every(1)` for each, *as read at the flush point*. This is
+    /// the epoch-barrier discipline: updates accumulate during an epoch,
+    /// the refit runs once at the barrier where predictions are next read.
+    pub fn observe_queued(&mut self, x: &[f64], y: f64) {
+        self.push_observation(x, y);
+        self.since_refit += 1;
+    }
+
+    /// Refits if any observations were queued since the last refit (and
+    /// auto-refit is enabled), making the coefficients current with the
+    /// window. Returns `true` if a refit ran and succeeded; `false` when
+    /// nothing was pending or the refit failed (old coefficients kept, as
+    /// in [`QrsModel::observe`]). Idempotent between observations.
+    pub fn flush_refit(&mut self) -> bool {
+        if self.refit_every == 0 || self.since_refit == 0 {
+            return false;
+        }
+        self.since_refit = 0;
+        self.refit().is_ok()
+    }
+
     /// Re-solves the coefficients from the incrementally maintained normal
     /// equations, keeping old coefficients on failure. `O(terms³)` plus a
     /// single `O(window × terms)` residual pass — the window is never
@@ -463,6 +492,40 @@ mod tests {
         m.observe(&[1.0, 1.0], 1.0);
         assert_eq!(m.coeffs().len(), before.len());
         assert!(m.predict(&[4.0, 7.0]) > 0.0);
+    }
+
+    #[test]
+    fn queued_flush_is_bitwise_identical_to_eager_refit() {
+        // The deferred path (observe_queued × n, then one flush_refit) must
+        // land on exactly the same coefficients/RMSE/MAPE bytes as the
+        // eager path (observe with refit_every(1)) at every flush point —
+        // including across ring wrap-around and drift rebuilds.
+        let (xs, ys) = dataset(60);
+        let fresh = || {
+            QrsModel::fit(&xs, &ys, Method::Ols)
+                .expect("full-rank training corpus")
+                .with_window_capacity(40)
+                .with_refit_every(1)
+        };
+        let mut eager = fresh();
+        let mut deferred = fresh();
+        for round in 0..30 {
+            // Variable-length bursts between flushes, like batches of
+            // completions between decision points.
+            for i in 0..(1 + round % 7) {
+                let x = vec![((round * 5 + i) % 13) as f64, ((round * 7 + i) % 9) as f64];
+                let y = truth(&x) + ((round + i) % 3) as f64;
+                eager.observe(&x, y);
+                deferred.observe_queued(&x, y);
+            }
+            assert!(deferred.flush_refit(), "refit must succeed on well-posed data");
+            assert!(!deferred.flush_refit(), "second flush must be a no-op");
+            for (a, b) in deferred.coeffs().iter().zip(eager.coeffs()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "coeff bytes diverged at round {round}");
+            }
+            assert_eq!(deferred.rmse().to_bits(), eager.rmse().to_bits());
+            assert_eq!(deferred.mape().to_bits(), eager.mape().to_bits());
+        }
     }
 
     #[test]

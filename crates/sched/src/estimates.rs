@@ -40,6 +40,28 @@ impl ProcTimeModel {
         }
     }
 
+    /// Routes an observation like [`ProcTimeModel::observe`] but defers the
+    /// coefficient refit to the next [`ProcTimeModel::flush_refits`]. The
+    /// sliding-window rank-1 update lands immediately; the `O(terms³)`
+    /// solve runs once at the barrier where predictions are next read,
+    /// bitwise identical to eager per-observation refits at that point
+    /// (see `QrsModel::observe_queued`).
+    pub fn observe_queued(&mut self, class: u64, x: &[f64], y: f64) {
+        match self {
+            ProcTimeModel::Pooled(m) => m.observe_queued(x, y),
+            ProcTimeModel::PerClass(m) => m.observe_queued(class, x, y),
+        }
+    }
+
+    /// Flushes any refits deferred by [`ProcTimeModel::observe_queued`].
+    /// One branch when nothing is pending. Returns `true` if a refit ran.
+    pub fn flush_refits(&mut self) -> bool {
+        match self {
+            ProcTimeModel::Pooled(m) => m.flush_refit(),
+            ProcTimeModel::PerClass(m) => m.flush_refits(),
+        }
+    }
+
     /// Training RMSE of the model that serves `class` (ticket margins).
     pub fn rmse_for(&self, class: u64) -> f64 {
         match self {
@@ -114,6 +136,13 @@ impl EstimateProvider {
         self.up = self.up.with_prior(bps);
         self.down = self.down.with_prior(bps);
         self
+    }
+
+    /// Flushes deferred QRSM refits (see [`ProcTimeModel::flush_refits`]).
+    /// Call before any prediction read that must see observations queued
+    /// via [`ProcTimeModel::observe_queued`]; a no-op branch otherwise.
+    pub fn flush_refits(&mut self) -> bool {
+        self.qrsm.flush_refits()
     }
 
     /// Estimated execution seconds for `job` on a standard machine.
