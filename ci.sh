@@ -57,4 +57,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== conformance: cargo run --release -p cloudburst-conform"
 cargo run --release -p cloudburst-conform
 
+# Archive the machine-readable report next to the perf probes and prove it
+# byte-stable: two back-to-back scans must produce identical JSON, the
+# same determinism bar the simulation reports are held to.
+echo "== conformance: --json archive + byte-stability (two runs must match)"
+cargo run --release -p cloudburst-conform -- --json > "$PERF_TMP/conform.json"
+cargo run --release -p cloudburst-conform -- --json > "$PERF_TMP/conform.2.json"
+cmp "$PERF_TMP/conform.json" "$PERF_TMP/conform.2.json"
+
 echo "ci.sh: all green"

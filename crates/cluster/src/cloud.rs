@@ -344,6 +344,7 @@ impl<K: Copy + PartialEq + std::fmt::Debug> Cloud<K> {
     }
 
     /// Assigns queued jobs to idle machines (FCFS; lowest machine id first).
+    // conform::hot_root
     fn dispatch(&mut self) {
         while !self.queue.is_empty() {
             let failed = &self.failed;

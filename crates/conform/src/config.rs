@@ -1,8 +1,12 @@
 //! `conform.toml` — waivers and budgets, parsed in-tree.
 //!
 //! The file is a deliberately small TOML subset (no dependency on a TOML
-//! crate): `[[waiver]]` array-of-tables entries with `rule`, `path`, and a
-//! mandatory non-empty `justification`, plus a `[budgets.unwrap]` table
+//! crate): `[[waiver]]` array-of-tables entries with `rule`, `path`, a
+//! mandatory non-empty `justification`, and an optional `line` anchor
+//! (when present, the waiver applies only to findings on exactly that
+//! line — a drifted anchor surfaces as `conformance/unused-waiver`
+//! instead of silently blessing whatever moved there), plus a
+//! `[budgets.unwrap]` table
 //! mapping crate keys (directory names under `crates/`, or `root` for the
 //! meta-crate) to the number of `unwrap()` calls their library code may
 //! contain. Anything the parser does not recognize is an error — the file
@@ -18,8 +22,19 @@ pub struct Waiver {
     pub rule: String,
     /// Workspace-relative file path the waiver applies to.
     pub path: String,
+    /// Optional line anchor: when set, the waiver only matches findings
+    /// on exactly this 1-based line.
+    pub line: Option<u32>,
     /// Why the finding is acceptable — mandatory and non-empty.
     pub justification: String,
+}
+
+impl Waiver {
+    /// Whether this waiver covers a finding at `path:line` (the rule is
+    /// matched separately by the caller).
+    pub fn matches_site(&self, path: &str, line: u32) -> bool {
+        self.path == path && self.line.is_none_or(|l| l == line)
+    }
 }
 
 /// Parsed configuration.
@@ -84,8 +99,9 @@ enum Section {
     UnwrapBudgets,
 }
 
-/// (start line, rule, path, justification) of a waiver being built.
-type PendingWaiver = (usize, Option<String>, Option<String>, Option<String>);
+/// (start line, rule, path, line anchor, justification) of a waiver
+/// being built.
+type PendingWaiver = (usize, Option<String>, Option<String>, Option<u32>, Option<String>);
 
 /// Parses the `conform.toml` subset.
 pub fn parse(text: &str) -> Result<Config, ConfigError> {
@@ -101,7 +117,7 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
         }
         if line == "[[waiver]]" {
             finish_waiver(&mut cfg, pending.take())?;
-            pending = Some((lineno, None, None, None));
+            pending = Some((lineno, None, None, None, None));
             section = Section::Waiver;
             continue;
         }
@@ -125,8 +141,22 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
                 })
             }
             Section::Waiver => {
-                let (_, rule, path, justification) =
+                let (_, rule, path, anchor, justification) =
                     pending.as_mut().expect("waiver section always has a pending entry");
+                if key == "line" {
+                    let n: u32 = value.parse().map_err(|_| ConfigError::Parse {
+                        line: lineno,
+                        msg: format!("waiver `line` must be a positive integer, got {value}"),
+                    })?;
+                    if n == 0 {
+                        return Err(ConfigError::Parse {
+                            line: lineno,
+                            msg: "waiver `line` is 1-based; 0 is not a line".to_owned(),
+                        });
+                    }
+                    *anchor = Some(n);
+                    continue;
+                }
                 let value = parse_string(&value, lineno)?;
                 match key.as_str() {
                     "rule" => *rule = Some(value),
@@ -160,7 +190,7 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
 }
 
 fn finish_waiver(cfg: &mut Config, pending: Option<PendingWaiver>) -> Result<(), ConfigError> {
-    let Some((line, rule, path, justification)) = pending else {
+    let Some((line, rule, path, anchor, justification)) = pending else {
         return Ok(());
     };
     let (Some(rule), Some(path)) = (rule, path) else {
@@ -168,7 +198,7 @@ fn finish_waiver(cfg: &mut Config, pending: Option<PendingWaiver>) -> Result<(),
     };
     match justification {
         Some(j) if !j.trim().is_empty() => {
-            cfg.waivers.push(Waiver { rule, path, justification: j });
+            cfg.waivers.push(Waiver { rule, path, line: anchor, justification: j });
             Ok(())
         }
         _ => Err(ConfigError::MissingJustification { line }),
@@ -224,6 +254,39 @@ qrsm = 2
         assert_eq!(cfg.unwrap_budget("qrsm"), 2);
         assert_eq!(cfg.unwrap_budget("net"), 0);
         assert_eq!(cfg.unwrap_budget("unlisted"), 0);
+    }
+
+    #[test]
+    fn line_anchored_waiver_parses_and_matches_exactly() {
+        let cfg = parse(
+            "[[waiver]]\nrule = \"hotpath/linear-scan\"\npath = \"crates/sched/src/api.rs\"\n\
+             line = 42\njustification = \"Planner argmin\"\n",
+        )
+        .expect("anchored waiver parses");
+        let w = &cfg.waivers[0];
+        assert_eq!(w.line, Some(42));
+        assert!(w.matches_site("crates/sched/src/api.rs", 42));
+        assert!(!w.matches_site("crates/sched/src/api.rs", 43), "anchor is exact");
+        assert!(!w.matches_site("crates/sched/src/other.rs", 42));
+    }
+
+    #[test]
+    fn unanchored_waiver_matches_any_line() {
+        let w = Waiver {
+            rule: "r".into(),
+            path: "p.rs".into(),
+            line: None,
+            justification: "j".into(),
+        };
+        assert!(w.matches_site("p.rs", 1) && w.matches_site("p.rs", 9999));
+    }
+
+    #[test]
+    fn bad_line_anchors_are_rejected() {
+        let head = "[[waiver]]\nrule = \"r\"\npath = \"p\"\njustification = \"j\"\n";
+        assert!(parse(&format!("{head}line = 0\n")).is_err(), "0 is not a 1-based line");
+        assert!(parse(&format!("{head}line = \"7\"\n")).is_err(), "line is an integer, not a string");
+        assert!(parse(&format!("{head}line = -3\n")).is_err());
     }
 
     #[test]

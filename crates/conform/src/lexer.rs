@@ -106,6 +106,23 @@ pub fn lex(src: &str) -> Vec<Tok> {
                     hashes += 1;
                     j += 1;
                 }
+                // Raw identifier `r#ident`: keep the `r#` prefix in the
+                // token text so `r#unsafe` (an identifier) can never match
+                // the `unsafe` keyword in a rule.
+                if text == "r"
+                    && hashes == 1
+                    && j < c.len()
+                    && (c[j] == '_' || c[j].is_alphabetic())
+                {
+                    let ident_start = j;
+                    while j < c.len() && (c[j] == '_' || c[j].is_alphanumeric()) {
+                        j += 1;
+                    }
+                    let raw: String = c[ident_start..j].iter().collect();
+                    out.push(Tok::new(TokKind::Ident, format!("r#{raw}"), line));
+                    i = j;
+                    continue;
+                }
                 if j < c.len() && c[j] == '"' {
                     let lit_line = line;
                     if text.contains('r') {
@@ -374,5 +391,63 @@ mod tests {
         let toks = lex("std::thread::spawn(f)");
         let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
         assert_eq!(&texts[..5], &["std", "::", "thread", "::", "spawn"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_newlines() {
+        // A `"#` inside an `r##"…"##` literal must not terminate it, and
+        // line counting must survive the embedded newlines.
+        let src = "let a = r##\"one \"# two\nthree \"# four\"##;\nlet after = 1;";
+        let toks = lex(src);
+        assert!(!toks.iter().any(|t| t.text == "two" || t.text == "three"));
+        let after = toks.iter().find(|t| t.text == "after").expect("after tok");
+        assert_eq!(after.line, 3);
+        // Zero-hash raw strings close on the first quote.
+        let ids = idents("let r0 = r\"Instant\"; let tail = 2;");
+        assert!(ids.contains(&"tail".to_owned()) && !ids.contains(&"Instant".to_owned()));
+        // Byte raw strings take the same path.
+        let ids = idents("let b1 = br#\"unsafe\"#; done();");
+        assert!(ids.contains(&"done".to_owned()) && !ids.contains(&"unsafe".to_owned()));
+    }
+
+    #[test]
+    fn raw_identifiers_do_not_alias_keywords() {
+        // `r#unsafe` is a plain identifier, not the `unsafe` keyword; the
+        // token keeps its `r#` prefix so keyword rules can never match it.
+        let toks = lex("let r#unsafe = 1; fn r#match() {}");
+        assert!(toks.iter().all(|t| t.text != "unsafe" && t.text != "match"));
+        assert!(toks.iter().any(|t| t.kind == TokKind::Ident && t.text == "r#unsafe"));
+        assert!(toks.iter().any(|t| t.kind == TokKind::Ident && t.text == "r#match"));
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_close_correctly() {
+        let src = "/* a /* b /* c */ d */ e */ fn live() {} /* tail */";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["fn".to_owned(), "live".to_owned()]);
+        // An adjacent close-then-open pair stays balanced.
+        let ids = idents("/* x */ ok /* y /* z */ */ yes");
+        assert_eq!(ids, vec!["ok".to_owned(), "yes".to_owned()]);
+    }
+
+    #[test]
+    fn lifetime_char_ambiguity_matrix() {
+        // Chars (escaped and not), byte chars, lifetimes, bounds, labels.
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; let b = b'z'; \
+                   let u = '\\u{1F600}'; 'outer: loop { break 'outer; } }";
+        let toks = lex(src);
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a", "outer", "outer"]);
+        // No char payload leaks out as an identifier.
+        assert!(!toks.iter().any(|t| t.kind == TokKind::Ident && t.text == "x" && t.line == 0));
+        let literals = toks.iter().filter(|t| t.kind == TokKind::Literal).count();
+        assert_eq!(literals, 4, "'x', '\\'', b'z', '\\u{{1F600}}'");
+        // `'_` is a lifetime, not a char.
+        let t = lex("fn g(v: &'_ u8) {}");
+        assert!(t.iter().any(|x| x.kind == TokKind::Lifetime && x.text == "_"));
     }
 }

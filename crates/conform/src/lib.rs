@@ -17,12 +17,20 @@
 //! * [`lexer`] — a minimal Rust lexer (no `syn`; the linter is
 //!   dependency-free by policy) producing line-tagged tokens with
 //!   comments/literals stripped and `#[cfg(test)]` items marked;
-//! * [`rules`] — the determinism, hot-path and conformance-header rules;
+//! * [`parse`] — item parser over the token stream: `fn`/`impl`/`mod`
+//!   items, call and macro sites, `// conform::hot_root` marker binding;
+//! * [`graph`] — the cross-crate call graph (name-shaped resolution);
+//! * [`taint`] — transitive analyses over the graph: alloc-reachable,
+//!   panic-reachable, determinism taint — each finding carries a witness
+//!   path root → … → sink;
+//! * [`rules`] — the token-level determinism, hot-path and
+//!   conformance-header rules;
 //! * [`config`] — the `conform.toml` waiver/budget file, where every
-//!   waiver must carry a justification;
+//!   waiver must carry a justification and may be line-anchored;
 //! * [`scan`] — workspace walking, per-crate unwrap budgets, waiver
 //!   application, stale-waiver detection;
-//! * [`report`] — deterministic `(rule, path, line)`-sorted rendering.
+//! * [`report`] — deterministic `(rule, path, line)`-sorted rendering,
+//!   text and `--json`.
 //!
 //! See DESIGN.md §8 for the rule catalogue and how to add a rule.
 
@@ -32,10 +40,13 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod graph;
 pub mod lexer;
+pub mod parse;
 pub mod report;
 pub mod rules;
 pub mod scan;
+pub mod taint;
 
 pub use config::{parse as parse_config, Config, ConfigError, Waiver};
 pub use report::Report;
@@ -73,12 +84,22 @@ pub fn scan_str(
                     "crate `{crate_key}` has {} library unwrap() calls (budget {budget}): `{snippet}`",
                     scan.unwrap_sites.len()
                 ),
+                witness: Vec::new(),
                 waived: None,
             });
         }
     }
+    // Library fixtures also get the graph analyses, so a single file can
+    // exercise alloc-reachable / panic-reachable / determinism-taint.
+    if context == FileContext::Lib {
+        let parsed = parse::parse_file(crate_key, rel_path, src);
+        findings.extend(scan::dangling_marker_findings(&parsed));
+        findings.extend(taint::analyze(&graph::build(parsed.fns), cfg));
+    }
     for f in &mut findings {
-        if let Some(w) = cfg.waivers.iter().find(|w| w.rule == f.rule && w.path == f.path) {
+        if let Some(w) =
+            cfg.waivers.iter().find(|w| w.rule == f.rule && w.matches_site(&f.path, f.line))
+        {
             f.waived = Some(w.justification.clone());
         }
     }

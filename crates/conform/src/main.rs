@@ -2,8 +2,11 @@
 //! deterministic report, exit nonzero on any unwaived finding.
 //!
 //! ```text
-//! cargo run -p cloudburst-conform [-- --root <dir>] [--config <file>]
+//! cargo run -p cloudburst-conform [-- --root <dir>] [--config <file>] [--json]
 //! ```
+//!
+//! `--json` prints the machine-readable report (same deterministic sort,
+//! fixed key order) instead of the text form; exit codes are identical.
 //!
 //! Exit codes: 0 clean (or fully waived), 1 unwaived findings, 2 config or
 //! I/O error.
@@ -14,6 +17,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
     let mut config_path: Option<PathBuf> = None;
+    let mut json = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -26,6 +30,7 @@ fn main() -> ExitCode {
                 Some(v) => config_path = Some(PathBuf::from(v)),
                 None => return usage("--config needs a file"),
             },
+            "--json" => json = true,
             other => return usage(&format!("unknown argument `{other}`")),
         }
     }
@@ -54,7 +59,7 @@ fn main() -> ExitCode {
     };
     match cloudburst_conform::scan_workspace(&root, &config) {
         Ok(report) => {
-            print!("{}", report.render());
+            print!("{}", if json { report.render_json() } else { report.render() });
             if report.unwaived() == 0 {
                 ExitCode::SUCCESS
             } else {
@@ -70,6 +75,6 @@ fn main() -> ExitCode {
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("cloudburst-conform: {msg}");
-    eprintln!("usage: cloudburst-conform [--root <dir>] [--config <file>]");
+    eprintln!("usage: cloudburst-conform [--root <dir>] [--config <file>] [--json]");
     ExitCode::from(2)
 }

@@ -25,6 +25,11 @@
 //!   library code outside `#[cfg(test)]`: a full-collection scan in the
 //!   decision loop is exactly the O(queue) pattern the slack indexes
 //!   retired. Survivors need a waiver justifying their boundedness.
+//! * `hotpath/sort-in-loop` — `.sort()`/`.sort_by*`/`.sort_unstable*` in
+//!   hot-path library code outside `#[cfg(test)]`: an O(n log n) resort
+//!   inside the decision sweep dwarfs the O(log n) index structures it sits
+//!   next to. Bounded sorts (machine-count-sized scratch) survive behind a
+//!   waiver stating the bound.
 //! * `conformance/lint-header` — every crate root must carry
 //!   `#![forbid(unsafe_code)]`, `#![deny(rust_2018_idioms)]` and
 //!   `#![deny(missing_debug_implementations)]`.
@@ -43,6 +48,17 @@ pub const HOT_PATH_CRATES: &[&str] = &["cluster", "core", "net", "sched", "sim"]
 
 /// Full-scan comparator methods flagged on the hot path.
 const LINEAR_SCAN_METHODS: &[&str] = &["max_by", "max_by_key", "min_by", "min_by_key"];
+
+/// Sorting methods flagged on the hot path.
+const SORT_METHODS: &[&str] = &[
+    "sort",
+    "sort_by",
+    "sort_by_cached_key",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+];
 
 /// How a file participates in the build.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -87,6 +103,10 @@ pub struct Finding {
     pub line: u32,
     /// Human message, including the offending source line.
     pub message: String,
+    /// For graph findings: the `name (file:line)` hops of the witness
+    /// path from the root (or tainted boundary) to this sink. Empty for
+    /// token-rule findings.
+    pub witness: Vec<String>,
     /// Justification when a waiver suppressed the finding.
     pub waived: Option<String>,
 }
@@ -128,6 +148,7 @@ pub fn scan_tokens(info: &FileInfo, toks: &[Tok], lines: &[&str]) -> FileScan {
             path: info.rel_path.clone(),
             line,
             message: format!("{what}: `{}`", snippet(line)),
+            witness: Vec::new(),
             waived: None,
         });
     };
@@ -201,16 +222,23 @@ pub fn scan_tokens(info: &FileInfo, toks: &[Tok], lines: &[&str]) -> FileScan {
             if t.text == "unwrap" && prev(1) == "." && next(1) == "(" {
                 unwrap_sites.push((info.rel_path.clone(), t.line, snippet(t.line)));
             }
-            if HOT_PATH_CRATES.contains(&info.crate_key.as_str())
-                && LINEAR_SCAN_METHODS.contains(&t.text.as_str())
-                && prev(1) == "."
-            {
-                push(
-                    "hotpath/linear-scan",
-                    t.line,
-                    "full-collection min_by/max_by scan on the hot path (waive with a boundedness justification)",
-                );
-                continue;
+            if HOT_PATH_CRATES.contains(&info.crate_key.as_str()) && prev(1) == "." {
+                if LINEAR_SCAN_METHODS.contains(&t.text.as_str()) {
+                    push(
+                        "hotpath/linear-scan",
+                        t.line,
+                        "full-collection min_by/max_by scan on the hot path (waive with a boundedness justification)",
+                    );
+                    continue;
+                }
+                if SORT_METHODS.contains(&t.text.as_str()) && next(1) == "(" {
+                    push(
+                        "hotpath/sort-in-loop",
+                        t.line,
+                        "O(n log n) sort on the hot path (waive with a boundedness justification)",
+                    );
+                    continue;
+                }
             }
         }
     }
@@ -275,6 +303,7 @@ fn lint_header_findings(info: &FileInfo, toks: &[Tok]) -> Vec<Finding> {
             path: info.rel_path.clone(),
             line: 1,
             message: format!("crate root is missing `{attr}`"),
+            witness: Vec::new(),
             waived: None,
         })
         .collect()
@@ -351,6 +380,23 @@ mod tests {
         // A bare ident `min_by` (no method dot) is not a scan.
         let free = "fn min_by() {}";
         assert!(scan(&lib_info(true), free).findings.is_empty());
+    }
+
+    #[test]
+    fn sorts_flagged_on_hot_path_lib_code_only() {
+        let src = "fn f(v: &mut Vec<f64>) { v.sort_unstable_by(f64::total_cmp); }\n\
+                   fn g(v: &mut Vec<u8>) { v.sort(); }\n\
+                   #[cfg(test)]\nmod t { fn h(v: &mut Vec<u8>) { v.sort_by_key(|x| *x); } }";
+        let mut hot = lib_info(true); // crate_key "sim" is hot-path
+        let s = scan(&hot, src);
+        assert_eq!(s.findings.len(), 2, "{:?}", s.findings);
+        assert!(s.findings.iter().all(|f| f.rule == "hotpath/sort-in-loop"));
+        assert!(scan(&lib_info(false), src).findings.is_empty(), "bench is not hot-path");
+        hot.context = FileContext::Test;
+        assert!(scan(&hot, src).findings.is_empty(), "tests may sort");
+        // A field access `x.sort` (no call parens) and a free fn named
+        // `sort` are not sorts.
+        assert!(scan(&lib_info(true), "fn sort() {}\nfn f(s: &S) { s.sort; }").findings.is_empty());
     }
 
     #[test]

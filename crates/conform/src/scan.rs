@@ -5,9 +5,12 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::config::Config;
+use crate::graph;
 use crate::lexer::lex;
+use crate::parse::{parse_file, ParsedFile, HOT_ROOT_ATTACH_WINDOW, HOT_ROOT_MARKER};
 use crate::report::Report;
 use crate::rules::{scan_tokens, FileContext, FileInfo, Finding, UnwrapSite};
+use crate::taint;
 
 /// Errors from scanning a workspace tree.
 #[derive(Debug)]
@@ -62,6 +65,10 @@ pub fn scan_workspace(root: &Path, cfg: &Config) -> Result<Report, ScanError> {
     let mut findings: Vec<Finding> = Vec::new();
     // (crate key, sites) accumulated across the crate's library files.
     let mut unwrap_by_crate: Vec<(String, Vec<UnwrapSite>)> = Vec::new();
+    // The graph corpus: every parsed fn from library files. Bins, tests
+    // and examples stay out so reachability starts and ends in the code
+    // the paper's invariants are about.
+    let mut corpus_fns = Vec::new();
     for (abs, info) in &files {
         let src = fs::read_to_string(abs).map_err(|e| ScanError::Io(abs.clone(), e))?;
         let toks = lex(&src);
@@ -74,7 +81,15 @@ pub fn scan_workspace(root: &Path, cfg: &Config) -> Result<Report, ScanError> {
                 None => unwrap_by_crate.push((info.crate_key.clone(), scan.unwrap_sites)),
             }
         }
+        if info.context == FileContext::Lib {
+            let parsed = parse_file(&info.crate_key, &info.rel_path, &src);
+            findings.extend(dangling_marker_findings(&parsed));
+            corpus_fns.extend(parsed.fns);
+        }
     }
+
+    // Graph analyses: alloc-reachable, panic-reachable, determinism taint.
+    findings.extend(taint::analyze(&graph::build(corpus_fns), cfg));
 
     // Budget check: a crate over its unwrap budget reports every site, so
     // the diff pinpoints each candidate for conversion.
@@ -91,18 +106,21 @@ pub fn scan_workspace(root: &Path, cfg: &Config) -> Result<Report, ScanError> {
                         "crate `{key}` has {} library unwrap() calls (budget {budget}): `{snippet}`",
                         sites.len()
                     ),
+                    witness: Vec::new(),
                     waived: None,
                 });
             }
         }
     }
 
-    // Waivers: rule + exact path. A stale waiver is itself a finding — the
-    // allowlist must shrink when the code it excuses goes away.
+    // Waivers: rule + exact path, and the exact line when anchored. A
+    // stale waiver is itself a finding — the allowlist must shrink when
+    // the code it excuses goes away, and a drifted line anchor must be
+    // re-audited, not silently re-aimed.
     let mut used = vec![false; cfg.waivers.len()];
     for f in &mut findings {
         for (w, hit) in cfg.waivers.iter().zip(used.iter_mut()) {
-            if w.rule == f.rule && w.path == f.path {
+            if w.rule == f.rule && w.matches_site(&f.path, f.line) {
                 f.waived = Some(w.justification.clone());
                 *hit = true;
                 break;
@@ -111,11 +129,19 @@ pub fn scan_workspace(root: &Path, cfg: &Config) -> Result<Report, ScanError> {
     }
     for (w, hit) in cfg.waivers.iter().zip(used.iter()) {
         if !hit {
+            let message = match w.line {
+                Some(l) => format!(
+                    "waiver for `{}` anchored to line {l} matches nothing — the code moved; re-audit and re-anchor it",
+                    w.rule
+                ),
+                None => format!("waiver for `{}` matches nothing — remove it", w.rule),
+            };
             findings.push(Finding {
                 rule: "conformance/unused-waiver",
                 path: w.path.clone(),
                 line: 0,
-                message: format!("waiver for `{}` matches nothing — remove it", w.rule),
+                message,
+                witness: Vec::new(),
                 waived: None,
             });
         }
@@ -125,6 +151,27 @@ pub fn scan_workspace(root: &Path, cfg: &Config) -> Result<Report, ScanError> {
         (a.rule, &a.path, a.line, &a.message).cmp(&(b.rule, &b.path, b.line, &b.message))
     });
     Ok(Report { findings })
+}
+
+/// Findings for `// conform::hot_root` markers that bound to no `fn`
+/// (more than [`HOT_ROOT_ATTACH_WINDOW`] lines above it, or a typo'd
+/// placement): a root the analyzer silently ignored would fake a clean
+/// report.
+pub fn dangling_marker_findings(parsed: &ParsedFile) -> Vec<Finding> {
+    parsed
+        .unbound_markers
+        .iter()
+        .map(|&line| Finding {
+            rule: "conformance/dangling-hot-root",
+            path: parsed.rel_path.clone(),
+            line,
+            message: format!(
+                "`{HOT_ROOT_MARKER}` marker binds to no `fn` within {HOT_ROOT_ATTACH_WINDOW} lines — the root is not being analyzed"
+            ),
+            witness: Vec::new(),
+            waived: None,
+        })
+        .collect()
 }
 
 /// Recursively collects `.rs` files under `dir`, classifying each.

@@ -115,6 +115,168 @@ fn print_fixture_pair() {
 }
 
 #[test]
+fn alloc_reachable_fixture_pair() {
+    assert_fires("alloc_reachable_violation.rs", "hotpath/alloc-reachable");
+    assert_clean("alloc_reachable_clean.rs");
+}
+
+/// The seeded witness chain: the alloc finding must name every hop from
+/// the hot root down to the function holding the sink, in call order.
+#[test]
+fn alloc_witness_names_the_full_root_to_sink_chain() {
+    let findings = scan_rule_fixture("alloc_reachable_violation.rs");
+    let f = findings
+        .iter()
+        .find(|f| f.rule == "hotpath/alloc-reachable")
+        .expect("alloc finding present");
+    let hops: Vec<&str> =
+        f.witness.iter().map(|h| h.split(' ').next().unwrap_or("")).collect();
+    assert_eq!(
+        hops,
+        vec!["Sweep::decide", "Sweep::stage", "admit"],
+        "witness must walk root -> mid -> sink fn, got {:?}",
+        f.witness
+    );
+    for hop in &f.witness {
+        assert!(
+            hop.contains("crates/sim/src/sample.rs:"),
+            "every hop carries file:line, got {hop}"
+        );
+    }
+}
+
+#[test]
+fn panic_reachable_fixture_pair() {
+    assert_fires("panic_reachable_violation.rs", "hotpath/panic-reachable");
+    assert_clean("panic_reachable_clean.rs");
+}
+
+#[test]
+fn sort_in_loop_fixture_pair() {
+    assert_fires("sort_in_loop_violation.rs", "hotpath/sort-in-loop");
+    assert_clean("sort_in_loop_clean.rs");
+}
+
+/// The taint pair needs two files (a waived spawn coordinator and a
+/// deterministic caller), so it runs over the `taint_ws` mini-workspace
+/// instead of a single-file fixture.
+#[test]
+fn determinism_taint_workspace_pair() {
+    let root = fixture_dir().join("taint_ws");
+
+    // Violating flavour: the crossing has no determinism/taint waiver.
+    let cfg = parse_config(&fixture("taint_ws/conform_violation.toml")).expect("config parses");
+    let report = scan_workspace(&root, &cfg).expect("taint_ws scans");
+    let taint: Vec<&Finding> =
+        report.findings.iter().filter(|f| f.rule == "determinism/taint").collect();
+    assert_eq!(taint.len(), 1, "one crossing, got {:?}", report.findings);
+    assert_eq!(taint[0].path, "crates/sim/src/merge.rs");
+    assert!(taint[0].waived.is_none(), "crossing must be unwaived");
+    assert!(
+        taint[0].message.contains("`merge_all`")
+            && taint[0].message.contains("crates/sim/src/pool.rs"),
+        "finding names caller and source file, got {}",
+        taint[0].message
+    );
+    assert_eq!(report.unwaived(), 1, "only the taint crossing is unwaived");
+
+    // Clean flavour: a justified waiver sits on the boundary.
+    let cfg = parse_config(&fixture("taint_ws/conform_clean.toml")).expect("config parses");
+    let report = scan_workspace(&root, &cfg).expect("taint_ws scans clean");
+    assert_eq!(report.unwaived(), 0, "waived boundary, got:\n{}", report.render());
+    assert!(
+        report.findings.iter().any(|f| f.rule == "determinism/taint" && f.waived.is_some()),
+        "the waived crossing stays visible in the report"
+    );
+}
+
+/// Line-anchored waiver hygiene: an anchor on the exact finding line
+/// waives it; the same waiver one line off does not.
+#[test]
+fn line_anchored_waiver_binds_to_the_exact_line() {
+    let src = fixture("rules/panic_reachable_violation.rs");
+    let on_line = "[[waiver]]\n\
+                   rule = \"hotpath/panic-reachable\"\n\
+                   path = \"crates/sim/src/sample.rs\"\n\
+                   line = 10\n\
+                   justification = \"fixture: anchored on the assert\"\n";
+    let cfg = parse_config(on_line).expect("anchored config parses");
+    let findings = scan_str(&cfg, "sim", FileContext::Lib, "crates/sim/src/sample.rs", &src, false);
+    assert!(
+        findings.iter().all(|f| f.waived.is_some()),
+        "anchor on the finding line must waive it, got {findings:?}"
+    );
+
+    let off_line = on_line.replace("line = 10", "line = 9");
+    let cfg = parse_config(&off_line).expect("off-anchor config parses");
+    let findings = scan_str(&cfg, "sim", FileContext::Lib, "crates/sim/src/sample.rs", &src, false);
+    assert!(
+        findings.iter().any(|f| f.rule == "hotpath/panic-reachable" && f.waived.is_none()),
+        "anchor one line off must not waive, got {findings:?}"
+    );
+}
+
+/// A stale anchored waiver (the code moved) must surface as an unused
+/// waiver telling the author to re-audit, not silently re-aim.
+#[test]
+fn stale_line_anchor_fails_the_scan() {
+    let root = fixture_dir().join("taint_ws");
+    let cfg = parse_config(
+        "[[waiver]]\n\
+         rule = \"determinism/thread-spawn\"\n\
+         path = \"crates/sim/src/pool.rs\"\n\
+         line = 999\n\
+         justification = \"fixture: stale anchor\"\n",
+    )
+    .expect("stale config parses");
+    let report = scan_workspace(&root, &cfg).expect("taint_ws scans");
+    let stale = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "conformance/unused-waiver")
+        .expect("stale anchor must surface as unused waiver");
+    assert!(
+        stale.message.contains("anchored to line 999") && stale.message.contains("re-anchor"),
+        "message names the drifted anchor, got {}",
+        stale.message
+    );
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == "determinism/thread-spawn" && f.waived.is_none()),
+        "the mis-anchored spawn finding stays unwaived"
+    );
+}
+
+/// A waiver naming the right path but the wrong rule covers nothing: the
+/// finding stays unwaived and the waiver itself is flagged unused.
+#[test]
+fn wrong_rule_waiver_covers_nothing() {
+    let root = fixture_dir().join("taint_ws");
+    let cfg = parse_config(
+        "[[waiver]]\n\
+         rule = \"hotpath/unsafe\"\n\
+         path = \"crates/sim/src/pool.rs\"\n\
+         justification = \"fixture: wrong rule for this file\"\n",
+    )
+    .expect("wrong-rule config parses");
+    let report = scan_workspace(&root, &cfg).expect("taint_ws scans");
+    assert!(
+        report.findings.iter().any(|f| f.rule == "conformance/unused-waiver"),
+        "the wrong-rule waiver must be flagged unused, got:\n{}",
+        report.render()
+    );
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == "determinism/thread-spawn" && f.waived.is_none()),
+        "the spawn finding stays unwaived"
+    );
+}
+
+#[test]
 fn lint_header_fixture_pair() {
     let findings = scan_rule_fixture("lint_header_violation.rs");
     assert_eq!(
@@ -188,6 +350,20 @@ fn golden_workspace_report_is_byte_stable() {
     assert_eq!(again.render(), expected);
 }
 
+/// The JSON twin of the golden test: `render_json` over the same
+/// mini-workspace must reproduce `golden_expected.json` byte for byte —
+/// same sort, fixed key order, machine-stable across runs.
+#[test]
+fn golden_workspace_json_is_byte_stable() {
+    let root = fixture_dir().join("golden_ws");
+    let cfg = parse_config(&fixture("golden_ws/conform.toml")).expect("golden config parses");
+    let report = scan_workspace(&root, &cfg).expect("golden workspace scans");
+    let expected = fixture("golden_expected.json");
+    assert_eq!(report.render_json(), expected, "golden JSON drifted");
+    let again = scan_workspace(&root, &cfg).expect("golden workspace scans again");
+    assert_eq!(again.render_json(), expected);
+}
+
 /// The binary contract: exit 1 (with the golden report on stdout) on a tree
 /// with unwaived findings, exit 0 on the real workspace, exit 2 on a config
 /// the parser rejects.
@@ -227,6 +403,23 @@ fn binary_exit_codes_match_contract() {
 
     let bad_cfg = run(&golden, &fixture_dir().join("config/missing_justification.toml"));
     assert_eq!(bad_cfg.status.code(), Some(2), "rejected config must exit 2");
+
+    // --json: same exit code, machine-readable stdout, byte-identical to
+    // the golden JSON.
+    let json = std::process::Command::new(bin)
+        .arg("--root")
+        .arg(&golden)
+        .arg("--config")
+        .arg(golden.join("conform.toml"))
+        .arg("--json")
+        .output()
+        .expect("conform binary runs with --json");
+    assert_eq!(json.status.code(), Some(1), "--json keeps the exit contract");
+    assert_eq!(
+        String::from_utf8_lossy(&json.stdout),
+        fixture("golden_expected.json"),
+        "binary --json stdout must match the golden JSON"
+    );
 }
 
 /// The capstone: the real workspace, scanned with the real `conform.toml`,

@@ -1,0 +1,26 @@
+//! Fixture: the same sweep shape, but the cone only reuses fixed scratch
+//! in place — no allocating call is reachable from the hot root.
+
+/// Per-sweep candidate scratch with a fixed capacity.
+pub struct Sweep {
+    pub cands: [u64; 8],
+    pub used: usize,
+}
+
+impl Sweep {
+    // conform::hot_root
+    pub fn decide(&mut self, job: u64) {
+        self.stage(job);
+    }
+
+    fn stage(&mut self, job: u64) {
+        admit(&mut self.cands, &mut self.used, job);
+    }
+}
+
+fn admit(cands: &mut [u64; 8], used: &mut usize, job: u64) {
+    if *used < 8 {
+        cands[*used] = job;
+        *used += 1;
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture: a hot root whose call cone reaches an allocating call two
+//! hops away — the finding must carry the full root → sink witness.
+
+/// Per-sweep candidate scratch.
+pub struct Sweep {
+    pub cands: Vec<u64>,
+}
+
+impl Sweep {
+    // conform::hot_root
+    pub fn decide(&mut self, job: u64) {
+        self.stage(job);
+    }
+
+    fn stage(&mut self, job: u64) {
+        admit(&mut self.cands, job);
+    }
+}
+
+fn admit(cands: &mut Vec<u64>, job: u64) {
+    cands.push(job);
+}

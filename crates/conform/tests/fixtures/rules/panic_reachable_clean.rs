@@ -1,0 +1,12 @@
+//! Fixture: the same guard demoted to `debug_assert!` — release-dead, so
+//! the panic cone from the hot root is empty.
+
+// conform::hot_root
+pub fn decide(slots: &mut [u64], job: u64) {
+    place(slots, job);
+}
+
+fn place(slots: &mut [u64], job: u64) {
+    debug_assert!(!slots.is_empty(), "slot table vanished");
+    slots[0] = job;
+}

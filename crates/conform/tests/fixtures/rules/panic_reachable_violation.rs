@@ -1,0 +1,12 @@
+//! Fixture: a hot root whose call cone reaches a panicking macro in
+//! release code.
+
+// conform::hot_root
+pub fn decide(slots: &mut [u64], job: u64) {
+    place(slots, job);
+}
+
+fn place(slots: &mut [u64], job: u64) {
+    assert!(!slots.is_empty(), "slot table vanished");
+    slots[0] = job;
+}

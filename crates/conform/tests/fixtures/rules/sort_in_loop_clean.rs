@@ -1,0 +1,24 @@
+//! Fixture: no sort in release code; the sorting oracle lives in
+//! `#[cfg(test)]`, where the rule does not bind.
+
+pub fn peak(xs: &[f64]) -> f64 {
+    let mut best = f64::NEG_INFINITY;
+    for &x in xs {
+        if x > best {
+            best = x;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::peak;
+
+    #[test]
+    fn sorting_oracle_is_test_only() {
+        let mut v = [2.0, 9.0, 4.0];
+        v.sort_unstable_by(f64::total_cmp);
+        assert!((peak(&v) - 9.0).abs() < 1e-12);
+    }
+}

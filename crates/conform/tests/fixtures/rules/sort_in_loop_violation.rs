@@ -1,0 +1,5 @@
+//! Fixture: an O(n log n) resort in hot-path library code.
+
+pub fn rank(xs: &mut [f64]) {
+    xs.sort_unstable_by(f64::total_cmp);
+}

@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![deny(missing_debug_implementations)]
+
+pub mod merge;
+pub mod pool;

@@ -1,0 +1,6 @@
+//! Fixture: a deterministic-crate caller crossing into the waived
+//! nondeterministic coordinator — the taint boundary under test.
+
+pub fn merge_all() {
+    crate::pool::fan_out();
+}

@@ -1,0 +1,5 @@
+//! Fixture: the waived fan-out coordinator — the taint source.
+
+pub fn fan_out() {
+    std::thread::spawn(|| {});
+}

@@ -737,6 +737,7 @@ impl EngineWorld {
     /// pull-back and push-out. This is the engine's per-event decision
     /// cost without the event-queue machinery around it; live drivers
     /// must still resync component wakes after any state change.
+    // conform::hot_root
     pub fn decision_sweep(&mut self, now: SimTime) {
         let _ = self.load_snapshot(now);
         if self.cfg.rescheduling {
@@ -1611,6 +1612,7 @@ fn on_machine_up(w: &mut W, sim: &mut Sim<W>, pool: Pool, machine: u32) {
 
 /// Sec. IV-D pull-back: a freed IC machine reclaims the head of an EC
 /// upload queue when local re-execution beats the estimated EC remainder.
+// conform::hot_root
 fn try_pull_back(w: &mut W, now: SimTime) {
     // Epoch barrier: queued QRSM observations become current before any
     // estimate read below (no-op branch when nothing is pending).
@@ -1660,6 +1662,7 @@ fn try_pull_back(w: &mut W, now: SimTime) {
 
 /// Sec. IV-D push-out: an idle upload pipe steals slack-satisfying work
 /// from the tail of the IC wait queue.
+// conform::hot_root
 fn try_push_out(w: &mut W, now: SimTime) {
     let site = w.least_loaded_site();
     if !w.sites[site].up_queues.is_empty() || w.sites[site].up_link.boundary().in_flight > 0 {

@@ -95,12 +95,12 @@ impl BandwidthModel {
                 (base + amplitude * x.sin()).max(0.05 * base)
             }
             BandwidthModel::Hourly { rates } => {
-                assert_eq!(rates.len(), 24, "hourly table must have 24 entries");
+                debug_assert_eq!(rates.len(), 24, "hourly table must have 24 entries");
                 let hour = ((t.as_secs_f64() / 3600.0) as usize) % 24;
                 rates[hour]
             }
             BandwidthModel::Trace { samples, period_secs } => {
-                assert!(!samples.is_empty(), "trace model needs samples");
+                debug_assert!(!samples.is_empty(), "trace model needs samples");
                 let mut secs = t.as_secs_f64();
                 if *period_secs > 0.0 {
                     secs %= period_secs;

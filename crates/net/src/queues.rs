@@ -156,6 +156,7 @@ impl<T> SibsQueues<T> {
 
     /// Dequeues work for a transfer slot of the given class: own queue
     /// first, then strictly lower classes (largest-lower first).
+    // conform::hot_root
     pub fn pop_for(&mut self, class: SizeClass) -> Option<(T, u64)> {
         for idx in (0..=class.index()).rev() {
             if let Some((item, bytes)) = self.queues[idx].pop_front() {

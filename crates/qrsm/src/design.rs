@@ -86,11 +86,12 @@ impl QuadraticDesign {
 
     /// Expands one raw feature vector into a caller-provided row — the
     /// allocation-free path used by the sliding-window model, which writes
-    /// each design row exactly once into its ring storage. Panics if `x` or
-    /// `out` has the wrong arity.
+    /// each design row exactly once into its ring storage. Arity
+    /// mismatches are debug-checked: arities are fixed at construction,
+    /// so the release hot path carries no branch for them.
     pub fn expand_into(&self, x: &[f64], out: &mut [f64]) {
-        assert_eq!(x.len(), self.n_features, "feature arity mismatch");
-        assert_eq!(out.len(), self.terms.len(), "row arity mismatch");
+        debug_assert_eq!(x.len(), self.n_features, "feature arity mismatch");
+        debug_assert_eq!(out.len(), self.terms.len(), "row arity mismatch");
         for (o, t) in out.iter_mut().zip(&self.terms) {
             *o = match *t {
                 Term::Intercept => 1.0,
@@ -111,8 +112,8 @@ impl QuadraticDesign {
     /// accumulating term-by-term without materializing the design row, so
     /// every prediction is heap-allocation-free.
     pub fn eval(&self, coeffs: &[f64], x: &[f64]) -> f64 {
-        assert_eq!(coeffs.len(), self.terms.len(), "coefficient arity mismatch");
-        assert_eq!(x.len(), self.n_features, "feature arity mismatch");
+        debug_assert_eq!(coeffs.len(), self.terms.len(), "coefficient arity mismatch");
+        debug_assert_eq!(x.len(), self.n_features, "feature arity mismatch");
         let mut acc = 0.0;
         for (t, c) in self.terms.iter().zip(coeffs) {
             acc += c * match *t {
@@ -185,7 +186,11 @@ mod tests {
         assert_eq!(Term::Quadratic(1).to_string(), "x1^2");
     }
 
+    // The arity check is a debug_assert (release builds drop it so the
+    // hot path stays panic-free), so the panic contract only holds in
+    // debug builds.
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "arity")]
     fn wrong_arity_panics() {
         QuadraticDesign::new(2).expand(&[1.0]);

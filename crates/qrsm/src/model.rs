@@ -239,7 +239,7 @@ impl QrsModel {
                 self.coeffs.copy_from_slice(&self.solve_buf);
             }
             Method::Ridge(lambda) => {
-                assert!(lambda >= 0.0, "ridge penalty must be non-negative");
+                debug_assert!(lambda >= 0.0, "ridge penalty must be non-negative");
                 self.load_penalized_work(lambda);
                 Cholesky::factorize_into(&self.work, &mut self.chol)
                     .map_err(FitError::from)?;

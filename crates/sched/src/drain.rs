@@ -90,6 +90,7 @@ impl FluidScratch {
     /// A pathological `total_secs` can push λ past `dead_threshold`, at
     /// which point filled machines read as dead to live-max filters —
     /// conservative (no cushion is claimed from them), never unsound.
+    // conform::hot_root
     pub fn fill(&mut self, free: &mut [f64], total_secs: f64, dead_threshold: f64) -> Option<f64> {
         self.bases.clear();
         self.bases.extend(free.iter().copied().filter(|v| *v < dead_threshold));

@@ -113,6 +113,7 @@ impl FreeTimeIndex {
     /// FCFS commit: adds `cost` seconds onto the earliest-free machine
     /// (ties to the lowest index) and returns that machine's index. The
     /// arithmetic is exactly the linear scan's `free[idx] += cost`.
+    // conform::hot_root
     pub fn fcfs_commit(&mut self, cost: f64) -> usize {
         let idx = self.min_index();
         let v = self.vals[idx] + cost;

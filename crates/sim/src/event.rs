@@ -243,6 +243,7 @@ impl<W> Sim<W> {
 
     /// Pops and fires the next live event. Returns `false` when the queue is
     /// exhausted.
+    // conform::hot_root
     pub fn step(&mut self, world: &mut W) -> bool {
         let Some(ev) = self.queue.pop() else {
             return false;
