@@ -8,6 +8,8 @@
 //! cloudburst run --config cfg.json --fault-profile faults.json   inject faults
 //! cloudburst sweep --config cfg.json --seeds 1,2,3 --out dir/
 //! cloudburst trace --config cfg.json --out trace.json      export the workload
+//! cloudburst serve --config cfg.json           open-system serving run, windowed report
+//!     [--diurnal-day]                          ... the EXPERIMENTS.md diurnal+flash-crowd day
 //! ```
 //!
 //! Everything an experiment needs lives in one `ExperimentConfig` JSON
@@ -27,7 +29,7 @@ use cloudburst_core::{run_experiment_detailed, ExperimentConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  cloudburst template\n  cloudburst run --config <cfg.json> [--workload <trace.json>] [--fault-profile <faults.json>] [--out <report.json>] [--timelines <t.json>]\n  cloudburst sweep --config <cfg.json> --seeds <a,b,c> [--fault-profile <faults.json>] --out <dir>\n  cloudburst trace --config <cfg.json> [--out <trace.json>]"
+        "usage:\n  cloudburst template\n  cloudburst run --config <cfg.json> [--workload <trace.json>] [--fault-profile <faults.json>] [--out <report.json>] [--timelines <t.json>]\n  cloudburst sweep --config <cfg.json> --seeds <a,b,c> [--fault-profile <faults.json>] --out <dir>\n  cloudburst trace --config <cfg.json> [--out <trace.json>]\n  cloudburst serve --config <cfg.json> [--diurnal-day] [--fault-profile <faults.json>] [--out <report.json>]"
     );
     exit(2);
 }
@@ -126,6 +128,43 @@ fn main() {
                     exit(1);
                 });
                 println!("timelines written to {path}");
+            }
+        }
+        Some("serve") => {
+            // Open-system serving: the config's `serve` section shapes the
+            // stream; configs written before serving existed (no section)
+            // run the default 24h flat stream. `--diurnal-day` overrides
+            // the section with the EXPERIMENTS.md scenario: a full virtual
+            // day of +-80% diurnal demand plus flash crowds.
+            let mut cfg = load_config(&args);
+            apply_fault_profile(&mut cfg, &args);
+            if args.iter().any(|a| a == "--diurnal-day") {
+                cfg.serve = Some(cloudburst_core::ServeConfig::diurnal_day());
+            }
+            let report = cloudburst_core::serve_experiment(&cfg);
+            let json = serde_json::to_string_pretty(&report).expect("serialize serve report");
+            let summary = format!(
+                "serve[{}] seed={} horizon={:.0}s drained={:.0}s jobs={}/{} rate={:.3}/s live_hw={} windows={}",
+                report.scheduler,
+                report.seed,
+                report.horizon_secs,
+                report.drained_at_secs,
+                report.jobs_completed,
+                report.jobs_admitted,
+                report.mean_completion_rate_per_sec,
+                report.live_high_water,
+                report.windows.len(),
+            );
+            match arg_value(&args, "--out") {
+                Some(path) => {
+                    fs::write(&path, &json).unwrap_or_else(|e| {
+                        eprintln!("cannot write {path}: {e}");
+                        exit(1);
+                    });
+                    println!("{summary}");
+                    println!("report written to {path}");
+                }
+                None => println!("{json}"),
             }
         }
         Some("sweep") => {

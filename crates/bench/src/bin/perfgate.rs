@@ -19,6 +19,15 @@
 //! to O(queue) shows up as a 10–40× spread across the probed depths long
 //! before any absolute floor trips.
 //!
+//! The open-system serving record adds two memory-flatness rules and a
+//! throughput-ratio rule, all on the *fresh* line (they assert physics of
+//! the run itself, not drift against the baseline): the per-window
+//! live-bytes curve (`serve_mem_curve_*_live_bytes`, key-sorted = time
+//! order) and the serve-scale first/last window pair must each end within
+//! 1.5× of where they started, and `serve_sustained_over_closed` — open
+//! serving vs the closed-batch twin over the identical workload — must
+//! hold ≥ 0.9×.
+//!
 //! When the fresh line carries the sharded-engine threads curve
 //! (`threads_curve_w<N>_jobs_per_sec`), the gate also requires the
 //! 4-worker end-to-end run to reach ≥ 2× the pinned-serial one — skipped
@@ -109,6 +118,68 @@ fn main() -> ExitCode {
             "{} decision curve: max/min ratio {ratio:.2} (bound {curve_bound}) over {} depths",
             if ok { "ok  " } else { "FAIL" },
             curve.len(),
+        );
+    }
+
+    // Open-system serving gates (ISSUE 9). All three read the fresh line
+    // only: memory flatness and the open/closed ratio are invariants of
+    // the run itself, so comparing them against a baseline measured on
+    // different hardware would add noise without adding teeth.
+    //
+    // (a) Sustained-serving memory flatness: the per-window live-bytes
+    // high-water curve from perfsmoke must end within 1.5x of its first
+    // post-warm-up window — a serving loop that re-grew whole-run state
+    // shows up as a monotone ramp, typically 10x+ across the stream.
+    let mut mem_curve: Vec<(&String, f64)> = fresh
+        .iter()
+        .filter(|(k, _)| k.starts_with("serve_mem_curve_") && k.ends_with("_live_bytes"))
+        .filter_map(|(k, v)| v.as_f64().map(|f| (k, f)))
+        .collect();
+    mem_curve.sort_by(|a, b| a.0.cmp(b.0));
+    if mem_curve.len() >= 2 {
+        let (first_key, first) = mem_curve[0];
+        let (last_key, last) = mem_curve[mem_curve.len() - 1];
+        assert!(first > 0.0, "live-bytes high-water must be positive");
+        let ratio = last / first;
+        let ok = ratio <= 1.5;
+        if !ok {
+            failed += 1;
+        }
+        println!(
+            "{} serve memory curve: {last_key} = {ratio:.2}x {first_key} \
+             (bound 1.5x) over {} windows",
+            if ok { "ok  " } else { "FAIL" },
+            mem_curve.len(),
+        );
+    }
+
+    // (b) The same flatness claim at megascale, from perfscale's
+    // first/last post-warm-up window high-water pair.
+    let sfirst = fresh.get("serve_scale_live_bytes_first_window").and_then(|v| v.as_f64());
+    let slast = fresh.get("serve_scale_live_bytes_last_window").and_then(|v| v.as_f64());
+    if let (Some(first), Some(last)) = (sfirst, slast) {
+        assert!(first > 0.0, "live-bytes high-water must be positive");
+        let ratio = last / first;
+        let ok = ratio <= 1.5;
+        if !ok {
+            failed += 1;
+        }
+        println!(
+            "{} serve scale memory: last window = {ratio:.2}x first (bound 1.5x)",
+            if ok { "ok  " } else { "FAIL" },
+        );
+    }
+
+    // (c) Sustained throughput: open serving must hold >= 0.9x the
+    // closed-batch twin over the identical workload (ISSUE 9 acceptance).
+    if let Some(ratio) = fresh.get("serve_sustained_over_closed").and_then(|v| v.as_f64()) {
+        let ok = ratio >= 0.9;
+        if !ok {
+            failed += 1;
+        }
+        println!(
+            "{} serve sustained throughput: {ratio:.3}x closed-batch (need >= 0.9x)",
+            if ok { "ok  " } else { "FAIL" },
         );
     }
 

@@ -6,7 +6,10 @@
 //! series vs the legacy per-sample rescan, both reported with speedups),
 //! plus a representative subset of the `repro` experiments, a dormant-chaos
 //! probe (full engine runs with a zero-probability fault profile armed — the
-//! recovery plumbing must cost nothing when dormant), and prints a single
+//! recovery plumbing must cost nothing when dormant), and the sustained
+//! open-system serving probe (a 24-virtual-hour stream vs its draw-identical
+//! closed-batch twin, plus the per-window live-bytes high-water curve that
+//! `perfgate` holds flat — the `BENCH_PR9.json` record), and prints a single
 //! line of JSON so successive runs can be collected as `BENCH_<n>.json`
 //! files and diffed:
 //!
@@ -25,13 +28,22 @@ use std::time::Instant;
 
 use cloudburst_bench::run_experiment_by_id;
 use cloudburst_chaos::FaultProfile;
-use cloudburst_core::{run_experiment, ExperimentConfig, SchedulerKind};
+use cloudburst_core::{run_experiment, ExperimentConfig, SchedulerKind, ServeConfig, ServeHarness};
 use cloudburst_qrsm::{design::QuadraticDesign, fit, Method, QrsModel};
 use cloudburst_sim::{RngFactory, Sim, SimDuration, SimTime};
-use cloudburst_sla::{oo_series, CompletionRecord, OoConfig, OoSample};
+use cloudburst_sla::{oo_series, CompletionRecord, OoConfig, OoSample, WindowConfig};
+use cloudburst_testsupport::{high_water_bytes, reset_high_water, CountingAlloc};
 use cloudburst_workload::arrival::training_corpus;
-use cloudburst_workload::GroundTruth;
+use cloudburst_workload::{ArrivalConfig, GroundTruth, OpenArrivalConfig, SizeBucket};
 use serde_json::json;
+
+// The sustained-serving probe reports per-window live-bytes high-water
+// marks, so the whole binary runs under the counting allocator. Its two
+// relaxed atomics cost every probe low single-digit percent at most —
+// far inside the 5x perfgate headroom — and the BENCH_PR9 baseline was
+// recorded under the same allocator.
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
 
 /// Experiments that together touch every subsystem: the Fig. 6 sweep
 /// (bucket × scheduler), the burstiness timeline, and the SIBS bound path.
@@ -230,6 +242,94 @@ fn chaos_dormant_probe(reps: usize) -> (f64, f64) {
     (reps as f64 / dormant_secs, dormant_secs / clean_secs)
 }
 
+/// Sustained open-system serving vs its closed-batch twin over the
+/// draw-identical workload (flat envelope, no bursts): a 24-simulated-hour
+/// stream on a stable estate, stepped window by window with closed rows
+/// drained as they land. Returns `(sustained_jobs_per_sec,
+/// closed_jobs_per_sec, jobs, live_high_water, mem_curve)` where
+/// `mem_curve` is the post-warm-up per-window live-bytes high-water marks
+/// — the O(live-jobs) memory record `perfgate` holds flat.
+fn serve_sustained_probe() -> (f64, f64, u64, u64, Vec<(u64, usize)>) {
+    const EPOCHS: u32 = 720; // 24h of 2-minute epochs
+    const WINDOWS: u64 = 12; // 2h windows
+    const WARMUP: u64 = 3;
+    let mut cfg = ExperimentConfig {
+        seed: 97,
+        scheduler: SchedulerKind::OrderPreserving,
+        ..ExperimentConfig::default()
+    };
+    // Stable service: fast machines + small-biased jobs keep utilization
+    // well under 1, so live jobs (and live bytes) plateau.
+    cfg.ic_speed = 4.0;
+    cfg.arrivals = ArrivalConfig {
+        n_batches: EPOCHS,
+        jobs_per_batch: 10.0,
+        bucket: SizeBucket::SmallBiased,
+        batch_interval: SimDuration::from_secs(120),
+        ..ArrivalConfig::default()
+    };
+    let window = SimDuration::from_secs(7_200);
+    cfg.serve = Some(ServeConfig {
+        arrivals: OpenArrivalConfig::matching_closed(&cfg.arrivals),
+        horizon: cfg.arrivals.batch_interval * EPOCHS as u64,
+        window: WindowConfig { window, oo_tolerance: 0 },
+    });
+
+    // One serve pass: window-stepped with rows drained as they land,
+    // recording the per-window live-bytes high-water curve.
+    let serve_pass = |cfg: &ExperimentConfig| {
+        let mut h = ServeHarness::new(cfg);
+        h.run_until(SimTime::ZERO + window * WARMUP);
+        h.world_mut().drain_serve_windows();
+        let mut curve = Vec::new();
+        for k in WARMUP..WINDOWS {
+            reset_high_water();
+            h.run_until(SimTime::ZERO + window * (k + 1));
+            h.world_mut().drain_serve_windows();
+            curve.push((k, high_water_bytes()));
+        }
+        h.run();
+        let (report, _world) = h.finish();
+        assert_eq!(report.jobs_completed, report.jobs_admitted, "serve stream must drain");
+        (report, curve)
+    };
+
+    // Closed-batch twin: same draws, whole-run accumulation. Both paths
+    // get an untimed warm-up (first-touch pages, lazy init), then the
+    // best of three timed runs each — the ratio of two ~tens-of-ms
+    // sections would otherwise be at the mercy of scheduler noise.
+    const TIMED_RUNS: usize = 3;
+    let closed_cfg = {
+        let mut c = cfg.clone();
+        c.serve = None;
+        c
+    };
+    run_experiment(&closed_cfg); // warm-up
+    serve_pass(&cfg); // warm-up
+    let mut closed_best = f64::INFINITY;
+    let mut closed = run_experiment(&closed_cfg);
+    for _ in 0..TIMED_RUNS {
+        let t0 = Instant::now();
+        closed = run_experiment(&closed_cfg);
+        closed_best = closed_best.min(t0.elapsed().as_secs_f64());
+    }
+    let closed_jps = closed.n_jobs as f64 / closed_best;
+
+    let mut serve_best = f64::INFINITY;
+    let (mut report, mut curve) = serve_pass(&cfg);
+    for _ in 0..TIMED_RUNS {
+        let t0 = Instant::now();
+        (report, curve) = serve_pass(&cfg);
+        serve_best = serve_best.min(t0.elapsed().as_secs_f64());
+    }
+    let sustained_jps = report.jobs_completed as f64 / serve_best;
+    assert_eq!(
+        report.jobs_admitted as usize, closed.n_jobs,
+        "matching_closed stream must admit the closed run's jobs"
+    );
+    (sustained_jps, closed_jps, report.jobs_completed, report.live_high_water, curve)
+}
+
 fn main() {
     let out_path = std::env::args().nth(1);
 
@@ -242,6 +342,8 @@ fn main() {
     let (refit_batch, refit_rls) = qrsm_refit_probe(400, 2_000);
     let (oo_rescan, oo_stream) = oo_series_probe(2_000, 30);
     let (chaos_dormant_rps, chaos_dormant_ratio) = chaos_dormant_probe(20);
+    let (serve_jps, serve_closed_jps, serve_jobs, serve_live_hw, serve_mem_curve) =
+        serve_sustained_probe();
 
     let mut repro = serde_json::Map::new();
     let t_all = Instant::now();
@@ -264,6 +366,14 @@ fn main() {
     doc.insert("oo_series_speedup".into(), json!(oo_rescan / oo_stream));
     doc.insert("chaos_dormant_runs_per_sec".into(), json!(chaos_dormant_rps));
     doc.insert("chaos_dormant_overhead_ratio".into(), json!(chaos_dormant_ratio));
+    doc.insert("serve_sustained_jobs_per_sec".into(), json!(serve_jps));
+    doc.insert("serve_closed_jobs_per_sec".into(), json!(serve_closed_jps));
+    doc.insert("serve_sustained_over_closed".into(), json!(serve_jps / serve_closed_jps));
+    doc.insert("serve_jobs".into(), json!(serve_jobs));
+    doc.insert("serve_live_high_water_jobs".into(), json!(serve_live_hw));
+    for (k, bytes) in &serve_mem_curve {
+        doc.insert(format!("serve_mem_curve_w{k:02}_live_bytes"), json!(bytes));
+    }
     doc.insert("repro_subset_secs".into(), json!(repro_total));
     // Host metadata, uniform across every BENCH_*.json record: core count
     // and the shard-worker count unpinned engine runs resolve to (auto =

@@ -9,8 +9,8 @@ use serde::{Deserialize, Serialize};
 use cloudburst_net::profile::DEFAULT_MEAN_BPS;
 use cloudburst_net::BandwidthModel;
 use cloudburst_sim::SimDuration;
-use cloudburst_sla::OoConfig;
-use cloudburst_workload::{ArrivalConfig, ChunkPolicy, GroundTruth, SizeBucket};
+use cloudburst_sla::{OoConfig, WindowConfig};
+use cloudburst_workload::{ArrivalConfig, ChunkPolicy, GroundTruth, OpenArrivalConfig, SizeBucket};
 
 /// Which scheduler drives the run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -76,6 +76,42 @@ pub struct ScalingPolicy {
     pub max_instances: usize,
     /// Evaluation period.
     pub period: SimDuration,
+}
+
+/// Open-system serving section (`crate::engine::serve_experiment` and the
+/// `cloudburst serve` subcommand): the arrival stream's shape, the virtual
+/// horizon it runs to, and the windowed-report granularity. Every field
+/// has a default, so configs written before serving existed still decode
+/// (the engine treats a missing section as "closed-batch mode").
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Open arrival process: epoch length, baseline rate, size bucket,
+    /// diurnal envelope and optional flash-crowd bursts.
+    pub arrivals: OpenArrivalConfig,
+    /// Virtual horizon: the last epoch released starts strictly before
+    /// this instant; the pipeline then drains to empty.
+    pub horizon: SimDuration,
+    /// Windowed-aggregate granularity of the [`cloudburst_sla::ServeReport`].
+    pub window: WindowConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            arrivals: OpenArrivalConfig::default(),
+            // One virtual day: long enough to cover a full diurnal cycle.
+            horizon: SimDuration::from_secs(86_400),
+            window: WindowConfig::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The EXPERIMENTS.md serving scenario: a full virtual day of diurnal
+    /// demand (±80 % swing) with flash crowds.
+    pub fn diurnal_day() -> ServeConfig {
+        ServeConfig { arrivals: OpenArrivalConfig::diurnal_service(), ..ServeConfig::default() }
+    }
 }
 
 /// Configuration of one additional external-cloud site (the multi-EC
@@ -167,6 +203,10 @@ pub struct ExperimentConfig {
     /// run a pure function of (config minus this knob, seed) — so the
     /// knob only trades wall-clock time, never reproducibility.
     pub shard_workers: Option<usize>,
+    /// Open-system serving section. `None` (also what configs serialized
+    /// before the mode existed decode to) runs the classic closed-batch
+    /// experiment; `Some` arms `serve_experiment` / `cloudburst serve`.
+    pub serve: Option<ServeConfig>,
 }
 
 impl Default for ExperimentConfig {
@@ -200,6 +240,7 @@ impl Default for ExperimentConfig {
             extra_ec_sites: Vec::new(),
             faults: None,
             shard_workers: None,
+            serve: None,
         }
     }
 }
@@ -286,6 +327,26 @@ mod tests {
         assert!(!js.contains("shard_workers"), "field should be stripped for the test");
         let back: ExperimentConfig = serde_json::from_str(&js).unwrap();
         assert_eq!(back.shard_workers, None);
+    }
+
+    #[test]
+    fn serve_section_defaults_for_legacy_configs() {
+        // Configs serialized before serving existed must still decode —
+        // and decode to closed-batch mode.
+        let c = ExperimentConfig::default();
+        let mut js = serde_json::to_string(&c).unwrap();
+        js = js.replace(",\"serve\":null", "");
+        assert!(!js.contains("\"serve\""), "field should be stripped for the test");
+        let back: ExperimentConfig = serde_json::from_str(&js).unwrap();
+        assert!(back.serve.is_none());
+        // And an armed section round-trips field-for-field.
+        let armed =
+            ExperimentConfig { serve: Some(ServeConfig::diurnal_day()), ..Default::default() };
+        let js = serde_json::to_string(&armed).unwrap();
+        let back: ExperimentConfig = serde_json::from_str(&js).unwrap();
+        let s = back.serve.expect("section survives the round trip");
+        assert_eq!(s.horizon, SimDuration::from_secs(86_400));
+        assert!(s.arrivals.burst.is_some());
     }
 
     #[test]

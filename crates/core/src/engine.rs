@@ -36,11 +36,14 @@ use cloudburst_sched::{
     OrderPreservingScheduler, OutstandingSet, Placement, ProcTimeModel, SibsScheduler,
 };
 use cloudburst_sim::{EventId, FxHashMap, RngFactory, ShardPool, Sim, SimDuration, SimTime};
-use cloudburst_sla::{metrics, oo_series, CompletionRecord, FaultMetrics, RunReport};
+use cloudburst_sla::{
+    metrics, oo_series, CompletionRecord, FaultMetrics, RunReport, ServeReport, WindowSeries,
+    WindowStats,
+};
 use cloudburst_workload::arrival::training_corpus;
-use cloudburst_workload::{BatchArrivals, Job, JobId};
+use cloudburst_workload::{BatchArrivals, Job, JobId, OpenArrivals};
 
-use crate::config::{EcSiteConfig, ExperimentConfig, SchedulerKind};
+use crate::config::{EcSiteConfig, ExperimentConfig, SchedulerKind, ServeConfig};
 
 /// Size of the autonomic probe transfers (Sec. III-A-2: "periodic test
 /// uploads/downloads of size 1MB").
@@ -258,6 +261,35 @@ enum ChaosTimer {
     DownRetry { site: usize, id: JobId },
 }
 
+/// A heap entry for the pending-timer queue. `Ord` is reversed on
+/// (deadline, seq) so `BinaryHeap` (a max-heap) pops the earliest timer
+/// first, with the arming sequence breaking deadline ties.
+struct TimerEntry {
+    at: SimTime,
+    seq: u64,
+    timer: ChaosTimer,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+
+impl Eq for TimerEntry {}
+
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
 /// Live chaos bookkeeping. `EngineWorld::chaos` is `None` whenever the
 /// compiled plan is empty, so a dormant profile leaves every code path —
 /// and therefore every byte of the run — identical to a fault-free one.
@@ -268,9 +300,15 @@ struct ChaosState {
     exec_attempts: Vec<u32>,
     up_attempts: Vec<u32>,
     down_attempts: Vec<u32>,
-    /// Pending recovery timers, unordered; scanned for the matured minimum
-    /// — the set stays tiny (≤ transfer slots plus live backoffs).
-    timers: Vec<(SimTime, u64, ChaosTimer)>,
+    /// Pending recovery timers, ordered by (deadline, seq): peeking the
+    /// next deadline and popping the earliest matured timer are O(1) and
+    /// O(log n) instead of the linear rescans the unordered Vec needed.
+    timers: std::collections::BinaryHeap<TimerEntry>,
+    /// Rescan oracle for `timers`: the unordered set the heap replaced.
+    /// Test builds mirror every arm/pop and assert the heap's choice
+    /// matches the linear (deadline, seq)-minimum scan.
+    #[cfg(test)]
+    timers_oracle: Vec<(SimTime, u64, ChaosTimer)>,
     /// Tie-break sequence for timers sharing a deadline.
     seq: u64,
     metrics: FaultMetrics,
@@ -280,23 +318,86 @@ impl ChaosState {
     fn arm(&mut self, at: SimTime, timer: ChaosTimer) {
         let seq = self.seq;
         self.seq += 1;
-        self.timers.push((at, seq, timer));
+        self.timers.push(TimerEntry { at, seq, timer });
+        #[cfg(test)]
+        self.timers_oracle.push((at, seq, timer));
     }
 
-    /// Index of the earliest matured timer, in (deadline, seq) order.
-    fn matured(&self, now: SimTime) -> Option<usize> {
-        self.timers
-            .iter()
-            .enumerate()
-            .filter(|(_, (t, _, _))| *t <= now)
-            .min_by_key(|(_, (t, s, _))| (*t, *s))
-            .map(|(i, _)| i)
+    /// Pops the earliest matured timer, in (deadline, seq) order.
+    fn pop_matured(&mut self, now: SimTime) -> Option<ChaosTimer> {
+        if self.timers.peek().is_none_or(|e| e.at > now) {
+            #[cfg(test)]
+            assert!(
+                !self.timers_oracle.iter().any(|&(t, _, _)| t <= now),
+                "heap says no matured timer but the rescan oracle found one"
+            );
+            return None;
+        }
+        let e = self.timers.pop().expect("peeked above");
+        #[cfg(test)]
+        {
+            let i = self
+                .timers_oracle
+                .iter()
+                .enumerate()
+                .filter(|(_, (t, _, _))| *t <= now)
+                .min_by_key(|(_, (t, s, _))| (*t, *s))
+                .map(|(i, _)| i)
+                .expect("oracle must agree a timer matured");
+            let (t, s, _) = self.timers_oracle.swap_remove(i);
+            assert_eq!((t, s), (e.at, e.seq), "heap pop diverged from the rescan oracle");
+        }
+        Some(e.timer)
     }
 
     /// Earliest timer deadline, for arming the chaos wake event.
     fn next_deadline(&self) -> Option<SimTime> {
-        self.timers.iter().map(|&(t, s, _)| (t, s)).min().map(|(t, _)| t)
+        let next = self.timers.peek().map(|e| e.at);
+        #[cfg(test)]
+        assert_eq!(
+            next,
+            self.timers_oracle.iter().map(|&(t, _, _)| t).min(),
+            "heap peek diverged from the rescan oracle"
+        );
+        next
     }
+}
+
+/// Open-system serving state. `EngineWorld::serve` is `None` in classic
+/// closed-batch mode, so every serving branch is untaken there and a
+/// closed run's bytes are identical to what they were before the mode
+/// existed.
+///
+/// The memory contract: completed jobs return their id (= slot in every
+/// per-job spine vector) to `free_ids`, the next admission pops it and
+/// *overwrites* the slot instead of pushing, and the whole-run accumulators
+/// (`batch_decisions`, per-window aggregates) are replaced by the streaming
+/// [`WindowSeries`] — so the spine vectors plateau at the live-job
+/// high-water mark no matter how many jobs stream through.
+struct ServeState {
+    /// Lazy arrival generator; one epoch event is pending at any time.
+    arrivals: OpenArrivals,
+    /// Generation stops at the first epoch at or past this instant.
+    horizon: SimTime,
+    /// Streaming windowed aggregates (the `RunReport` replacement).
+    windows: WindowSeries,
+    /// Recycled job ids (= slots), LIFO. Completion order is
+    /// deterministic, so recycling is too.
+    free_ids: Vec<u64>,
+    /// Dense, never-recycled arrival sequence per live slot — the ordered
+    /// consumption order the OO frontier runs on (job ids recycle; the
+    /// sequence does not).
+    seq_of: Vec<u64>,
+    /// Jobs placed externally at admission (closed mode's
+    /// `batch_decisions`, collapsed to the counter serving actually needs).
+    bursted_jobs: u64,
+    /// Running total of delivered output bytes (windows may be drained
+    /// incrementally, so the report cannot re-sum them at the end).
+    output_bytes_total: u64,
+    /// Peak live jobs across the run.
+    live_high_water: u64,
+    /// The generator reached the horizon; the pipeline is draining.
+    arrivals_done: bool,
 }
 
 /// The whole simulated system.
@@ -380,6 +481,8 @@ pub struct EngineWorld {
     /// `(QRSM exec estimate, serving-model RMSE)` read against the frozen
     /// post-flush estimator, merged back in job-id order.
     admit_scratch: Vec<(f64, f64)>,
+    /// Open-system serving state; `None` ⇔ classic closed-batch mode.
+    serve: Option<ServeState>,
 }
 
 impl std::fmt::Debug for EngineWorld {
@@ -489,7 +592,9 @@ impl EngineWorld {
             exec_attempts: Vec::new(),
             up_attempts: Vec::new(),
             down_attempts: Vec::new(),
-            timers: Vec::new(),
+            timers: std::collections::BinaryHeap::new(),
+            #[cfg(test)]
+            timers_oracle: Vec::new(),
             seq: 0,
             plan,
         });
@@ -557,6 +662,7 @@ impl EngineWorld {
             chaos_wake: None,
             pool,
             admit_scratch: Vec::new(),
+            serve: None,
         }
     }
 
@@ -618,7 +724,15 @@ impl EngineWorld {
     }
 
     fn all_done(&self) -> bool {
-        self.batches_seen == self.batches_total && self.completions.iter().all(|c| c.is_some())
+        match &self.serve {
+            // Serving: the generator reached the horizon and every admitted
+            // job has delivered — O(1), no scan over a per-job vector.
+            Some(s) => s.arrivals_done && self.outstanding.is_empty(),
+            None => {
+                self.batches_seen == self.batches_total
+                    && self.completions.iter().all(|c| c.is_some())
+            }
+        }
     }
 
     /// Rescan oracle for [`fill_running_free`]: estimated seconds until
@@ -928,6 +1042,69 @@ impl EngineWorld {
     pub fn push_outs(&self) -> u64 {
         self.n_push_outs
     }
+
+    /// Delivered output bytes recorded for job `id` (0 until delivery).
+    /// Used by the closed-vs-open equivalence oracle to replay the closed
+    /// run's byte stream through a fresh [`WindowSeries`].
+    pub fn job_output_bytes(&self, id: u64) -> u64 {
+        self.output_bytes[id as usize]
+    }
+
+    /// Serving: live (admitted, not yet delivered) jobs right now.
+    /// Panics unless the world is in serve mode.
+    pub fn serve_live_jobs(&self) -> u64 {
+        self.serve.as_ref().expect("serve-mode world").windows.live()
+    }
+
+    /// Serving: jobs admitted so far.
+    pub fn serve_admitted_jobs(&self) -> u64 {
+        self.serve.as_ref().expect("serve-mode world").windows.total_admitted()
+    }
+
+    /// Serving: jobs placed externally at admission so far.
+    pub fn serve_bursted_jobs(&self) -> u64 {
+        self.serve.as_ref().expect("serve-mode world").bursted_jobs
+    }
+
+    /// Serving: takes the closed per-window rows buffered so far, leaving
+    /// the series running — long-run probes call this every window so the
+    /// buffer never grows past O(1). Rows drained here are *not* repeated
+    /// in the final [`ServeReport`].
+    pub fn drain_serve_windows(&mut self) -> Vec<WindowStats> {
+        self.serve.as_mut().expect("serve-mode world").windows.drain_closed()
+    }
+
+    /// Serving: assembles the windowed report at drain time. Closes every
+    /// window up to (and including the partial one containing) `end`.
+    fn serve_report(&mut self, end: SimTime) -> ServeReport {
+        let faults = self.chaos.as_ref().map(|c| c.metrics.clone()).unwrap_or_default();
+        let scheduler = self.scheduler.name().to_string();
+        let seed = self.cfg.seed;
+        let serve = self.serve.as_mut().expect("serve-mode world");
+        let window = serve.windows.config().window;
+        // `end + window` flushes the partial final window (advance_to only
+        // closes windows that end at or before the flush instant).
+        serve.windows.finish(end + window, &faults);
+        let windows = serve.windows.drain_closed();
+        let drained_at_secs = (end - SimTime::ZERO).as_secs_f64();
+        ServeReport {
+            scheduler,
+            seed,
+            horizon_secs: (serve.horizon - SimTime::ZERO).as_secs_f64(),
+            drained_at_secs,
+            jobs_admitted: serve.windows.total_admitted(),
+            jobs_completed: serve.windows.total_completed(),
+            output_bytes: serve.output_bytes_total,
+            mean_completion_rate_per_sec: if drained_at_secs > 0.0 {
+                serve.windows.total_completed() as f64 / drained_at_secs
+            } else {
+                0.0
+            },
+            live_high_water: serve.live_high_water,
+            faults,
+            windows,
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1117,8 +1294,19 @@ fn on_batch(w: &mut W, sim: &mut Sim<W>, batch_jobs: Vec<Job>) {
     // and every QRSM estimate of a chunk would be biased low.
     let mut admitted = schedule.jobs;
     let base = w.jobs.len() as u64;
-    for (k, (job, _)) in admitted.iter_mut().enumerate() {
-        job.id = JobId(base + k as u64);
+    let mut fresh = 0u64;
+    for (job, _) in admitted.iter_mut() {
+        // Serving recycles the slot of a completed job (LIFO); closed mode
+        // has no free list, so every id is fresh — `base + k` exactly as
+        // before the serving mode existed.
+        job.id = match w.serve.as_mut().and_then(|s| s.free_ids.pop()) {
+            Some(id) => JobId(id),
+            None => {
+                let id = JobId(base + fresh);
+                fresh += 1;
+                id
+            }
+        };
         if job.is_chunk() {
             job.true_service_secs = w.cfg.truth.sample_secs(&mut w.rng_chunk_truth, &job.features)
                 + w.cfg.chunk_policy.per_chunk_overhead_secs;
@@ -1147,31 +1335,65 @@ fn on_batch(w: &mut W, sim: &mut Sim<W>, batch_jobs: Vec<Job>) {
     let mut decisions = Vec::with_capacity(admitted.len());
     for ((job, placement), &(est_secs, rmse_secs)) in admitted.into_iter().zip(&planner_inputs) {
         let id = job.id;
+        let idx = id.0 as usize;
         let est_ct = planner.commit(&job, placement);
         decisions.push(placement == Placement::External);
-
-        w.est_exec.push(est_secs);
-        w.placements.push(placement);
-        w.site_of.push(site);
-        w.completions.push(None);
-        w.output_bytes.push(0);
-        w.outstanding.insert(id.0, est_ct);
-        #[cfg(test)]
-        w.est_completion.push(Some(est_ct));
         // The ticket quote: estimate plus a k-RMSE confidence margin.
-        w.ticket_promise.push(
-            est_ct
-                + cloudburst_sim::SimDuration::from_secs_f64(
-                    w.cfg.ticket_margin_k.max(0.0) * rmse_secs,
-                ),
-        );
+        let promise = est_ct
+            + cloudburst_sim::SimDuration::from_secs_f64(
+                w.cfg.ticket_margin_k.max(0.0) * rmse_secs,
+            );
+        let timeline = crate::timeline::JobTimeline::new(id.0, job.arrival, now, placement);
 
-        w.timelines.push(crate::timeline::JobTimeline::new(
-            id.0,
-            job.arrival,
-            now,
-            placement,
-        ));
+        debug_assert!(idx <= w.jobs.len(), "admitted id beyond the spine");
+        if idx == w.jobs.len() {
+            // Fresh slot — the only arm closed mode ever takes.
+            w.est_exec.push(est_secs);
+            w.placements.push(placement);
+            w.site_of.push(site);
+            w.completions.push(None);
+            w.output_bytes.push(0);
+            w.outstanding.insert(id.0, est_ct);
+            #[cfg(test)]
+            w.est_completion.push(Some(est_ct));
+            w.ticket_promise.push(promise);
+            w.timelines.push(timeline);
+        } else {
+            // Recycled slot (serving only): overwrite in place — the spine
+            // stays at the live-job high-water mark.
+            w.est_exec[idx] = est_secs;
+            w.placements[idx] = placement;
+            w.site_of[idx] = site;
+            w.completions[idx] = None;
+            w.output_bytes[idx] = 0;
+            w.outstanding.reinstate(id.0, est_ct);
+            #[cfg(test)]
+            {
+                w.est_completion[idx] = Some(est_ct);
+            }
+            w.ticket_promise[idx] = promise;
+            w.timelines[idx] = timeline;
+            if let Some(ch) = &mut w.chaos {
+                ch.exec_attempts[idx] = 0;
+                ch.up_attempts[idx] = 0;
+                ch.down_attempts[idx] = 0;
+            }
+        }
+        if let Some(serve) = &mut w.serve {
+            // The dense arrival sequence number survives id recycling —
+            // it is what the windowed OO frontier orders on.
+            let seq = serve.windows.total_admitted();
+            serve.windows.on_admit(seq, now);
+            if idx == serve.seq_of.len() {
+                serve.seq_of.push(seq);
+            } else {
+                serve.seq_of[idx] = seq;
+            }
+            if placement == Placement::External {
+                serve.bursted_jobs += 1;
+            }
+            serve.live_high_water = serve.live_high_water.max(serve.windows.live());
+        }
         match placement {
             Placement::Internal => {
                 let ticks = drain_cost_ticks(&w.est_exec, id, w.cfg.ic_speed);
@@ -1182,7 +1404,11 @@ fn on_batch(w: &mut W, sim: &mut Sim<W>, batch_jobs: Vec<Job>) {
                 w.sites[site].up_queues.push(class, id, job.input_bytes());
             }
         }
-        w.jobs.push(job);
+        if idx == w.jobs.len() {
+            w.jobs.push(job);
+        } else {
+            w.jobs[idx] = job;
+        }
     }
     // Hand the warm precompute buffer back for the next batch.
     w.admit_scratch = planner_inputs;
@@ -1191,13 +1417,46 @@ fn on_batch(w: &mut W, sim: &mut Sim<W>, batch_jobs: Vec<Job>) {
         ch.up_attempts.resize(w.jobs.len(), 0);
         ch.down_attempts.resize(w.jobs.len(), 0);
     }
-    w.batch_decisions.push(decisions);
+    if w.serve.is_none() {
+        // Closed mode keeps the whole-run per-batch decision log for the
+        // Eq. 11/12 burst ratios; serving folds it into the counter above,
+        // because an unbounded stream cannot keep a per-batch vector.
+        w.batch_decisions.push(decisions);
+    }
     w.batches_seen += 1;
 
     for i in 0..w.sites.len() {
         pump_uploads(w, i, now);
     }
     resync(w, sim);
+}
+
+/// One serving epoch: generate the next batch lazily, admit it through the
+/// ordinary epoch-barrier machinery, fold a fault heartbeat into the
+/// window series, and schedule the next epoch — exactly one arrival event
+/// is ever pending, so the event queue stays O(live) no matter how long
+/// the stream runs. This is the sustained-throughput hot loop of the
+/// serving mode.
+// conform::hot_root
+fn on_serve_epoch(w: &mut W, sim: &mut Sim<W>) {
+    let now = sim.now();
+    let batch = {
+        let serve = w.serve.as_mut().expect("serve epoch implies serve state");
+        debug_assert_eq!(serve.arrivals.next_arrival(), now, "epoch event drifted");
+        serve.arrivals.next_batch()
+    };
+    on_batch(w, sim, batch.jobs);
+    // Heartbeat at epoch granularity: the window series attributes fault
+    // counters to windows by cumulative snapshot deltas.
+    let faults = w.chaos.as_ref().map(|c| c.metrics.clone()).unwrap_or_default();
+    let serve = w.serve.as_mut().expect("serve state");
+    serve.windows.heartbeat(now, &faults);
+    let next = serve.arrivals.next_arrival();
+    if next < serve.horizon {
+        sim.schedule_at(next, on_serve_epoch);
+    } else {
+        serve.arrivals_done = true;
+    }
 }
 
 /// Starts transfers on any idle upload slots.
@@ -1367,6 +1626,18 @@ fn record_completion(w: &mut W, id: JobId, at: SimTime) {
         w.est_completion[idx] = None;
     }
     w.timelines[idx].completed = Some(at);
+    if w.serve.is_some() {
+        // Serving: fold the completion into the windowed aggregates and
+        // recycle the slot. Everything per-job dies here; only the window
+        // rows survive.
+        let out = w.jobs[idx].output_bytes;
+        let turnaround_secs = (at - w.jobs[idx].arrival).as_secs_f64();
+        let met = at <= w.ticket_promise[idx];
+        let Some(serve) = w.serve.as_mut() else { return };
+        serve.windows.on_complete(serve.seq_of[idx], at, out, turnaround_secs, Some(met));
+        serve.output_bytes_total += out;
+        serve.free_ids.push(id.0);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1469,8 +1740,7 @@ fn reinstate_estimate(w: &mut W, id: JobId, now: SimTime, speed: f64) {
 fn process_chaos_timers(w: &mut W, now: SimTime) {
     loop {
         let Some(ch) = &mut w.chaos else { return };
-        let Some(i) = ch.matured(now) else { return };
-        let (_, _, timer) = ch.timers.swap_remove(i);
+        let Some(timer) = ch.pop_matured(now) else { return };
         match timer {
             ChaosTimer::UpTimeout { site, tid, started } => {
                 on_transfer_timeout(w, site, tid, started, now, true);
@@ -1883,6 +2153,144 @@ pub fn run_with_plan(
     harness.finish()
 }
 
+/// Schedules the control-plane events both modes share: the fault plan's
+/// machine crash/recover cycles, the autonomic probe, and the elastic
+/// scaling tick. Scheduling order (faults, probe, scaling) is part of the
+/// byte contract — same-instant events fire in schedule order.
+fn schedule_control_events(world: &EngineWorld, sim: &mut Sim<EngineWorld>) {
+    if let Some(ch) = &world.chaos {
+        for f in ch.plan.machine_faults.clone() {
+            let (pool, machine) = (f.pool, f.machine);
+            sim.schedule_at(SimTime::from_secs_f64(f.down_at_secs), move |w, sim| {
+                on_machine_down(w, sim, pool, machine)
+            });
+            sim.schedule_at(SimTime::from_secs_f64(f.up_at_secs), move |w, sim| {
+                on_machine_up(w, sim, pool, machine)
+            });
+        }
+    }
+    if let Some(interval) = world.cfg.probe_interval {
+        sim.schedule_in(interval, move |w, sim| on_probe(w, sim, interval));
+    }
+    if let Some(policy) = world.cfg.scaling {
+        sim.schedule_in(policy.period, move |w, sim| on_scaling_tick(w, sim, policy.period));
+    }
+}
+
+/// Runs an open-system serving session to drain and returns its windowed
+/// report: arrivals stream in lazily until the horizon, the pipeline
+/// drains, and per-job state is recycled throughout — memory is O(live
+/// jobs + windows) for any stream length.
+pub fn serve_experiment(cfg: &ExperimentConfig) -> ServeReport {
+    serve_experiment_detailed(cfg).0
+}
+
+/// As [`serve_experiment`], also returning the final world for diagnostics.
+pub fn serve_experiment_detailed(cfg: &ExperimentConfig) -> (ServeReport, EngineWorld) {
+    let mut harness = ServeHarness::new(cfg);
+    harness.run();
+    harness.finish()
+}
+
+/// A steppable serving driver — [`EngineHarness`]'s open-system twin. The
+/// long-run probes step it window by window, draining closed rows as they
+/// go, so even a multi-day stream holds only live state.
+pub struct ServeHarness {
+    world: EngineWorld,
+    sim: Sim<EngineWorld>,
+}
+
+impl std::fmt::Debug for ServeHarness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeHarness")
+            .field("now", &self.sim.now())
+            .field("pending", &self.sim.pending())
+            .field("world", &self.world)
+            .finish()
+    }
+}
+
+impl ServeHarness {
+    /// Builds the serving world from `cfg.serve` (defaults when absent)
+    /// and schedules the first epoch plus the control-plane events.
+    pub fn new(cfg: &ExperimentConfig) -> ServeHarness {
+        let serve_cfg = cfg.serve.clone().unwrap_or_default();
+        ServeHarness::with_serve_config(cfg, serve_cfg)
+    }
+
+    /// As [`ServeHarness::new`] with an explicit serving section (the
+    /// probes' path: one base config, many stream shapes).
+    pub fn with_serve_config(cfg: &ExperimentConfig, serve_cfg: ServeConfig) -> ServeHarness {
+        let mut world = EngineWorld::new(cfg.clone(), None);
+        let rngs = RngFactory::new(cfg.seed);
+        let arrivals = OpenArrivals::new(serve_cfg.arrivals, &rngs, cfg.truth.clone());
+        world.serve = Some(ServeState {
+            arrivals,
+            horizon: SimTime::ZERO + serve_cfg.horizon,
+            windows: WindowSeries::new(serve_cfg.window),
+            free_ids: Vec::new(),
+            seq_of: Vec::new(),
+            bursted_jobs: 0,
+            output_bytes_total: 0,
+            live_high_water: 0,
+            arrivals_done: false,
+        });
+        let mut sim: Sim<EngineWorld> = Sim::new();
+        // Exactly one arrival event is pending at any time: the first epoch
+        // here, each successor from `on_serve_epoch` itself.
+        sim.schedule_at(SimTime::ZERO, on_serve_epoch);
+        schedule_control_events(&world, &mut sim);
+        ServeHarness { world, sim }
+    }
+
+    /// Fires the next event; `false` once the queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.sim.step(&mut self.world)
+    }
+
+    /// Fires every event scheduled up to `until`.
+    pub fn run_until(&mut self, until: SimTime) {
+        self.sim.run_until(&mut self.world, until);
+    }
+
+    /// Drains the event queue completely (horizon, then pipeline drain).
+    pub fn run(&mut self) {
+        self.sim.run(&mut self.world);
+    }
+
+    /// Current simulation clock.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// The simulated world, for inspection.
+    pub fn world(&self) -> &EngineWorld {
+        &self.world
+    }
+
+    /// Mutable world access (window draining, probe APIs).
+    pub fn world_mut(&mut self) -> &mut EngineWorld {
+        &mut self.world
+    }
+
+    /// Asserts the stream drained, accrues provisioning, and produces the
+    /// windowed serving report.
+    pub fn finish(mut self) -> (ServeReport, EngineWorld) {
+        assert!(
+            self.world.all_done(),
+            "serving deadlock: {} jobs live after the event queue drained",
+            self.world.outstanding.len(),
+        );
+        let end = self.sim.now();
+        self.world.accrue_provisioning(end);
+        // Final epoch barrier, as in closed mode: the handed-back world's
+        // QRSM state matches the eager-refit engine's.
+        self.world.est.flush_refits();
+        let report = self.world.serve_report(end);
+        (report, self.world)
+    }
+}
+
 /// A steppable engine driver: the event queue plus the world, exposed so
 /// probes, benchmarks, and tests can advance a run to a mid-flight state
 /// and exercise the decision path ([`EngineWorld::load_snapshot`],
@@ -1923,23 +2331,7 @@ impl EngineHarness {
         for b in batches {
             sim.schedule_at(b.arrival, move |w, sim| on_batch(w, sim, b.jobs));
         }
-        if let Some(ch) = &world.chaos {
-            for f in ch.plan.machine_faults.clone() {
-                let (pool, machine) = (f.pool, f.machine);
-                sim.schedule_at(SimTime::from_secs_f64(f.down_at_secs), move |w, sim| {
-                    on_machine_down(w, sim, pool, machine)
-                });
-                sim.schedule_at(SimTime::from_secs_f64(f.up_at_secs), move |w, sim| {
-                    on_machine_up(w, sim, pool, machine)
-                });
-            }
-        }
-        if let Some(interval) = cfg.probe_interval {
-            sim.schedule_in(interval, move |w, sim| on_probe(w, sim, interval));
-        }
-        if let Some(policy) = cfg.scaling {
-            sim.schedule_in(policy.period, move |w, sim| on_scaling_tick(w, sim, policy.period));
-        }
+        schedule_control_events(&world, &mut sim);
         EngineHarness { world, sim }
     }
 
@@ -2245,6 +2637,122 @@ mod tests {
         h.run();
         let (r, _) = h.finish();
         assert_eq!(r.completion_times.len(), r.n_jobs);
+    }
+
+    fn serve_cfg(seed: u64) -> ExperimentConfig {
+        use cloudburst_workload::OpenArrivalConfig;
+        let mut cfg = small_cfg(SchedulerKind::OrderPreserving, seed);
+        cfg.serve = Some(crate::config::ServeConfig {
+            arrivals: OpenArrivalConfig {
+                epoch: SimDuration::from_secs(120),
+                jobs_per_epoch: 4.0,
+                bucket: SizeBucket::SmallBiased,
+                ..OpenArrivalConfig::default()
+            },
+            horizon: SimDuration::from_secs(3600),
+            window: cloudburst_sla::WindowConfig {
+                window: SimDuration::from_secs(300),
+                ..cloudburst_sla::WindowConfig::default()
+            },
+        });
+        cfg
+    }
+
+    #[test]
+    fn serve_run_drains_and_reports_windows() {
+        let (r, world) = serve_experiment_detailed(&serve_cfg(41));
+        assert!(r.jobs_admitted >= 30 * 4, "30 epochs x >=4 jobs: {}", r.jobs_admitted);
+        assert_eq!(r.jobs_completed, r.jobs_admitted, "open stream must drain");
+        assert_eq!(world.serve_live_jobs(), 0);
+        assert!(r.drained_at_secs >= 3480.0, "last epoch fires before the horizon");
+        assert!(r.mean_completion_rate_per_sec > 0.0);
+        assert!(r.output_bytes > 0);
+        assert!(r.live_high_water >= 1);
+        assert!(!r.windows.is_empty());
+        // Window rows are contiguous and conserve the job count.
+        for pair in r.windows.windows(2) {
+            assert_eq!(pair[1].index, pair[0].index + 1);
+        }
+        let arr: u64 = r.windows.iter().map(|w| w.arrivals).sum();
+        let done: u64 = r.windows.iter().map(|w| w.completions).sum();
+        assert_eq!(arr, r.jobs_admitted);
+        assert_eq!(done, r.jobs_completed);
+        // Ticket verdicts were folded for every completion.
+        let verdicts: u64 = r.windows.iter().map(|w| w.tickets_met + w.tickets_missed).sum();
+        assert_eq!(verdicts, r.jobs_completed);
+    }
+
+    #[test]
+    fn serve_runs_are_deterministic() {
+        let a = serve_experiment(&serve_cfg(42));
+        let b = serve_experiment(&serve_cfg(42));
+        assert_eq!(
+            serde_json::to_string(&a).expect("json"),
+            serde_json::to_string(&b).expect("json"),
+            "same seed, byte-identical serve report"
+        );
+        let c = serve_experiment(&serve_cfg(43));
+        assert_ne!(a.output_bytes, c.output_bytes, "different seed, different stream");
+    }
+
+    #[test]
+    fn serve_recycles_job_slots() {
+        // A stable (underloaded) stream admits far more jobs than it ever
+        // holds live: the slab stops growing at the live high-water mark.
+        let (r, world) = serve_experiment_detailed(&serve_cfg(44));
+        let slots = world.jobs.len() as u64;
+        assert_eq!(slots, r.live_high_water, "slab high-water == live high-water");
+        assert!(
+            slots < r.jobs_admitted / 2,
+            "slots {} should be far below admitted {}",
+            slots,
+            r.jobs_admitted
+        );
+        // Chaos scratch tracks the slab, not the stream.
+        assert_eq!(world.completions.len() as u64, slots);
+        assert_eq!(world.output_bytes.len() as u64, slots);
+    }
+
+    #[test]
+    fn serve_windows_drain_incrementally() {
+        // Stepping window-by-window and draining as we go yields the same
+        // totals as the final report, with the buffer held at O(1).
+        let cfg = serve_cfg(45);
+        let mut h = ServeHarness::new(&cfg);
+        let window = SimDuration::from_secs(300);
+        let mut drained: Vec<WindowStats> = Vec::new();
+        let mut t = SimTime::ZERO;
+        for _ in 0..10 {
+            t += window;
+            h.run_until(t);
+            let batch = h.world_mut().drain_serve_windows();
+            assert!(batch.len() <= 2, "buffer must stay O(1): {}", batch.len());
+            drained.extend(batch);
+        }
+        h.run();
+        let admitted = h.world().serve_admitted_jobs();
+        let (r, _) = h.finish();
+        assert_eq!(r.jobs_admitted, admitted);
+        let all: u64 =
+            drained.iter().chain(r.windows.iter()).map(|w| w.arrivals).sum();
+        assert_eq!(all, r.jobs_admitted, "drained + final rows conserve arrivals");
+        for (i, w) in drained.iter().chain(r.windows.iter()).enumerate() {
+            assert_eq!(w.index, i as u64, "window rows stay contiguous across drains");
+        }
+    }
+
+    #[test]
+    fn serve_with_chaos_still_drains() {
+        let mut cfg = serve_cfg(46);
+        cfg.faults = Some(cloudburst_chaos::FaultProfile {
+            exec_failure_prob: 0.1,
+            ..cloudburst_chaos::FaultProfile::dormant()
+        });
+        let r = serve_experiment(&cfg);
+        assert_eq!(r.jobs_completed, r.jobs_admitted, "retries must converge");
+        assert!(r.faults.exec_failures > 0, "10% fault rate over {} jobs", r.jobs_admitted);
+        let window_faults: u64 = r.windows.iter().map(|w| w.faults.exec_failures).sum();
+        assert_eq!(window_faults, r.faults.exec_failures, "heartbeat deltas conserve faults");
     }
 
     // Equivalence property: a full run in test builds cross-checks the

@@ -45,9 +45,10 @@ pub mod runner;
 pub mod scaling;
 pub mod timeline;
 
-pub use config::{ExperimentConfig, SchedulerKind};
+pub use config::{ExperimentConfig, SchedulerKind, ServeConfig};
 pub use engine::{
-    run_experiment, run_experiment_detailed, run_with_batches, run_with_plan, EngineHarness,
+    run_experiment, run_experiment_detailed, run_with_batches, run_with_plan, serve_experiment,
+    serve_experiment_detailed, EngineHarness, ServeHarness,
 };
 pub use timeline::JobTimeline;
 pub use runner::{run_all_buckets, run_replications};

@@ -1,0 +1,83 @@
+//! Long-run serving memory plateau (ISSUE 9, satellite 3).
+//!
+//! Drives an open stream for dozens of windows with chaos armed and the
+//! counting allocator installed, draining closed window rows as it goes.
+//! The O(live-jobs) claim: once the slab and scratch warm up, live heap
+//! bytes stop growing with stream length — the per-window high-water mark
+//! of the last window stays within 1.5x of the first post-warm-up window.
+//!
+//! Own binary on purpose: the allocator counter is process-global.
+
+use cloudburst_chaos::FaultProfile;
+use cloudburst_core::{ExperimentConfig, SchedulerKind, ServeConfig, ServeHarness};
+use cloudburst_sim::{SimDuration, SimTime};
+use cloudburst_sla::WindowConfig;
+use cloudburst_testsupport::{high_water_bytes, reset_high_water, CountingAlloc};
+use cloudburst_workload::{OpenArrivalConfig, SizeBucket};
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+#[test]
+fn live_bytes_plateau_over_a_long_stream() {
+    // A stable estate (fast machines, small-biased jobs, utilization well
+    // under 1) so live jobs plateau; exec faults armed so the recovery
+    // path's scratch is part of the measured steady state.
+    let mut cfg = ExperimentConfig {
+        seed: 9090,
+        scheduler: SchedulerKind::OrderPreserving,
+        training_docs: 150,
+        ..ExperimentConfig::default()
+    };
+    cfg.ic_speed = 4.0;
+    cfg.rescheduling = true;
+    cfg.faults = Some(FaultProfile {
+        exec_failure_prob: 0.05,
+        ..FaultProfile::dormant()
+    });
+    let window = SimDuration::from_secs(7_200);
+    let horizon_windows = 24u64; // 48 simulated hours
+    cfg.serve = Some(ServeConfig {
+        arrivals: OpenArrivalConfig {
+            epoch: SimDuration::from_secs(120),
+            jobs_per_epoch: 10.0,
+            bucket: SizeBucket::SmallBiased,
+            envelope: cloudburst_workload::RateEnvelope::Flat,
+            burst: None,
+        },
+        horizon: window * horizon_windows,
+        window: WindowConfig { window, oo_tolerance: 0 },
+    });
+
+    let mut harness = ServeHarness::new(&cfg);
+    // Warm-up: slab growth to the live high-water mark, QRSM ring fill,
+    // event-slot and scratch capacity growth all happen here.
+    let warmup = 3u64;
+    harness.run_until(SimTime::ZERO + window * warmup);
+    harness.world_mut().drain_serve_windows();
+
+    let mut peaks: Vec<(u64, usize)> = Vec::new();
+    for k in warmup..horizon_windows {
+        reset_high_water();
+        harness.run_until(SimTime::ZERO + window * (k + 1));
+        let rows = harness.world_mut().drain_serve_windows();
+        assert!(rows.len() <= 2, "window buffer must stay O(1), saw {}", rows.len());
+        peaks.push((k, high_water_bytes()));
+    }
+    harness.run();
+    let admitted = harness.world().serve_admitted_jobs();
+    let (report, _world) = harness.finish();
+    assert_eq!(report.jobs_completed, admitted, "stream must drain");
+    assert!(
+        admitted > 10_000,
+        "stream too small to witness a plateau: {admitted} jobs"
+    );
+
+    let (first_k, first) = peaks.first().copied().expect("post-warm-up windows");
+    let (last_k, last) = peaks.last().copied().expect("post-warm-up windows");
+    assert!(
+        (last as f64) <= 1.5 * first as f64,
+        "live-bytes high-water grew: window {first_k} = {first} B vs window {last_k} = {last} B \
+         over {admitted} jobs (curve: {peaks:?})"
+    );
+}

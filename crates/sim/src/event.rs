@@ -46,6 +46,37 @@ enum Slot<W> {
     Occupied { seq: u64, f: EventFn<W> },
 }
 
+/// Capacity floor (entries) below which the kernel never bothers shrinking:
+/// a heap or slab this small is noise next to the world state.
+const SHRINK_FLOOR: usize = 1024;
+
+/// Fired-event mask between shrink checks: every 4096th event pays one
+/// comparison pair; an actual shrink additionally costs O(len) and only
+/// triggers in a trough (live ≪ capacity), so sustained load amortizes it
+/// to nothing.
+const SHRINK_CHECK_MASK: u64 = 0xFFF;
+
+/// Snapshot of the kernel's storage footprint, for RSS attribution by the
+/// memory probes: how much of the process's heap is event machinery versus
+/// world state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CapacityStats {
+    /// Live (scheduled, not cancelled) events.
+    pub pending: usize,
+    /// Heap triples currently stored, including stale cancelled entries
+    /// below the head.
+    pub heap_len: usize,
+    /// Allocated heap capacity in triples.
+    pub heap_capacity: usize,
+    /// Slab slots currently addressable (occupied + free-listed).
+    pub slab_len: usize,
+    /// Allocated slab capacity in slots.
+    pub slab_capacity: usize,
+    /// Trough-triggered shrinks performed so far (heap and slab count
+    /// separately).
+    pub shrinks: u64,
+}
+
 /// What the heap orders: a `Copy` triple, closure stored out-of-line in the
 /// slab so sift-up/down moves 24 bytes and never touches an allocator.
 #[derive(Clone, Copy)]
@@ -88,6 +119,7 @@ pub struct Sim<W> {
     free_head: u32,
     live: usize,
     fired: u64,
+    shrinks: u64,
 }
 
 impl<W> std::fmt::Debug for Sim<W> {
@@ -117,6 +149,7 @@ impl<W> Sim<W> {
             free_head: NIL,
             live: 0,
             fired: 0,
+            shrinks: 0,
         }
     }
 
@@ -139,6 +172,59 @@ impl<W> Sim<W> {
     /// simultaneously pending events, not the total scheduled (diagnostics).
     pub fn slot_capacity(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Storage-footprint snapshot for RSS attribution (see [`CapacityStats`]).
+    pub fn capacity_stats(&self) -> CapacityStats {
+        CapacityStats {
+            pending: self.live,
+            heap_len: self.queue.len(),
+            heap_capacity: self.queue.capacity(),
+            slab_len: self.slots.len(),
+            slab_capacity: self.slots.capacity(),
+            shrinks: self.shrinks,
+        }
+    }
+
+    /// Trough-triggered capacity release. After a burst, the heap and slab
+    /// retain their high-water allocations forever unless shrunk; this
+    /// releases them once occupancy falls below a quarter of capacity,
+    /// keeping 2× the live set as headroom so a rebound does not thrash.
+    ///
+    /// Deterministic: triggered from [`Sim::step`] on a fired-event counter,
+    /// and every condition is a pure function of simulation state. Slot ids
+    /// handed out after a slab shrink differ from the never-shrunk run, but
+    /// firing order is `(time, seq)` — slot numbering never reaches the
+    /// simulation's observable behavior.
+    fn maybe_shrink(&mut self) {
+        if self.queue.capacity() > SHRINK_FLOOR && self.queue.len() * 4 < self.queue.capacity() {
+            self.queue.shrink_to((self.queue.len() * 2).max(SHRINK_FLOOR));
+            self.shrinks += 1;
+        }
+        if self.slots.len() > SHRINK_FLOOR && self.live * 4 < self.slots.len() {
+            // Only trailing vacant slots can be released (occupied slots are
+            // pinned by pending EventIds); stop at 2× live for headroom.
+            let floor = (self.live * 2).max(SHRINK_FLOOR);
+            let mut keep = self.slots.len();
+            while keep > floor && matches!(self.slots[keep - 1], Slot::Vacant { .. }) {
+                keep -= 1;
+            }
+            if keep < self.slots.len() {
+                self.slots.truncate(keep);
+                self.slots.shrink_to(keep * 2);
+                // The free list may chain through truncated slots: rebuild it
+                // over the survivors, low slots first, so reuse order stays a
+                // pure function of slab contents.
+                self.free_head = NIL;
+                for (i, s) in self.slots.iter_mut().enumerate().rev() {
+                    if let Slot::Vacant { next_free } = s {
+                        *next_free = self.free_head;
+                        self.free_head = i as u32;
+                    }
+                }
+                self.shrinks += 1;
+            }
+        }
     }
 
     /// Schedules `f` to fire at absolute time `at`.
@@ -256,6 +342,9 @@ impl<W> Sim<W> {
         debug_assert!(ev.at >= self.now, "event queue went backwards");
         self.now = ev.at;
         self.fired += 1;
+        if self.fired & SHRINK_CHECK_MASK == 0 {
+            self.maybe_shrink();
+        }
         f(world, self);
         true
     }
@@ -462,6 +551,97 @@ mod tests {
         assert_eq!(sim.pending(), 2);
         sim.cancel(a);
         assert_eq!(sim.pending(), 1);
+    }
+
+    #[test]
+    fn burst_then_trough_releases_capacity() {
+        // Schedule a large burst at one instant, drain it, then tick long
+        // enough past the burst for the shrink check to fire: both the heap
+        // and the slab must fall back toward the (tiny) live set.
+        let mut sim: Sim<u64> = Sim::new();
+        let burst = 40_000u64;
+        for i in 0..burst {
+            sim.schedule_at(SimTime::from_secs(1), move |w: &mut u64, _| *w += i & 1);
+        }
+        let mut w = 0u64;
+        sim.run(&mut w);
+        let at_peak = sim.capacity_stats();
+        assert!(at_peak.slab_len >= burst as usize);
+
+        // Self-rescheduling chain: one live event, many fired events.
+        fn tick(w: &mut u64, sim: &mut Sim<u64>) {
+            *w += 1;
+            if *w < 2 * 0x1000 + 2 {
+                sim.schedule_in(SimDuration::from_secs(1), tick);
+            }
+        }
+        let mut w = 0u64;
+        sim.schedule_now(tick);
+        sim.run(&mut w);
+        let after = sim.capacity_stats();
+        assert!(after.shrinks > 0, "trough must trigger a shrink: {after:?}");
+        assert!(
+            after.slab_len <= SHRINK_FLOOR,
+            "slab must shrink to the floor: {after:?}"
+        );
+        assert!(
+            after.heap_capacity <= SHRINK_FLOOR,
+            "heap must shrink to the floor: {after:?}"
+        );
+    }
+
+    #[test]
+    fn stale_id_is_inert_after_slab_shrink() {
+        // An EventId whose slot was truncated by a shrink must report
+        // not-live instead of indexing out of bounds.
+        let mut sim: Sim<u64> = Sim::new();
+        let ids: Vec<EventId> = (0..40_000)
+            .map(|_| sim.schedule_at(SimTime::from_secs(1), |w: &mut u64, _| *w += 1))
+            .collect();
+        let mut w = 0u64;
+        sim.run(&mut w);
+        fn tick(w: &mut u64, sim: &mut Sim<u64>) {
+            *w += 1;
+            if *w < 2 * 0x1000 + 2 {
+                sim.schedule_in(SimDuration::from_secs(1), tick);
+            }
+        }
+        let mut w = 0u64;
+        sim.schedule_now(tick);
+        sim.run(&mut w);
+        assert!(sim.capacity_stats().slab_len < ids.len(), "premise: slab shrank");
+        for id in ids {
+            assert!(!sim.cancel(id), "fired-then-truncated id must stay inert");
+        }
+    }
+
+    #[test]
+    fn shrink_preserves_pending_events_and_order() {
+        // Live events scheduled far apart survive interleaved shrinks and
+        // still fire in (time, seq) order.
+        let mut sim: Sim<Vec<u64>> = Sim::new();
+        for i in 0..40_000u64 {
+            sim.schedule_at(SimTime::from_secs(1), move |w: &mut Vec<u64>, _| {
+                if i == 0 {
+                    w.push(0);
+                }
+            });
+        }
+        // Survivors beyond the churn below.
+        sim.schedule_at(SimTime::from_secs(100_000), |w: &mut Vec<u64>, _| w.push(1));
+        sim.schedule_at(SimTime::from_secs(100_001), |w: &mut Vec<u64>, _| w.push(2));
+        // The handler signature is fixed by `Sim<Vec<u64>>`, slice or not.
+        #[allow(clippy::ptr_arg)]
+        fn tick(_w: &mut Vec<u64>, sim: &mut Sim<Vec<u64>>) {
+            if sim.now() < SimTime::from_secs(99_000) {
+                sim.schedule_in(SimDuration::from_secs(1), tick);
+            }
+        }
+        sim.schedule_at(SimTime::from_secs(2), tick);
+        let mut w = Vec::new();
+        sim.run(&mut w);
+        assert_eq!(w, vec![0, 1, 2]);
+        assert!(sim.capacity_stats().shrinks > 0);
     }
 
     #[test]

@@ -53,6 +53,23 @@ impl FaultMetrics {
     pub fn recovery_actions(&self) -> u64 {
         self.transfer_retries + self.redispatches + self.exec_failures
     }
+
+    /// Field-wise difference `self − earlier`, for windowed reporting:
+    /// the counters realized between two cumulative snapshots. `earlier`
+    /// must be a prefix snapshot of `self` (every counter ≤).
+    pub fn delta_since(&self, earlier: &FaultMetrics) -> FaultMetrics {
+        FaultMetrics {
+            machine_crashes: self.machine_crashes - earlier.machine_crashes,
+            machine_recoveries: self.machine_recoveries - earlier.machine_recoveries,
+            exec_failures: self.exec_failures - earlier.exec_failures,
+            transfer_timeouts: self.transfer_timeouts - earlier.transfer_timeouts,
+            transfer_losses: self.transfer_losses - earlier.transfer_losses,
+            transfer_retries: self.transfer_retries - earlier.transfer_retries,
+            redispatches: self.redispatches - earlier.redispatches,
+            blackout_secs: self.blackout_secs - earlier.blackout_secs,
+            fault_delay_secs: self.fault_delay_secs - earlier.fault_delay_secs,
+        }
+    }
 }
 
 /// Damage a fault plan did to a run, relative to its fault-free twin.

@@ -16,6 +16,9 @@
 //! * [`faults`] — fault-attributed accounting for chaos-injected runs:
 //!   retry/re-dispatch counters and makespan/OO degradation versus the
 //!   fault-free twin run.
+//! * [`window`] — the windowed (streaming) variant of the report for
+//!   open-system serving: per-window OO, completion-rate, turnaround,
+//!   ticket and fault aggregates with O(live + windows) memory.
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
@@ -28,10 +31,12 @@ pub mod ooo;
 pub mod report;
 pub mod slack;
 pub mod ticket;
+pub mod window;
 
 pub use faults::{fault_attribution, FaultAttribution, FaultMetrics};
 pub use metrics::{burst_ratio, makespan, speedup};
 pub use ooo::{oo_series, CompletionRecord, OoConfig, OoSample};
 pub use report::RunReport;
+pub use window::{ServeReport, WindowConfig, WindowSeries, WindowStats};
 pub use ticket::{ticket_report, TicketOutcome, TicketReport};
 pub use slack::{slack_time, SlackCheck};

@@ -35,21 +35,63 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 pub struct CountingAlloc;
 
 static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+static LIVE_BYTES: AtomicUsize = AtomicUsize::new(0);
+static HIGH_WATER: AtomicUsize = AtomicUsize::new(0);
+
+/// Bumps the live-byte gauge by `grew` and folds the new level into the
+/// high-water mark. Relaxed ordering is fine: the gauges are advisory
+/// measurements read between single-threaded test phases, not
+/// synchronization.
+fn grow(grew: usize) {
+    let now = LIVE_BYTES.fetch_add(grew, Ordering::Relaxed) + grew;
+    HIGH_WATER.fetch_max(now, Ordering::Relaxed);
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            grow(layout.size());
+        }
+        ptr
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE_BYTES.fetch_sub(layout.size(), Ordering::Relaxed);
         System.dealloc(ptr, layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            if new_size >= layout.size() {
+                grow(new_size - layout.size());
+            } else {
+                LIVE_BYTES.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+            }
+        }
+        new_ptr
     }
+}
+
+/// Heap bytes currently live (allocated and not yet freed). Only meaningful
+/// when [`CountingAlloc`] is the binary's `#[global_allocator]`.
+pub fn live_bytes() -> usize {
+    LIVE_BYTES.load(Ordering::Relaxed)
+}
+
+/// The live-byte high-water mark since process start or the last
+/// [`reset_high_water`]. Only meaningful under [`CountingAlloc`].
+pub fn high_water_bytes() -> usize {
+    HIGH_WATER.load(Ordering::Relaxed)
+}
+
+/// Re-arms the high-water mark at the current live level, so the next
+/// [`high_water_bytes`] read reports the peak of the region that follows.
+pub fn reset_high_water() {
+    HIGH_WATER.store(LIVE_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
 }
 
 /// Runs `f` and returns how many heap allocations it performed along with

@@ -17,6 +17,8 @@
 //! * [`job`] — the `Job` record flowing through queues and schedulers.
 //! * [`bucket`] — the three job-size distributions of Sec. V-A.
 //! * [`arrival`] — the Poisson batch arrival process.
+//! * [`open`] — the open-system (unbounded, lazily generated) variant with
+//!   diurnal rate envelope and flash-crowd bursts.
 //! * [`chunk`] — `pdfchunk` splitting used by the Order-Preserving scheduler
 //!   (Algorithm 2, lines 3–10).
 //! * [`stats`] — dependency-free samplers (normal, lognormal, Poisson,
@@ -32,11 +34,13 @@ pub mod bucket;
 pub mod chunk;
 pub mod document;
 pub mod job;
+pub mod open;
 pub mod stats;
 pub mod trace;
 pub mod truth;
 
 pub use arrival::{ArrivalConfig, Batch, BatchArrivals};
+pub use open::{BurstModel, OpenArrivalConfig, OpenArrivals, RateEnvelope};
 pub use bucket::SizeBucket;
 pub use trace::WorkloadTrace;
 pub use chunk::{chunk_job, ChunkPolicy};
