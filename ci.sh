@@ -29,6 +29,11 @@ cargo run --release -p cloudburst-bench --bin perfgate -- "$PERF_TMP/smoke.json"
 # floors, the >= 0.9x open/closed throughput ratio, and the per-window
 # live-bytes flatness rule (both read from the fresh smoke line).
 cargo run --release -p cloudburst-bench --bin perfgate -- "$PERF_TMP/smoke.json" BENCH_PR9.json
+# BENCH_PR10.json adds the economics record: the dormant-econ runs/s and
+# cost-aware broker decisions/s floors, plus the fresh-line rule that a
+# dormant econ section holds >= 0.95x the econ-free throughput (the
+# wall-clock half of the byte-identity contract).
+cargo run --release -p cloudburst-bench --bin perfgate -- "$PERF_TMP/smoke.json" BENCH_PR10.json
 
 echo "== perfscale reduced probe + floor gates vs BENCH_PR4.json / BENCH_PR6.json / BENCH_PR7.json"
 cargo run --release -p cloudburst-bench --bin perfscale -- --reduced "$PERF_TMP/scale.json"
@@ -52,6 +57,9 @@ cargo run --release -p cloudburst-bench --bin perfgate -- BENCH_PR7.json BENCH_P
 
 echo "== BENCH_PR9.json self-gate: serving record's memory curves flat, open/closed ratio >= 0.9"
 cargo run --release -p cloudburst-bench --bin perfgate -- BENCH_PR9.json BENCH_PR9.json 1.0
+
+echo "== BENCH_PR10.json self-gate: dormant econ holds >= 0.95x econ-free throughput"
+cargo run --release -p cloudburst-bench --bin perfgate -- BENCH_PR10.json BENCH_PR10.json 1.0
 
 # The PR's headline guarantee gets its own named gate: the composition
 # proptest (3 schedulers, with/without an armed chaos plan, workers

@@ -10,6 +10,7 @@
 //! cloudburst trace --config cfg.json --out trace.json      export the workload
 //! cloudburst serve --config cfg.json           open-system serving run, windowed report
 //!     [--diurnal-day]                          ... the EXPERIMENTS.md diurnal+flash-crowd day
+//! cloudburst econ-sweep --config cfg.json --seeds 41,42,43   price-regime x scheduler cost grid
 //! ```
 //!
 //! Everything an experiment needs lives in one `ExperimentConfig` JSON
@@ -29,7 +30,7 @@ use cloudburst_core::{run_experiment_detailed, ExperimentConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  cloudburst template\n  cloudburst run --config <cfg.json> [--workload <trace.json>] [--fault-profile <faults.json>] [--out <report.json>] [--timelines <t.json>]\n  cloudburst sweep --config <cfg.json> --seeds <a,b,c> [--fault-profile <faults.json>] --out <dir>\n  cloudburst trace --config <cfg.json> [--out <trace.json>]\n  cloudburst serve --config <cfg.json> [--diurnal-day] [--fault-profile <faults.json>] [--out <report.json>]"
+        "usage:\n  cloudburst template\n  cloudburst run --config <cfg.json> [--workload <trace.json>] [--fault-profile <faults.json>] [--out <report.json>] [--timelines <t.json>]\n  cloudburst sweep --config <cfg.json> --seeds <a,b,c> [--fault-profile <faults.json>] --out <dir>\n  cloudburst trace --config <cfg.json> [--out <trace.json>]\n  cloudburst serve --config <cfg.json> [--diurnal-day] [--fault-profile <faults.json>] [--out <report.json>]\n  cloudburst econ-sweep --config <cfg.json> [--seeds <a,b,c>] [--out <table.txt>]"
     );
     exit(2);
 }
@@ -165,6 +166,37 @@ fn main() {
                     println!("report written to {path}");
                 }
                 None => println!("{json}"),
+            }
+        }
+        Some("econ-sweep") => {
+            // Price-regime x scheduler cost grid. The config supplies the
+            // workload, estate and pipes; the scheduler and `econ` section
+            // are overridden per grid cell (built-in regimes, see
+            // `cloudburst_bench::price_regimes`). Output is byte-identical
+            // across reruns of the same config and seed list.
+            let cfg = load_config(&args);
+            let seeds: Vec<u64> = match arg_value(&args, "--seeds") {
+                Some(list) => list
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("invalid seed: {s}");
+                            exit(1);
+                        })
+                    })
+                    .collect(),
+                None => vec![cfg.seed],
+            };
+            let table = cloudburst_bench::econ_sweep_table(&cfg, &seeds);
+            match arg_value(&args, "--out") {
+                Some(path) => {
+                    fs::write(&path, &table).unwrap_or_else(|e| {
+                        eprintln!("cannot write {path}: {e}");
+                        exit(1);
+                    });
+                    println!("econ-sweep table written to {path}");
+                }
+                None => print!("{table}"),
             }
         }
         Some("sweep") => {

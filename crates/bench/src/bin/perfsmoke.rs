@@ -6,7 +6,9 @@
 //! series vs the legacy per-sample rescan, both reported with speedups),
 //! plus a representative subset of the `repro` experiments, a dormant-chaos
 //! probe (full engine runs with a zero-probability fault profile armed — the
-//! recovery plumbing must cost nothing when dormant), and the sustained
+//! recovery plumbing must cost nothing when dormant), the matching
+//! dormant-econ probe and the cost-aware broker decision rate (the
+//! `BENCH_PR10.json` record), and the sustained
 //! open-system serving probe (a 24-virtual-hour stream vs its draw-identical
 //! closed-batch twin, plus the per-window live-bytes high-water curve that
 //! `perfgate` holds flat — the `BENCH_PR9.json` record), and prints a single
@@ -28,7 +30,11 @@ use std::time::Instant;
 
 use cloudburst_bench::run_experiment_by_id;
 use cloudburst_chaos::FaultProfile;
-use cloudburst_core::{run_experiment, ExperimentConfig, SchedulerKind, ServeConfig, ServeHarness};
+use cloudburst_core::config::EcSiteConfig;
+use cloudburst_core::{
+    run_experiment, EngineHarness, ExperimentConfig, SchedulerKind, ServeConfig, ServeHarness,
+};
+use cloudburst_econ::{BrokerPolicy, EconConfig, Money, PriceModel};
 use cloudburst_qrsm::{design::QuadraticDesign, fit, Method, QrsModel};
 use cloudburst_sim::{RngFactory, Sim, SimDuration, SimTime};
 use cloudburst_sla::{oo_series, CompletionRecord, OoConfig, OoSample, WindowConfig};
@@ -242,6 +248,82 @@ fn chaos_dormant_probe(reps: usize) -> (f64, f64) {
     (reps as f64 / dormant_secs, dormant_secs / clean_secs)
 }
 
+/// Dormant-econ overhead: the same small engine runs with `econ: None` vs
+/// a dormant `EconConfig` section armed (no prices anywhere). A dormant
+/// section never builds `EconState`, so both configurations must execute
+/// the literally identical code path (the engine byte-identity test pins
+/// the semantic half of that claim); this probe pins the wall-clock half.
+/// Both sides are timed as the best of `blocks` interleaved blocks of
+/// `reps` runs, so the gated ratio survives noisy CI neighbours. Returns
+/// `(dormant_runs_per_sec, dormant_over_clean_throughput_ratio)`.
+fn econ_dormant_probe(reps: usize, blocks: usize) -> (f64, f64) {
+    let mk = |econ: Option<EconConfig>| {
+        let mut cfg = ExperimentConfig::paper(
+            SchedulerKind::OrderPreserving,
+            cloudburst_workload::SizeBucket::Uniform,
+            7,
+        );
+        cfg.arrivals.n_batches = 3;
+        cfg.arrivals.jobs_per_batch = 8.0;
+        cfg.n_ic = 2;
+        cfg.training_docs = 150;
+        cfg.econ = econ;
+        cfg
+    };
+    let clean = mk(None);
+    let dormant = mk(Some(EconConfig::default()));
+    run_experiment(&clean); // warm-up
+    run_experiment(&dormant);
+
+    let time_block = |cfg: &ExperimentConfig| {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            run_experiment(cfg);
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    let mut clean_best = f64::INFINITY;
+    let mut dormant_best = f64::INFINITY;
+    for _ in 0..blocks {
+        clean_best = clean_best.min(time_block(&clean));
+        dormant_best = dormant_best.min(time_block(&dormant));
+    }
+    (reps as f64 / dormant_best, clean_best / dormant_best)
+}
+
+/// Cost-aware broker decision throughput: one armed world with a priced
+/// primary site plus three priced extra sites, timed over repeated
+/// `broker_site_choice` calls — the per-burst site pick the econ layer
+/// adds to the hot path (a bounded scan over sites, never the queue).
+fn econ_broker_probe(n: usize) -> f64 {
+    let mut cfg = ExperimentConfig::default();
+    let site = |rate_cents: u64| EcSiteConfig {
+        n_machines: 2,
+        speed: 1.0,
+        upload_model: cfg.upload_model.clone(),
+        download_model: cfg.download_model.clone(),
+        price: Some(PriceModel::OnDemand {
+            usd_per_machine_hour: Money::from_cents(rate_cents as i64),
+            usd_per_gb_transfer: Money::from_cents(9),
+        }),
+    };
+    cfg.extra_ec_sites = vec![site(240), site(180), site(300)];
+    cfg.econ = Some(EconConfig {
+        primary_price: Some(PriceModel::flat(Money::from_cents(210))),
+        broker: BrokerPolicy::CostAware,
+        ..EconConfig::default()
+    });
+    let h = EngineHarness::new(&cfg, Vec::new());
+    let mut sink = 0usize;
+    let t0 = Instant::now();
+    for i in 0..n {
+        sink += h.world().broker_site_choice(SimTime::from_secs((i % 3_600) as u64));
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    assert!(sink < n * 8, "broker picked an out-of-range site");
+    n as f64 / secs
+}
+
 /// Sustained open-system serving vs its closed-batch twin over the
 /// draw-identical workload (flat envelope, no bursts): a 24-simulated-hour
 /// stream on a stable estate, stepped window by window with closed rows
@@ -342,6 +424,8 @@ fn main() {
     let (refit_batch, refit_rls) = qrsm_refit_probe(400, 2_000);
     let (oo_rescan, oo_stream) = oo_series_probe(2_000, 30);
     let (chaos_dormant_rps, chaos_dormant_ratio) = chaos_dormant_probe(20);
+    let (econ_dormant_rps, econ_dormant_over_clean) = econ_dormant_probe(20, 3);
+    let econ_broker_dps = econ_broker_probe(2_000_000);
     let (serve_jps, serve_closed_jps, serve_jobs, serve_live_hw, serve_mem_curve) =
         serve_sustained_probe();
 
@@ -366,6 +450,9 @@ fn main() {
     doc.insert("oo_series_speedup".into(), json!(oo_rescan / oo_stream));
     doc.insert("chaos_dormant_runs_per_sec".into(), json!(chaos_dormant_rps));
     doc.insert("chaos_dormant_overhead_ratio".into(), json!(chaos_dormant_ratio));
+    doc.insert("econ_dormant_runs_per_sec".into(), json!(econ_dormant_rps));
+    doc.insert("econ_dormant_over_clean".into(), json!(econ_dormant_over_clean));
+    doc.insert("econ_broker_decisions_per_sec".into(), json!(econ_broker_dps));
     doc.insert("serve_sustained_jobs_per_sec".into(), json!(serve_jps));
     doc.insert("serve_closed_jobs_per_sec".into(), json!(serve_closed_jps));
     doc.insert("serve_sustained_over_closed".into(), json!(serve_jps / serve_closed_jps));

@@ -472,6 +472,28 @@ fn sample_crashes(
     }
 }
 
+/// Samples spot-instance revocation cycles for one EC site's machines on
+/// the dedicated `"chaos/spot-revoke"` stream. Revocations are ordinary
+/// crash/recover cycles from the engine's point of view — the economics
+/// layer merges them into the run's [`FaultPlan`] — but they draw from
+/// their own stream label keyed `(site << 32) | machine`, so arming a spot
+/// price model never perturbs any existing chaos stream (and vice versa).
+pub fn sample_spot_revocations(
+    seed: u64,
+    site: u32,
+    n_machines: u32,
+    law: &CrashLaw,
+    horizon_secs: f64,
+    out: &mut Vec<MachineFault>,
+) {
+    let rngs = RngFactory::new(seed);
+    let horizon = horizon_secs.max(0.0);
+    for m in 0..n_machines {
+        let mut rng = rngs.stream_indexed("chaos/spot-revoke", ((site as u64) << 32) | m as u64);
+        sample_crashes(&mut rng, law, horizon, Pool::Ec(site), m, out);
+    }
+}
+
 /// Interval/duration-sampled fault windows, truncated like crash cycles.
 fn sample_windows(
     rng: &mut rand::rngs::StdRng,
@@ -650,6 +672,44 @@ mod tests {
         assert_ne!(ups, downs, "directions draw from distinct keys");
         let hits = ups.iter().filter(|&&b| b).count();
         assert!((10..=54).contains(&hits), "≈ half should fire, got {hits}");
+    }
+
+    #[test]
+    fn spot_revocations_are_deterministic_and_stream_isolated() {
+        let law = CrashLaw {
+            mean_uptime_secs: 1800.0,
+            mean_downtime_secs: 600.0,
+            max_faults_per_machine: 8,
+        };
+        let mut a = Vec::new();
+        sample_spot_revocations(42, 1, 3, &law, 86_400.0, &mut a);
+        let mut b = Vec::new();
+        sample_spot_revocations(42, 1, 3, &law, 86_400.0, &mut b);
+        assert_eq!(a, b, "pure function of (seed, site, law, horizon)");
+        assert!(!a.is_empty(), "an aggressive law over a day yields cycles");
+        for f in &a {
+            assert_eq!(f.pool, Pool::Ec(1));
+            assert!(f.machine < 3);
+            assert!(f.up_at_secs > f.down_at_secs);
+            assert!(f.down_at_secs < 86_400.0);
+        }
+        // The dedicated stream differs from the ec_crash stream for the
+        // same (seed, site, machine, law): arming spot pricing must not
+        // replay (or be confused with) ordinary EC crash plans.
+        let profile = FaultProfile {
+            ec_crash: Some(law),
+            horizon_secs: 86_400.0,
+            ..FaultProfile::dormant()
+        };
+        let crash_plan =
+            profile.compile(42, &EstateShape { n_ic: 0, ec_machines: vec![0, 3] });
+        assert_ne!(a, crash_plan.machine_faults, "distinct stream labels");
+        // Site index keys the stream too.
+        let mut other_site = Vec::new();
+        sample_spot_revocations(42, 0, 3, &law, 86_400.0, &mut other_site);
+        let a_times: Vec<f64> = a.iter().map(|f| f.down_at_secs).collect();
+        let o_times: Vec<f64> = other_site.iter().map(|f| f.down_at_secs).collect();
+        assert_ne!(a_times, o_times, "sites draw independent revocation streams");
     }
 
     #[test]

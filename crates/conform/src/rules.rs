@@ -39,7 +39,7 @@ use crate::lexer::{Tok, TokKind};
 /// Crates (directory names under `crates/`) whose library code must stay
 /// deterministic: everything that runs inside the simulation clock.
 pub const DETERMINISTIC_CRATES: &[&str] =
-    &["chaos", "cluster", "core", "net", "qrsm", "sched", "sim", "sla", "workload"];
+    &["chaos", "cluster", "core", "econ", "net", "qrsm", "sched", "sim", "sla", "workload"];
 
 /// Crates on the per-decision hot path, where a linear `min_by`/`max_by`
 /// rescan of an unbounded collection re-introduces the O(queue) cost the

@@ -6,6 +6,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use cloudburst_econ::{EconConfig, PriceModel};
 use cloudburst_net::profile::DEFAULT_MEAN_BPS;
 use cloudburst_net::BandwidthModel;
 use cloudburst_sim::SimDuration;
@@ -127,6 +128,10 @@ pub struct EcSiteConfig {
     pub upload_model: BandwidthModel,
     /// Download pipe from this site.
     pub download_model: BandwidthModel,
+    /// Price model of this site (econ extension). `None` — also what
+    /// configs serialized before the econ layer existed decode to — means
+    /// the site is free, and cost accounting for it stays dormant.
+    pub price: Option<PriceModel>,
 }
 
 /// Full description of one experiment run.
@@ -207,6 +212,11 @@ pub struct ExperimentConfig {
     /// before the mode existed decode to) runs the classic closed-batch
     /// experiment; `Some` arms `serve_experiment` / `cloudburst serve`.
     pub serve: Option<ServeConfig>,
+    /// Economics section (pricing, penalties, commitments, cost-aware
+    /// brokering). `None` — what legacy configs decode to — and a section
+    /// that [`cloudburst_econ::EconConfig::is_dormant`] (with no per-site
+    /// prices) leave the run byte-identical to an econ-free one.
+    pub econ: Option<EconConfig>,
 }
 
 impl Default for ExperimentConfig {
@@ -241,6 +251,7 @@ impl Default for ExperimentConfig {
             faults: None,
             shard_workers: None,
             serve: None,
+            econ: None,
         }
     }
 }
@@ -347,6 +358,69 @@ mod tests {
         let s = back.serve.expect("section survives the round trip");
         assert_eq!(s.horizon, SimDuration::from_secs(86_400));
         assert!(s.arrivals.burst.is_some());
+    }
+
+    #[test]
+    fn econ_section_defaults_for_legacy_configs() {
+        // Configs serialized before the econ layer existed must still
+        // decode — to no economics at all.
+        let c = ExperimentConfig::default();
+        let mut js = serde_json::to_string(&c).unwrap();
+        js = js.replace(",\"econ\":null", "");
+        assert!(!js.contains("\"econ\""), "field should be stripped for the test");
+        let back: ExperimentConfig = serde_json::from_str(&js).unwrap();
+        assert!(back.econ.is_none());
+        // And an armed section round-trips field-for-field.
+        let armed = ExperimentConfig {
+            econ: Some(EconConfig {
+                primary_price: Some(PriceModel::flat(cloudburst_econ::Money::from_cents(20))),
+                ..EconConfig::dormant()
+            }),
+            ..Default::default()
+        };
+        let js = serde_json::to_string(&armed).unwrap();
+        let back: ExperimentConfig = serde_json::from_str(&js).unwrap();
+        assert_eq!(back.econ, armed.econ);
+    }
+
+    #[test]
+    fn ec_site_price_defaults_for_legacy_configs() {
+        // EcSiteConfig round trip with the new per-site `price` field:
+        // a site serialized before the field existed decodes to a free
+        // site, same pattern as `shard_workers`/`serve`.
+        let site = EcSiteConfig {
+            n_machines: 4,
+            speed: 1.5,
+            upload_model: BandwidthModel::Constant(1e5),
+            download_model: BandwidthModel::Constant(2e5),
+            price: None,
+        };
+        let mut js = serde_json::to_string(&site).unwrap();
+        assert!(js.contains("\"price\":null"));
+        js = js.replace(",\"price\":null", "");
+        assert!(!js.contains("\"price\""), "field should be stripped for the test");
+        let back: EcSiteConfig = serde_json::from_str(&js).unwrap();
+        assert!(back.price.is_none(), "legacy sites decode as free");
+        assert_eq!(back.n_machines, 4);
+        assert_eq!(back.speed, 1.5);
+        // A priced site round-trips exactly, spot trace and all.
+        let priced = EcSiteConfig {
+            price: Some(PriceModel::Spot {
+                base_usd_per_machine_hour: cloudburst_econ::Money::from_cents(35),
+                usd_per_gb_transfer: cloudburst_econ::Money::from_cents(2),
+                multipliers: vec![(0.0, 700), (43_200.0, 1400)],
+                period_secs: 86_400.0,
+                revocation: Some(cloudburst_chaos::CrashLaw {
+                    mean_uptime_secs: 7200.0,
+                    mean_downtime_secs: 300.0,
+                    max_faults_per_machine: 3,
+                }),
+            }),
+            ..site
+        };
+        let js = serde_json::to_string(&priced).unwrap();
+        let back: EcSiteConfig = serde_json::from_str(&js).unwrap();
+        assert_eq!(back.price, priced.price);
     }
 
     #[test]

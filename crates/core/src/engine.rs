@@ -18,8 +18,9 @@
 //! simulation itself; the scheduler sees estimates. This split is what lets
 //! the experiments reproduce the paper's robustness comparisons.
 
-use cloudburst_chaos::{EstateShape, FaultPlan, Pool};
+use cloudburst_chaos::{sample_spot_revocations, EstateShape, FaultPlan, FaultProfile, Pool};
 use cloudburst_cluster::{Cloud, ExecCompletion, MachineId};
+use cloudburst_econ::{AdmissionPolicy, BrokerPolicy, CostMetrics, Money, PenaltySchedule, PriceModel};
 use cloudburst_net::link::{CapacityFault, Completion};
 use cloudburst_net::queues::{SibsQueues, SizeClass};
 use cloudburst_net::{Link, SibsBounds, TransferId};
@@ -363,6 +364,33 @@ impl ChaosState {
     }
 }
 
+/// Live economics bookkeeping. `EngineWorld::econ` is `None` whenever the
+/// config's econ section is dormant (or absent) and no site carries a
+/// price, so an unpriced run leaves every code path — and therefore every
+/// byte of the run — identical to a pre-econ one.
+struct EconState {
+    /// Deadline-miss penalty schedule.
+    penalty: PenaltySchedule,
+    /// Admission commitment policy.
+    admission: AdmissionPolicy,
+    /// Broker site-selection discipline.
+    broker: BrokerPolicy,
+    /// Price per EC site (index 0 = the primary site); `None` = free,
+    /// like the IC.
+    prices: Vec<Option<PriceModel>>,
+    /// Hourly-rental high-water mark per site per machine: the first
+    /// unpaid wall-clock hour index (see [`PriceModel::exec_charge`]).
+    paid_until: Vec<Vec<u64>>,
+    /// Deadline per job slot — the hard admission commitment under
+    /// commit-or-reject, the advisory ticket promise under admit-all.
+    /// Kept in lock-step with the job spine (recycled in serve mode).
+    deadline: Vec<SimTime>,
+    /// Whether the slot's deadline is a hard admission commitment.
+    committed: Vec<bool>,
+    /// The realized dollar ledger.
+    metrics: CostMetrics,
+}
+
 /// Open-system serving state. `EngineWorld::serve` is `None` in classic
 /// closed-batch mode, so every serving branch is untaken there and a
 /// closed run's bytes are identical to what they were before the mode
@@ -483,6 +511,9 @@ pub struct EngineWorld {
     admit_scratch: Vec<(f64, f64)>,
     /// Open-system serving state; `None` ⇔ classic closed-batch mode.
     serve: Option<ServeState>,
+    /// Economics state; `None` ⇔ no price, penalty, admission commitment
+    /// or broker policy can ever affect this run.
+    econ: Option<EconState>,
 }
 
 impl std::fmt::Debug for EngineWorld {
@@ -564,6 +595,7 @@ impl EngineWorld {
             speed: cfg.ec_speed,
             upload_model: cfg.upload_model.clone(),
             download_model: cfg.download_model.clone(),
+            price: None,
         }];
         site_cfgs.extend(cfg.extra_ec_sites.iter().cloned());
         let mut sites: Vec<EcSite> = site_cfgs
@@ -572,18 +604,62 @@ impl EngineWorld {
             .map(|(i, sc)| EcSite::new(&cfg, sc, sibs, format!("ec{i}")))
             .collect();
 
-        // Chaos: an explicit plan (replay path) wins; otherwise compile the
-        // config's profile against this estate. An empty plan arms nothing,
-        // keeping the run byte-identical to a fault-free one.
-        let plan = plan.or_else(|| {
-            cfg.faults.as_ref().map(|p| {
-                let shape = EstateShape {
-                    n_ic: cfg.n_ic as u32,
-                    ec_machines: site_cfgs.iter().map(|s| s.n_machines.max(1) as u32).collect(),
-                };
-                p.compile(cfg.seed, &shape)
-            })
+        // Economics: armed iff the econ section is non-dormant or any site
+        // carries a price. A dormant (or absent) section arms nothing,
+        // keeping the run byte-identical to an econ-free one.
+        let econ_cfg = cfg.econ.clone().unwrap_or_default();
+        let prices: Vec<Option<PriceModel>> = std::iter::once(econ_cfg.primary_price.clone())
+            .chain(cfg.extra_ec_sites.iter().map(|s| s.price.clone()))
+            .collect();
+        let econ_armed = !econ_cfg.is_dormant() || prices.iter().any(|p| p.is_some());
+        let mut econ = econ_armed.then(|| EconState {
+            penalty: econ_cfg.penalty,
+            admission: econ_cfg.admission,
+            broker: econ_cfg.broker,
+            paid_until: site_cfgs.iter().map(|s| vec![0u64; s.n_machines.max(1)]).collect(),
+            metrics: CostMetrics::with_sites(site_cfgs.len()),
+            prices,
+            deadline: Vec::new(),
+            committed: Vec::new(),
         });
+
+        // Chaos: an explicit plan (replay path) wins verbatim; otherwise
+        // compile the config's profile against this estate, then merge in
+        // the revocation cycles of any spot-priced site — the spot model's
+        // revocation law is realized through the same fault machinery, so
+        // revocations are ordinary machine crash/recover events and a pure
+        // function of the seeded plan. An empty plan arms nothing, keeping
+        // the run byte-identical to a fault-free one.
+        let shape = EstateShape {
+            n_ic: cfg.n_ic as u32,
+            ec_machines: site_cfgs.iter().map(|s| s.n_machines.max(1) as u32).collect(),
+        };
+        let explicit_plan = plan.is_some();
+        let mut plan = plan.or_else(|| cfg.faults.as_ref().map(|p| p.compile(cfg.seed, &shape)));
+        if !explicit_plan {
+            if let Some(econ) = &mut econ {
+                let horizon = cfg.faults.as_ref().map(|p| p.horizon_secs).unwrap_or(86_400.0);
+                let mut spot = Vec::new();
+                for (site, price) in econ.prices.iter().enumerate() {
+                    if let Some(law) = price.as_ref().and_then(|p| p.revocation_law()) {
+                        sample_spot_revocations(
+                            cfg.seed,
+                            site as u32,
+                            site_cfgs[site].n_machines.max(1) as u32,
+                            law,
+                            horizon,
+                            &mut spot,
+                        );
+                    }
+                }
+                if !spot.is_empty() {
+                    econ.metrics.spot_revocations = spot.len() as u64;
+                    plan.get_or_insert_with(|| FaultProfile::dormant().compile(cfg.seed, &shape))
+                        .machine_faults
+                        .extend(spot);
+                }
+            }
+        }
         let chaos = plan.filter(|p| !p.is_empty()).map(|plan| ChaosState {
             metrics: FaultMetrics {
                 blackout_secs: plan.blackout_secs(),
@@ -663,6 +739,7 @@ impl EngineWorld {
             pool,
             admit_scratch: Vec::new(),
             serve: None,
+            econ,
         }
     }
 
@@ -800,7 +877,7 @@ impl EngineWorld {
     /// Refreshes the load-model backing buffers in place and returns the
     /// broker's site choice. Allocation-free once the buffers are warm.
     fn refresh_load_model(&mut self, now: SimTime) -> usize {
-        let site = self.least_loaded_site();
+        let site = self.broker_site(now);
         fill_est_free(
             &self.est_exec,
             &mut self.ft_index,
@@ -912,6 +989,71 @@ impl EngineWorld {
             .expect("at least one EC site")
     }
 
+    /// The broker's site pick for the next burst. The legacy (default)
+    /// policy is earliest-round-trip via [`Self::least_loaded_site`]; the
+    /// cost-aware policy scores each site by estimated dollar pressure and
+    /// keys ties back through the legacy ordering, so with equal prices it
+    /// degenerates to the legacy broker exactly (oracle-asserted in test
+    /// builds).
+    fn broker_site(&self, now: SimTime) -> usize {
+        match &self.econ {
+            Some(e) if e.broker == BrokerPolicy::CostAware => {
+                let site = self.cost_aware_site(e, now);
+                #[cfg(test)]
+                if e.prices.iter().all(|p| *p == e.prices[0]) && e.penalty.is_free() {
+                    assert_eq!(
+                        site,
+                        self.least_loaded_site(),
+                        "degenerate cost-aware broker diverged from the legacy pick"
+                    );
+                }
+                site
+            }
+            _ => self.least_loaded_site(),
+        }
+    }
+
+    /// Cost-aware broker score, minimized over sites: the site's hourly
+    /// compute rate as of `now` (the spot trace makes this time-varying)
+    /// plus its per-GB transfer rate plus the penalty a job would accrue
+    /// waiting out the site's upload backlog — the $-cost × deadline
+    /// feasibility product collapsed to one integer [`Money`] key. Unpriced
+    /// sites score zero on the dollar axes; exact ties fall through to the
+    /// legacy (backlog, index) key.
+    fn cost_aware_site(&self, econ: &EconState, now: SimTime) -> usize {
+        let at_micros = (now - SimTime::ZERO).as_micros();
+        let mut best: Option<((Money, u64, usize), usize)> = None;
+        for (i, (s, price)) in self.sites.iter().zip(&econ.prices).enumerate() {
+            let legacy = s.upload_backlog_bytes() + s.cloud.boundary().queued as u64;
+            let score = match price {
+                None => {
+                    // A free site still exposes deadline risk through its
+                    // backlog delay.
+                    let wait = self.est.upload_secs(now, s.upload_backlog_bytes());
+                    econ.penalty.charge(SimDuration::from_secs_f64(wait).as_micros())
+                }
+                Some(p) => {
+                    let wait = self.est.upload_secs(now, s.upload_backlog_bytes());
+                    p.hourly_rate_at(at_micros)
+                        + p.transfer_rate()
+                        + econ.penalty.charge(SimDuration::from_secs_f64(wait).as_micros())
+                }
+            };
+            let key = (score, legacy, i);
+            if best.as_ref().is_none_or(|(k, _)| key < *k) {
+                best = Some((key, i));
+            }
+        }
+        best.map(|(_, i)| i).unwrap_or(0)
+    }
+
+    /// Probe API: the broker's current site choice at `now`, exactly as
+    /// the next burst decision would compute it (golden tie-break tests
+    /// and the perf probes drive this directly).
+    pub fn broker_site_choice(&self, now: SimTime) -> usize {
+        self.broker_site(now)
+    }
+
     fn classify(&self, site: usize, bytes: u64) -> SizeClass {
         match self.sites[site].sibs_bounds {
             Some(b) if self.cfg.scheduler == SchedulerKind::Sibs => b.classify(bytes),
@@ -1018,6 +1160,7 @@ impl EngineWorld {
             downloaded_bytes: self.sites.iter().map(|s| s.downloaded_bytes).sum(),
             tickets,
             faults: self.chaos.as_ref().map(|c| c.metrics.clone()).unwrap_or_default(),
+            econ: self.econ.as_ref().map(|e| e.metrics.clone()),
         }
     }
 
@@ -1025,6 +1168,11 @@ impl EngineWorld {
     /// no chaos state is armed at all).
     pub fn fault_metrics(&self) -> Option<&FaultMetrics> {
         self.chaos.as_ref().map(|c| &c.metrics)
+    }
+
+    /// Realized economics ledger (`None` when no econ layer is armed).
+    pub fn econ_metrics(&self) -> Option<&CostMetrics> {
+        self.econ.as_ref().map(|e| &e.metrics)
     }
 
     /// The compiled fault plan driving this run, if any — serialize it with
@@ -1078,10 +1226,16 @@ impl EngineWorld {
     /// window up to (and including the partial one containing) `end`.
     fn serve_report(&mut self, end: SimTime) -> ServeReport {
         let faults = self.chaos.as_ref().map(|c| c.metrics.clone()).unwrap_or_default();
+        let econ = self.econ.as_ref().map(|e| e.metrics.clone());
         let scheduler = self.scheduler.name().to_string();
         let seed = self.cfg.seed;
         let serve = self.serve.as_mut().expect("serve-mode world");
         let window = serve.windows.config().window;
+        // Final econ snapshot, so the last (partial) window's delta covers
+        // everything billed since the previous epoch heartbeat.
+        if let Some(e) = &econ {
+            serve.windows.observe_econ(end, e.snapshot());
+        }
         // `end + window` flushes the partial final window (advance_to only
         // closes windows that end at or before the flush instant).
         serve.windows.finish(end + window, &faults);
@@ -1103,6 +1257,7 @@ impl EngineWorld {
             live_high_water: serve.live_high_water,
             faults,
             windows,
+            econ,
         }
     }
 }
@@ -1206,6 +1361,10 @@ fn on_wake(w: &mut W, sim: &mut Sim<W>) {
             w.sites[i].cloud.advance_into(now, &mut execs);
             for &c in &execs {
                 any = true;
+                // Bill before the fault check: a failed attempt still ran
+                // on metered capacity. (A crash-aborted attempt never
+                // completes, so it never reaches this loop — unbilled.)
+                econ_bill_exec(w, i, &c);
                 if chaos_exec_failed(w, &c, now, Some(i)) {
                     continue;
                 }
@@ -1283,30 +1442,20 @@ fn on_batch(w: &mut W, sim: &mut Sim<W>, batch_jobs: Vec<Job>) {
     // split into three phases so the per-job estimate reads can fan out
     // over the shard pool without perturbing a single sequential byte:
     //
-    // Phase 1 (sequential): materialize the admitted jobs — global ids in
-    // admission order, plus chunk ground-truth resampling on the one
+    // Phase 1 (sequential): chunk ground-truth resampling on the one
     // shared RNG stream (call order preserved exactly). The scheduler
     // fabricates a pro-rata service time when it splits a job; the engine
     // is the authority on ground truth, so chunk times are re-sampled
     // from the truth law on the chunk's own features (documents are
     // embarrassingly parallel) plus the split/merge overhead. Without
     // this, chunks would secretly carry their parent's superlinear cost
-    // and every QRSM estimate of a chunk would be biased low.
+    // and every QRSM estimate of a chunk would be biased low. Global ids
+    // materialize in phase 3, after the admission gate — a rejected job
+    // must not consume an id (the spine slot would leak).
     let mut admitted = schedule.jobs;
     let base = w.jobs.len() as u64;
     let mut fresh = 0u64;
     for (job, _) in admitted.iter_mut() {
-        // Serving recycles the slot of a completed job (LIFO); closed mode
-        // has no free list, so every id is fresh — `base + k` exactly as
-        // before the serving mode existed.
-        job.id = match w.serve.as_mut().and_then(|s| s.free_ids.pop()) {
-            Some(id) => JobId(id),
-            None => {
-                let id = JobId(base + fresh);
-                fresh += 1;
-                id
-            }
-        };
         if job.is_chunk() {
             job.true_service_secs = w.cfg.truth.sample_secs(&mut w.rng_chunk_truth, &job.features)
                 + w.cfg.chunk_policy.per_chunk_overhead_secs;
@@ -1329,20 +1478,54 @@ fn on_batch(w: &mut W, sim: &mut Sim<W>, batch_jobs: Vec<Job>) {
         });
     }
 
-    // Phase 3 (sequential spine): planner commitments, dispatch pushes,
-    // and ticket quotes replay in id order exactly as the serial engine.
+    // Phase 3 (sequential spine): the admission gate, planner
+    // commitments, dispatch pushes, and ticket quotes replay in id order
+    // exactly as the serial engine.
     let mut planner = Planner::new(&load, &w.est);
     let mut decisions = Vec::with_capacity(admitted.len());
-    for ((job, placement), &(est_secs, rmse_secs)) in admitted.into_iter().zip(&planner_inputs) {
+    for ((mut job, placement), &(est_secs, rmse_secs)) in
+        admitted.into_iter().zip(&planner_inputs)
+    {
+        // The ticket quote's k-RMSE confidence margin (also the admission
+        // gate's safety margin below).
+        let margin = cloudburst_sim::SimDuration::from_secs_f64(
+            w.cfg.ticket_margin_k.max(0.0) * rmse_secs,
+        );
+        // Admission gate: under commit-or-reject the broker either commits
+        // to the job's Eq. 1 deadline (arrival + turnaround budget) or
+        // turns the job away before it consumes an id, a planner
+        // commitment, or a ticket. The feasibility probe reads the planner
+        // without mutating it, so rejected jobs leave no trace.
+        if let Some(econ) = &mut w.econ {
+            if let AdmissionPolicy::CommitOrReject { max_turnaround_secs } = econ.admission {
+                let est_finish = match placement {
+                    Placement::Internal => planner.ft_ic(&job),
+                    Placement::External => planner.ft_ec(&job),
+                };
+                let deadline = job.arrival + SimDuration::from_secs_f64(max_turnaround_secs);
+                if est_finish + margin > deadline {
+                    econ.metrics.jobs_rejected += 1;
+                    continue;
+                }
+            }
+        }
+        // Serving recycles the slot of a completed job (LIFO); closed mode
+        // has no free list, so every id is fresh — `base + k` exactly as
+        // before the serving mode existed.
+        job.id = match w.serve.as_mut().and_then(|s| s.free_ids.pop()) {
+            Some(id) => JobId(id),
+            None => {
+                let id = JobId(base + fresh);
+                fresh += 1;
+                id
+            }
+        };
         let id = job.id;
         let idx = id.0 as usize;
         let est_ct = planner.commit(&job, placement);
         decisions.push(placement == Placement::External);
-        // The ticket quote: estimate plus a k-RMSE confidence margin.
-        let promise = est_ct
-            + cloudburst_sim::SimDuration::from_secs_f64(
-                w.cfg.ticket_margin_k.max(0.0) * rmse_secs,
-            );
+        // The ticket quote: estimate plus the confidence margin.
+        let promise = est_ct + margin;
         let timeline = crate::timeline::JobTimeline::new(id.0, job.arrival, now, placement);
 
         debug_assert!(idx <= w.jobs.len(), "admitted id beyond the spine");
@@ -1393,6 +1576,25 @@ fn on_batch(w: &mut W, sim: &mut Sim<W>, batch_jobs: Vec<Job>) {
                 serve.bursted_jobs += 1;
             }
             serve.live_high_water = serve.live_high_water.max(serve.windows.live());
+        }
+        if let Some(econ) = &mut w.econ {
+            // The deadline spine, in lock-step with the job spine: a hard
+            // committed deadline under commit-or-reject (the gate above
+            // admitted this job), the advisory promise under admit-all.
+            let (deadline, committed) = match econ.admission {
+                AdmissionPolicy::CommitOrReject { max_turnaround_secs } => {
+                    econ.metrics.jobs_committed += 1;
+                    (job.arrival + SimDuration::from_secs_f64(max_turnaround_secs), true)
+                }
+                AdmissionPolicy::AdmitAll => (promise, false),
+            };
+            if idx == econ.deadline.len() {
+                econ.deadline.push(deadline);
+                econ.committed.push(committed);
+            } else {
+                econ.deadline[idx] = deadline;
+                econ.committed[idx] = committed;
+            }
         }
         match placement {
             Placement::Internal => {
@@ -1449,8 +1651,12 @@ fn on_serve_epoch(w: &mut W, sim: &mut Sim<W>) {
     // Heartbeat at epoch granularity: the window series attributes fault
     // counters to windows by cumulative snapshot deltas.
     let faults = w.chaos.as_ref().map(|c| c.metrics.clone()).unwrap_or_default();
+    let econ_snap = w.econ.as_ref().map(|e| e.metrics.snapshot());
     let serve = w.serve.as_mut().expect("serve state");
     serve.windows.heartbeat(now, &faults);
+    if let Some(snap) = econ_snap {
+        serve.windows.observe_econ(now, snap);
+    }
     let next = serve.arrivals.next_arrival();
     if next < serve.horizon {
         sim.schedule_at(next, on_serve_epoch);
@@ -1534,6 +1740,9 @@ fn on_upload_done(w: &mut W, site: usize, c: Completion) {
     match payload {
         Payload::Job(id) => {
             w.sites[site].uploaded_bytes += c.bytes;
+            // The bytes physically moved even if the payload is then
+            // declared lost below — the provider charges either way.
+            econ_bill_transfer(w, site, c.bytes);
             if chaos_transfer_lost(w, site, id, &c, true) {
                 return;
             }
@@ -1559,6 +1768,7 @@ fn on_download_done(w: &mut W, site: usize, c: Completion) {
     match payload {
         Payload::Job(id) => {
             w.sites[site].downloaded_bytes += c.bytes;
+            econ_bill_transfer(w, site, c.bytes);
             if chaos_transfer_lost(w, site, id, &c, false) {
                 return;
             }
@@ -1618,6 +1828,7 @@ fn finish_exec(w: &mut W, id: JobId, at: SimTime, started: SimTime, ic: bool) {
 fn record_completion(w: &mut W, id: JobId, at: SimTime) {
     let idx = id.0 as usize;
     debug_assert!(w.completions[idx].is_none(), "job completed twice: {id}");
+    econ_settle_completion(w, id, at);
     w.completions[idx] = Some(at);
     w.output_bytes[idx] = w.jobs[idx].output_bytes;
     w.outstanding.remove(id.0);
@@ -1637,6 +1848,55 @@ fn record_completion(w: &mut W, id: JobId, at: SimTime) {
         serve.windows.on_complete(serve.seq_of[idx], at, out, turnaround_secs, Some(met));
         serve.output_bytes_total += out;
         serve.free_ids.push(id.0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Economics (cost accounting — see DESIGN.md §10)
+// ---------------------------------------------------------------------------
+
+/// Econ: bills one completed EC execution attempt at its site's price.
+/// On-demand and spot meter the occupancy span; hourly rental acquires
+/// whole wall-clock hours through the per-machine `paid_until` mark.
+fn econ_bill_exec(w: &mut W, site: usize, c: &ExecCompletion<JobId>) {
+    let Some(econ) = &mut w.econ else { return };
+    let Some(price) = econ.prices.get(site).and_then(|p| p.as_ref()) else { return };
+    let Some(paid) = econ.paid_until.get_mut(site).and_then(|v| v.get_mut(c.machine.0)) else {
+        return;
+    };
+    let started = (c.started - SimTime::ZERO).as_micros();
+    let ended = (c.at - SimTime::ZERO).as_micros();
+    let before = *paid;
+    let amount = price.exec_charge(started, ended, paid);
+    let acquired = *paid - before;
+    if acquired > 0 {
+        econ.metrics.add_rental_hours(site, acquired);
+    }
+    econ.metrics.add_compute(site, amount);
+}
+
+/// Econ: bills the bytes a completed job transfer physically moved.
+/// Probe transfers are the autonomic layer's own overhead and stay free.
+fn econ_bill_transfer(w: &mut W, site: usize, bytes: u64) {
+    let Some(econ) = &mut w.econ else { return };
+    let Some(price) = econ.prices.get(site).and_then(|p| p.as_ref()) else { return };
+    econ.metrics.add_transfer(site, price.transfer_charge(bytes));
+}
+
+/// Econ: settles a delivered job against its deadline — the penalty
+/// schedule prices the lateness, and a miss counts as a commitment
+/// violation (hard deadline) or ordinary lateness (advisory promise).
+fn econ_settle_completion(w: &mut W, id: JobId, at: SimTime) {
+    let Some(econ) = &mut w.econ else { return };
+    let Some(&deadline) = econ.deadline.get(id.0 as usize) else { return };
+    if at <= deadline {
+        return;
+    }
+    econ.metrics.penalty += econ.penalty.charge((at - deadline).as_micros());
+    if econ.committed.get(id.0 as usize).copied().unwrap_or(false) {
+        econ.metrics.commitment_violations += 1;
+    } else {
+        econ.metrics.late_completions += 1;
     }
 }
 
@@ -1934,7 +2194,7 @@ fn try_pull_back(w: &mut W, now: SimTime) {
 /// from the tail of the IC wait queue.
 // conform::hot_root
 fn try_push_out(w: &mut W, now: SimTime) {
-    let site = w.least_loaded_site();
+    let site = w.broker_site(now);
     if !w.sites[site].up_queues.is_empty() || w.sites[site].up_link.boundary().in_flight > 0 {
         return;
     }
@@ -2597,6 +2857,7 @@ mod tests {
             speed: 1.0,
             upload_model: cfg.upload_model.clone(),
             download_model: cfg.download_model.clone(),
+            price: None,
         }];
         let (r, world) = run_experiment_detailed(&cfg);
         assert_eq!(r.completion_times.len(), r.n_jobs);
@@ -2755,6 +3016,183 @@ mod tests {
         assert_eq!(window_faults, r.faults.exec_failures, "heartbeat deltas conserve faults");
     }
 
+    /// A minimal econ section: the given primary price, everything else
+    /// dormant (free penalty, admit-all, legacy broker).
+    fn econ_section(primary: Option<PriceModel>) -> cloudburst_econ::EconConfig {
+        cloudburst_econ::EconConfig {
+            primary_price: primary,
+            ..cloudburst_econ::EconConfig::dormant()
+        }
+    }
+
+    #[test]
+    fn dormant_econ_section_is_byte_identical_to_absent() {
+        let without = run_experiment(&small_cfg(SchedulerKind::Greedy, 7));
+        let mut cfg = small_cfg(SchedulerKind::Greedy, 7);
+        cfg.econ = Some(cloudburst_econ::EconConfig::dormant());
+        let (with, world) = run_experiment_detailed(&cfg);
+        assert!(world.econ_metrics().is_none(), "dormant section must arm nothing");
+        assert_eq!(
+            serde_json::to_string(&with).expect("json"),
+            serde_json::to_string(&without).expect("json"),
+            "dormant econ section changed the run bytes"
+        );
+    }
+
+    #[test]
+    fn pricing_alone_bills_without_perturbing_the_run() {
+        let mut cfg = small_cfg(SchedulerKind::Greedy, 5);
+        cfg.n_ic = 2;
+        cfg.arrivals.jobs_per_batch = 12.0;
+        let base = run_experiment(&cfg);
+        cfg.econ = Some(econ_section(Some(PriceModel::OnDemand {
+            usd_per_machine_hour: Money::from_usd(2),
+            usd_per_gb_transfer: Money::from_cents(9),
+        })));
+        let (priced, world) = run_experiment_detailed(&cfg);
+        // The ledger is an observer: the schedule itself is unchanged.
+        assert_eq!(priced.completion_times, base.completion_times);
+        assert_eq!(priced.burst_ratio, base.burst_ratio);
+        let m = world.econ_metrics().expect("priced run arms the ledger");
+        assert!(m.compute > Money::ZERO, "bursts ran on metered machines");
+        assert!(m.transfer > Money::ZERO, "bursts moved billable bytes");
+        assert_eq!(m.net_cost(), m.compute + m.transfer + m.penalty);
+        assert!(m.per_site[0].execs_billed > 0);
+        assert_eq!(m.jobs_rejected, 0, "admit-all rejects nothing");
+        assert_eq!(priced.econ.as_ref().map(|e| e.compute), Some(m.compute));
+    }
+
+    #[test]
+    fn hourly_rental_bills_whole_acquired_hours() {
+        let mut cfg = small_cfg(SchedulerKind::Greedy, 5);
+        cfg.n_ic = 2;
+        cfg.arrivals.jobs_per_batch = 12.0;
+        cfg.econ = Some(econ_section(Some(PriceModel::HourlyRental {
+            usd_per_machine_hour: Money::from_usd(3),
+            usd_per_gb_transfer: Money::ZERO,
+        })));
+        let (_, world) = run_experiment_detailed(&cfg);
+        let m = world.econ_metrics().expect("armed");
+        let hours = m.per_site[0].rental_hours;
+        assert!(hours > 0, "bursts must acquire rental hours");
+        assert_eq!(m.compute, Money::from_usd(3 * hours as i64), "rent = rate × whole hours");
+        assert_eq!(m.transfer, Money::ZERO);
+    }
+
+    #[test]
+    fn spot_revocations_realize_through_the_fault_plan() {
+        let mut cfg = small_cfg(SchedulerKind::Greedy, 11);
+        cfg.n_ic = 2;
+        cfg.arrivals.jobs_per_batch = 12.0;
+        cfg.econ = Some(econ_section(Some(PriceModel::Spot {
+            base_usd_per_machine_hour: Money::from_usd(1),
+            usd_per_gb_transfer: Money::ZERO,
+            multipliers: vec![(0.0, 500)],
+            period_secs: 0.0,
+            revocation: Some(cloudburst_chaos::CrashLaw {
+                mean_uptime_secs: 400.0,
+                mean_downtime_secs: 60.0,
+                max_faults_per_machine: 2,
+            }),
+        })));
+        let (r, world) = run_experiment_detailed(&cfg);
+        let m = world.econ_metrics().expect("armed");
+        assert!(m.spot_revocations > 0, "the revocation law must sample cycles");
+        let plan = world.fault_plan().expect("revocations arm the chaos layer");
+        assert_eq!(plan.machine_faults.len() as u64, m.spot_revocations);
+        assert!(
+            plan.machine_faults.iter().all(|f| f.pool == Pool::Ec(0)),
+            "spot cycles hit only the spot-priced site"
+        );
+        // Revocations are a pure function of the seeded plan: reruns are
+        // byte-identical.
+        let (r2, _) = run_experiment_detailed(&cfg);
+        assert_eq!(
+            serde_json::to_string(&r).expect("json"),
+            serde_json::to_string(&r2).expect("json"),
+        );
+    }
+
+    #[test]
+    fn commit_or_reject_gates_admission_up_front() {
+        let mut cfg = small_cfg(SchedulerKind::Greedy, 13);
+        cfg.n_ic = 2;
+        cfg.arrivals.jobs_per_batch = 12.0;
+        let rngs = RngFactory::new(cfg.seed);
+        let batches = BatchArrivals::new(cfg.arrivals.clone()).generate(&rngs, &cfg.truth);
+        let offered: u64 = batches.iter().map(|b| b.jobs.len() as u64).sum();
+        cfg.econ = Some(cloudburst_econ::EconConfig {
+            admission: AdmissionPolicy::CommitOrReject { max_turnaround_secs: 420.0 },
+            ..cloudburst_econ::EconConfig::dormant()
+        });
+        let (r, world) = run_with_batches(&cfg, batches);
+        let m = world.econ_metrics().expect("armed");
+        assert_eq!(m.jobs_committed + m.jobs_rejected, offered, "every offered job is decided");
+        assert_eq!(m.jobs_committed, r.n_jobs as u64, "admitted ⇔ committed");
+        assert!(m.jobs_rejected > 0, "a 7-minute budget on a loaded IC must reject some");
+        assert!(m.jobs_committed > 0, "and admit the feasible rest");
+        assert_eq!(r.completion_times.len(), r.n_jobs, "admitted jobs all complete");
+        // Under commit-or-reject every deadline is a hard commitment, so
+        // misses are violations, never ordinary lateness.
+        assert_eq!(m.late_completions, 0);
+        assert!(m.commitment_violations <= m.jobs_committed);
+    }
+
+    #[test]
+    fn cost_aware_broker_tie_breaks_to_the_lowest_index() {
+        // Two extra sites identical to the primary in machines, speed,
+        // bandwidth, and price: every round-trip estimate ties exactly, so
+        // the cost-aware broker must reduce to the legacy lowest-index
+        // pick — deterministically, run after run.
+        let mut cfg = small_cfg(SchedulerKind::Greedy, 10);
+        cfg.n_ic = 1; // force heavy bursting
+        let price = Some(PriceModel::flat(Money::from_usd(1)));
+        let twin = EcSiteConfig {
+            n_machines: cfg.n_ec,
+            speed: cfg.ec_speed,
+            upload_model: cfg.upload_model.clone(),
+            download_model: cfg.download_model.clone(),
+            price: price.clone(),
+        };
+        cfg.extra_ec_sites = vec![twin.clone(), twin];
+        cfg.econ = Some(cloudburst_econ::EconConfig {
+            primary_price: price,
+            broker: BrokerPolicy::CostAware,
+            ..cloudburst_econ::EconConfig::dormant()
+        });
+        let rngs = RngFactory::new(cfg.seed);
+        let batches = BatchArrivals::new(cfg.arrivals.clone()).generate(&rngs, &cfg.truth);
+        let h = EngineHarness::new(&cfg, batches.clone());
+        assert_eq!(h.world().broker_site_choice(SimTime::ZERO), 0, "exact tie → lowest index");
+        let (a, _) = run_with_batches(&cfg, batches.clone());
+        let (b, _) = run_with_batches(&cfg, batches);
+        assert_eq!(
+            serde_json::to_string(&a).expect("json"),
+            serde_json::to_string(&b).expect("json"),
+            "tie-broken broker runs must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn serve_windows_carry_per_window_econ_deltas() {
+        let mut cfg = serve_cfg(47);
+        cfg.n_ic = 1; // force bursting so compute dollars accrue
+        cfg.econ = Some(econ_section(Some(PriceModel::OnDemand {
+            usd_per_machine_hour: Money::from_usd(2),
+            usd_per_gb_transfer: Money::from_cents(9),
+        })));
+        let r = serve_experiment(&cfg);
+        assert_eq!(r.jobs_completed, r.jobs_admitted, "priced stream still drains");
+        let total = r.econ.as_ref().expect("priced serve run carries a ledger");
+        assert!(total.compute > Money::ZERO);
+        let compute: Money =
+            r.windows.iter().filter_map(|w| w.econ.as_ref()).map(|e| e.compute).sum();
+        let transfer: Money =
+            r.windows.iter().filter_map(|w| w.econ.as_ref()).map(|e| e.transfer).sum();
+        assert_eq!(compute, total.compute, "window deltas conserve compute spend");
+        assert_eq!(transfer, total.transfer, "window deltas conserve transfer spend");
+    }
+
     // Equivalence property: a full run in test builds cross-checks the
     // indexed free-time drain, the incremental outstanding pool and the
     // push-out queue scan against the retained rescan oracles on *every*
@@ -2824,6 +3262,7 @@ mod tests {
                         speed: 1.5,
                         upload_model: cfg.upload_model.clone(),
                         download_model: cfg.download_model.clone(),
+                        price: None,
                     }];
                 }
                 if faulty {
@@ -2884,6 +3323,58 @@ mod tests {
                         workers
                     );
                 }
+            }
+
+            /// The econ tentpole's degenerate-case guarantee: with equal
+            /// flat prices on every site, free penalties and admit-all,
+            /// the cost-aware broker's scores tie everywhere and the
+            /// legacy (backlog, index) key decides — so placements, and
+            /// therefore the whole schedule, match the legacy broker
+            /// exactly, across schedulers and under an armed chaos plan.
+            /// (Test builds also assert the pick per decision inside
+            /// `broker_site`.)
+            #[test]
+            fn cost_aware_broker_with_equal_prices_matches_legacy(
+                seed in 0u64..10_000,
+                kind_idx in 0usize..3,
+                jobs_per_batch in 4.0f64..14.0,
+                extra_site in any::<bool>(),
+                faulty in any::<bool>(),
+            ) {
+                let kind = [
+                    SchedulerKind::Greedy,
+                    SchedulerKind::OrderPreserving,
+                    SchedulerKind::Sibs,
+                ][kind_idx];
+                let mut cfg = small_cfg(kind, seed);
+                cfg.n_ic = 2; // load the IC so bursts exercise the broker
+                cfg.arrivals.jobs_per_batch = jobs_per_batch;
+                let price = Some(PriceModel::flat(Money::from_usd(1)));
+                if extra_site {
+                    cfg.extra_ec_sites = vec![EcSiteConfig {
+                        n_machines: 2,
+                        speed: 1.5,
+                        upload_model: cfg.upload_model.clone(),
+                        download_model: cfg.download_model.clone(),
+                        price: price.clone(),
+                    }];
+                }
+                if faulty {
+                    cfg.faults = Some(armed_fault_profile());
+                }
+                cfg.econ = Some(cloudburst_econ::EconConfig {
+                    primary_price: price,
+                    broker: BrokerPolicy::EarliestRoundTrip,
+                    ..cloudburst_econ::EconConfig::dormant()
+                });
+                let (legacy, _) = run_experiment_detailed(&cfg);
+                if let Some(e) = cfg.econ.as_mut() {
+                    e.broker = BrokerPolicy::CostAware;
+                }
+                let (aware, _) = run_experiment_detailed(&cfg);
+                prop_assert_eq!(aware.completion_times, legacy.completion_times);
+                prop_assert_eq!(aware.makespan_secs, legacy.makespan_secs);
+                prop_assert_eq!(aware.burst_ratio, legacy.burst_ratio);
             }
         }
     }

@@ -26,6 +26,7 @@ pub fn with_second_site(
         speed,
         upload_model: BandwidthModel::Constant(pipe_bps),
         download_model: BandwidthModel::Constant(pipe_bps),
+        price: None,
     });
     cfg
 }

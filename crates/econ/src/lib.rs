@@ -1,0 +1,38 @@
+//! `cloudburst-econ` — the deterministic economics layer of the burst
+//! pipeline: pricing, penalties, commitments, and cost accounting.
+//!
+//! The paper optimizes SLAs against a single fixed-price external cloud;
+//! this crate supplies the generalization the related work makes concrete:
+//! financial penalty schedules for SLA violation (Suleiman & Basir) and
+//! admission decisions that *commit* to deadlines at arrival rather than
+//! discovering misses at the end (Azar et al.). It is plain data + pure
+//! arithmetic — the engine owns all the state and calls in at its own
+//! decision points, exactly like `cloudburst-chaos`:
+//!
+//! * **Integer money.** Every accumulator is a [`Money`] — `i64`
+//!   micro-dollars with saturating arithmetic. Floats appear only at the
+//!   boundary (a lateness span, a spot multiplier *input*), never in a
+//!   running sum, so cost totals are bit-stable under any summation order.
+//! * **Determinism.** A [`PriceModel::Spot`] realizes its revocation law
+//!   through `cloudburst_chaos::sample_spot_revocations` on a dedicated
+//!   RNG stream, so revocations stay a pure function of the seeded plan;
+//!   the price trace itself is an integer per-mille step function.
+//! * **Dormancy.** [`EconConfig::dormant`] describes "economics present
+//!   but priced at zero with no policies armed"; the engine maps it to the
+//!   same `None` state as an absent section, and a literal byte-identity
+//!   test holds it to that.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![deny(missing_debug_implementations)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod money;
+mod policy;
+mod price;
+
+pub use metrics::{CostMetrics, EconWindow, SiteCost};
+pub use money::Money;
+pub use policy::{AdmissionPolicy, BrokerPolicy, EconConfig, PenaltySchedule};
+pub use price::PriceModel;

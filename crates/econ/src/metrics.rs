@@ -1,0 +1,195 @@
+//! Cost accounting: the run-level ledger and its windowed snapshots.
+
+use serde::{Deserialize, Serialize};
+
+use crate::money::Money;
+
+/// Per-site slice of the ledger.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteCost {
+    /// Compute dollars billed at this site.
+    pub compute: Money,
+    /// Transfer dollars billed to and from this site.
+    pub transfer: Money,
+    /// Execution attempts billed (retries included — failed attempts cost).
+    pub execs_billed: u64,
+    /// Whole machine-hours acquired under hourly rental (0 for metered
+    /// billing).
+    pub rental_hours: u64,
+}
+
+/// The run-level economics ledger, embedded in `RunReport`/`ServeReport`
+/// when the econ layer is armed. Every dollar field is integer
+/// micro-dollars; nothing here is ever a float.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostMetrics {
+    /// Total compute dollars across all EC sites (the IC is free).
+    pub compute: Money,
+    /// Total transfer dollars (uploads + downloads, lost payloads
+    /// included — the bytes moved either way).
+    pub transfer: Money,
+    /// Total SLA penalty dollars.
+    pub penalty: Money,
+    /// Jobs admitted under a hard deadline commitment.
+    pub jobs_committed: u64,
+    /// Jobs rejected up front by the admission policy.
+    pub jobs_rejected: u64,
+    /// Committed jobs that finished past their committed deadline.
+    pub commitment_violations: u64,
+    /// Uncommitted jobs that finished past their promised completion.
+    pub late_completions: u64,
+    /// Spot revocation cycles scheduled into the fault plan (static plan
+    /// severity, like the chaos blackout budget).
+    pub spot_revocations: u64,
+    /// Per-site breakdown, primary EC first.
+    pub per_site: Vec<SiteCost>,
+}
+
+impl CostMetrics {
+    /// A zeroed ledger with `n_sites` per-site slots.
+    pub fn with_sites(n_sites: usize) -> CostMetrics {
+        CostMetrics { per_site: vec![SiteCost::default(); n_sites], ..CostMetrics::default() }
+    }
+
+    /// Net dollars: compute + transfer + penalties.
+    pub fn net_cost(&self) -> Money {
+        self.compute + self.transfer + self.penalty
+    }
+
+    /// Books a compute charge against `site`.
+    pub fn add_compute(&mut self, site: usize, amount: Money) {
+        self.compute += amount;
+        if let Some(s) = self.per_site.get_mut(site) {
+            s.compute += amount;
+            s.execs_billed += 1;
+        }
+    }
+
+    /// Books rental hours against `site` (the dollar side goes through
+    /// [`CostMetrics::add_compute`]).
+    pub fn add_rental_hours(&mut self, site: usize, hours: u64) {
+        if let Some(s) = self.per_site.get_mut(site) {
+            s.rental_hours += hours;
+        }
+    }
+
+    /// Books a transfer charge against `site`.
+    pub fn add_transfer(&mut self, site: usize, amount: Money) {
+        self.transfer += amount;
+        if let Some(s) = self.per_site.get_mut(site) {
+            s.transfer += amount;
+        }
+    }
+
+    /// The scalar snapshot used by the serving windows: totals only, a
+    /// `Copy` value, so per-epoch observation allocates nothing.
+    pub fn snapshot(&self) -> EconWindow {
+        EconWindow {
+            compute: self.compute,
+            transfer: self.transfer,
+            penalty: self.penalty,
+            committed: self.jobs_committed,
+            rejected: self.jobs_rejected,
+            violations: self.commitment_violations,
+            late: self.late_completions,
+        }
+    }
+}
+
+/// Scalar economics totals of one serving window (or a cumulative
+/// snapshot; window rows are deltas between snapshots). `Copy`, so the
+/// windowed series costs no allocation on the serve path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EconWindow {
+    /// Compute dollars.
+    pub compute: Money,
+    /// Transfer dollars.
+    pub transfer: Money,
+    /// Penalty dollars.
+    pub penalty: Money,
+    /// Jobs committed.
+    pub committed: u64,
+    /// Jobs rejected.
+    pub rejected: u64,
+    /// Commitment violations.
+    pub violations: u64,
+    /// Ordinary late completions.
+    pub late: u64,
+}
+
+impl EconWindow {
+    /// Field-wise `self − earlier` (saturating), turning two cumulative
+    /// snapshots into one window's delta — the same telescoping discipline
+    /// as `FaultMetrics::delta_since`.
+    pub fn delta_since(&self, earlier: &EconWindow) -> EconWindow {
+        EconWindow {
+            compute: self.compute.saturating_sub(earlier.compute),
+            transfer: self.transfer.saturating_sub(earlier.transfer),
+            penalty: self.penalty.saturating_sub(earlier.penalty),
+            committed: self.committed.saturating_sub(earlier.committed),
+            rejected: self.rejected.saturating_sub(earlier.rejected),
+            violations: self.violations.saturating_sub(earlier.violations),
+            late: self.late.saturating_sub(earlier.late),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_books_per_site_and_totals() {
+        let mut m = CostMetrics::with_sites(2);
+        m.add_compute(0, Money::from_usd(2));
+        m.add_compute(1, Money::from_usd(1));
+        m.add_transfer(1, Money::from_cents(30));
+        m.add_rental_hours(0, 3);
+        m.penalty += Money::from_cents(50);
+        assert_eq!(m.compute, Money::from_usd(3));
+        assert_eq!(m.transfer, Money::from_cents(30));
+        assert_eq!(m.net_cost(), Money::from_micros(3_800_000));
+        assert_eq!(m.per_site[0].compute, Money::from_usd(2));
+        assert_eq!(m.per_site[0].execs_billed, 1);
+        assert_eq!(m.per_site[0].rental_hours, 3);
+        assert_eq!(m.per_site[1].transfer, Money::from_cents(30));
+        // Out-of-range sites still hit the totals, never panic.
+        m.add_compute(9, Money::from_usd(1));
+        assert_eq!(m.compute, Money::from_usd(4));
+    }
+
+    #[test]
+    fn snapshots_telescope_into_window_deltas() {
+        let mut m = CostMetrics::with_sites(1);
+        m.add_compute(0, Money::from_usd(1));
+        m.jobs_committed = 2;
+        let at_open = m.snapshot();
+        m.add_compute(0, Money::from_usd(2));
+        m.jobs_committed = 5;
+        m.late_completions = 1;
+        let at_close = m.snapshot();
+        let delta = at_close.delta_since(&at_open);
+        assert_eq!(delta.compute, Money::from_usd(2));
+        assert_eq!(delta.committed, 3);
+        assert_eq!(delta.late, 1);
+        assert_eq!(delta.transfer, Money::ZERO);
+        // Chaining windows telescopes back to the cumulative total.
+        let total = at_open.delta_since(&EconWindow::default());
+        assert_eq!(total.compute + delta.compute, at_close.compute);
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let mut m = CostMetrics::with_sites(2);
+        m.add_compute(0, Money::from_usd(1));
+        m.jobs_rejected = 4;
+        m.spot_revocations = 2;
+        let js = serde_json::to_string(&m).unwrap();
+        let back: CostMetrics = serde_json::from_str(&js).unwrap();
+        assert_eq!(m, back);
+        let w = m.snapshot();
+        let js = serde_json::to_string(&w).unwrap();
+        let back: EconWindow = serde_json::from_str(&js).unwrap();
+        assert_eq!(w, back);
+    }
+}

@@ -1,0 +1,181 @@
+//! Integer micro-dollar arithmetic.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// An amount of money in integer micro-dollars (10⁻⁶ USD).
+///
+/// All arithmetic saturates: a billing bug can pin a total at the i64
+/// range edge, but it can never panic mid-run or wrap into nonsense — the
+/// same "abort-free accumulator" discipline the drain-cost ticks use.
+/// Serializes transparently as the raw micro-dollar integer.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Money(pub i64);
+
+impl Money {
+    /// Zero dollars.
+    pub const ZERO: Money = Money(0);
+
+    /// From whole micro-dollars.
+    pub const fn from_micros(micros: i64) -> Money {
+        Money(micros)
+    }
+
+    /// From whole dollars (saturating).
+    pub const fn from_usd(usd: i64) -> Money {
+        Money(usd.saturating_mul(1_000_000))
+    }
+
+    /// From whole cents (saturating).
+    pub const fn from_cents(cents: i64) -> Money {
+        Money(cents.saturating_mul(10_000))
+    }
+
+    /// The raw micro-dollar count.
+    pub const fn micros(self) -> i64 {
+        self.0
+    }
+
+    /// Approximate dollar value — reporting/display only, never fed back
+    /// into an accumulator.
+    pub fn as_usd_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating addition.
+    pub const fn saturating_add(self, rhs: Money) -> Money {
+        Money(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction.
+    pub const fn saturating_sub(self, rhs: Money) -> Money {
+        Money(self.0.saturating_sub(rhs.0))
+    }
+
+    /// `self × num / den`, exact in `i128`, floored, saturated into range.
+    /// The workhorse behind per-second and per-byte metering: rates are
+    /// quoted per hour / per GB and scaled by integer spans.
+    pub fn mul_div(self, num: u64, den: u64) -> Money {
+        if den == 0 {
+            return Money::ZERO;
+        }
+        let wide = self.0 as i128 * num as i128 / den as i128;
+        Money(clamp_i128(wide))
+    }
+
+    /// `self × n`, saturating.
+    pub fn saturating_mul_u64(self, n: u64) -> Money {
+        Money(clamp_i128(self.0 as i128 * n as i128))
+    }
+
+    /// True for exactly zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+fn clamp_i128(wide: i128) -> i64 {
+    if wide > i64::MAX as i128 {
+        i64::MAX
+    } else if wide < i64::MIN as i128 {
+        i64::MIN
+    } else {
+        wide as i64
+    }
+}
+
+impl Add for Money {
+    type Output = Money;
+    fn add(self, rhs: Money) -> Money {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign for Money {
+    fn add_assign(&mut self, rhs: Money) {
+        *self = self.saturating_add(rhs);
+    }
+}
+
+impl Sub for Money {
+    type Output = Money;
+    fn sub(self, rhs: Money) -> Money {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl Sum for Money {
+    fn sum<I: Iterator<Item = Money>>(iter: I) -> Money {
+        iter.fold(Money::ZERO, Money::saturating_add)
+    }
+}
+
+impl fmt::Display for Money {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sign = if self.0 < 0 { "-" } else { "" };
+        let abs = self.0.unsigned_abs();
+        write!(f, "{sign}${}.{:06}", abs / 1_000_000, abs % 1_000_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        assert_eq!(Money::from_usd(3).micros(), 3_000_000);
+        assert_eq!(Money::from_cents(150).micros(), 1_500_000);
+        assert_eq!(Money::from_micros(7).micros(), 7);
+        assert!(Money::ZERO.is_zero());
+        assert!(!Money::from_usd(1).is_zero());
+        assert_eq!(Money::from_usd(2).as_usd_f64(), 2.0);
+    }
+
+    #[test]
+    fn arithmetic_saturates_instead_of_panicking() {
+        let max = Money(i64::MAX);
+        assert_eq!(max + Money::from_usd(1), max);
+        assert_eq!(Money(i64::MIN) - Money::from_usd(1), Money(i64::MIN));
+        assert_eq!(max.saturating_mul_u64(3), max);
+        let mut acc = Money(i64::MAX - 1);
+        acc += Money::from_usd(10);
+        assert_eq!(acc, max);
+    }
+
+    #[test]
+    fn mul_div_meters_exactly() {
+        // $1.00/hour for 90 seconds = $0.025.
+        let rate = Money::from_usd(1);
+        assert_eq!(rate.mul_div(90, 3600), Money::from_micros(25_000));
+        // Division by zero yields zero rather than aborting a run.
+        assert_eq!(rate.mul_div(5, 0), Money::ZERO);
+        // Floors, never rounds up: 1 micro$/hour over 1s = 0.
+        assert_eq!(Money(1).mul_div(1, 3600), Money::ZERO);
+    }
+
+    #[test]
+    fn sum_folds_saturating() {
+        let total: Money = [Money::from_usd(1), Money::from_cents(50)].into_iter().sum();
+        assert_eq!(total, Money::from_micros(1_500_000));
+    }
+
+    #[test]
+    fn displays_as_dollars() {
+        assert_eq!(Money::from_micros(1_234_567).to_string(), "$1.234567");
+        assert_eq!(Money::from_micros(-25_000).to_string(), "-$0.025000");
+    }
+
+    #[test]
+    fn serializes_transparently_as_integer() {
+        let js = serde_json::to_string(&Money::from_cents(5)).unwrap();
+        assert_eq!(js, "50000");
+        let back: Money = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, Money::from_cents(5));
+    }
+}

@@ -1,0 +1,220 @@
+//! SLA-side policies: penalty schedules, admission commitments, and the
+//! broker's site-scoring discipline.
+
+use serde::{Deserialize, Serialize};
+
+use crate::money::Money;
+use crate::price::PriceModel;
+
+/// Micro-seconds in one hour of lateness.
+const HOUR_MICROS: u64 = 3_600_000_000;
+
+/// Financial penalty for completing a job after its deadline (Suleiman &
+/// Basir's SLA cost curves, reduced to the three shapes the related work
+/// actually fits).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum PenaltySchedule {
+    /// No penalty — lateness is tracked but costs nothing.
+    Free,
+    /// A fixed charge per late job, however late.
+    Flat {
+        /// Charge per deadline miss.
+        usd: Money,
+    },
+    /// Linear in lateness: dollars per hour past the deadline, metered by
+    /// the micro-second.
+    PerHourLate {
+        /// Charge per hour of lateness.
+        usd_per_hour: Money,
+    },
+    /// Linear in lateness up to a per-job cap.
+    CappedPerHour {
+        /// Charge per hour of lateness.
+        usd_per_hour: Money,
+        /// Most one job's lateness can cost.
+        cap: Money,
+    },
+}
+
+impl PenaltySchedule {
+    /// The penalty for finishing `lateness_micros` past the deadline
+    /// (0 ⇒ on time ⇒ free).
+    pub fn charge(&self, lateness_micros: u64) -> Money {
+        if lateness_micros == 0 {
+            return Money::ZERO;
+        }
+        match self {
+            PenaltySchedule::Free => Money::ZERO,
+            PenaltySchedule::Flat { usd } => *usd,
+            PenaltySchedule::PerHourLate { usd_per_hour } => {
+                usd_per_hour.mul_div(lateness_micros, HOUR_MICROS)
+            }
+            PenaltySchedule::CappedPerHour { usd_per_hour, cap } => {
+                usd_per_hour.mul_div(lateness_micros, HOUR_MICROS).min(*cap)
+            }
+        }
+    }
+
+    /// True when no lateness can ever cost anything.
+    pub fn is_free(&self) -> bool {
+        match self {
+            PenaltySchedule::Free => true,
+            PenaltySchedule::Flat { usd } => usd.is_zero(),
+            PenaltySchedule::PerHourLate { usd_per_hour } => usd_per_hour.is_zero(),
+            PenaltySchedule::CappedPerHour { usd_per_hour, cap } => {
+                usd_per_hour.is_zero() || cap.is_zero()
+            }
+        }
+    }
+}
+
+/// What the engine promises at admission time.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum AdmissionPolicy {
+    /// Admit every job; the ticket promise is advisory and a miss counts
+    /// as ordinary lateness.
+    AdmitAll,
+    /// Commit-or-reject à la Azar et al.: at admission the engine either
+    /// *commits* to the job's Eq. 1 deadline — arrival plus this
+    /// turnaround budget — or rejects the job up front. Finishing a
+    /// committed job late is a commitment violation, counted separately
+    /// from ordinary lateness.
+    CommitOrReject {
+        /// Turnaround budget: the committed deadline is
+        /// `arrival + max_turnaround_secs`.
+        max_turnaround_secs: f64,
+    },
+}
+
+/// How the multi-site broker picks an external site per bursted job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BrokerPolicy {
+    /// The legacy pick: least upload-backlog + queued work, lowest index
+    /// on ties — byte-identical to every pre-econ golden.
+    EarliestRoundTrip,
+    /// Score sites on estimated $-cost × deadline feasibility: hourly
+    /// compute rate plus round-trip transfer cost for a reference job,
+    /// plus the penalty exposure of the site's backlog delay. Falls back
+    /// to the legacy key on exact ties, so the all-prices-equal degenerate
+    /// case reproduces `EarliestRoundTrip` exactly.
+    CostAware,
+}
+
+/// The experiment's economics section: pricing for the primary EC site
+/// (extra sites carry their own price in `EcSiteConfig`), the penalty
+/// schedule, the admission policy, and the broker discipline.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EconConfig {
+    /// Price of the primary EC site (`None` = free, like the IC).
+    pub primary_price: Option<PriceModel>,
+    /// Deadline-miss penalty schedule.
+    pub penalty: PenaltySchedule,
+    /// Admission commitment policy.
+    pub admission: AdmissionPolicy,
+    /// Broker site-selection discipline.
+    pub broker: BrokerPolicy,
+}
+
+impl Default for EconConfig {
+    fn default() -> Self {
+        EconConfig::dormant()
+    }
+}
+
+impl EconConfig {
+    /// The do-nothing section: no prices, free penalties, admit-all, the
+    /// legacy broker. The engine maps this to the same disarmed state as
+    /// an absent section; a run with it is byte-identical to one without.
+    pub fn dormant() -> EconConfig {
+        EconConfig {
+            primary_price: None,
+            penalty: PenaltySchedule::Free,
+            admission: AdmissionPolicy::AdmitAll,
+            broker: BrokerPolicy::EarliestRoundTrip,
+        }
+    }
+
+    /// True when this section can affect neither behavior nor accounting
+    /// (site-local prices on `extra_ec_sites` are the engine's to check).
+    pub fn is_dormant(&self) -> bool {
+        self.primary_price.is_none()
+            && self.penalty.is_free()
+            && self.admission == AdmissionPolicy::AdmitAll
+            && self.broker == BrokerPolicy::EarliestRoundTrip
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn penalty_shapes_meter_lateness() {
+        let hour = HOUR_MICROS;
+        assert_eq!(PenaltySchedule::Free.charge(hour), Money::ZERO);
+        let flat = PenaltySchedule::Flat { usd: Money::from_usd(5) };
+        assert_eq!(flat.charge(0), Money::ZERO, "on time is free");
+        assert_eq!(flat.charge(1), Money::from_usd(5), "any lateness pays the flat fee");
+        let linear = PenaltySchedule::PerHourLate { usd_per_hour: Money::from_usd(2) };
+        assert_eq!(linear.charge(hour / 2), Money::from_usd(1));
+        assert_eq!(linear.charge(3 * hour), Money::from_usd(6));
+        let capped = PenaltySchedule::CappedPerHour {
+            usd_per_hour: Money::from_usd(2),
+            cap: Money::from_usd(3),
+        };
+        assert_eq!(capped.charge(hour / 2), Money::from_usd(1), "below the cap: linear");
+        assert_eq!(capped.charge(10 * hour), Money::from_usd(3), "capped");
+    }
+
+    #[test]
+    fn is_free_sees_through_zero_rates() {
+        assert!(PenaltySchedule::Free.is_free());
+        assert!(PenaltySchedule::Flat { usd: Money::ZERO }.is_free());
+        assert!(!PenaltySchedule::Flat { usd: Money(1) }.is_free());
+        assert!(PenaltySchedule::PerHourLate { usd_per_hour: Money::ZERO }.is_free());
+        assert!(PenaltySchedule::CappedPerHour {
+            usd_per_hour: Money::from_usd(1),
+            cap: Money::ZERO
+        }
+        .is_free());
+    }
+
+    #[test]
+    fn dormant_config_is_dormant_and_armed_ones_are_not() {
+        assert!(EconConfig::dormant().is_dormant());
+        assert!(EconConfig::default().is_dormant());
+        let priced = EconConfig {
+            primary_price: Some(PriceModel::flat(Money::from_cents(10))),
+            ..EconConfig::dormant()
+        };
+        assert!(!priced.is_dormant());
+        let committing = EconConfig {
+            admission: AdmissionPolicy::CommitOrReject { max_turnaround_secs: 900.0 },
+            ..EconConfig::dormant()
+        };
+        assert!(!committing.is_dormant());
+        let brokered = EconConfig { broker: BrokerPolicy::CostAware, ..EconConfig::dormant() };
+        assert!(!brokered.is_dormant());
+        let fined = EconConfig {
+            penalty: PenaltySchedule::Flat { usd: Money::from_usd(1) },
+            ..EconConfig::dormant()
+        };
+        assert!(!fined.is_dormant());
+    }
+
+    #[test]
+    fn config_round_trips_through_json() {
+        let cfg = EconConfig {
+            primary_price: Some(PriceModel::flat(Money::from_cents(25))),
+            penalty: PenaltySchedule::CappedPerHour {
+                usd_per_hour: Money::from_usd(1),
+                cap: Money::from_usd(10),
+            },
+            admission: AdmissionPolicy::CommitOrReject { max_turnaround_secs: 1200.0 },
+            broker: BrokerPolicy::CostAware,
+        };
+        let js = serde_json::to_string(&cfg).unwrap();
+        let back: EconConfig = serde_json::from_str(&js).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

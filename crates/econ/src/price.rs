@@ -1,0 +1,268 @@
+//! Per-site price models: what one occupied machine and one transferred
+//! byte cost, under three billing disciplines.
+
+use cloudburst_chaos::CrashLaw;
+use serde::{Deserialize, Serialize};
+
+use crate::money::Money;
+
+/// Micro-seconds in one billing hour.
+const HOUR_MICROS: u64 = 3_600_000_000;
+
+/// Bytes in one billing gigabyte (decimal GB, the cloud convention).
+const GB_BYTES: u64 = 1_000_000_000;
+
+/// How one external site bills compute and transfer. All rates are integer
+/// [`Money`]; every charge is metered in exact `i128` arithmetic.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum PriceModel {
+    /// Flat pay-per-use: compute metered by the micro-second of machine
+    /// occupancy at a fixed hourly rate.
+    OnDemand {
+        /// Compute rate per machine-hour.
+        usd_per_machine_hour: Money,
+        /// Transfer rate per decimal GB (both directions).
+        usd_per_gb_transfer: Money,
+    },
+    /// Hour-granular rental à la Mäcker et al.: the first occupancy inside
+    /// a wall-clock hour acquires the machine for that whole hour; further
+    /// work in already-paid hours is free, and idle paid hours still cost.
+    HourlyRental {
+        /// Rent per machine-hour (whole hours only).
+        usd_per_machine_hour: Money,
+        /// Transfer rate per decimal GB (both directions).
+        usd_per_gb_transfer: Money,
+    },
+    /// Spot market: an on-demand-style meter whose hourly rate follows an
+    /// integer per-mille step trace, plus an optional revocation law the
+    /// engine realizes through the chaos machinery (dedicated
+    /// `"chaos/spot-revoke"` stream — revocations are ordinary machine
+    /// crash/recover cycles in the fault plan).
+    Spot {
+        /// Base compute rate per machine-hour (trace multiplier 1000‰).
+        base_usd_per_machine_hour: Money,
+        /// Transfer rate per decimal GB (both directions).
+        usd_per_gb_transfer: Money,
+        /// Price trace: `(offset_secs, per-mille multiplier)` step samples
+        /// sorted by offset, held constant between samples.
+        multipliers: Vec<(f64, u32)>,
+        /// Trace wrap-around period in seconds (0 = hold the last sample).
+        period_secs: f64,
+        /// Revocation law; `None` = never revoked.
+        revocation: Option<CrashLaw>,
+    },
+}
+
+impl PriceModel {
+    /// A flat on-demand model with no transfer cost — the minimal way to
+    /// arm cost accounting.
+    pub fn flat(usd_per_machine_hour: Money) -> PriceModel {
+        PriceModel::OnDemand { usd_per_machine_hour, usd_per_gb_transfer: Money::ZERO }
+    }
+
+    /// The spot revocation law, when this is a spot model with one.
+    pub fn revocation_law(&self) -> Option<&CrashLaw> {
+        match self {
+            PriceModel::Spot { revocation, .. } => revocation.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// The per-GB transfer rate.
+    pub fn transfer_rate(&self) -> Money {
+        match self {
+            PriceModel::OnDemand { usd_per_gb_transfer, .. }
+            | PriceModel::HourlyRental { usd_per_gb_transfer, .. }
+            | PriceModel::Spot { usd_per_gb_transfer, .. } => *usd_per_gb_transfer,
+        }
+    }
+
+    /// Charge for transferring `bytes` to or from this site.
+    pub fn transfer_charge(&self, bytes: u64) -> Money {
+        self.transfer_rate().mul_div(bytes, GB_BYTES)
+    }
+
+    /// The effective hourly compute rate at virtual instant `at_micros` —
+    /// constant except for the spot trace.
+    pub fn hourly_rate_at(&self, at_micros: u64) -> Money {
+        match self {
+            PriceModel::OnDemand { usd_per_machine_hour, .. }
+            | PriceModel::HourlyRental { usd_per_machine_hour, .. } => *usd_per_machine_hour,
+            PriceModel::Spot { base_usd_per_machine_hour, multipliers, period_secs, .. } => {
+                let permille = spot_permille(multipliers, *period_secs, at_micros);
+                base_usd_per_machine_hour.mul_div(permille as u64, 1000)
+            }
+        }
+    }
+
+    /// Charge for one execution span `[started, ended)` (micro-second
+    /// virtual instants) on one machine of this site.
+    ///
+    /// `paid_until_hour` is the engine-owned per-machine rental high-water
+    /// mark (first unpaid wall-clock hour index); on-demand and spot ignore
+    /// it, hourly rental advances it and bills only newly acquired hours.
+    /// Returns the newly incurred charge.
+    pub fn exec_charge(&self, started_micros: u64, ended_micros: u64, paid_until_hour: &mut u64) -> Money {
+        let ended = ended_micros.max(started_micros);
+        match self {
+            PriceModel::OnDemand { usd_per_machine_hour, .. } => {
+                usd_per_machine_hour.mul_div(ended - started_micros, HOUR_MICROS)
+            }
+            PriceModel::HourlyRental { usd_per_machine_hour, .. } => {
+                let first = started_micros / HOUR_MICROS;
+                let last = ended.div_ceil(HOUR_MICROS).max(first + 1);
+                let from = first.max(*paid_until_hour);
+                if last <= from {
+                    return Money::ZERO;
+                }
+                *paid_until_hour = last;
+                usd_per_machine_hour.saturating_mul_u64(last - from)
+            }
+            PriceModel::Spot { .. } => {
+                // Spot meters like on-demand at the rate quoted when the
+                // execution started — the price the revocable capacity was
+                // won at.
+                self.hourly_rate_at(started_micros).mul_div(ended - started_micros, HOUR_MICROS)
+            }
+        }
+    }
+}
+
+/// Per-mille multiplier of the spot trace at `at_micros`: last sample at or
+/// before the (period-wrapped) offset, 1000‰ before the first sample or
+/// for an empty trace. Binary search — same discipline as the bandwidth
+/// trace lookup in `cloudburst-net`.
+fn spot_permille(samples: &[(f64, u32)], period_secs: f64, at_micros: u64) -> u32 {
+    if samples.is_empty() {
+        return 1000;
+    }
+    let mut secs = at_micros as f64 / 1_000_000.0;
+    if period_secs > 0.0 {
+        secs %= period_secs;
+    }
+    let idx = samples.partition_point(|(at, _)| *at <= secs);
+    if idx == 0 {
+        1000
+    } else {
+        samples[idx - 1].1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const H: u64 = HOUR_MICROS;
+
+    #[test]
+    fn on_demand_meters_by_occupancy() {
+        let m = PriceModel::OnDemand {
+            usd_per_machine_hour: Money::from_usd(2),
+            usd_per_gb_transfer: Money::from_cents(9),
+        };
+        let mut paid = 0u64;
+        // 30 minutes = $1.
+        assert_eq!(m.exec_charge(0, H / 2, &mut paid), Money::from_usd(1));
+        assert_eq!(paid, 0, "on-demand never touches the rental mark");
+        // Inverted spans clamp to zero.
+        assert_eq!(m.exec_charge(H, 0, &mut paid), Money::ZERO);
+        // 1 GB costs the per-GB rate; half a GB half of it.
+        assert_eq!(m.transfer_charge(GB_BYTES), Money::from_cents(9));
+        assert_eq!(m.transfer_charge(GB_BYTES / 2), Money::from_micros(45_000));
+    }
+
+    #[test]
+    fn hourly_rental_acquires_whole_hours_once() {
+        let m = PriceModel::HourlyRental {
+            usd_per_machine_hour: Money::from_usd(3),
+            usd_per_gb_transfer: Money::ZERO,
+        };
+        let mut paid = 0u64;
+        // A 10-minute job in hour 0 rents the whole hour.
+        assert_eq!(m.exec_charge(0, H / 6, &mut paid), Money::from_usd(3));
+        assert_eq!(paid, 1);
+        // A second job inside the already-paid hour is free.
+        assert_eq!(m.exec_charge(H / 3, H / 2, &mut paid), Money::ZERO);
+        assert_eq!(paid, 1);
+        // A job spanning hours 1..3 rents two more.
+        assert_eq!(m.exec_charge(H + 1, 3 * H - 1, &mut paid), Money::from_usd(6));
+        assert_eq!(paid, 3);
+        // A later machine-idle gap then a job in hour 5: hour 4 was never
+        // acquired, so only hour 5 is billed.
+        assert_eq!(m.exec_charge(5 * H, 5 * H + 1, &mut paid), Money::from_usd(3));
+        assert_eq!(paid, 6);
+    }
+
+    #[test]
+    fn spot_follows_the_permille_trace_at_start_time() {
+        let m = PriceModel::Spot {
+            base_usd_per_machine_hour: Money::from_usd(1),
+            usd_per_gb_transfer: Money::ZERO,
+            multipliers: vec![(0.0, 500), (3600.0, 2000)],
+            period_secs: 7200.0,
+            revocation: None,
+        };
+        // Hour 0: half price. A full hour costs $0.50.
+        let mut paid = 0u64;
+        assert_eq!(m.exec_charge(0, H, &mut paid), Money::from_micros(500_000));
+        // Hour 1: double price, and the *start* instant prices the span
+        // even if it ends in a cheaper period.
+        assert_eq!(m.exec_charge(H, 2 * H, &mut paid), Money::from_usd(2));
+        // Wraps with the period: hour 2 maps back to the cheap sample.
+        assert_eq!(m.hourly_rate_at(2 * H), Money::from_micros(500_000));
+        // Empty trace ⇒ base rate.
+        let flat = PriceModel::Spot {
+            base_usd_per_machine_hour: Money::from_usd(1),
+            usd_per_gb_transfer: Money::ZERO,
+            multipliers: Vec::new(),
+            period_secs: 0.0,
+            revocation: None,
+        };
+        assert_eq!(flat.hourly_rate_at(12345), Money::from_usd(1));
+    }
+
+    #[test]
+    fn revocation_law_only_on_spot() {
+        let law = CrashLaw {
+            mean_uptime_secs: 3600.0,
+            mean_downtime_secs: 900.0,
+            max_faults_per_machine: 4,
+        };
+        let spot = PriceModel::Spot {
+            base_usd_per_machine_hour: Money::from_usd(1),
+            usd_per_gb_transfer: Money::ZERO,
+            multipliers: Vec::new(),
+            period_secs: 0.0,
+            revocation: Some(law),
+        };
+        assert_eq!(spot.revocation_law(), Some(&law));
+        assert_eq!(PriceModel::flat(Money::from_usd(1)).revocation_law(), None);
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let models = vec![
+            PriceModel::flat(Money::from_cents(12)),
+            PriceModel::HourlyRental {
+                usd_per_machine_hour: Money::from_usd(1),
+                usd_per_gb_transfer: Money::from_cents(2),
+            },
+            PriceModel::Spot {
+                base_usd_per_machine_hour: Money::from_cents(40),
+                usd_per_gb_transfer: Money::from_cents(1),
+                multipliers: vec![(0.0, 800), (1800.0, 1500)],
+                period_secs: 3600.0,
+                revocation: Some(CrashLaw {
+                    mean_uptime_secs: 7200.0,
+                    mean_downtime_secs: 600.0,
+                    max_faults_per_machine: 2,
+                }),
+            },
+        ];
+        for m in models {
+            let js = serde_json::to_string(&m).unwrap();
+            let back: PriceModel = serde_json::from_str(&js).unwrap();
+            assert_eq!(m, back);
+        }
+    }
+}

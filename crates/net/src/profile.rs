@@ -106,13 +106,14 @@ impl BandwidthModel {
                     secs %= period_secs;
                 }
                 // Last sample at or before `secs`; before the first sample,
-                // hold the first value.
-                samples
-                    .iter()
-                    .take_while(|(at, _)| *at <= secs)
-                    .last()
-                    .map(|(_, r)| *r)
-                    .unwrap_or(samples[0].1)
+                // hold the first value. Samples are sorted by offset, so a
+                // binary search replaces the per-call linear scan.
+                let idx = samples.partition_point(|(at, _)| *at <= secs);
+                if idx == 0 {
+                    samples[0].1
+                } else {
+                    samples[idx - 1].1
+                }
             }
             BandwidthModel::Jittered { inner, sigma, slot, seed } => {
                 let slot_idx = t.as_micros() / slot.as_micros().max(1);
@@ -253,6 +254,37 @@ mod tests {
             period_secs: 0.0,
         };
         assert_eq!(hold.rate_bps(SimTime::from_secs(10_000)), 500.0);
+    }
+
+    #[test]
+    fn trace_lookup_matches_linear_scan_at_every_offset_class() {
+        // The binary-search lookup must be bitwise-identical to the old
+        // take_while linear scan: before the first sample (samples that
+        // don't start at 0), exactly on a sample, between samples, after
+        // the last sample, and across the wrap point.
+        let samples = vec![(10.0, 100.0), (60.0, 500.0), (120.0, 200.0)];
+        for &period in &[0.0, 180.0] {
+            let m = BandwidthModel::Trace { samples: samples.clone(), period_secs: period };
+            for probe_secs in [0, 5, 10, 11, 59, 60, 61, 119, 120, 121, 500, 10_000] {
+                let t = SimTime::from_secs(probe_secs);
+                let mut secs = t.as_secs_f64();
+                if period > 0.0 {
+                    secs %= period;
+                }
+                let linear = samples
+                    .iter()
+                    .take_while(|(at, _)| *at <= secs)
+                    .last()
+                    .map(|(_, r)| *r)
+                    .unwrap_or(samples[0].1)
+                    .max(1.0);
+                assert_eq!(
+                    m.rate_bps(t).to_bits(),
+                    linear.to_bits(),
+                    "offset {probe_secs}s (period {period})"
+                );
+            }
+        }
     }
 
     #[test]

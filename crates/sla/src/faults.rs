@@ -137,6 +137,7 @@ mod tests {
             downloaded_bytes: 0,
             tickets: Vec::new(),
             faults: FaultMetrics::default(),
+            econ: None,
         }
     }
 

@@ -1,6 +1,7 @@
 //! Per-run SLA report — everything a scheduler comparison needs, in one
 //! serializable record.
 
+use cloudburst_econ::CostMetrics;
 use cloudburst_sim::SimTime;
 use serde::{Deserialize, Serialize};
 
@@ -8,7 +9,12 @@ use crate::metrics;
 use crate::ooo::OoSample;
 
 /// The consolidated SLA outcomes of one simulation run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// Serialization is hand-written (not derived) for one reason: the `econ`
+/// member must be *absent* from the JSON when the run carried no economics
+/// layer, so reports from econ-free configs — including every checked-in
+/// golden fixture — stay byte-identical to the pre-econ format.
+#[derive(Clone, Debug)]
 pub struct RunReport {
     /// Scheduler label ("greedy", "op", "op+sibs", "ic-only", …).
     pub scheduler: String,
@@ -49,6 +55,72 @@ pub struct RunReport {
     pub tickets: Vec<crate::ticket::TicketOutcome>,
     /// Fault and recovery accounting (all-zero on fault-free runs).
     pub faults: crate::faults::FaultMetrics,
+    /// Economics accounting — `None` when the run had no econ layer armed
+    /// (the key is then omitted from the serialized report entirely).
+    pub econ: Option<CostMetrics>,
+}
+
+impl Serialize for RunReport {
+    fn to_value(&self) -> serde::Value {
+        let mut m = serde::Map::new();
+        m.insert(String::from("scheduler"), self.scheduler.to_value());
+        m.insert(String::from("bucket"), self.bucket.to_value());
+        m.insert(String::from("seed"), self.seed.to_value());
+        m.insert(String::from("n_jobs"), self.n_jobs.to_value());
+        m.insert(String::from("makespan_secs"), self.makespan_secs.to_value());
+        m.insert(String::from("speedup"), self.speedup.to_value());
+        m.insert(String::from("sequential_secs"), self.sequential_secs.to_value());
+        m.insert(String::from("ic_utilization"), self.ic_utilization.to_value());
+        m.insert(String::from("ec_utilization"), self.ec_utilization.to_value());
+        m.insert(String::from("burst_ratio"), self.burst_ratio.to_value());
+        m.insert(String::from("burst_ratio_per_batch"), self.burst_ratio_per_batch.to_value());
+        m.insert(String::from("batch_turnaround_secs"), self.batch_turnaround_secs.to_value());
+        m.insert(String::from("completion_times"), self.completion_times.to_value());
+        m.insert(String::from("completion_delays"), self.completion_delays.to_value());
+        m.insert(String::from("oo_series"), self.oo_series.to_value());
+        m.insert(String::from("uploaded_bytes"), self.uploaded_bytes.to_value());
+        m.insert(String::from("downloaded_bytes"), self.downloaded_bytes.to_value());
+        m.insert(String::from("tickets"), self.tickets.to_value());
+        m.insert(String::from("faults"), self.faults.to_value());
+        if let Some(e) = &self.econ {
+            m.insert(String::from("econ"), e.to_value());
+        }
+        serde::Value::Object(m)
+    }
+}
+
+impl Deserialize for RunReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom(format!("RunReport: expected object, got {v}")))?;
+        fn field<T: Deserialize>(obj: &serde::Map, name: &str) -> Result<T, serde::Error> {
+            T::from_value(obj.get(name).unwrap_or(&serde::Value::Null))
+                .map_err(|e| serde::Error::custom(format!("RunReport.{name}: {e}")))
+        }
+        Ok(RunReport {
+            scheduler: field(obj, "scheduler")?,
+            bucket: field(obj, "bucket")?,
+            seed: field(obj, "seed")?,
+            n_jobs: field(obj, "n_jobs")?,
+            makespan_secs: field(obj, "makespan_secs")?,
+            speedup: field(obj, "speedup")?,
+            sequential_secs: field(obj, "sequential_secs")?,
+            ic_utilization: field(obj, "ic_utilization")?,
+            ec_utilization: field(obj, "ec_utilization")?,
+            burst_ratio: field(obj, "burst_ratio")?,
+            burst_ratio_per_batch: field(obj, "burst_ratio_per_batch")?,
+            batch_turnaround_secs: field(obj, "batch_turnaround_secs")?,
+            completion_times: field(obj, "completion_times")?,
+            completion_delays: field(obj, "completion_delays")?,
+            oo_series: field(obj, "oo_series")?,
+            uploaded_bytes: field(obj, "uploaded_bytes")?,
+            downloaded_bytes: field(obj, "downloaded_bytes")?,
+            tickets: field(obj, "tickets")?,
+            faults: field(obj, "faults")?,
+            econ: field(obj, "econ")?,
+        })
+    }
 }
 
 impl RunReport {
@@ -142,6 +214,7 @@ mod tests {
             downloaded_bytes: 0,
             tickets: vec![],
             faults: crate::faults::FaultMetrics::default(),
+            econ: None,
         }
     }
 
@@ -180,6 +253,28 @@ mod tests {
         let back: RunReport = serde_json::from_str(&js).unwrap();
         assert_eq!(back.scheduler, "test");
         assert_eq!(back.oo_series.len(), 1);
+    }
+
+    #[test]
+    fn econ_key_absent_without_econ_layer_present_with_one() {
+        let r = report(vec![], vec![]);
+        let js = serde_json::to_string(&r).unwrap();
+        assert!(!js.contains("\"econ\""), "econ-free report must omit the key: {js}");
+        let back: RunReport = serde_json::from_str(&js).unwrap();
+        assert!(back.econ.is_none());
+
+        let mut priced = report(vec![], vec![]);
+        let mut costs = cloudburst_econ::CostMetrics::with_sites(1);
+        costs.add_compute(0, cloudburst_econ::Money::from_usd(2));
+        costs.jobs_committed = 3;
+        priced.econ = Some(costs);
+        let js = serde_json::to_string(&priced).unwrap();
+        assert!(js.contains("\"econ\""), "{js}");
+        let back: RunReport = serde_json::from_str(&js).unwrap();
+        let econ = back.econ.expect("econ survives the round trip");
+        assert_eq!(econ.compute, cloudburst_econ::Money::from_usd(2));
+        assert_eq!(econ.jobs_committed, 3);
+        assert_eq!(econ.per_site.len(), 1);
     }
 
     #[test]

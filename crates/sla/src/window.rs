@@ -21,6 +21,7 @@ use std::collections::BinaryHeap;
 
 use serde::{Deserialize, Serialize};
 
+use cloudburst_econ::{CostMetrics, EconWindow};
 use cloudburst_sim::{SimDuration, SimTime};
 
 use crate::faults::FaultMetrics;
@@ -76,6 +77,9 @@ pub struct WindowStats {
     pub live_at_close: u64,
     /// Peak live jobs observed during the window.
     pub live_high_water: u64,
+    /// Economics realized during the window (cumulative snapshot delta, at
+    /// heartbeat granularity); `None` when no econ layer is armed.
+    pub econ: Option<EconWindow>,
 }
 
 /// Streaming ordered-output frontier over a dense, never-recycled arrival
@@ -165,6 +169,8 @@ pub struct WindowSeries {
     live: u64,
     latest_faults: FaultMetrics,
     faults_at_open: FaultMetrics,
+    latest_econ: Option<EconWindow>,
+    econ_at_open: EconWindow,
     total_admitted: u64,
     total_completed: u64,
 }
@@ -182,6 +188,8 @@ impl WindowSeries {
             live: 0,
             latest_faults: FaultMetrics::default(),
             faults_at_open: FaultMetrics::default(),
+            latest_econ: None,
+            econ_at_open: EconWindow::default(),
             total_admitted: 0,
             total_completed: 0,
         }
@@ -221,8 +229,12 @@ impl WindowSeries {
                 faults: self.latest_faults.delta_since(&self.faults_at_open),
                 live_at_close: self.live,
                 live_high_water: w.live_high_water.max(self.live),
+                econ: self.latest_econ.map(|e| e.delta_since(&self.econ_at_open)),
             });
             self.faults_at_open = self.latest_faults.clone();
+            if let Some(e) = self.latest_econ {
+                self.econ_at_open = e;
+            }
             self.current.index = w.index + 1;
             self.current.live_high_water = self.live;
         }
@@ -269,6 +281,16 @@ impl WindowSeries {
     pub fn heartbeat(&mut self, t: SimTime, faults: &FaultMetrics) {
         self.advance_to(t);
         self.latest_faults = faults.clone();
+    }
+
+    /// Observes the cumulative economics counters at time `t` — the econ
+    /// twin of [`WindowSeries::heartbeat`]. Once called, every window
+    /// closed from then on carries `Some` econ delta (all-zero in idle
+    /// windows); never called (no econ layer armed) means every window's
+    /// `econ` stays `None`.
+    pub fn observe_econ(&mut self, t: SimTime, econ: EconWindow) {
+        self.advance_to(t);
+        self.latest_econ = Some(econ);
     }
 
     /// Closes every window ending at or before `t` (end-of-run flush; also
@@ -339,6 +361,9 @@ pub struct ServeReport {
     pub faults: FaultMetrics,
     /// The per-window series.
     pub windows: Vec<WindowStats>,
+    /// Final cumulative economics accounting; `None` when the serve ran
+    /// without an econ layer.
+    pub econ: Option<CostMetrics>,
 }
 
 #[cfg(test)]
@@ -473,6 +498,34 @@ mod tests {
         assert_eq!(rows[2].faults.exec_failures, 3);
         let sum: u64 = rows.iter().map(|w| w.faults.exec_failures).sum();
         assert_eq!(sum, 5, "deltas must telescope to the cumulative count");
+    }
+
+    #[test]
+    fn econ_deltas_are_per_window_and_none_until_observed() {
+        use cloudburst_econ::Money;
+        let mut ws = WindowSeries::new(WindowConfig {
+            window: SimDuration::from_mins(1),
+            oo_tolerance: 0,
+        });
+        let snap = |usd: i64, rejected: u64| EconWindow {
+            compute: Money::from_usd(usd),
+            rejected,
+            ..EconWindow::default()
+        };
+        // Window 0 closes before any econ observation → None.
+        ws.heartbeat(mins(1), &FaultMetrics::default());
+        ws.observe_econ(mins(1), snap(2, 1));
+        ws.observe_econ(mins(2), snap(5, 1));
+        ws.finish(mins(3), &FaultMetrics::default());
+        let rows = ws.closed();
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].econ.is_none(), "no econ observed while window 0 was open");
+        let w1 = rows[1].econ.expect("window 1 carries the first snapshot");
+        assert_eq!(w1.compute, Money::from_usd(2));
+        assert_eq!(w1.rejected, 1);
+        let w2 = rows[2].econ.expect("window 2 carries the delta");
+        assert_eq!(w2.compute, Money::from_usd(3));
+        assert_eq!(w2.rejected, 0, "deltas, not cumulative counts");
     }
 
     #[test]

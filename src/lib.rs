@@ -13,6 +13,7 @@
 pub use cloudburst_chaos as chaos;
 pub use cloudburst_cluster as cluster;
 pub use cloudburst_core as core;
+pub use cloudburst_econ as econ;
 pub use cloudburst_net as net;
 pub use cloudburst_qrsm as qrsm;
 pub use cloudburst_sched as sched;

@@ -104,6 +104,7 @@ fn invariants_hold_with_all_extensions_enabled() {
         speed: 1.0,
         upload_model: cloudburst_repro::net::BandwidthModel::Constant(150_000.0),
         download_model: cloudburst_repro::net::BandwidthModel::Constant(150_000.0),
+        price: None,
     }];
     check_invariants(&run_experiment(&c));
 }

@@ -103,6 +103,7 @@ fn starved_shard_site_composes_identically() {
             speed: 1.5,
             upload_model: ExperimentConfig::default().upload_model,
             download_model: ExperimentConfig::default().download_model,
+            price: None,
         }],
         ..ExperimentConfig::default()
     };
